@@ -1,0 +1,90 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * schedule representation: bitset vs `HashSet` membership;
+//! * PARALLELNOSY lock scope: mutate-only vs conservative (§3.2-literal);
+//! * cross-edge cap `b`: runtime effect of bounding hub-graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piggyback_bench::flickr_dataset;
+use piggyback_core::bitset::BitSet;
+use piggyback_core::parallelnosy::ParallelNosy;
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_schedule_repr(c: &mut Criterion) {
+    // Membership-heavy access pattern of the inner loops: m edges, ~50%
+    // members, random probes.
+    let m = 100_000u32;
+    let members: Vec<u32> = (0..m).filter(|e| e % 2 == 0).collect();
+    let probes: Vec<u32> = (0..m).step_by(3).collect();
+
+    let mut bits = BitSet::new(m as usize);
+    for &e in &members {
+        bits.insert(e);
+    }
+    let mut hash: HashSet<u32> = HashSet::new();
+    hash.extend(&members);
+
+    let mut group = c.benchmark_group("schedule_membership");
+    group.bench_function("bitset", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &e in &probes {
+                hits += bits.contains(e) as usize;
+            }
+            black_box(hits)
+        });
+    });
+    group.bench_function("std_hashset", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &e in &probes {
+                hits += hash.contains(&e) as usize;
+            }
+            black_box(hits)
+        });
+    });
+    group.finish();
+}
+
+fn bench_lock_scope(c: &mut Criterion) {
+    let d = flickr_dataset(2000, 1);
+    let mut group = c.benchmark_group("parallelnosy_lock_scope");
+    group.sample_size(10);
+    for (name, conservative) in [("mutate_only", false), ("conservative", true)] {
+        let pn = ParallelNosy {
+            max_iterations: 100,
+            conservative_locks: conservative,
+            ..ParallelNosy::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pn, |b, pn| {
+            b.iter(|| black_box(pn.run(&d.graph, &d.rates)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_cap(c: &mut Criterion) {
+    let d = flickr_dataset(3000, 1);
+    let mut group = c.benchmark_group("parallelnosy_cross_cap");
+    group.sample_size(10);
+    for cap in [8usize, 64, 100_000] {
+        let pn = ParallelNosy {
+            max_iterations: 10,
+            cross_cap: cap,
+            ..ParallelNosy::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &pn, |b, pn| {
+            b.iter(|| black_box(pn.run(&d.graph, &d.rates)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedule_repr,
+    bench_lock_scope,
+    bench_cross_cap
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the scheduling algorithms: FEEDINGFRENZY
+//! (hybrid), PARALLELNOSY (threaded and MapReduce), and CHITCHAT, across
+//! graph scales — the §4.2 "execution time per iteration" discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piggyback_bench::flickr_dataset;
+use piggyback_core::baseline::hybrid_schedule;
+use piggyback_core::chitchat::ChitChat;
+use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_mapreduce::MapReduce;
+use std::hint::black_box;
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_baseline");
+    for nodes in [1000usize, 4000] {
+        let d = flickr_dataset(nodes, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &d, |b, d| {
+            b.iter(|| black_box(hybrid_schedule(&d.graph, &d.rates)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallelnosy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallelnosy");
+    group.sample_size(10);
+    for nodes in [1000usize, 4000] {
+        let d = flickr_dataset(nodes, 1);
+        let pn = ParallelNosy {
+            max_iterations: 10,
+            ..ParallelNosy::default()
+        };
+        group.bench_with_input(BenchmarkId::new("threaded", nodes), &d, |b, d| {
+            b.iter(|| black_box(pn.run(&d.graph, &d.rates)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallelnosy_single_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallelnosy_one_iteration");
+    group.sample_size(10);
+    let d = flickr_dataset(4000, 1);
+    let pn = ParallelNosy {
+        max_iterations: 1,
+        ..ParallelNosy::default()
+    };
+    group.bench_function("threaded", |b| {
+        b.iter(|| black_box(pn.run(&d.graph, &d.rates)));
+    });
+    let engine = MapReduce::default();
+    group.bench_function("mapreduce", |b| {
+        b.iter(|| black_box(pn.run_on_mapreduce(&d.graph, &d.rates, &engine)));
+    });
+    group.finish();
+}
+
+fn bench_chitchat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chitchat");
+    group.sample_size(10);
+    for nodes in [500usize, 1000] {
+        let d = flickr_dataset(nodes, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &d, |b, d| {
+            b.iter(|| black_box(ChitChat::default().run(&d.graph, &d.rates)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hybrid,
+    bench_parallelnosy,
+    bench_parallelnosy_single_iteration,
+    bench_chitchat
+);
+criterion_main!(benches);

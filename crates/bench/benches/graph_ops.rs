@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks for the graph substrate: CSR construction,
+//! edge-id lookup, neighbor iteration, generation, and sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piggyback_graph::gen::{copying, flickr_like, CopyingConfig};
+use piggyback_graph::sample::{bfs_sample, random_walk_sample};
+use piggyback_graph::GraphBuilder;
+use std::hint::black_box;
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_build");
+    for nodes in [1000usize, 10_000] {
+        let g = flickr_like(nodes, 3);
+        let edges: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u, v)).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(edges.len()),
+            &edges,
+            |b, edges| {
+                b.iter(|| {
+                    let mut builder = GraphBuilder::with_capacity(edges.len());
+                    for &(u, v) in edges {
+                        builder.add_edge(u, v);
+                    }
+                    black_box(builder.build())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_edge_lookup(c: &mut Criterion) {
+    let g = flickr_like(4000, 3);
+    let probes: Vec<(u32, u32)> = g
+        .edges()
+        .map(|(_, u, v)| (u, v))
+        .step_by(7)
+        .take(1024)
+        .collect();
+    c.bench_function("edge_id_lookup_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(u, v) in &probes {
+                acc = acc.wrapping_add(g.edge_id(u, v) as u64);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_neighbor_scan(c: &mut Criterion) {
+    let g = flickr_like(4000, 3);
+    c.bench_function("full_adjacency_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for u in g.nodes() {
+                for &v in g.out_neighbors(u) {
+                    acc = acc.wrapping_add(v as u64);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    group.bench_function("copying_10k_nodes", |b| {
+        b.iter(|| {
+            black_box(copying(CopyingConfig {
+                nodes: 10_000,
+                follows_per_node: 8,
+                copy_prob: 0.9,
+                seed: 5,
+            }))
+        });
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = flickr_like(8000, 3);
+    let target = g.edge_count() / 5;
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    group.bench_function("random_walk", |b| {
+        b.iter(|| black_box(random_walk_sample(&g, target, 1)));
+    });
+    group.bench_function("bfs", |b| {
+        b.iter(|| black_box(bfs_sample(&g, target, 1)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_csr_build,
+    bench_edge_lookup,
+    bench_neighbor_scan,
+    bench_generation,
+    bench_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the store prototype: request handling
+//! under both schedules — the per-request cost behind Figure 6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use piggyback_bench::flickr_dataset;
+use piggyback_core::baseline::hybrid_schedule;
+use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_store::cluster::{Cluster, ClusterConfig};
+use piggyback_store::tuple::EventTuple;
+use piggyback_store::view::View;
+use piggyback_workload::RequestTrace;
+use std::hint::black_box;
+
+fn bench_view_insert(c: &mut Criterion) {
+    c.bench_function("view_insert_trimmed_128", |b| {
+        b.iter(|| {
+            let mut v = View::with_capacity(128);
+            for i in 0..1000u64 {
+                v.insert(EventTuple::new((i % 50) as u32, i, i));
+            }
+            black_box(v.len())
+        });
+    });
+}
+
+fn bench_request_mix(c: &mut Criterion) {
+    let d = flickr_dataset(2000, 1);
+    let ff = hybrid_schedule(&d.graph, &d.rates);
+    let pn = ParallelNosy {
+        max_iterations: 10,
+        ..ParallelNosy::default()
+    }
+    .run(&d.graph, &d.rates)
+    .schedule;
+    let mut group = c.benchmark_group("simulate_10k_requests_200_servers");
+    group.sample_size(10);
+    for (name, sched) in [("hybrid", &ff), ("parallelnosy", &pn)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), sched, |b, sched| {
+            b.iter(|| {
+                let mut cluster = Cluster::new(
+                    &d.graph,
+                    sched,
+                    ClusterConfig {
+                        servers: 200,
+                        ..Default::default()
+                    },
+                );
+                let mut trace = RequestTrace::new(&d.rates, 9);
+                black_box(cluster.simulate(&mut trace, 10_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_cluster(c: &mut Criterion) {
+    let d = flickr_dataset(1000, 1);
+    let pn = ParallelNosy {
+        max_iterations: 10,
+        ..ParallelNosy::default()
+    }
+    .run(&d.graph, &d.rates)
+    .schedule;
+    let mut group = c.benchmark_group("concurrent_cluster");
+    group.sample_size(10);
+    group.bench_function("4_clients_x_1000_requests", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(
+                &d.graph,
+                &pn,
+                ClusterConfig {
+                    servers: 64,
+                    ..Default::default()
+                },
+            );
+            let (stats, _) = cluster.run_concurrent(&d.graph, &d.rates, 4, 1000, 4, 3);
+            black_box(stats.requests)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_view_insert,
+    bench_request_mix,
+    bench_concurrent_cluster
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: piggybacking gains as a function of graph clustering.
+//!
+//! The paper's §1 claim — "the high clustering coefficient of social
+//! networks implies the presence of many hubs, making hub-based schedules
+//! very efficient" — tested directly on two generator families where
+//! clustering is a knob and everything else is held fixed:
+//!
+//! * copying model, sweeping the copy probability (heavy-tailed degrees);
+//! * planted partition, sweeping community strength at constant expected
+//!   degree (uniform degrees) — isolating clustering from degree skew.
+//!
+//! Expected shape: improvement ≈ 1 at zero clustering (Erdős–Rényi limit),
+//! growing monotonically with it.
+//!
+//! ```text
+//! cargo run --release -p piggyback-bench --bin ablation_clustering -- [nodes]
+//! ```
+
+use piggyback_bench::{nodes_from_args, print_header, print_row};
+use piggyback_core::baseline::hybrid_schedule;
+use piggyback_core::cost::predicted_improvement;
+use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_graph::gen::{copying, planted_partition, CopyingConfig, PlantedPartitionConfig};
+use piggyback_graph::stats;
+use piggyback_workload::Rates;
+
+fn main() {
+    let nodes = nodes_from_args().min(6000);
+    let pn = ParallelNosy {
+        max_iterations: 100,
+        ..ParallelNosy::default()
+    };
+
+    println!("# Ablation A: copying model, sweep copy probability");
+    print_header(&["copy_prob", "clustering", "pn_improvement"]);
+    for cp in [0.0, 0.3, 0.6, 0.8, 0.9, 0.95] {
+        let g = copying(CopyingConfig {
+            nodes,
+            follows_per_node: 8,
+            copy_prob: cp,
+            seed: 42,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        let imp = predicted_improvement(&g, &r, &pn.run(&g, &r).schedule, &hybrid_schedule(&g, &r));
+        let cc = stats::sampled_clustering_coefficient(&g, 300, 7);
+        print_row(&[format!("{cp}"), format!("{cc:.3}"), format!("{imp:.3}")]);
+    }
+
+    println!("# Ablation B: planted partition, sweep community strength");
+    println!("# (expected degree held at ~12 by rebalancing p_intra/p_inter)");
+    print_header(&["p_intra", "clustering", "pn_improvement"]);
+    let n = nodes.min(2000); // O(n^2) generator
+    let communities = n / 20; // 20-node communities
+    let avg_degree = 12.0;
+    for strength in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+        // Split the degree budget between intra and inter edges.
+        let intra_pairs = 19.0; // other members of my community
+        let inter_pairs = (n - 20) as f64;
+        let p_intra = avg_degree * strength / intra_pairs;
+        let p_inter = avg_degree * (1.0 - strength) / inter_pairs;
+        let g = planted_partition(PlantedPartitionConfig {
+            nodes: n,
+            communities,
+            p_intra: p_intra.min(1.0),
+            p_inter: p_inter.min(1.0),
+            seed: 42,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        let imp = predicted_improvement(&g, &r, &pn.run(&g, &r).schedule, &hybrid_schedule(&g, &r));
+        let cc = stats::sampled_clustering_coefficient(&g, 300, 7);
+        print_row(&[
+            format!("{:.3}", p_intra.min(1.0)),
+            format!("{cc:.3}"),
+            format!("{imp:.3}"),
+        ]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Dataset description (§4.1's role): structural statistics of the
+//! synthetic stand-ins next to the real crawls' published numbers, so a
+//! reader can judge the substitution.
+//!
+//! ```text
+//! cargo run --release -p piggyback-bench --bin datasets -- [nodes]
+//! ```
+
+use piggyback_bench::{both_datasets, nodes_from_args, print_header, print_row};
+use piggyback_graph::stats;
+
+fn main() {
+    let nodes = nodes_from_args();
+    println!("# Real crawls (paper §4.1): flickr 2,409,730 nodes / 71,345,981 edges;");
+    println!("#                           twitter 82,949,778 nodes / 1,423,194,279 edges.");
+    println!("# Stand-ins below preserve relative density, reciprocity and hub-level");
+    println!("# clustering at laptop scale (see DESIGN.md for the calibration).");
+    print_header(&[
+        "dataset",
+        "nodes",
+        "edges",
+        "avg_out_degree",
+        "max_out_degree",
+        "p99_out_degree",
+        "reciprocity",
+        "clustering",
+        "wedge_closure",
+    ]);
+    for d in both_datasets(nodes, 42) {
+        let g = &d.graph;
+        let out = stats::out_degree_summary(g);
+        let rec = stats::reciprocity(g);
+        let cc = stats::sampled_clustering_coefficient(g, 500, 7);
+        let (closed, wedges) = stats::piggyback_triangles(g, 500, 9);
+        print_row(&[
+            d.name.to_string(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            format!("{:.2}", out.mean),
+            out.max.to_string(),
+            out.p99.to_string(),
+            format!("{rec:.3}"),
+            format!("{cc:.3}"),
+            format!("{:.3}", closed as f64 / wedges.max(1) as f64),
+        ]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 4: predicted improvement ratio of PARALLELNOSY over the
+//! FEEDINGFRENZY hybrid baseline, per iteration, on the Flickr- and
+//! Twitter-like graphs.
+//!
+//! Paper shape: both curves rise sharply in the first iterations, then
+//! plateau; twitter (denser) stabilizes higher (≈2.1) than flickr (≈1.9).
+//!
+//! ```text
+//! cargo run --release -p piggyback-bench --bin fig4 -- [nodes]
+//! ```
+
+use piggyback_bench::{
+    both_datasets, nodes_from_args, print_dataset_banner, print_header, print_row,
+};
+use piggyback_core::parallelnosy::ParallelNosy;
+
+fn main() {
+    let nodes = nodes_from_args();
+    println!("# Figure 4: predicted improvement ratio of ParallelNosy vs FF per iteration");
+    for d in both_datasets(nodes, 42) {
+        print_dataset_banner(&d);
+        let pn = ParallelNosy {
+            max_iterations: 20,
+            ..ParallelNosy::default()
+        };
+        let res = pn.run(&d.graph, &d.rates);
+        let ff_cost = res.cost_history[0];
+        print_header(&["dataset", "iteration", "improvement_ratio"]);
+        for (i, c) in res.cost_history.iter().enumerate() {
+            print_row(&[
+                d.name.to_string(),
+                i.to_string(),
+                format!("{:.4}", ff_cost / c),
+            ]);
+        }
+        println!(
+            "# {}: final improvement {:.3} after {} iterations, {} hubs applied",
+            d.name,
+            ff_cost / res.cost_history.last().unwrap(),
+            res.iterations,
+            res.hubs_applied
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 6: *actual* per-client throughput of the store prototype as the
+//! number of data-store servers grows, PARALLELNOSY vs FEEDINGFRENZY.
+//!
+//! Paper shape: absolute per-client throughput falls with more servers
+//! (each request touches more distinct servers); the PN/FF ratio is ≈1 (FF
+//! sometimes slightly ahead) in small systems and grows past a crossover
+//! around 200 servers, reaching ≈1.2 at 500 and ≈1.35 at 1000.
+//!
+//! Uses the threaded prototype: shard workers behind channels, client
+//! threads replaying a rate-faithful trace, every message carrying the
+//! 24-byte wire encoding. Wall-clock requests/second, averaged over trials
+//! (random placement makes single runs irregular — §4.3 notes the same).
+//!
+//! ```text
+//! cargo run --release -p piggyback-bench --bin fig6 -- [nodes]
+//! ```
+
+use piggyback_bench::{
+    flickr_dataset, nodes_from_args, print_dataset_banner, print_header, print_row,
+};
+use piggyback_core::baseline::hybrid_schedule;
+use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_core::schedule::Schedule;
+use piggyback_graph::CsrGraph;
+use piggyback_store::cluster::{Cluster, ClusterConfig};
+use piggyback_workload::Rates;
+
+const TRIALS: u64 = 3;
+
+fn measure(
+    g: &CsrGraph,
+    rates: &Rates,
+    sched: &Schedule,
+    servers: usize,
+    clients: usize,
+    requests: usize,
+    workers: usize,
+) -> (f64, f64) {
+    let (mut rps, mut msgs) = (0.0, 0.0);
+    for trial in 0..TRIALS {
+        let cfg = ClusterConfig {
+            servers,
+            placement_seed: trial,
+            ..Default::default()
+        };
+        let (stats, _) = Cluster::new(g, sched, cfg).run_concurrent(
+            g,
+            rates,
+            clients,
+            requests,
+            workers,
+            17 + trial,
+        );
+        rps += stats.requests_per_sec() / clients as f64;
+        msgs += stats.messages as f64 / stats.requests as f64;
+    }
+    (rps / TRIALS as f64, msgs / TRIALS as f64)
+}
+
+fn main() {
+    let nodes = nodes_from_args();
+    let d = flickr_dataset(nodes, 42);
+    print_dataset_banner(&d);
+    println!("# Figure 6: actual per-client throughput (req/s) vs number of servers");
+
+    let ff = hybrid_schedule(&d.graph, &d.rates);
+    let pn = ParallelNosy {
+        max_iterations: 20,
+        ..ParallelNosy::default()
+    }
+    .run(&d.graph, &d.rates)
+    .schedule;
+
+    let clients = 4;
+    let requests_per_client = 4000;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+
+    print_header(&[
+        "servers",
+        "pn_req_per_sec",
+        "ff_req_per_sec",
+        "actual_improvement_ratio",
+        "pn_msgs_per_req",
+        "ff_msgs_per_req",
+    ]);
+    for servers in [1usize, 4, 16, 64, 200, 500, 1000] {
+        let (pn_rps, pn_msgs) = measure(
+            &d.graph,
+            &d.rates,
+            &pn,
+            servers,
+            clients,
+            requests_per_client,
+            workers,
+        );
+        let (ff_rps, ff_msgs) = measure(
+            &d.graph,
+            &d.rates,
+            &ff,
+            servers,
+            clients,
+            requests_per_client,
+            workers,
+        );
+        print_row(&[
+            servers.to_string(),
+            format!("{pn_rps:.0}"),
+            format!("{ff_rps:.0}"),
+            format!("{:.3}", pn_rps / ff_rps),
+            format!("{pn_msgs:.3}"),
+            format!("{ff_msgs:.3}"),
+        ]);
+    }
+}

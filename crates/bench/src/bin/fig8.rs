@@ -1,0 +1,55 @@
+//! Figure 8: load balancing — normalized query rate per server (mean and
+//! variance) for PARALLELNOSY vs FEEDINGFRENZY schedules.
+//!
+//! Paper shape: both schedules balance well; average per-server load falls
+//! as servers grow (log–log straight line), with small variance bars.
+//!
+//! ```text
+//! cargo run --release -p piggyback-bench --bin fig8 -- [nodes]
+//! ```
+
+use piggyback_bench::{
+    flickr_dataset, nodes_from_args, print_dataset_banner, print_header, print_row,
+};
+use piggyback_core::baseline::hybrid_schedule;
+use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_store::partition::RandomPlacement;
+use piggyback_store::placement::PlacementCost;
+
+fn main() {
+    let nodes = nodes_from_args();
+    let d = flickr_dataset(nodes, 42);
+    print_dataset_banner(&d);
+    println!("# Figure 8: normalized query load per server (mean, variance)");
+
+    let ff = hybrid_schedule(&d.graph, &d.rates);
+    let pn = ParallelNosy {
+        max_iterations: 20,
+        ..ParallelNosy::default()
+    }
+    .run(&d.graph, &d.rates)
+    .schedule;
+
+    let pc_ff = PlacementCost::new(&d.graph, &d.rates, &ff);
+    let pc_pn = PlacementCost::new(&d.graph, &d.rates, &pn);
+
+    print_header(&[
+        "servers",
+        "pn_mean_load",
+        "pn_load_variance",
+        "ff_mean_load",
+        "ff_load_variance",
+    ]);
+    for servers in [1usize, 10, 100, 1000, 10000] {
+        let p = RandomPlacement::new(servers, 5);
+        let (pn_mean, pn_var) = pc_pn.load_balance(&p);
+        let (ff_mean, ff_var) = pc_ff.load_balance(&p);
+        print_row(&[
+            servers.to_string(),
+            format!("{pn_mean:.6}"),
+            format!("{pn_var:.3e}"),
+            format!("{ff_mean:.6}"),
+            format!("{ff_var:.3e}"),
+        ]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Prototype saturation behaviour: per-request latency percentiles as the
+//! offered load (client threads) grows.
+//!
+//! §4.3: "Since queries involve only simple processing of in-memory data
+//! structures, the latency per request is very low unless the system
+//! becomes saturated." Expected shape: p50/p99 flat while throughput scales
+//! with clients, then climbing sharply once the shard workers saturate.
+//!
+//! ```text
+//! cargo run --release -p piggyback-bench --bin prototype_latency -- [nodes]
+//! ```
+
+use piggyback_bench::{
+    flickr_dataset, nodes_from_args, print_dataset_banner, print_header, print_row,
+};
+use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_store::cluster::{Cluster, ClusterConfig};
+
+fn main() {
+    let nodes = if std::env::args().nth(1).is_some() {
+        nodes_from_args()
+    } else {
+        2000
+    };
+    let d = flickr_dataset(nodes, 42);
+    print_dataset_banner(&d);
+    println!("# Prototype latency vs offered load (workers fixed at 2)");
+
+    let pn = ParallelNosy {
+        max_iterations: 15,
+        ..ParallelNosy::default()
+    }
+    .run(&d.graph, &d.rates)
+    .schedule;
+
+    print_header(&["clients", "total_req_per_sec", "p50_us", "p99_us", "max_ms"]);
+    for clients in [1usize, 2, 4, 8, 16, 32] {
+        let cluster = Cluster::new(
+            &d.graph,
+            &pn,
+            ClusterConfig {
+                servers: 64,
+                ..Default::default()
+            },
+        );
+        let (stats, _) = cluster.run_concurrent(&d.graph, &d.rates, clients, 3000, 2, 5);
+        print_row(&[
+            clients.to_string(),
+            format!("{:.0}", stats.requests_per_sec()),
+            format!("{:.1}", stats.latency.quantile_ns(0.5) as f64 / 1_000.0),
+            format!("{:.1}", stats.latency.quantile_ns(0.99) as f64 / 1_000.0),
+            format!("{:.2}", stats.latency.max_ns() as f64 / 1_000_000.0),
+        ]);
+    }
+}

@@ -1,0 +1,355 @@
+//! Active stores: propagation sets and the Theorem 3 equivalence.
+//!
+//! §2.2 generalizes the system model to *active* stores, where data-store
+//! servers may forward events among themselves: each edge `w → u` can carry
+//! a propagation set `P_u(w)` of common subscribers of `u` and `w`; when
+//! `u`'s view stores an event of `w` for the first time, the server pushes
+//! it onward to every view in `P_u(w)`. This enables chains
+//! `w → u₁ → u₂ → …` that passive stores cannot express directly.
+//!
+//! Theorem 3 says the generality buys nothing: any active schedule can be
+//! simulated by a passive one — replace each chain with direct pushes from
+//! the producer — at no greater cost and no worse latency. This module
+//! implements the active model, the chain-flattening conversion, and cost
+//! accounting, so the claim is checked by tests rather than taken on faith.
+
+use piggyback_graph::fx::FxHashMap;
+use piggyback_graph::{CsrGraph, EdgeId, NodeId, INVALID_EDGE};
+use piggyback_workload::Rates;
+
+use crate::schedule::Schedule;
+
+/// An active-store request schedule: a passive `(H, L)` pair plus
+/// per-edge propagation sets (Definition 5).
+#[derive(Clone, Debug)]
+pub struct ActiveSchedule {
+    /// The push/pull part. The covered set is unused here: coverage in the
+    /// active model is derived from reachability.
+    pub base: Schedule,
+    /// `propagation[edge w→u] = views to forward w's events to when u's
+    /// view first stores one`.
+    pub propagation: FxHashMap<EdgeId, Vec<NodeId>>,
+}
+
+/// Why an active schedule is malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ActiveScheduleError {
+    /// A propagation target is not a common subscriber of the edge's
+    /// endpoints (would store an event its user never subscribed to,
+    /// violating Definition 1).
+    NotCommonSubscriber {
+        /// The edge `w → u` carrying the propagation set.
+        edge: EdgeId,
+        /// The offending target.
+        target: NodeId,
+    },
+}
+
+impl std::fmt::Display for ActiveScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActiveScheduleError::NotCommonSubscriber { edge, target } => write!(
+                f,
+                "propagation on edge {edge} targets {target}, which is not a common subscriber"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ActiveScheduleError {}
+
+impl ActiveSchedule {
+    /// Wraps a passive schedule with no propagation.
+    pub fn passive(base: Schedule) -> Self {
+        ActiveSchedule {
+            base,
+            propagation: FxHashMap::default(),
+        }
+    }
+
+    /// Adds `target` to the propagation set of `edge = w → u`.
+    pub fn add_propagation(&mut self, edge: EdgeId, target: NodeId) {
+        self.propagation.entry(edge).or_default().push(target);
+    }
+
+    /// Checks Definition 5's constraint: every propagation target of edge
+    /// `w → u` subscribes to both `w` and `u`.
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), ActiveScheduleError> {
+        for (&edge, targets) in &self.propagation {
+            let (w, u) = g.edge_endpoints(edge);
+            for &v in targets {
+                if !(g.has_edge(w, v) && g.has_edge(u, v)) {
+                    return Err(ActiveScheduleError::NotCommonSubscriber { edge, target: v });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of views that end up storing `w`'s events: direct push
+    /// targets, closed under propagation. (Excludes `w`'s own view, which
+    /// stores them implicitly.)
+    ///
+    /// Propagation on edge `u → v`'s set fires when *u's view* first stores
+    /// an event produced by the edge's source — chains follow
+    /// `w → u₁ → u₂ …` where each hop's propagation set belongs to the edge
+    /// from the original producer? No: Definition 5 keys `P_u(w)` by the
+    /// *producer* `w` and the *holding view* `u`, i.e. by the edge
+    /// `w → u ∈ E`. A chain hop from view `u` therefore needs `w → u ∈ E`
+    /// (the event is of interest to `u`) and forwards to common subscribers
+    /// of `w` and `u`.
+    pub fn reach(&self, g: &CsrGraph, w: NodeId) -> Vec<NodeId> {
+        let mut visited: Vec<NodeId> = Vec::new();
+        let mut queue: Vec<NodeId> = Vec::new();
+        // Seed: direct pushes w → u ∈ H.
+        for (u, e) in g.out_edges(w) {
+            if self.base.is_push(e) {
+                visited.push(u);
+                queue.push(u);
+            }
+        }
+        visited.sort_unstable();
+        while let Some(u) = queue.pop() {
+            let e = g.edge_id(w, u);
+            if e == INVALID_EDGE {
+                continue; // propagation only defined along edges of E
+            }
+            if let Some(targets) = self.propagation.get(&e) {
+                for &v in targets {
+                    if visited.binary_search(&v).is_err() {
+                        let pos = visited.partition_point(|&x| x < v);
+                        visited.insert(pos, v);
+                        queue.push(v);
+                    }
+                }
+            }
+        }
+        visited
+    }
+
+    /// Throughput cost of the active schedule: pull cost as usual, and for
+    /// the push side every *delivery* — direct pushes plus each propagation
+    /// forward — costs one store update at the producer's rate.
+    pub fn cost(&self, g: &CsrGraph, rates: &Rates) -> f64 {
+        let mut cost = 0.0;
+        for e in self.base.pull_edges() {
+            let (_, v) = g.edge_endpoints(e);
+            cost += rates.rc(v);
+        }
+        for w in g.nodes() {
+            let deliveries = self.count_deliveries(g, w);
+            cost += rates.rp(w) * deliveries as f64;
+        }
+        cost
+    }
+
+    /// Number of update messages one event of `w` generates (first
+    /// deliveries plus duplicate arrivals — duplicates still cost a store
+    /// round trip even though the view ignores them).
+    fn count_deliveries(&self, g: &CsrGraph, w: NodeId) -> usize {
+        let mut first: Vec<NodeId> = Vec::new();
+        let mut deliveries = 0usize;
+        let mut queue: Vec<NodeId> = Vec::new();
+        for (u, e) in g.out_edges(w) {
+            if self.base.is_push(e) {
+                deliveries += 1;
+                if first.binary_search(&u).is_err() {
+                    let pos = first.partition_point(|&x| x < u);
+                    first.insert(pos, u);
+                    queue.push(u);
+                }
+            }
+        }
+        while let Some(u) = queue.pop() {
+            let e = g.edge_id(w, u);
+            if e == INVALID_EDGE {
+                continue;
+            }
+            if let Some(targets) = self.propagation.get(&e) {
+                for &v in targets {
+                    deliveries += 1;
+                    if first.binary_search(&v).is_err() {
+                        let pos = first.partition_point(|&x| x < v);
+                        first.insert(pos, v);
+                        queue.push(v);
+                    }
+                }
+            }
+        }
+        deliveries
+    }
+
+    /// Theorem 3's simulation: flatten every propagation chain into direct
+    /// pushes from the producer. The result is a passive schedule with the
+    /// same delivery reach and no greater cost.
+    pub fn to_passive(&self, g: &CsrGraph) -> Schedule {
+        let mut out = Schedule::new(g.edge_count());
+        for e in self.base.pull_edges() {
+            out.set_pull(e);
+        }
+        for w in g.nodes() {
+            for v in self.reach(g, w) {
+                let e = g.edge_id(w, v);
+                // reach() only visits propagation targets, which Definition
+                // 5 constrains to subscribers of w; direct pushes are edges
+                // by construction.
+                debug_assert_ne!(e, INVALID_EDGE, "propagation outside E");
+                if e != INVALID_EDGE && !out.is_push(e) {
+                    out.set_push(e);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::schedule_cost;
+    use piggyback_graph::gen::{copying, CopyingConfig};
+    use piggyback_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// w=0 produces; u1=1 and u2=2 are chained stores; all of {1,2,3}
+    /// subscribe to 0, and 2,3 subscribe to 1... build a graph where chains
+    /// are legal: propagation from view 1 on edge 0→1 may target common
+    /// subscribers of 0 and 1.
+    fn chain_world() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(1, 2); // 2 subscribes to 1 too -> common subscriber of (0,1)
+        b.add_edge(1, 3);
+        b.add_edge(2, 3); // 3 common subscriber of (0,2)
+        b.build()
+    }
+
+    #[test]
+    fn propagation_chain_reaches_transitively() {
+        let g = chain_world();
+        let mut a = ActiveSchedule::passive(Schedule::for_graph(&g));
+        // Push 0 -> 1, then propagate along 0->1 to 2, and along 0->2 to 3.
+        a.base.set_push(g.edge_id(0, 1));
+        a.add_propagation(g.edge_id(0, 1), 2);
+        a.add_propagation(g.edge_id(0, 2), 3);
+        a.validate(&g).unwrap();
+        assert_eq!(a.reach(&g, 0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn invalid_propagation_target_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(3, 2); // 2 subscribes to 3, but 3 doesn't follow 0 or 1
+        let g = b.build();
+        let mut a = ActiveSchedule::passive(Schedule::for_graph(&g));
+        a.base.set_push(g.edge_id(0, 1));
+        // 3 is not a subscriber of 0 nor of 1.
+        a.add_propagation(g.edge_id(0, 1), 3);
+        assert!(matches!(
+            a.validate(&g),
+            Err(ActiveScheduleError::NotCommonSubscriber { target: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn theorem3_passive_simulation_preserves_reach() {
+        let g = chain_world();
+        let mut a = ActiveSchedule::passive(Schedule::for_graph(&g));
+        a.base.set_push(g.edge_id(0, 1));
+        a.add_propagation(g.edge_id(0, 1), 2);
+        a.add_propagation(g.edge_id(0, 2), 3);
+        let passive = a.to_passive(&g);
+        // Every view the active schedule reaches is now pushed directly.
+        for v in a.reach(&g, 0) {
+            assert!(passive.is_push(g.edge_id(0, v)));
+        }
+    }
+
+    #[test]
+    fn theorem3_passive_never_costs_more() {
+        // Randomized check over clustered graphs and random propagation.
+        let g = copying(CopyingConfig {
+            nodes: 120,
+            follows_per_node: 5,
+            copy_prob: 0.8,
+            seed: 33,
+        });
+        let rates = Rates::log_degree(&g, 5.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for trial in 0..20 {
+            let mut a = ActiveSchedule::passive(Schedule::for_graph(&g));
+            // Random pushes and pulls.
+            for (e, _, _) in g.edges() {
+                if rng.random_bool(0.3) {
+                    a.base.set_push(e);
+                } else if rng.random_bool(0.3) {
+                    a.base.set_pull(e);
+                }
+            }
+            // Random (valid) propagation entries: for edge (w, u), targets
+            // drawn from out(w) ∩ out(u).
+            for (e, w, u) in g.edges() {
+                if !rng.random_bool(0.2) {
+                    continue;
+                }
+                for &v in g.out_neighbors(w) {
+                    if v != u && g.has_edge(u, v) && rng.random_bool(0.5) {
+                        a.add_propagation(e, v);
+                    }
+                }
+            }
+            a.validate(&g).unwrap();
+            let passive = a.to_passive(&g);
+            let active_cost = a.cost(&g, &rates);
+            let passive_cost = schedule_cost(&g, &rates, &passive);
+            assert!(
+                passive_cost <= active_cost + 1e-9,
+                "trial {trial}: passive {passive_cost} > active {active_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_deliveries_cost_extra() {
+        // Two disjoint propagation paths to the same view: active pays for
+        // both arrivals, passive pays once.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let rates = Rates::uniform(4, 1.0, 1.0);
+        let mut a = ActiveSchedule::passive(Schedule::for_graph(&g));
+        a.base.set_push(g.edge_id(0, 1));
+        a.base.set_push(g.edge_id(0, 2));
+        a.add_propagation(g.edge_id(0, 1), 3);
+        a.add_propagation(g.edge_id(0, 2), 3);
+        a.validate(&g).unwrap();
+        // Active: 2 pushes + 2 forwards = 4 updates of rate 1.
+        assert!((a.cost(&g, &rates) - 4.0).abs() < 1e-9);
+        // Passive: pushes to 1, 2, 3 = 3 updates.
+        let passive = a.to_passive(&g);
+        assert!((schedule_cost(&g, &rates, &passive) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn passive_schedule_roundtrip_is_identity() {
+        let g = chain_world();
+        let mut s = Schedule::for_graph(&g);
+        s.set_push(g.edge_id(0, 1));
+        s.set_pull(g.edge_id(1, 2));
+        let a = ActiveSchedule::passive(s.clone());
+        let back = a.to_passive(&g);
+        for (e, _, _) in g.edges() {
+            assert_eq!(s.is_push(e), back.is_push(e));
+            assert_eq!(s.is_pull(e), back.is_pull(e));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Fixed-capacity bitset keyed by dense edge ids.
+//!
+//! Request schedules need membership tests (`e ∈ H`?) on every inner loop of
+//! both algorithms. With CSR edge ids being dense integers, a flat bitset
+//! gives O(1) membership at 1 bit per edge — the guides' "disallow
+//! `HashSet<u32>` on hot paths" advice taken to its conclusion.
+
+/// A fixed-size set of `u32` keys backed by `u64` words.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    ones: usize,
+}
+
+impl BitSet {
+    /// Empty set with room for keys `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            ones: 0,
+        }
+    }
+
+    /// Number of keys the set can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of keys currently present.
+    pub fn len(&self) -> usize {
+        self.ones
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        let idx = key as usize;
+        debug_assert!(idx < self.capacity, "key {idx} out of capacity");
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Inserts `key`; returns `true` if it was absent.
+    #[inline]
+    pub fn insert(&mut self, key: u32) -> bool {
+        let idx = key as usize;
+        assert!(
+            idx < self.capacity,
+            "key {idx} out of capacity {}",
+            self.capacity
+        );
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, key: u32) -> bool {
+        let idx = key as usize;
+        assert!(
+            idx < self.capacity,
+            "key {idx} out of capacity {}",
+            self.capacity
+        );
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every key.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Iterates present keys in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = (wi * 64) as u32;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Whether this set and `other` share any key (capacities must match).
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(200);
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(7));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut s = BitSet::new(130);
+        for k in [0, 63, 64, 127, 128, 129] {
+            assert!(s.insert(k));
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 129]);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = BitSet::new(100);
+        for k in 0..100 {
+            s.insert(k);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn intersects() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(10);
+        b.insert(11);
+        assert!(!a.intersects(&b));
+        b.insert(10);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_range_insert_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = BitSet::new(0);
+        assert_eq!(s.capacity(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! CHITCHAT (§3.1, Algorithm 1): greedy SETCOVER over hub-graphs and direct
+//! edges, with the weighted densest-subgraph oracle selecting each hub's
+//! best candidate.
+//!
+//! The ground set is the edge set `E`; candidates are (a) singleton direct
+//! edges served at the hybrid cost `c*(e) = min(rp(u), rc(v))` and (b) for
+//! each node `w`, the densest hub-graph centered on `w`. Greedy repeatedly
+//! takes the candidate with minimum cost-per-uncovered-element; combined
+//! with the factor-2 oracle this yields the paper's `O(ln n)` approximation
+//! (Theorem 4).
+//!
+//! # Keeping the oracle outputs current
+//!
+//! Algorithm 1 recomputes the oracle for every hub-graph containing a
+//! covered edge after each selection. We split that obligation by how a
+//! selection can change a hub's best density:
+//!
+//! * **Covering edges (removing them from `Z`)** only *lowers* densities,
+//!   so priority-queue entries become optimistic lower bounds on
+//!   cost-per-element — safe to re-validate lazily at pop time
+//!   (pop → recompute → accept if still the minimum, else re-insert).
+//! * **Paying for a push `x → w` (or pull `w → y`)** zeroes `g(x)` (`g(y)`)
+//!   *in the hub-graph of `w` only*, which can *raise* `w`'s density. Those
+//!   hubs — exactly one per selection — are recomputed strictly and
+//!   re-inserted with a fresh stamp.
+//!
+//! The result is the same greedy trajectory as eager recomputation at a
+//! fraction of the oracle calls (the `ablations` bench quantifies it).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use piggyback_graph::{CsrGraph, EdgeId, NodeId};
+use piggyback_workload::Rates;
+
+use crate::bitset::BitSet;
+use crate::cost::hybrid_edge_cost;
+use crate::densest::{densest_hub_graph, HubSelection, OrdF64};
+use crate::schedule::Schedule;
+
+/// Configuration for the CHITCHAT algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct ChitChat {
+    /// Upper bound on materialized cross edges per hub-graph (§3.2's `b`;
+    /// the paper uses 100 000 on the Twitter graph).
+    pub cross_cap: usize,
+}
+
+impl Default for ChitChat {
+    fn default() -> Self {
+        ChitChat { cross_cap: 100_000 }
+    }
+}
+
+/// Output of a CHITCHAT run.
+#[derive(Clone, Debug)]
+pub struct ChitChatResult {
+    /// The computed request schedule (feasible: every edge served).
+    pub schedule: Schedule,
+    /// Number of hub-graph selections made.
+    pub hub_selections: usize,
+    /// Number of edges served directly (singleton selections).
+    pub singleton_selections: usize,
+    /// Number of densest-subgraph oracle invocations.
+    pub oracle_calls: usize,
+}
+
+/// Mutable algorithm state shared by the selection helpers.
+struct State<'a> {
+    g: &'a CsrGraph,
+    rates: &'a Rates,
+    sched: Schedule,
+    z: BitSet,
+    /// Valid-entry stamp per hub; heap entries with older stamps are dead.
+    stamp: Vec<u32>,
+    heap: BinaryHeap<Reverse<(OrdF64, NodeId, u32)>>,
+    oracle_calls: usize,
+    cross_cap: usize,
+}
+
+impl State<'_> {
+    /// Recomputes hub `w` strictly, invalidating any queued entry.
+    fn strict_recompute(&mut self, w: NodeId) {
+        self.stamp[w as usize] += 1;
+        self.oracle_calls += 1;
+        if let Some(sel) =
+            densest_hub_graph(self.g, self.rates, w, &self.sched, &self.z, self.cross_cap)
+        {
+            self.heap.push(Reverse((
+                OrdF64(sel.cost_per_element()),
+                w,
+                self.stamp[w as usize],
+            )));
+        }
+    }
+
+    /// Drops dead entries and returns the optimistic key of the best live
+    /// hub entry.
+    fn peek_key(&mut self) -> f64 {
+        loop {
+            match self.heap.peek() {
+                None => return f64::INFINITY,
+                Some(&Reverse((key, w, st))) => {
+                    if st == self.stamp[w as usize] {
+                        return key.0;
+                    }
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+
+    /// Applies a hub-graph selection: pushes from all selected producers,
+    /// pulls to all selected consumers, cross edges covered through the hub.
+    fn apply_hub(&mut self, sel: &HubSelection) {
+        let w = sel.hub;
+        for &x in &sel.xs {
+            let e = self.g.edge_id(x, w);
+            self.sched.set_push(e);
+            self.z.remove(e);
+        }
+        for &y in &sel.ys {
+            let e = self.g.edge_id(w, y);
+            self.sched.set_pull(e);
+            self.z.remove(e);
+        }
+        for &e in &sel.covered {
+            let (a, b) = self.g.edge_endpoints(e);
+            // Legs were handled above (push/pull-served); the rest are
+            // cross edges riding the hub.
+            if a == w || b == w {
+                continue;
+            }
+            self.sched.set_covered(e, w);
+            self.z.remove(e);
+        }
+    }
+}
+
+impl ChitChat {
+    /// Runs CHITCHAT on `g` under the workload `rates` and returns a
+    /// feasible schedule.
+    pub fn run(&self, g: &CsrGraph, rates: &Rates) -> ChitChatResult {
+        assert!(
+            rates.len() >= g.node_count(),
+            "rates do not cover the graph"
+        );
+        let m = g.edge_count();
+        let n = g.node_count();
+        let mut st = State {
+            g,
+            rates,
+            sched: Schedule::for_graph(g),
+            z: BitSet::new(m),
+            stamp: vec![0; n],
+            heap: BinaryHeap::new(),
+            oracle_calls: 0,
+            cross_cap: self.cross_cap,
+        };
+        for e in 0..m as EdgeId {
+            st.z.insert(e);
+        }
+
+        // Initial oracle pass over every hub.
+        for w in 0..n as NodeId {
+            st.oracle_calls += 1;
+            if let Some(sel) = densest_hub_graph(g, rates, w, &st.sched, &st.z, self.cross_cap) {
+                st.heap
+                    .push(Reverse((OrdF64(sel.cost_per_element()), w, 0)));
+            }
+        }
+
+        // Singleton candidates, cheapest hybrid cost first.
+        let single_cost = |e: EdgeId| {
+            let (u, v) = g.edge_endpoints(e);
+            hybrid_edge_cost(rates, u, v)
+        };
+        let mut singles: Vec<EdgeId> = (0..m as EdgeId).collect();
+        singles.sort_unstable_by_key(|&a| OrdF64(single_cost(a)));
+        let mut single_ptr = 0usize;
+
+        let mut hub_selections = 0usize;
+        let mut singleton_selections = 0usize;
+
+        while !st.z.is_empty() {
+            while single_ptr < singles.len() && !st.z.contains(singles[single_ptr]) {
+                single_ptr += 1;
+            }
+            let single_cpe = if single_ptr < singles.len() {
+                single_cost(singles[single_ptr])
+            } else {
+                f64::INFINITY
+            };
+
+            // Find the best *verified-fresh* hub candidate cheaper than the
+            // best singleton. Keys are lower bounds, so anything at or above
+            // single_cpe can be dismissed without recomputation.
+            let mut chosen: Option<HubSelection> = None;
+            while st.peek_key() < single_cpe {
+                let Reverse((_, w, _)) = st.heap.pop().expect("peek_key saw an entry");
+                st.stamp[w as usize] += 1;
+                st.oracle_calls += 1;
+                let Some(sel) = densest_hub_graph(g, rates, w, &st.sched, &st.z, self.cross_cap)
+                else {
+                    continue;
+                };
+                let fc = sel.cost_per_element();
+                let next_best = st.peek_key();
+                if fc < single_cpe && fc <= next_best {
+                    chosen = Some(sel);
+                    break;
+                }
+                // Went stale upward: re-queue at its true current key.
+                st.heap.push(Reverse((OrdF64(fc), w, st.stamp[w as usize])));
+            }
+
+            match chosen {
+                Some(sel) => {
+                    st.apply_hub(&sel);
+                    hub_selections += 1;
+                    // Paying the legs zeroed weights in this hub's graph
+                    // only — the single strict recomputation needed.
+                    st.strict_recompute(sel.hub);
+                }
+                None => {
+                    let e = singles[single_ptr];
+                    let (u, v) = g.edge_endpoints(e);
+                    st.z.remove(e);
+                    singleton_selections += 1;
+                    if rates.rp(u) <= rates.rc(v) {
+                        st.sched.set_push(e);
+                        // g(u) becomes 0 in v's hub-graph.
+                        st.strict_recompute(v);
+                    } else {
+                        st.sched.set_pull(e);
+                        // g(v) becomes 0 in u's hub-graph.
+                        st.strict_recompute(u);
+                    }
+                }
+            }
+        }
+
+        ChitChatResult {
+            schedule: st.sched,
+            hub_selections,
+            singleton_selections,
+            oracle_calls: st.oracle_calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::hybrid_schedule;
+    use crate::cost::{predicted_improvement, schedule_cost};
+    use crate::validate::validate_bounded_staleness;
+    use piggyback_graph::gen::{copying, erdos_renyi, CopyingConfig};
+    use piggyback_graph::GraphBuilder;
+
+    fn fig2() -> (CsrGraph, Rates) {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1); // Art -> Charlie
+        b.add_edge(1, 2); // Charlie -> Billie
+        b.add_edge(0, 2); // Art -> Billie
+        (b.build(), Rates::uniform(3, 1.0, 5.0))
+    }
+
+    #[test]
+    fn fig2_feasible_and_no_worse_than_hybrid() {
+        let (g, r) = fig2();
+        let res = ChitChat::default().run(&g, &r);
+        validate_bounded_staleness(&g, &res.schedule).unwrap();
+        let ff = hybrid_schedule(&g, &r);
+        assert!(schedule_cost(&g, &r, &res.schedule) <= schedule_cost(&g, &r, &ff) + 1e-9);
+    }
+
+    #[test]
+    fn fig2_with_favorable_rates_uses_the_hub() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        // Hub cost rp(0)+rc(2) = 2.8 < hybrid 3.8 (see parallelnosy tests).
+        let r = Rates::from_vecs(vec![1.0, 5.0, 5.0], vec![5.0, 5.0, 1.8]);
+        let res = ChitChat::default().run(&g, &r);
+        validate_bounded_staleness(&g, &res.schedule).unwrap();
+        let c = schedule_cost(&g, &r, &res.schedule);
+        assert!((c - 2.8).abs() < 1e-9, "expected hub schedule, cost {c}");
+        assert!(res.schedule.is_covered(g.edge_id(0, 2)));
+    }
+
+    #[test]
+    fn dense_triangle_cluster_prefers_hub() {
+        let mut b = GraphBuilder::new();
+        let w = 0u32;
+        let y = 1u32;
+        b.add_edge(w, y);
+        for x in 2..12u32 {
+            b.add_edge(x, w);
+            b.add_edge(x, y);
+        }
+        let g = b.build();
+        let r = Rates::uniform(12, 1.0, 3.0);
+        let res = ChitChat::default().run(&g, &r);
+        validate_bounded_staleness(&g, &res.schedule).unwrap();
+        let ff = hybrid_schedule(&g, &r);
+        let imp = predicted_improvement(&g, &r, &res.schedule, &ff);
+        assert!(imp > 1.3, "expected clear hub win, improvement = {imp}");
+        assert!(res.hub_selections >= 1);
+        let covered = res.schedule.covered_edges().count();
+        assert!(covered >= 9, "covered only {covered} cross edges");
+    }
+
+    #[test]
+    fn never_worse_than_hybrid_on_random_graphs() {
+        for seed in 0..3 {
+            let g = erdos_renyi(60, 240, seed);
+            let r = Rates::log_degree(&g, 5.0);
+            let res = ChitChat::default().run(&g, &r);
+            validate_bounded_staleness(&g, &res.schedule).unwrap();
+            let ff = hybrid_schedule(&g, &r);
+            let imp = predicted_improvement(&g, &r, &res.schedule, &ff);
+            assert!(imp >= 1.0 - 1e-9, "seed {seed}: improvement {imp} < 1");
+        }
+    }
+
+    #[test]
+    fn beats_hybrid_on_clustered_graphs() {
+        let g = copying(CopyingConfig {
+            nodes: 400,
+            follows_per_node: 6,
+            copy_prob: 0.9,
+            seed: 5,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        let res = ChitChat::default().run(&g, &r);
+        validate_bounded_staleness(&g, &res.schedule).unwrap();
+        let ff = hybrid_schedule(&g, &r);
+        let imp = predicted_improvement(&g, &r, &res.schedule, &ff);
+        assert!(imp > 1.05, "no gain on clustered graph: {imp}");
+    }
+
+    #[test]
+    fn all_edges_end_up_served() {
+        let g = erdos_renyi(80, 400, 11);
+        let r = Rates::log_degree(&g, 5.0);
+        let res = ChitChat::default().run(&g, &r);
+        assert_eq!(res.schedule.unassigned_count(), 0);
+        assert_eq!(
+            res.hub_selections + res.singleton_selections > 0,
+            g.edge_count() > 0
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let r = Rates::uniform(0, 1.0, 1.0);
+        let res = ChitChat::default().run(&g, &r);
+        assert_eq!(res.schedule.edge_count(), 0);
+        assert_eq!(res.hub_selections, 0);
+    }
+
+    #[test]
+    fn oracle_calls_stay_bounded() {
+        // Lazy re-validation should keep oracle calls within a small factor
+        // of n + selections, far below eager Algorithm 1 (which recomputes
+        // every affected hub per step).
+        let g = copying(CopyingConfig {
+            nodes: 500,
+            follows_per_node: 6,
+            copy_prob: 0.9,
+            seed: 6,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        let res = ChitChat::default().run(&g, &r);
+        let selections = res.hub_selections + res.singleton_selections;
+        let bound = 2 * (g.node_count() + 2 * selections) + 16;
+        assert!(
+            res.oracle_calls <= bound,
+            "oracle calls {} exceed bound {bound}",
+            res.oracle_calls
+        );
+    }
+}

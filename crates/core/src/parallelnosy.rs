@@ -1,0 +1,718 @@
+//! PARALLELNOSY (§3.2, Algorithm 2): the scalable parallel heuristic.
+//!
+//! Each iteration examines, for every edge `w → y` not yet covered, the
+//! single-sink hub-graph `G(X, w, y)` whose producers `X` are common
+//! predecessors of `w` and `y` with piggybackable cross edges. Phases:
+//!
+//! 1. **Candidate selection** (parallel per edge): a hub-graph is a
+//!    candidate if its saved cost exceeds its positive cost relative to the
+//!    hybrid baseline.
+//! 2. **Edge locking** (parallel per edge): conflicting candidates contend
+//!    for the edges they would modify; the highest-gain candidate wins
+//!    (ties broken by the lower hub-edge id, making runs deterministic).
+//! 3. **Scheduling decision** (parallel per candidate): fully-locked
+//!    candidates apply; partially-locked ones retry with only the producers
+//!    whose two edges they locked, if that is still profitable.
+//!
+//! Iterations repeat until no candidate applies. Remaining unscheduled
+//! edges are served with the hybrid policy, so the result is always
+//! feasible and never worse than FEEDINGFRENZY under the cost model.
+//!
+//! Two executions are provided with identical outputs: a crossbeam-threaded
+//! one ([`ParallelNosy::run`]) and one expressed as MapReduce jobs on
+//! [`piggyback_mapreduce::MapReduce`] ([`ParallelNosy::run_on_mapreduce`]),
+//! mirroring the paper's Hadoop implementation.
+
+use piggyback_graph::{CsrGraph, EdgeId, NodeId, INVALID_EDGE};
+use piggyback_mapreduce::MapReduce;
+use piggyback_workload::Rates;
+
+use crate::cost::hybrid_edge_cost;
+use crate::schedule::Schedule;
+
+/// Configuration for PARALLELNOSY.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelNosy {
+    /// Iteration cap (the algorithm usually converges much earlier; the
+    /// paper's curves flatten within ~10 iterations).
+    pub max_iterations: usize,
+    /// Upper bound `b` on cross edges per hub-graph (§3.2; 100 000 in the
+    /// paper's Twitter runs). Bounds memory on very dense hubs.
+    pub cross_cap: usize,
+    /// Worker threads for the candidate-selection phase.
+    pub threads: usize,
+    /// Lock every hub-graph edge (the literal reading of §3.2) instead of
+    /// only the edges a candidate mutates. Kept as an ablation knob: it
+    /// produces the same final feasibility but serializes hubs that share
+    /// already-paid legs, roughly doubling iterations to convergence.
+    pub conservative_locks: bool,
+}
+
+impl Default for ParallelNosy {
+    fn default() -> Self {
+        ParallelNosy {
+            max_iterations: 30,
+            cross_cap: 100_000,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            conservative_locks: false,
+        }
+    }
+}
+
+/// Output of a PARALLELNOSY run.
+#[derive(Clone, Debug)]
+pub struct ParallelNosyResult {
+    /// Final feasible schedule (unscheduled edges filled with hybrid).
+    pub schedule: Schedule,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+    /// `cost_history[i]` = total predicted cost after `i` iterations, where
+    /// unscheduled edges pay their hybrid cost. `cost_history[0]` is the
+    /// FEEDINGFRENZY baseline cost — exactly the series of Figure 4.
+    pub cost_history: Vec<f64>,
+    /// Total hub-graphs applied across all iterations.
+    pub hubs_applied: usize,
+}
+
+/// A candidate hub-graph `G(X, w, y)` for one edge `w → y`.
+#[derive(Clone, Debug)]
+struct Candidate {
+    hub_edge: EdgeId,
+    w: NodeId,
+    y: NodeId,
+    /// Producer legs: (x, edge x→w, edge x→y).
+    xs: Vec<(NodeId, EdgeId, EdgeId)>,
+    gain: f64,
+}
+
+impl Candidate {
+    /// The hub-graph edges this candidate would *mutate*, in lock-request
+    /// order: cross edges always (they move into `C`), the pull leg unless
+    /// it is already in `L`, and each push leg unless it is already in `H`.
+    ///
+    /// Edges the candidate merely *relies on* (paid legs) need no lock:
+    /// within an iteration the schedule only gains bits, a paid push can
+    /// never be covered (covering requires `∉ H ∪ L`), so no concurrent
+    /// decision can invalidate the zero-cost assumption. Locking them
+    /// anyway — the conservative reading of §3.2 — only serializes hubs
+    /// that share producers and slows convergence (see the `ablations`
+    /// bench for the measured difference).
+    fn lock_edges<'a>(
+        &'a self,
+        sched: &'a Schedule,
+        conservative: bool,
+    ) -> impl Iterator<Item = EdgeId> + 'a {
+        let hub = (conservative || !sched.is_pull(self.hub_edge)).then_some(self.hub_edge);
+        hub.into_iter()
+            .chain(self.xs.iter().flat_map(move |&(_, xw, xy)| {
+                let push = (conservative || !sched.is_push(xw)).then_some(xw);
+                push.into_iter().chain(std::iter::once(xy))
+            }))
+    }
+}
+
+/// Positive cost of scheduling push leg `x → w` (§3.2's `cX`).
+#[inline]
+fn push_leg_cost(rates: &Rates, sched: &Schedule, x: NodeId, w: NodeId, e: EdgeId) -> f64 {
+    if sched.is_push(e) {
+        0.0
+    } else if sched.is_pull(e) {
+        rates.rp(x)
+    } else {
+        rates.rp(x) - hybrid_edge_cost(rates, x, w)
+    }
+}
+
+/// Positive cost of scheduling pull leg `w → y` (specular to `cX`).
+#[inline]
+fn pull_leg_cost(rates: &Rates, sched: &Schedule, w: NodeId, y: NodeId, e: EdgeId) -> f64 {
+    if sched.is_pull(e) {
+        0.0
+    } else if sched.is_push(e) {
+        rates.rc(y)
+    } else {
+        rates.rc(y) - hybrid_edge_cost(rates, w, y)
+    }
+}
+
+/// Phase 1 for a single edge `w → y`: build the hub-graph and return it if
+/// profitable. `sched` is the frozen schedule of the iteration start.
+fn build_candidate(
+    g: &CsrGraph,
+    rates: &Rates,
+    sched: &Schedule,
+    hub_edge: EdgeId,
+    cross_cap: usize,
+) -> Option<Candidate> {
+    if sched.is_covered(hub_edge) {
+        return None;
+    }
+    let (w, y) = g.edge_endpoints(hub_edge);
+    // X = common predecessors of w and y, subject to Algorithm 2 line 2:
+    //   x→w ∈ E \ C   and   x→y ∈ E \ (C ∪ H ∪ L).
+    // Both in-edge lists are sorted by source: merge-intersect them.
+    let mut xs: Vec<(NodeId, EdgeId, EdgeId)> = Vec::new();
+    let mut saved = 0.0;
+    let mut it_w = g.in_edges(w);
+    let mut it_y = g.in_edges(y);
+    let (mut a, mut b) = (it_w.next(), it_y.next());
+    while let (Some((xw_src, xw_e)), Some((xy_src, xy_e))) = (a, b) {
+        match xw_src.cmp(&xy_src) {
+            std::cmp::Ordering::Less => a = it_w.next(),
+            std::cmp::Ordering::Greater => b = it_y.next(),
+            std::cmp::Ordering::Equal => {
+                let x = xw_src;
+                if x != y
+                    && !sched.is_covered(xw_e)
+                    && !sched.is_covered(xy_e)
+                    && !sched.is_push(xy_e)
+                    && !sched.is_pull(xy_e)
+                {
+                    xs.push((x, xw_e, xy_e));
+                    saved += hybrid_edge_cost(rates, x, y);
+                    if xs.len() >= cross_cap {
+                        break;
+                    }
+                }
+                a = it_w.next();
+                b = it_y.next();
+            }
+        }
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    let mut cost = pull_leg_cost(rates, sched, w, y, hub_edge);
+    for &(x, xw_e, _) in &xs {
+        cost += push_leg_cost(rates, sched, x, w, xw_e);
+    }
+    let gain = saved - cost;
+    if gain > 1e-12 {
+        Some(Candidate {
+            hub_edge,
+            w,
+            y,
+            xs,
+            gain,
+        })
+    } else {
+        None
+    }
+}
+
+/// Lock table: per edge, the winning `(gain, hub_edge)` request. Higher
+/// gain wins; ties go to the lower hub-edge id.
+struct LockTable {
+    gain: Vec<f64>,
+    owner: Vec<EdgeId>,
+}
+
+impl LockTable {
+    fn new(m: usize) -> Self {
+        LockTable {
+            gain: vec![f64::NEG_INFINITY; m],
+            owner: vec![INVALID_EDGE; m],
+        }
+    }
+
+    #[inline]
+    fn request(&mut self, edge: EdgeId, gain: f64, hub: EdgeId) {
+        let i = edge as usize;
+        if gain > self.gain[i] || (gain == self.gain[i] && hub < self.owner[i]) {
+            self.gain[i] = gain;
+            self.owner[i] = hub;
+        }
+    }
+
+    #[inline]
+    fn granted_to(&self, edge: EdgeId, hub: EdgeId) -> bool {
+        self.owner[edge as usize] == hub
+    }
+}
+
+/// One scheduling decision produced by phase 3.
+struct Decision {
+    hub_edge: EdgeId,
+    w: NodeId,
+    y: NodeId,
+    /// Producer legs to apply: (edge x→w, edge x→y).
+    legs: Vec<(EdgeId, EdgeId)>,
+}
+
+/// Phase 3 for one candidate: keep only fully-locked producers, re-check
+/// profitability on the reduced hub-graph (Algorithm 2, lines 16–22).
+fn decide(
+    g: &CsrGraph,
+    rates: &Rates,
+    sched: &Schedule,
+    cand: &Candidate,
+    conservative: bool,
+    granted: impl Fn(EdgeId) -> bool,
+) -> Option<Decision> {
+    // An edge the candidate does not mutate needs no lock (see
+    // `Candidate::lock_edges`); treat it as implicitly granted — unless the
+    // conservative ablation mode locked it anyway.
+    let held = |e: EdgeId, needs_lock: bool| (!needs_lock && !conservative) || granted(e);
+    if !held(cand.hub_edge, !sched.is_pull(cand.hub_edge)) {
+        // Without the pull leg the hub cannot serve anything.
+        return None;
+    }
+    let mut legs = Vec::with_capacity(cand.xs.len());
+    let mut saved = 0.0;
+    let mut cost = 0.0;
+    for &(x, xw_e, xy_e) in &cand.xs {
+        if held(xw_e, !sched.is_push(xw_e)) && granted(xy_e) {
+            legs.push((xw_e, xy_e));
+            saved += hybrid_edge_cost(rates, x, cand.y);
+            cost += push_leg_cost(rates, sched, x, cand.w, xw_e);
+        }
+    }
+    let _ = g;
+    if legs.is_empty() {
+        return None;
+    }
+    cost += pull_leg_cost(rates, sched, cand.w, cand.y, cand.hub_edge);
+    if saved - cost > 1e-12 {
+        Some(Decision {
+            hub_edge: cand.hub_edge,
+            w: cand.w,
+            y: cand.y,
+            legs,
+        })
+    } else {
+        None
+    }
+}
+
+/// Applies phase-3 decisions; returns the number of hub-graphs applied.
+fn apply_decisions(sched: &mut Schedule, decisions: &[Decision]) -> usize {
+    let mut applied = 0usize;
+    for d in decisions {
+        if !sched.is_pull(d.hub_edge) {
+            sched.set_pull(d.hub_edge);
+        }
+        for &(xw_e, xy_e) in &d.legs {
+            if !sched.is_push(xw_e) {
+                sched.set_push(xw_e);
+            }
+            sched.set_covered(xy_e, d.w);
+        }
+        let _ = d.y;
+        applied += 1;
+    }
+    applied
+}
+
+/// Cost of a (possibly partial) schedule where unscheduled edges pay the
+/// hybrid cost — the series plotted in Figure 4.
+pub fn partial_cost(g: &CsrGraph, rates: &Rates, sched: &Schedule) -> f64 {
+    let mut cost = 0.0;
+    for (e, u, v) in g.edges() {
+        if sched.is_push(e) {
+            cost += rates.rp(u);
+        }
+        if sched.is_pull(e) {
+            cost += rates.rc(v);
+        }
+        if !sched.is_push(e) && !sched.is_pull(e) && !sched.is_covered(e) {
+            cost += hybrid_edge_cost(rates, u, v);
+        }
+    }
+    cost
+}
+
+/// Fills every unscheduled edge with its hybrid (cheaper-side) assignment.
+fn finalize(g: &CsrGraph, rates: &Rates, sched: &mut Schedule) {
+    for (e, u, v) in g.edges() {
+        if !sched.is_served(e) {
+            if rates.rp(u) <= rates.rc(v) {
+                sched.set_push(e);
+            } else {
+                sched.set_pull(e);
+            }
+        }
+    }
+}
+
+impl ParallelNosy {
+    /// Runs PARALLELNOSY with crossbeam-threaded candidate selection.
+    pub fn run(&self, g: &CsrGraph, rates: &Rates) -> ParallelNosyResult {
+        self.run_impl(g, rates, |sched| self.candidates_threaded(g, rates, sched))
+    }
+
+    /// Runs PARALLELNOSY as MapReduce jobs on `engine`, mirroring the
+    /// paper's Hadoop pipeline: a map phase emits lock requests per
+    /// candidate, a reduce phase arbitrates locks per edge, and a second
+    /// reduce-only job groups granted locks per hub-graph for the decision.
+    /// Produces the identical schedule to [`ParallelNosy::run`].
+    pub fn run_on_mapreduce(
+        &self,
+        g: &CsrGraph,
+        rates: &Rates,
+        engine: &MapReduce,
+    ) -> ParallelNosyResult {
+        let m = g.edge_count();
+        let mut sched = Schedule::for_graph(g);
+        let mut history = vec![partial_cost(g, rates, &sched)];
+        let mut hubs_applied = 0usize;
+        let mut iterations = 0usize;
+
+        for _ in 0..self.max_iterations {
+            // ---- job 1: candidate selection (map) + lock arbitration (reduce)
+            let inputs: Vec<EdgeId> = (0..m as EdgeId).collect();
+            let grants: Vec<(EdgeId, (f64, EdgeId))> = engine.run(
+                inputs,
+                |&e| match build_candidate(g, rates, &sched, e, self.cross_cap) {
+                    Some(c) => c
+                        .lock_edges(&sched, self.conservative_locks)
+                        .map(|le| (le, (c.gain, c.hub_edge)))
+                        .collect(),
+                    None => Vec::new(),
+                },
+                |edge, requests| {
+                    let winner = requests
+                        .into_iter()
+                        .reduce(|best, req| {
+                            if req.0 > best.0 || (req.0 == best.0 && req.1 < best.1) {
+                                req
+                            } else {
+                                best
+                            }
+                        })
+                        .expect("reducer invoked with no values");
+                    (edge, winner)
+                },
+            );
+
+            // ---- job 2: group granted locks per hub-graph (reduce-only) and
+            // make scheduling decisions.
+            let decisions: Vec<Option<Decision>> = engine.run(
+                grants,
+                |&(edge, (_gain, hub))| vec![(hub, edge)],
+                |hub, granted_edges| {
+                    let cand = build_candidate(g, rates, &sched, hub, self.cross_cap)?;
+                    let granted = |e: EdgeId| granted_edges.contains(&e);
+                    decide(g, rates, &sched, &cand, self.conservative_locks, granted)
+                },
+            );
+            let decisions: Vec<Decision> = decisions.into_iter().flatten().collect();
+
+            let applied = apply_decisions(&mut sched, &decisions);
+            iterations += 1;
+            hubs_applied += applied;
+            history.push(partial_cost(g, rates, &sched));
+            if applied == 0 {
+                break;
+            }
+        }
+
+        finalize(g, rates, &mut sched);
+        ParallelNosyResult {
+            schedule: sched,
+            iterations,
+            cost_history: history,
+            hubs_applied,
+        }
+    }
+
+    fn run_impl<F>(&self, g: &CsrGraph, rates: &Rates, mut candidates: F) -> ParallelNosyResult
+    where
+        F: FnMut(&Schedule) -> Vec<Candidate>,
+    {
+        let m = g.edge_count();
+        let mut sched = Schedule::for_graph(g);
+        let mut history = vec![partial_cost(g, rates, &sched)];
+        let mut hubs_applied = 0usize;
+        let mut iterations = 0usize;
+
+        for _ in 0..self.max_iterations {
+            // Phase 1: candidate selection (parallel).
+            let cands = candidates(&sched);
+
+            // Phase 2: lock arbitration.
+            let mut locks = LockTable::new(m);
+            for c in &cands {
+                for e in c.lock_edges(&sched, self.conservative_locks) {
+                    locks.request(e, c.gain, c.hub_edge);
+                }
+            }
+
+            // Phase 3: scheduling decisions.
+            let decisions: Vec<Decision> = cands
+                .iter()
+                .filter_map(|c| {
+                    decide(g, rates, &sched, c, self.conservative_locks, |e| {
+                        locks.granted_to(e, c.hub_edge)
+                    })
+                })
+                .collect();
+
+            let applied = apply_decisions(&mut sched, &decisions);
+            iterations += 1;
+            hubs_applied += applied;
+            history.push(partial_cost(g, rates, &sched));
+            if applied == 0 {
+                break;
+            }
+        }
+
+        finalize(g, rates, &mut sched);
+        ParallelNosyResult {
+            schedule: sched,
+            iterations,
+            cost_history: history,
+            hubs_applied,
+        }
+    }
+
+    /// Phase 1 over all edges, chunked across threads.
+    fn candidates_threaded(&self, g: &CsrGraph, rates: &Rates, sched: &Schedule) -> Vec<Candidate> {
+        let m = g.edge_count();
+        if m == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads.clamp(1, m);
+        let chunk = m.div_ceil(threads);
+        let mut results: Vec<Vec<Candidate>> = Vec::with_capacity(threads);
+        crossbeam::scope(|s| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(m);
+                handles.push(s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for e in lo..hi {
+                        if let Some(c) =
+                            build_candidate(g, rates, sched, e as EdgeId, self.cross_cap)
+                        {
+                            local.push(c);
+                        }
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("candidate worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::hybrid_schedule;
+    use crate::cost::{predicted_improvement, schedule_cost};
+    use crate::validate::validate_bounded_staleness;
+    use piggyback_graph::gen::{copying, erdos_renyi, CopyingConfig};
+    use piggyback_graph::GraphBuilder;
+
+    fn clustered(n: usize, seed: u64) -> CsrGraph {
+        copying(CopyingConfig {
+            nodes: n,
+            follows_per_node: 6,
+            copy_prob: 0.8,
+            seed,
+        })
+    }
+
+    #[test]
+    fn produces_feasible_schedules() {
+        let g = clustered(500, 1);
+        let r = Rates::log_degree(&g, 5.0);
+        let res = ParallelNosy::default().run(&g, &r);
+        validate_bounded_staleness(&g, &res.schedule).unwrap();
+        assert_eq!(res.schedule.unassigned_count(), 0);
+    }
+
+    #[test]
+    fn never_worse_than_hybrid() {
+        for seed in 0..3 {
+            let g = erdos_renyi(150, 900, seed);
+            let r = Rates::log_degree(&g, 5.0);
+            let res = ParallelNosy::default().run(&g, &r);
+            let ff = hybrid_schedule(&g, &r);
+            let imp = predicted_improvement(&g, &r, &res.schedule, &ff);
+            assert!(imp >= 1.0 - 1e-9, "seed {seed}: improvement {imp}");
+        }
+    }
+
+    #[test]
+    fn improves_on_clustered_graphs() {
+        let g = clustered(800, 3);
+        let r = Rates::log_degree(&g, 5.0);
+        let res = ParallelNosy::default().run(&g, &r);
+        let ff = hybrid_schedule(&g, &r);
+        let imp = predicted_improvement(&g, &r, &res.schedule, &ff);
+        assert!(imp > 1.1, "expected piggybacking gains, got {imp}");
+        assert!(res.hubs_applied > 0);
+    }
+
+    #[test]
+    fn cost_history_is_monotone_and_consistent() {
+        let g = clustered(400, 7);
+        let r = Rates::log_degree(&g, 5.0);
+        let res = ParallelNosy::default().run(&g, &r);
+        // History starts at the hybrid cost.
+        let ff = hybrid_schedule(&g, &r);
+        assert!((res.cost_history[0] - schedule_cost(&g, &r, &ff)).abs() < 1e-6);
+        // Monotone non-increasing.
+        for w in res.cost_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "cost went up: {w:?}");
+        }
+        // Final history entry equals the final schedule's cost.
+        let last = *res.cost_history.last().unwrap();
+        assert!((last - schedule_cost(&g, &r, &res.schedule)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converges_before_a_generous_cap() {
+        // Convergence (no candidate applies) takes tens of iterations on
+        // clustered graphs — locks serialize hubs that share producers,
+        // matching the long plateau of the paper's Figure 4.
+        let g = clustered(300, 9);
+        let r = Rates::log_degree(&g, 5.0);
+        let pn = ParallelNosy {
+            max_iterations: 500,
+            ..ParallelNosy::default()
+        };
+        let res = pn.run(&g, &r);
+        assert!(res.iterations < 500, "did not converge: {}", res.iterations);
+        // The final iteration applied nothing (fixed point).
+        let h = &res.cost_history;
+        assert!((h[h.len() - 1] - h[h.len() - 2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threaded_and_mapreduce_agree() {
+        let g = clustered(350, 11);
+        let r = Rates::log_degree(&g, 5.0);
+        let pn = ParallelNosy {
+            threads: 4,
+            ..ParallelNosy::default()
+        };
+        let a = pn.run(&g, &r);
+        let b = pn.run_on_mapreduce(&g, &r, &MapReduce::new(3));
+        assert_eq!(a.cost_history, b.cost_history);
+        for e in 0..g.edge_count() as EdgeId {
+            assert_eq!(
+                a.schedule.assignment(e),
+                b.schedule.assignment(e),
+                "edge {e} differs between threaded and mapreduce runs"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = clustered(300, 13);
+        let r = Rates::log_degree(&g, 5.0);
+        let run = |threads| {
+            ParallelNosy {
+                threads,
+                ..ParallelNosy::default()
+            }
+            .run(&g, &r)
+            .cost_history
+        };
+        let h1 = run(1);
+        assert_eq!(h1, run(4));
+        assert_eq!(h1, run(8));
+    }
+
+    #[test]
+    fn fig2_triangle_with_favorable_rates() {
+        // rp(0) small, rc(2) small relative to the hybrid edge costs so the
+        // hub wins: need rp(0) + rc(2) < c*(0→1)+c*(1→2)+c*(0→2).
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let r = Rates::from_vecs(vec![1.0, 5.0, 5.0], vec![5.0, 5.0, 1.8]);
+        // hybrid: min(1,5) + min(5,1.8) + min(1,1.8) = 1 + 1.8 + 1 = 3.8
+        // hub via 1: push 0→1 (1.0) + pull 1→2 (1.8) = 2.8, covers all.
+        let res = ParallelNosy::default().run(&g, &r);
+        validate_bounded_staleness(&g, &res.schedule).unwrap();
+        let c = schedule_cost(&g, &r, &res.schedule);
+        assert!((c - 2.8).abs() < 1e-9, "expected hub schedule, cost {c}");
+        let e02 = g.edge_id(0, 2);
+        assert!(res.schedule.is_covered(e02));
+        assert_eq!(res.schedule.hub_of(e02), 1);
+    }
+
+    #[test]
+    fn conservative_locks_converge_slower_to_similar_quality() {
+        let g = clustered(400, 19);
+        let r = Rates::log_degree(&g, 5.0);
+        let refined = ParallelNosy {
+            max_iterations: 300,
+            ..ParallelNosy::default()
+        }
+        .run(&g, &r);
+        let conservative = ParallelNosy {
+            max_iterations: 300,
+            conservative_locks: true,
+            ..ParallelNosy::default()
+        }
+        .run(&g, &r);
+        validate_bounded_staleness(&g, &conservative.schedule).unwrap();
+        assert!(
+            conservative.iterations > refined.iterations,
+            "expected extra serialization: {} vs {}",
+            conservative.iterations,
+            refined.iterations
+        );
+        // Final quality is in the same ballpark (both reach a local
+        // minimum of the same neighborhood structure).
+        let cr = schedule_cost(&g, &r, &refined.schedule);
+        let cc = schedule_cost(&g, &r, &conservative.schedule);
+        assert!((cc - cr).abs() / cr < 0.1, "quality diverged: {cr} vs {cc}");
+    }
+
+    #[test]
+    fn cross_cap_bounds_hub_size() {
+        let mut b = GraphBuilder::new();
+        let (w, y) = (0u32, 1u32);
+        b.add_edge(w, y);
+        for x in 2..40u32 {
+            b.add_edge(x, w);
+            b.add_edge(x, y);
+        }
+        let g = b.build();
+        let r = Rates::uniform(40, 1.0, 5.0);
+        let sched = Schedule::for_graph(&g);
+        let cand = build_candidate(&g, &r, &sched, g.edge_id(w, y), 5).unwrap();
+        assert_eq!(cand.xs.len(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let r = Rates::uniform(0, 1.0, 1.0);
+        let res = ParallelNosy::default().run(&g, &r);
+        assert_eq!(res.schedule.edge_count(), 0);
+    }
+
+    #[test]
+    fn read_heavy_workload_leaves_little_to_gain() {
+        // As r/w → ∞, hybrid (≈ push-all) approaches optimal; PN's gain
+        // must shrink towards 1 (Figure 9's right edge).
+        let g = clustered(400, 17);
+        let r5 = Rates::log_degree(&g, 5.0);
+        let r100 = r5.with_read_write_ratio(100.0);
+        let pn = ParallelNosy::default();
+        let ff5 = hybrid_schedule(&g, &r5);
+        let ff100 = hybrid_schedule(&g, &r100);
+        let imp5 = predicted_improvement(&g, &r5, &pn.run(&g, &r5).schedule, &ff5);
+        let imp100 = predicted_improvement(&g, &r100, &pn.run(&g, &r100).schedule, &ff100);
+        assert!(
+            imp100 < imp5,
+            "gain should shrink with read-heavy workloads: {imp5} vs {imp100}"
+        );
+    }
+}

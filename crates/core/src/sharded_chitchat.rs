@@ -1,0 +1,421 @@
+//! Sharded CHITCHAT — scaling the approximation algorithm (the paper's
+//! stated future work).
+//!
+//! The paper closes with: "the results ... suggest interesting future work
+//! on the design of techniques to scale the CHITCHAT algorithm to very
+//! large datasets". CHITCHAT is centralized: its priority queue and oracle
+//! state span the whole graph. This module trades a bounded amount of
+//! quality for shard-parallel execution:
+//!
+//! 1. partition nodes into `shards` groups — by label propagation over the
+//!    undirected projection (default; keeps communities together) or by
+//!    chunking a BFS order (cheap baseline),
+//! 2. build each group's induced subgraph,
+//! 3. run full CHITCHAT on every shard *in parallel* (each worker owns a
+//!    graph a fraction of the original size),
+//! 4. translate the shard schedules back and serve the remaining
+//!    cross-shard edges with the hybrid policy.
+//!
+//! Feasibility is unconditional (every edge is served); quality approaches
+//! plain CHITCHAT as shards → 1 and degrades gracefully with the fraction
+//! of cross-shard edges — measured in the tests and the `ablations` bench.
+
+use std::collections::VecDeque;
+
+use piggyback_graph::sample::induced_subgraph;
+use piggyback_graph::{CsrGraph, NodeId};
+use piggyback_workload::Rates;
+
+use crate::chitchat::ChitChat;
+use crate::schedule::{EdgeAssignment, Schedule};
+
+/// How nodes are grouped into shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Chunk a BFS ordering of the undirected projection. Cheap, mediocre
+    /// locality on graphs without crisp communities.
+    BfsChunks,
+    /// Label propagation (synchronous majority voting, then bin-packing of
+    /// communities into shards). Markedly better hub retention on clustered
+    /// graphs; the default.
+    LabelPropagation,
+}
+
+/// Configuration for sharded CHITCHAT.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedChitChat {
+    /// Number of shards (1 = plain CHITCHAT).
+    pub shards: usize,
+    /// Node-to-shard grouping strategy.
+    pub partitioning: Partitioning,
+    /// Per-shard CHITCHAT configuration.
+    pub inner: ChitChat,
+}
+
+impl Default for ShardedChitChat {
+    fn default() -> Self {
+        ShardedChitChat {
+            shards: 4,
+            partitioning: Partitioning::LabelPropagation,
+            inner: ChitChat::default(),
+        }
+    }
+}
+
+/// Output of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardedChitChatResult {
+    /// Feasible schedule over the full graph.
+    pub schedule: Schedule,
+    /// Number of shards used.
+    pub shards: usize,
+    /// Edges internal to some shard (optimized by CHITCHAT).
+    pub intra_shard_edges: usize,
+    /// Edges between shards (served hybrid).
+    pub cross_shard_edges: usize,
+}
+
+impl ShardedChitChat {
+    /// Runs sharded CHITCHAT on `g` under `rates`.
+    pub fn run(&self, g: &CsrGraph, rates: &Rates) -> ShardedChitChatResult {
+        assert!(self.shards >= 1, "need at least one shard");
+        let n = g.node_count();
+        let groups: Vec<Vec<NodeId>> = if n == 0 {
+            Vec::new()
+        } else if self.shards == 1 {
+            vec![(0..n as NodeId).collect()]
+        } else {
+            match self.partitioning {
+                Partitioning::BfsChunks => {
+                    let order = bfs_order(g);
+                    let chunk = n.div_ceil(self.shards);
+                    order.chunks(chunk).map(<[NodeId]>::to_vec).collect()
+                }
+                Partitioning::LabelPropagation => label_propagation_shards(g, self.shards),
+            }
+        };
+        let chunks: Vec<&[NodeId]> = groups.iter().map(Vec::as_slice).collect();
+
+        // Run CHITCHAT on every induced shard subgraph in parallel.
+        let inner = self.inner;
+        let shard_results: Vec<(piggyback_graph::sample::SampledGraph, Schedule)> =
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&keep| {
+                        s.spawn(move |_| {
+                            let sub = induced_subgraph(g, keep);
+                            let sub_rates = Rates::from_vecs(
+                                sub.original_ids.iter().map(|&o| rates.rp(o)).collect(),
+                                sub.original_ids.iter().map(|&o| rates.rc(o)).collect(),
+                            );
+                            let res = inner.run(&sub.graph, &sub_rates);
+                            (sub, res.schedule)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed");
+
+        // Translate shard schedules back to global edge ids.
+        let mut schedule = Schedule::for_graph(g);
+        let mut intra = 0usize;
+        for (sub, sub_sched) in &shard_results {
+            for (se, su, sv) in sub.graph.edges() {
+                let (ou, ov) = (sub.original_ids[su as usize], sub.original_ids[sv as usize]);
+                let ge = g.edge_id(ou, ov);
+                intra += 1;
+                match sub_sched.assignment(se) {
+                    EdgeAssignment::Push => {
+                        schedule.set_push(ge);
+                    }
+                    EdgeAssignment::Pull => {
+                        schedule.set_pull(ge);
+                    }
+                    EdgeAssignment::PushAndPull => {
+                        schedule.set_push(ge);
+                        schedule.set_pull(ge);
+                    }
+                    EdgeAssignment::Covered(sub_hub) => {
+                        schedule.set_covered(ge, sub.original_ids[sub_hub as usize]);
+                    }
+                    EdgeAssignment::Unassigned => {}
+                }
+            }
+        }
+
+        // Cross-shard edges: hybrid.
+        let mut cross = 0usize;
+        for (e, u, v) in g.edges() {
+            if schedule.is_served(e) {
+                continue;
+            }
+            cross += 1;
+            if rates.rp(u) <= rates.rc(v) {
+                schedule.set_push(e);
+            } else {
+                schedule.set_pull(e);
+            }
+        }
+
+        ShardedChitChatResult {
+            schedule,
+            shards: chunks.len(),
+            intra_shard_edges: intra,
+            cross_shard_edges: cross,
+        }
+    }
+}
+
+/// Label propagation over the undirected projection, then greedy
+/// bin-packing of the discovered communities into `shards` balanced groups.
+///
+/// Synchronous majority voting with smallest-label tie-breaks keeps the
+/// result deterministic; a handful of rounds suffices on social graphs.
+fn label_propagation_shards(g: &CsrGraph, shards: usize) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut label: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut counts: piggyback_graph::fx::FxHashMap<NodeId, usize> = Default::default();
+    for _round in 0..6 {
+        let mut changed = false;
+        let prev = label.clone();
+        for u in 0..n as NodeId {
+            counts.clear();
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                *counts.entry(prev[v as usize]).or_insert(0) += 1;
+            }
+            if counts.is_empty() {
+                continue;
+            }
+            // Majority label; ties to the smallest label id.
+            let mut best = prev[u as usize];
+            let mut best_count = 0usize;
+            let mut entries: Vec<(NodeId, usize)> = counts.iter().map(|(&l, &c)| (l, c)).collect();
+            entries.sort_unstable();
+            for (l, c) in entries {
+                if c > best_count {
+                    best = l;
+                    best_count = c;
+                }
+            }
+            if label[u as usize] != best {
+                label[u as usize] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Group nodes by final label.
+    let mut communities: piggyback_graph::fx::FxHashMap<NodeId, Vec<NodeId>> = Default::default();
+    for u in 0..n as NodeId {
+        communities.entry(label[u as usize]).or_default().push(u);
+    }
+    let mut communities: Vec<Vec<NodeId>> = communities.into_values().collect();
+    // Largest communities first, each into the currently smallest shard.
+    communities.sort_unstable_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+    let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); shards.min(n.max(1))];
+    for community in communities {
+        let target = out
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.len())
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        out[target].extend(community);
+    }
+    out.retain(|s| !s.is_empty());
+    out
+}
+
+/// BFS ordering of all nodes over the undirected projection, restarting
+/// from the lowest-id unvisited node — deterministic and
+/// community-clustered.
+fn bfs_order(g: &CsrGraph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if visited[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::hybrid_schedule;
+    use crate::cost::schedule_cost;
+    use crate::validate::validate_bounded_staleness;
+    use piggyback_graph::gen::{copying, CopyingConfig};
+    use piggyback_graph::GraphBuilder;
+
+    fn world(n: usize) -> (CsrGraph, Rates) {
+        let g = copying(CopyingConfig {
+            nodes: n,
+            follows_per_node: 6,
+            copy_prob: 0.9,
+            seed: 3,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        (g, r)
+    }
+
+    #[test]
+    fn always_feasible() {
+        let (g, r) = world(400);
+        for shards in [1usize, 2, 4, 16] {
+            let res = ShardedChitChat {
+                shards,
+                ..Default::default()
+            }
+            .run(&g, &r);
+            validate_bounded_staleness(&g, &res.schedule)
+                .unwrap_or_else(|e| panic!("shards={shards}: {e}"));
+            assert_eq!(
+                res.intra_shard_edges + res.cross_shard_edges,
+                g.edge_count()
+            );
+        }
+    }
+
+    #[test]
+    fn one_shard_equals_plain_chitchat() {
+        let (g, r) = world(250);
+        let plain = ChitChat::default().run(&g, &r).schedule;
+        let sharded = ShardedChitChat {
+            shards: 1,
+            ..Default::default()
+        }
+        .run(&g, &r);
+        assert_eq!(sharded.cross_shard_edges, 0);
+        let a = schedule_cost(&g, &r, &plain);
+        let b = schedule_cost(&g, &r, &sharded.schedule);
+        // Same algorithm on a relabeled graph: costs must agree (the BFS
+        // relabeling can change tie-breaks, so allow a hair of slack).
+        assert!((a - b).abs() / a < 0.02, "plain {a} vs sharded {b}");
+    }
+
+    #[test]
+    fn never_worse_than_hybrid() {
+        let (g, r) = world(500);
+        let ff = schedule_cost(&g, &r, &hybrid_schedule(&g, &r));
+        for shards in [2usize, 8, 32] {
+            let res = ShardedChitChat {
+                shards,
+                ..Default::default()
+            }
+            .run(&g, &r);
+            let c = schedule_cost(&g, &r, &res.schedule);
+            assert!(c <= ff + 1e-9, "shards={shards}: {c} > {ff}");
+        }
+    }
+
+    #[test]
+    fn quality_degrades_gracefully_with_shards() {
+        let (g, r) = world(600);
+        let c1 = schedule_cost(
+            &g,
+            &r,
+            &ShardedChitChat {
+                shards: 1,
+                ..Default::default()
+            }
+            .run(&g, &r)
+            .schedule,
+        );
+        let c8 = schedule_cost(
+            &g,
+            &r,
+            &ShardedChitChat {
+                shards: 8,
+                ..Default::default()
+            }
+            .run(&g, &r)
+            .schedule,
+        );
+        let ff = schedule_cost(&g, &r, &hybrid_schedule(&g, &r));
+        // Sharding costs some quality but must retain a clear chunk of the
+        // full algorithm's advantage over hybrid.
+        assert!(c8 >= c1 - 1e-9);
+        let retained = (ff - c8) / (ff - c1);
+        assert!(
+            retained > 0.4,
+            "sharding destroyed the advantage: retained {retained}"
+        );
+    }
+
+    #[test]
+    fn cross_shard_fraction_grows_with_shards() {
+        // Monotonic under BFS chunking (finer chunks only cut more edges).
+        // Label propagation can keep the community structure intact across
+        // shard counts, so the claim is specific to BfsChunks.
+        let (g, r) = world(500);
+        let run = |shards| {
+            ShardedChitChat {
+                shards,
+                partitioning: Partitioning::BfsChunks,
+                ..Default::default()
+            }
+            .run(&g, &r)
+        };
+        assert!(run(32).cross_shard_edges > run(2).cross_shard_edges);
+    }
+
+    #[test]
+    fn label_propagation_beats_bfs_chunking() {
+        let (g, r) = world(600);
+        let cost = |partitioning| {
+            let res = ShardedChitChat {
+                shards: 8,
+                partitioning,
+                ..Default::default()
+            }
+            .run(&g, &r);
+            validate_bounded_staleness(&g, &res.schedule).unwrap();
+            schedule_cost(&g, &r, &res.schedule)
+        };
+        let lp = cost(Partitioning::LabelPropagation);
+        let bfs = cost(Partitioning::BfsChunks);
+        assert!(
+            lp <= bfs + 1e-9,
+            "label propagation should not lose to BFS chunks: {lp} vs {bfs}"
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let r = Rates::uniform(0, 1.0, 1.0);
+        let res = ShardedChitChat::default().run(&g, &r);
+        assert_eq!(res.schedule.edge_count(), 0);
+    }
+
+    #[test]
+    fn bfs_order_is_a_permutation() {
+        let (g, _) = world(300);
+        let mut order = bfs_order(&g);
+        order.sort_unstable();
+        let expect: Vec<NodeId> = (0..300).collect();
+        assert_eq!(order, expect);
+    }
+}

@@ -1,0 +1,326 @@
+//! Semantic bounded-staleness checking (Definition 2, Theorem 1).
+//!
+//! [`crate::validate`] checks schedules *structurally* — every edge is a
+//! push, a pull, or a hub triangle. This module checks the property those
+//! rules exist for: a discrete-time simulator delivers events exactly as a
+//! passive store would under a schedule (pushes at share time, pulls at
+//! query time, no spontaneous server actions), and verifies that every
+//! query sees every event older than `Θ = 2Δ`.
+//!
+//! The simulator also demonstrates the *necessity* half of Theorem 1's
+//! argument: schedules that try to serve an edge through a push-push or
+//! pull-pull chain leave events stranded in an intermediate view until its
+//! owner happens to act, and the checker catches the violation.
+
+use piggyback_graph::fx::{FxHashMap, FxHashSet};
+use piggyback_graph::{CsrGraph, NodeId};
+
+use crate::schedule::Schedule;
+
+/// A timed action in a simulated execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// `user` shares an event at the given time.
+    Post {
+        /// Sharing user.
+        user: NodeId,
+        /// Share time.
+        time: u64,
+    },
+    /// `user` requests its event stream at the given time.
+    Query {
+        /// Querying user.
+        user: NodeId,
+        /// Query time.
+        time: u64,
+    },
+}
+
+/// A semantic staleness violation: a query missed an old-enough event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SemanticViolation {
+    /// The querying consumer.
+    pub consumer: NodeId,
+    /// The producer whose event was missed.
+    pub producer: NodeId,
+    /// When the missed event was posted.
+    pub posted_at: u64,
+    /// When the query ran.
+    pub queried_at: u64,
+}
+
+impl std::fmt::Display for SemanticViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query by {} at t={} missed event posted by {} at t={}",
+            self.consumer, self.queried_at, self.producer, self.posted_at
+        )
+    }
+}
+
+impl std::error::Error for SemanticViolation {}
+
+/// Simulates `actions` (must be sorted by time) against a passive store
+/// under `schedule`, with per-request latency bound `delta`, and checks
+/// Definition 2 with `Θ = 2Δ`: every query by `v` at time `t` returns every
+/// event posted by a producer of `v` at or before `t − 2Δ`.
+///
+/// Delivery semantics of a passive store:
+/// * a post by `u` at `t` lands in `u`'s own view and in every view of
+///   `{v : u→v ∈ H}` by `t + Δ` (the data-store *clients* perform these
+///   writes — no server-to-server action exists);
+/// * a query by `v` at `t` reads `{v} ∪ {u : u→v ∈ L}` as of time `t`.
+pub fn check_semantic_staleness(
+    g: &CsrGraph,
+    schedule: &Schedule,
+    actions: &[Action],
+    delta: u64,
+) -> Result<(), SemanticViolation> {
+    assert_eq!(g.edge_count(), schedule.edge_count());
+    debug_assert!(
+        actions.windows(2).all(|w| time_of(w[0]) <= time_of(w[1])),
+        "actions must be sorted by time"
+    );
+    // view -> producer -> posts visible (arrival_time, posted_at).
+    let mut views: FxHashMap<NodeId, FxHashMap<NodeId, Vec<(u64, u64)>>> = FxHashMap::default();
+    // producer -> all post times (to know what *should* be visible).
+    let mut posts: FxHashMap<NodeId, Vec<u64>> = FxHashMap::default();
+
+    for &action in actions {
+        match action {
+            Action::Post { user, time } => {
+                posts.entry(user).or_default().push(time);
+                let arrival = time + delta;
+                views
+                    .entry(user)
+                    .or_default()
+                    .entry(user)
+                    .or_default()
+                    .push((arrival, time));
+                for (v, e) in g.out_edges(user) {
+                    if schedule.is_push(e) {
+                        views
+                            .entry(v)
+                            .or_default()
+                            .entry(user)
+                            .or_default()
+                            .push((arrival, time));
+                    }
+                }
+            }
+            Action::Query { user: v, time } => {
+                // Views this query reads.
+                let mut read: Vec<NodeId> = vec![v];
+                for (u, e) in g.in_edges(v) {
+                    if schedule.is_pull(e) {
+                        read.push(u);
+                    }
+                }
+                // Events visible: arrived by `time` in any read view.
+                let mut visible: FxHashSet<(NodeId, u64)> = FxHashSet::default();
+                for q in read {
+                    if let Some(per_producer) = views.get(&q) {
+                        for (&p, arrivals) in per_producer {
+                            for &(arrival, posted) in arrivals {
+                                if arrival <= time {
+                                    visible.insert((p, posted));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Requirement: for every producer p of v, every post at or
+                // before time - 2Δ is visible. Queries earlier than 2Δ into
+                // the execution have no obligations (t − Θ is negative).
+                if time < 2 * delta {
+                    continue;
+                }
+                let horizon = time - 2 * delta;
+                for &p in g.in_neighbors(v) {
+                    if let Some(times) = posts.get(&p) {
+                        for &posted in times {
+                            if posted <= horizon && !visible.contains(&(p, posted)) {
+                                return Err(SemanticViolation {
+                                    consumer: v,
+                                    producer: p,
+                                    posted_at: posted,
+                                    queried_at: time,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn time_of(a: Action) -> u64 {
+    match a {
+        Action::Post { time, .. } | Action::Query { time, .. } => time,
+    }
+}
+
+/// Generates a randomized, time-sorted action sequence over the graph's
+/// users: `posts` shares and `queries` stream requests at uniform times in
+/// `[0, horizon]`, seeded deterministically.
+pub fn random_actions(
+    g: &CsrGraph,
+    posts: usize,
+    queries: usize,
+    horizon: u64,
+    seed: u64,
+) -> Vec<Action> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut actions: Vec<Action> = Vec::with_capacity(posts + queries);
+    for _ in 0..posts {
+        actions.push(Action::Post {
+            user: rng.random_range(0..n) as NodeId,
+            time: rng.random_range(0..=horizon),
+        });
+    }
+    for _ in 0..queries {
+        actions.push(Action::Query {
+            user: rng.random_range(0..n) as NodeId,
+            time: rng.random_range(0..=horizon),
+        });
+    }
+    actions.sort_by_key(|&a| time_of(a));
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{hybrid_schedule, pull_all_schedule, push_all_schedule};
+    use crate::chitchat::ChitChat;
+    use crate::parallelnosy::ParallelNosy;
+    use piggyback_graph::gen::{copying, CopyingConfig};
+    use piggyback_graph::GraphBuilder;
+    use piggyback_workload::Rates;
+
+    const DELTA: u64 = 5;
+
+    fn world() -> (CsrGraph, Rates) {
+        let g = copying(CopyingConfig {
+            nodes: 150,
+            follows_per_node: 5,
+            copy_prob: 0.8,
+            seed: 12,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        (g, r)
+    }
+
+    #[test]
+    fn all_algorithms_pass_the_semantic_check() {
+        let (g, r) = world();
+        let actions = random_actions(&g, 400, 400, 1_000, 1);
+        for sched in [
+            push_all_schedule(&g),
+            pull_all_schedule(&g),
+            hybrid_schedule(&g, &r),
+            ParallelNosy::default().run(&g, &r).schedule,
+            ChitChat::default().run(&g, &r).schedule,
+        ] {
+            check_semantic_staleness(&g, &sched, &actions, DELTA)
+                .expect("feasible schedule violated staleness semantically");
+        }
+    }
+
+    #[test]
+    fn unserved_edge_is_caught_semantically() {
+        // Edge 0 -> 1 left unserved: a late query by 1 misses 0's post.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        let g = b.build();
+        let sched = Schedule::for_graph(&g); // nothing scheduled
+        let actions = vec![
+            Action::Post { user: 0, time: 0 },
+            Action::Query { user: 1, time: 100 },
+        ];
+        let err = check_semantic_staleness(&g, &sched, &actions, DELTA).unwrap_err();
+        assert_eq!(err.producer, 0);
+        assert_eq!(err.consumer, 1);
+    }
+
+    #[test]
+    fn push_push_chain_violates_staleness() {
+        // Theorem 1's necessity argument: serving 0 -> 2 by pushing
+        // 0 -> 1 and 1 -> 2 does NOT deliver 0's events to 2 — view 1
+        // forwards nothing in a passive store, and user 1 may stay idle.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let mut sched = Schedule::for_graph(&g);
+        sched.set_push(g.edge_id(0, 1));
+        sched.set_push(g.edge_id(1, 2));
+        // Pretend 0 -> 2 is "covered" by the (invalid) push-push chain: the
+        // structural validator would reject this; the semantic simulator
+        // shows *why*.
+        let actions = vec![
+            Action::Post { user: 0, time: 0 },
+            Action::Query { user: 2, time: 100 },
+        ];
+        let err = check_semantic_staleness(&g, &sched, &actions, DELTA).unwrap_err();
+        assert_eq!((err.producer, err.consumer), (0, 2));
+    }
+
+    #[test]
+    fn hub_piggybacking_delivers_semantically() {
+        // The valid triangle: push 0 -> 1, pull 1 -> 2 serves 0 -> 2.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let mut sched = Schedule::for_graph(&g);
+        sched.set_push(g.edge_id(0, 1));
+        sched.set_pull(g.edge_id(1, 2));
+        sched.set_covered(g.edge_id(0, 2), 1);
+        let actions = vec![
+            Action::Post { user: 0, time: 0 },
+            Action::Query {
+                user: 2,
+                time: 2 * DELTA,
+            },
+        ];
+        check_semantic_staleness(&g, &sched, &actions, DELTA).unwrap();
+    }
+
+    #[test]
+    fn recent_events_may_be_missing() {
+        // An event posted within the Θ window is allowed to be absent.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        let g = b.build();
+        let mut sched = Schedule::for_graph(&g);
+        sched.set_push(g.edge_id(0, 1));
+        let actions = vec![
+            Action::Post { user: 0, time: 98 },
+            Action::Query {
+                user: 1,
+                time: 100, // within 2Δ of the post
+            },
+        ];
+        check_semantic_staleness(&g, &sched, &actions, DELTA).unwrap();
+    }
+
+    #[test]
+    fn random_actions_are_sorted_and_sized() {
+        let (g, _) = world();
+        let a = random_actions(&g, 50, 70, 500, 9);
+        assert_eq!(a.len(), 120);
+        assert!(a.windows(2).all(|w| time_of(w[0]) <= time_of(w[1])));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of schedule/algorithm invariants inside the core
+//! crate (the facade crate has its own end-to-end property suite).
+
+use piggyback_core::baseline::hybrid_schedule;
+use piggyback_core::bitset::BitSet;
+use piggyback_core::cost::schedule_cost;
+use piggyback_core::optimal::optimal_schedule;
+use piggyback_core::parallelnosy::{partial_cost, ParallelNosy};
+use piggyback_core::schedule::{EdgeAssignment, Schedule};
+use piggyback_core::staleness::{check_semantic_staleness, random_actions};
+use piggyback_core::validate::validate_bounded_staleness;
+use piggyback_graph::{CsrGraph, GraphBuilder};
+use piggyback_workload::Rates;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(u, v)| u != v),
+            0..n * 3,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_nodes(n);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bitset_matches_reference(ops in proptest::collection::vec((any::<bool>(), 0u32..256), 0..400)) {
+        let mut bits = BitSet::new(256);
+        let mut reference = std::collections::BTreeSet::new();
+        for (insert, key) in ops {
+            if insert {
+                prop_assert_eq!(bits.insert(key), reference.insert(key));
+            } else {
+                prop_assert_eq!(bits.remove(key), reference.remove(&key));
+            }
+        }
+        prop_assert_eq!(bits.len(), reference.len());
+        prop_assert_eq!(bits.iter().collect::<Vec<_>>(), reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_state_machine((n, edges) in arb_graph(20), ops in proptest::collection::vec((0u8..3, 0usize..64), 0..80)) {
+        let g = build(n, &edges);
+        if g.edge_count() == 0 {
+            return Ok(());
+        }
+        let m = g.edge_count();
+        let mut s = Schedule::for_graph(&g);
+        for (op, raw_e) in ops {
+            let e = (raw_e % m) as u32;
+            match op {
+                0 if !s.is_covered(e) => { s.set_push(e); }
+                1 if !s.is_covered(e) => { s.set_pull(e); }
+                2 if !s.is_push(e) && !s.is_pull(e) => { s.set_covered(e, 0); }
+                _ => {}
+            }
+            // Invariant: covered is disjoint from push/pull.
+            prop_assert!(!(s.is_covered(e) && (s.is_push(e) || s.is_pull(e))));
+            // Assignment is consistent with the bits.
+            match s.assignment(e) {
+                EdgeAssignment::Push => prop_assert!(s.is_push(e) && !s.is_pull(e)),
+                EdgeAssignment::Pull => prop_assert!(s.is_pull(e) && !s.is_push(e)),
+                EdgeAssignment::PushAndPull => prop_assert!(s.is_push(e) && s.is_pull(e)),
+                EdgeAssignment::Covered(_) => prop_assert!(s.is_covered(e)),
+                EdgeAssignment::Unassigned => prop_assert!(!s.is_served(e)),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_cost_equals_full_cost_when_finalized((n, edges) in arb_graph(25)) {
+        let g = build(n, &edges);
+        let r = Rates::log_degree(&g, 5.0);
+        let res = ParallelNosy::default().run(&g, &r);
+        // After finalization nothing is unassigned, so partial == full.
+        let full = schedule_cost(&g, &r, &res.schedule);
+        let partial = partial_cost(&g, &r, &res.schedule);
+        prop_assert!((full - partial).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_lower_bounds_heuristics_on_tiny_graphs((n, edges) in arb_graph(7)) {
+        let g = build(n, &edges);
+        let r = Rates::log_degree(&g, 5.0);
+        let Some(opt) = optimal_schedule(&g, &r) else { return Ok(()); };
+        validate_bounded_staleness(&g, &opt.schedule).unwrap();
+        let ff = schedule_cost(&g, &r, &hybrid_schedule(&g, &r));
+        let pn = schedule_cost(&g, &r, &ParallelNosy::default().run(&g, &r).schedule);
+        prop_assert!(opt.cost <= ff + 1e-9);
+        prop_assert!(opt.cost <= pn + 1e-9);
+    }
+
+    #[test]
+    fn semantic_and_structural_feasibility_agree((n, edges) in arb_graph(18), seed in 0u64..4) {
+        // A schedule that passes the structural validator must pass the
+        // semantic simulator on any action sequence.
+        let g = build(n, &edges);
+        let r = Rates::log_degree(&g, 5.0);
+        let sched = ParallelNosy::default().run(&g, &r).schedule;
+        validate_bounded_staleness(&g, &sched).unwrap();
+        let actions = random_actions(&g, 60, 60, 300, seed);
+        prop_assert!(check_semantic_staleness(&g, &sched, &actions, 5).is_ok());
+    }
+}

@@ -1,0 +1,123 @@
+//! Deduplicating edge-list builder for [`CsrGraph`].
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Accumulates directed edges and produces an immutable [`CsrGraph`].
+///
+/// The builder tolerates duplicate edges and self-loops in its input:
+/// duplicates are merged and self-loops dropped at [`GraphBuilder::build`]
+/// time. Self-loops are meaningless in the dissemination model because a
+/// user's own view always receives their events implicitly (§2.1: "users
+/// always access their own view").
+///
+/// Node count is `max node id + 1`; ids need not be contiguous in the input,
+/// unreferenced ids simply become isolated nodes.
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    edges: Vec<(NodeId, NodeId)>,
+    max_node: Option<NodeId>,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder with capacity for `m` edges.
+    pub fn with_capacity(m: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            max_node: None,
+        }
+    }
+
+    /// Adds directed edge `u → v` (v subscribes to u).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.edges.push((u, v));
+        let hi = u.max(v);
+        self.max_node = Some(self.max_node.map_or(hi, |m| m.max(hi)));
+    }
+
+    /// Adds both `u → v` and `v → u` (a symmetric friendship).
+    pub fn add_reciprocal(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Ensures the graph has at least `n` nodes even if some are isolated.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        if n > 0 {
+            let hi = (n - 1) as NodeId;
+            self.max_node = Some(self.max_node.map_or(hi, |m| m.max(hi)));
+        }
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorts, deduplicates, strips self-loops, and freezes into a CSR graph.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        self.edges.retain(|&(u, v)| u != v);
+        let n = self.max_node.map_or(0, |m| m as usize + 1);
+        CsrGraph::from_sorted_edges(n, &self.edges)
+    }
+}
+
+/// Builds a graph directly from an iterator of edges.
+impl FromIterator<(NodeId, NodeId)> for CsrGraph {
+    fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
+        let mut b = GraphBuilder::new();
+        for (u, v) in iter {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        b.add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn reciprocal_adds_two_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_reciprocal(3, 7);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.is_reciprocal(3, 7));
+    }
+
+    #[test]
+    fn reserve_nodes_creates_isolated() {
+        let mut b = GraphBuilder::new();
+        b.reserve_nodes(10);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.node_count(), 10);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let g: CsrGraph = vec![(0, 1), (1, 2)].into_iter().collect();
+        assert_eq!(g.edge_count(), 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! Compressed-sparse-row digraph with forward and reverse adjacency.
+//!
+//! The representation targets the access patterns of the scheduling
+//! algorithms in `piggyback-core`:
+//!
+//! * enumerate out-neighbors of a node (building hub-graphs `G(X, w, Y)`),
+//! * enumerate in-neighbors of a node (finding common predecessors),
+//! * map an arbitrary `(u, v)` pair to a dense [`EdgeId`] in O(log deg(u)),
+//! * iterate all edges with their ids.
+//!
+//! Edge ids index the forward adjacency array, so per-edge algorithm state
+//! (push/pull/covered bits, costs, locks) lives in flat arrays.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (user). Dense in `0..node_count`.
+pub type NodeId = u32;
+
+/// Identifier of an edge. Dense in `0..edge_count`; equals the position of
+/// the edge in the forward adjacency array (grouped by source, sorted by
+/// destination within a group).
+pub type EdgeId = u32;
+
+/// Sentinel returned by lookups for non-existent edges.
+pub const INVALID_EDGE: EdgeId = u32::MAX;
+
+/// Immutable CSR digraph. Construct via [`crate::GraphBuilder`].
+///
+/// An edge `u → v` means *v subscribes to u* (u produces, v consumes).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` / edge ids.
+    out_offsets: Vec<usize>,
+    /// Destination of each edge, grouped by source, sorted within a group.
+    out_targets: Vec<NodeId>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources`.
+    in_offsets: Vec<usize>,
+    /// Source of each in-edge, grouped by destination, sorted within a group.
+    in_sources: Vec<NodeId>,
+    /// Forward edge id of each reverse-adjacency slot.
+    in_edge_ids: Vec<EdgeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from pre-sorted, deduplicated edges.
+    ///
+    /// `edges` must be sorted by `(src, dst)` and contain no duplicates and
+    /// no self-loops; `n` must exceed every node id. [`crate::GraphBuilder`]
+    /// guarantees all of this.
+    pub(crate) fn from_sorted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let m = edges.len();
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _) in edges {
+            out_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+
+        // Reverse adjacency: counting sort by destination.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v) in edges {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0 as NodeId; m];
+        let mut in_edge_ids = vec![0 as EdgeId; m];
+        for (eid, &(u, v)) in edges.iter().enumerate() {
+            let slot = cursor[v as usize];
+            in_sources[slot] = u;
+            in_edge_ids[slot] = eid as EdgeId;
+            cursor[v as usize] += 1;
+        }
+        // Because forward edges are sorted by (src, dst) and the counting
+        // sort is stable, each in_sources group is sorted by source already.
+        CsrGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+            in_edge_ids,
+        }
+    }
+
+    /// Number of nodes (users).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges (subscriptions).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all node ids.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.node_count() as NodeId
+    }
+
+    /// Out-neighbors of `u`: the consumers subscribed to `u`, ascending.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out_targets[self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]]
+    }
+
+    /// In-neighbors of `v`: the producers `v` subscribes to, ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.in_sources[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+    }
+
+    /// Out-degree of `u` (number of consumers).
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]
+    }
+
+    /// In-degree of `v` (number of producers it follows).
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+    }
+
+    /// Edge ids of the out-edges of `u`, parallel to [`Self::out_neighbors`].
+    #[inline]
+    pub fn out_edge_ids(&self, u: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        (self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]).map(|i| i as EdgeId)
+    }
+
+    /// `(in-neighbor, edge id)` pairs for the in-edges of `v`.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let range = self.in_offsets[v as usize]..self.in_offsets[v as usize + 1];
+        range.map(move |i| (self.in_sources[i], self.in_edge_ids[i]))
+    }
+
+    /// `(out-neighbor, edge id)` pairs for the out-edges of `u`.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let range = self.out_offsets[u as usize]..self.out_offsets[u as usize + 1];
+        range.map(move |i| (self.out_targets[i], i as EdgeId))
+    }
+
+    /// Looks up the id of edge `u → v`, or [`INVALID_EDGE`] if absent.
+    ///
+    /// O(log out_degree(u)) via binary search of the sorted neighbor slice.
+    #[inline]
+    pub fn edge_id(&self, u: NodeId, v: NodeId) -> EdgeId {
+        let base = self.out_offsets[u as usize];
+        match self.out_neighbors(u).binary_search(&v) {
+            Ok(pos) => (base + pos) as EdgeId,
+            Err(_) => INVALID_EDGE,
+        }
+    }
+
+    /// Whether edge `u → v` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_id(u, v) != INVALID_EDGE
+    }
+
+    /// Source and destination of edge `e`.
+    ///
+    /// O(log n): the source is recovered by binary-searching the offset
+    /// array. Hot loops should iterate [`Self::edges`] instead.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let idx = e as usize;
+        debug_assert!(idx < self.edge_count());
+        // partition_point returns the first u with out_offsets[u] > idx, so
+        // the source is that minus one.
+        let u = self.out_offsets.partition_point(|&off| off <= idx) - 1;
+        (u as NodeId, self.out_targets[idx])
+    }
+
+    /// Iterates all edges as `(edge id, src, dst)` in edge-id order.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            graph: self,
+            src: 0,
+            idx: 0,
+        }
+    }
+
+    /// Sum of degrees per node pair; `true` if `u` and `v` are reciprocal
+    /// (both `u → v` and `v → u` exist).
+    #[inline]
+    pub fn is_reciprocal(&self, u: NodeId, v: NodeId) -> bool {
+        self.has_edge(u, v) && self.has_edge(v, u)
+    }
+
+    /// Memory footprint of the adjacency arrays in bytes (diagnostics).
+    pub fn memory_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>()
+            + self.in_offsets.len() * std::mem::size_of::<usize>()
+            + self.out_targets.len() * std::mem::size_of::<NodeId>()
+            + self.in_sources.len() * std::mem::size_of::<NodeId>()
+            + self.in_edge_ids.len() * std::mem::size_of::<EdgeId>()
+    }
+}
+
+/// Iterator over `(edge id, src, dst)` triples; see [`CsrGraph::edges`].
+pub struct EdgeIter<'a> {
+    graph: &'a CsrGraph,
+    src: usize,
+    idx: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (EdgeId, NodeId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.idx >= self.graph.edge_count() {
+            return None;
+        }
+        // Advance src until idx falls inside its out-range.
+        while self.graph.out_offsets[self.src + 1] <= self.idx {
+            self.src += 1;
+        }
+        let item = (
+            self.idx as EdgeId,
+            self.src as NodeId,
+            self.graph.out_targets[self.idx],
+        );
+        self.idx += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.graph.edge_count() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for EdgeIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 0 -> 3
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+    }
+
+    #[test]
+    fn out_neighbors_sorted() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.out_neighbors(1), &[3]);
+        assert_eq!(g.out_neighbors(3), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn in_neighbors_sorted() {
+        let g = diamond();
+        assert_eq!(g.in_neighbors(3), &[0, 1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 3);
+        assert_eq!(g.in_degree(3), 3);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn edge_id_lookup_roundtrip() {
+        let g = diamond();
+        for (e, u, v) in g.edges() {
+            assert_eq!(g.edge_id(u, v), e);
+            assert_eq!(g.edge_endpoints(e), (u, v));
+        }
+        assert_eq!(g.edge_id(3, 0), INVALID_EDGE);
+        assert_eq!(g.edge_id(1, 2), INVALID_EDGE);
+    }
+
+    #[test]
+    fn edge_iter_is_dense_and_ordered() {
+        let g = diamond();
+        let ids: Vec<EdgeId> = g.edges().map(|(e, _, _)| e).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.edges().len(), 5);
+    }
+
+    #[test]
+    fn in_edges_carry_forward_ids() {
+        let g = diamond();
+        for v in g.nodes() {
+            for (u, e) in g.in_edges(v) {
+                assert_eq!(g.edge_endpoints(e), (u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocity() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert!(g.is_reciprocal(0, 1));
+        assert!(!g.is_reciprocal(1, 2));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 5); // nodes 1..5 have no edges
+        let g = b.build();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 0);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = diamond();
+        assert!(g.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Planted-partition ("stochastic block") digraph: explicit communities
+//! with tunable intra/inter edge probabilities.
+//!
+//! Used by the ablation benches to separate two effects that the copying
+//! model entangles: *degree skew* (none here — degrees are near-uniform)
+//! and *community overlap* (the direct source of piggybackable triangles).
+//! Sweeping `p_intra` at fixed expected degree isolates how piggybacking
+//! gains scale with community strength.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::NodeId;
+use crate::CsrGraph;
+use crate::GraphBuilder;
+
+/// Parameters for [`planted_partition`].
+#[derive(Clone, Copy, Debug)]
+pub struct PlantedPartitionConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of equal-sized communities.
+    pub communities: usize,
+    /// Probability of each intra-community directed edge.
+    pub p_intra: f64,
+    /// Probability of each inter-community directed edge.
+    pub p_inter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a directed planted-partition graph.
+///
+/// Nodes are assigned round-robin to `communities` groups; every ordered
+/// pair gets an edge with probability `p_intra` (same group) or `p_inter`
+/// (different groups). Runtime is O(n²) — intended for experiment-scale
+/// graphs (≤ ~10⁴ nodes), not full crawls.
+pub fn planted_partition(cfg: PlantedPartitionConfig) -> CsrGraph {
+    let PlantedPartitionConfig {
+        nodes: n,
+        communities,
+        p_intra,
+        p_inter,
+        seed,
+    } = cfg;
+    assert!(communities >= 1, "need at least one community");
+    assert!(
+        (0.0..=1.0).contains(&p_intra) && (0.0..=1.0).contains(&p_inter),
+        "probabilities required"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    b.reserve_nodes(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let p = if u % communities == v % communities {
+                p_intra
+            } else {
+                p_inter
+            };
+            if p > 0.0 && rng.random_bool(p) {
+                b.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn cfg(n: usize, c: usize, pi: f64, pe: f64, seed: u64) -> PlantedPartitionConfig {
+        PlantedPartitionConfig {
+            nodes: n,
+            communities: c,
+            p_intra: pi,
+            p_inter: pe,
+            seed,
+        }
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 300;
+        let c = 10;
+        let g = planted_partition(cfg(n, c, 0.3, 0.01, 1));
+        // Expected intra pairs: c groups of 30 -> 30*29 ordered pairs each.
+        let intra_pairs = c * 30 * 29;
+        let inter_pairs = n * (n - 1) - intra_pairs;
+        let expected = 0.3 * intra_pairs as f64 + 0.01 * inter_pairs as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.15,
+            "expected ≈{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn strong_communities_mean_high_clustering() {
+        let weak = planted_partition(cfg(400, 20, 0.05, 0.05, 2));
+        let strong = planted_partition(cfg(400, 20, 0.7, 0.002, 2));
+        let c_weak = stats::sampled_clustering_coefficient(&weak, 200, 3);
+        let c_strong = stats::sampled_clustering_coefficient(&strong, 200, 3);
+        assert!(
+            c_strong > c_weak + 0.2,
+            "strong {c_strong} vs weak {c_weak}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_partition(cfg(100, 4, 0.2, 0.01, 7));
+        let b = planted_partition(cfg(100, 4, 0.2, 0.01, 7));
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_probabilities_give_empty_graph() {
+        let g = planted_partition(cfg(50, 5, 0.0, 0.0, 0));
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 50);
+    }
+
+    #[test]
+    fn full_intra_makes_community_cliques() {
+        let g = planted_partition(cfg(20, 4, 1.0, 0.0, 0));
+        // Community 0 = {0, 4, 8, 12, 16}: fully connected both ways.
+        for &u in &[0u32, 4, 8, 12, 16] {
+            for &v in &[0u32, 4, 8, 12, 16] {
+                if u != v {
+                    assert!(g.has_edge(u, v));
+                }
+            }
+        }
+        assert!(!g.has_edge(0, 1));
+    }
+}

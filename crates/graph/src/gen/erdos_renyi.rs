@@ -1,0 +1,79 @@
+//! Uniform random digraph G(n, m) — the low-clustering control model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::fx::FxHashSet;
+use crate::GraphBuilder;
+
+/// Generates a directed Erdős–Rényi graph with exactly `m` distinct edges
+/// over `n` nodes (no self-loops), deterministically from `seed`.
+///
+/// Clustering in G(n, m) is `O(m / n²)`, i.e. essentially zero at social
+/// densities, so piggybacking finds almost no usable hubs here — useful as a
+/// negative control next to the clustered generators.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges `n·(n−1)`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(
+        m <= n.saturating_mul(n.saturating_sub(1)),
+        "m = {m} exceeds the {} possible edges",
+        n * n.saturating_sub(1)
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+    seen.reserve(m);
+    let mut b = GraphBuilder::with_capacity(m);
+    b.reserve_nodes(n);
+    while seen.len() < m {
+        let u = rng.random_range(0..n) as NodeId;
+        let v = rng.random_range(0..n) as NodeId;
+        if u != v && seen.insert((u, v)) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 500, 1);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 500);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = erdos_renyi(50, 200, 42);
+        let b = erdos_renyi(50, 200, 42);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = erdos_renyi(50, 200, 43);
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(30, 100, 7);
+        assert!(g.edges().all(|(_, u, v)| u != v));
+    }
+
+    #[test]
+    fn dense_graph_terminates() {
+        // Ask for nearly every possible edge.
+        let g = erdos_renyi(10, 85, 3);
+        assert_eq!(g.edge_count(), 85);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible edges")]
+    fn too_many_edges_panics() {
+        erdos_renyi(3, 10, 0);
+    }
+}

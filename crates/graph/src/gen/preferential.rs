@@ -1,0 +1,94 @@
+//! Directed preferential attachment (Barabási–Albert style).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::NodeId;
+use crate::CsrGraph;
+use crate::GraphBuilder;
+
+/// Generates a directed preferential-attachment graph.
+///
+/// Nodes arrive one at a time; each new node `v` subscribes to `k` existing
+/// producers chosen with probability proportional to their current follower
+/// count plus one (edge `u → v` gives producer `u` one more follower, i.e.
+/// one more out-edge in our orientation). The classic repeated-endpoint
+/// urn makes selection O(1).
+///
+/// Produces a power-law follower distribution (exponent ≈ 3) — the "few
+/// celebrities, many lurkers" shape of real feeds — but only moderate
+/// clustering; prefer [`super::copying`] when triangles matter.
+pub fn preferential(n: usize, k: usize, seed: u64) -> CsrGraph {
+    assert!(k >= 1, "each node must follow at least one producer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n.saturating_mul(k));
+    b.reserve_nodes(n);
+    // Urn of producer ids; producer u appears once per follower plus once
+    // as a base weight, so P(pick u) ∝ followers(u) + 1.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(2 * n * k);
+    if n > 0 {
+        urn.push(0);
+    }
+    for v in 1..n as NodeId {
+        let picks = (k).min(v as usize);
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(picks);
+        while chosen.len() < picks {
+            let u = urn[rng.random_range(0..urn.len())];
+            if u != v && !chosen.contains(&u) {
+                chosen.push(u);
+            }
+        }
+        for &u in &chosen {
+            b.add_edge(u, v);
+            urn.push(u); // producer gains a follower
+        }
+        urn.push(v); // base weight of the newcomer
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let g = preferential(200, 3, 9);
+        assert_eq!(g.node_count(), 200);
+        // Node 1 can only follow node 0, node 2 at most 2 producers, etc.
+        let expected = 1 + 2 + 3 * 197;
+        assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = preferential(100, 2, 5);
+        let b = preferential(100, 2, 5);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_node_follows_someone() {
+        let g = preferential(100, 2, 11);
+        for v in 1..100u32 {
+            assert!(g.in_degree(v) >= 1, "node {v} follows nobody");
+        }
+    }
+
+    #[test]
+    fn follower_distribution_is_skewed() {
+        let g = preferential(2000, 3, 13);
+        let mut degs: Vec<usize> = g.nodes().map(|u| g.out_degree(u)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        // The most popular producer should dwarf the median one.
+        assert!(degs[0] >= 10 * degs[1000].max(1));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(preferential(1, 1, 0).edge_count(), 0);
+        let g = preferential(2, 1, 0);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+    }
+}

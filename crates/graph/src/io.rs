@@ -1,0 +1,147 @@
+//! Plain-text edge-list persistence.
+//!
+//! Format: one `src dst` pair per line (whitespace-separated decimal ids);
+//! empty lines and lines beginning with `#` are ignored. This matches the
+//! de-facto format of published social-graph datasets (SNAP et al.), so a
+//! user with access to the real Flickr/Twitter crawls can feed them straight
+//! into the harness.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::GraphBuilder;
+
+/// Errors produced when parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment nor a valid `src dst` pair.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "i/o error: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse edge from {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Reads a graph from an edge-list reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, EdgeListError> {
+    let mut b = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<NodeId> { tok?.parse().ok() };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => b.add_edge(u, v),
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Reads a graph from an edge-list file.
+pub fn load_edge_list<P: AsRef<Path>>(path: P) -> Result<CsrGraph, EdgeListError> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes a graph as an edge list.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# nodes={} edges={}", g.node_count(), g.edge_count())?;
+    for (_, u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Writes a graph to an edge-list file.
+pub fn save_edge_list<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_edge_list(g, &mut w)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::erdos_renyi;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let g = erdos_renyi(40, 150, 2);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n0 1\n  # indented comment\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let text = "0 1\nnot an edge\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(EdgeListError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_second_field_is_error() {
+        assert!(read_edge_list("5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = erdos_renyi(20, 60, 4);
+        let dir = std::env::temp_dir().join("piggyback-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.edges");
+        save_edge_list(&g, &path).unwrap();
+        let h = load_edge_list(&path).unwrap();
+        assert_eq!(g.edge_count(), h.edge_count());
+        std::fs::remove_file(&path).ok();
+    }
+}

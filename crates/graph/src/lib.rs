@@ -1,0 +1,73 @@
+//! Directed social-graph substrate for the social-piggybacking system.
+//!
+//! The crate provides:
+//!
+//! * [`CsrGraph`] — an immutable, cache-friendly compressed-sparse-row
+//!   digraph with both forward (out-neighbor) and reverse (in-neighbor)
+//!   adjacency and stable, dense *edge ids*. Edge ids are the index of the
+//!   edge in the forward adjacency array, which lets downstream crates store
+//!   per-edge state in flat arrays and bitsets instead of hash maps.
+//! * [`GraphBuilder`] — deduplicating builder that produces a [`CsrGraph`]
+//!   from an unordered edge list.
+//! * [`DynamicGraph`] — a mutation overlay on top of a [`CsrGraph`] used by
+//!   the incremental-update machinery of the scheduling algorithms (§3.3 of
+//!   the paper).
+//! * [`gen`] — synthetic social-graph generators (Erdős–Rényi, preferential
+//!   attachment, copying model, Watts–Strogatz and the `flickr_like` /
+//!   `twitter_like` presets used by the evaluation harness).
+//! * [`sample`] — random-walk and breadth-first subgraph sampling (§4.4).
+//! * [`stats`] — degree distributions, reciprocity, clustering coefficient.
+//! * [`io`] — a plain-text edge-list format for persisting graphs.
+//! * [`fx`] — a small Fx-style hasher for integer-keyed maps on hot paths.
+//!
+//! In the paper's orientation an edge `u → v` means *v subscribes to the
+//! events of u*: `u` is the producer and `v` the consumer. All crates in the
+//! workspace follow that convention.
+//!
+//! # Example
+//!
+//! ```
+//! use piggyback_graph::{GraphBuilder, CsrGraph};
+//!
+//! // Art -> Charlie -> Billie plus Art -> Billie: the triangle of Figure 2.
+//! let mut b = GraphBuilder::new();
+//! let (art, charlie, billie) = (0, 1, 2);
+//! b.add_edge(art, charlie);
+//! b.add_edge(charlie, billie);
+//! b.add_edge(art, billie);
+//! let g: CsrGraph = b.build();
+//!
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.edge_count(), 3);
+//! assert_eq!(g.out_neighbors(art), &[charlie, billie]);
+//! assert_eq!(g.in_neighbors(billie), &[art, charlie]);
+//! ```
+
+pub mod builder;
+pub mod csr;
+pub mod dynamic;
+pub mod fx;
+pub mod gen;
+pub mod io;
+pub mod sample;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, EdgeId, NodeId, INVALID_EDGE};
+pub use dynamic::DynamicGraph;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readme_triangle() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+}

@@ -1,0 +1,239 @@
+//! Structural statistics: degree distributions, reciprocity, clustering.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::fx::FxHashSet;
+
+/// Summary of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeSummary {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even counts).
+    pub median: usize,
+    /// 99th percentile.
+    pub p99: usize,
+}
+
+fn summarize(mut degs: Vec<usize>) -> DegreeSummary {
+    if degs.is_empty() {
+        return DegreeSummary {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            p99: 0,
+        };
+    }
+    degs.sort_unstable();
+    let n = degs.len();
+    let sum: usize = degs.iter().sum();
+    DegreeSummary {
+        min: degs[0],
+        max: degs[n - 1],
+        mean: sum as f64 / n as f64,
+        median: degs[(n - 1) / 2],
+        p99: degs[((n - 1) as f64 * 0.99) as usize],
+    }
+}
+
+/// Summary of the out-degree (follower-count) distribution.
+pub fn out_degree_summary(g: &CsrGraph) -> DegreeSummary {
+    summarize(g.nodes().map(|u| g.out_degree(u)).collect())
+}
+
+/// Summary of the in-degree (following-count) distribution.
+pub fn in_degree_summary(g: &CsrGraph) -> DegreeSummary {
+    summarize(g.nodes().map(|u| g.in_degree(u)).collect())
+}
+
+/// Fraction of edges whose reverse edge also exists, in `[0, 1]`.
+pub fn reciprocity(g: &CsrGraph) -> f64 {
+    if g.edge_count() == 0 {
+        return 0.0;
+    }
+    let mutual = g.edges().filter(|&(_, u, v)| g.has_edge(v, u)).count();
+    mutual as f64 / g.edge_count() as f64
+}
+
+/// Average local clustering coefficient over `samples` random nodes, on the
+/// undirected projection of the graph.
+///
+/// For a sampled node `w` with undirected neighbor set `N(w)`, the local
+/// coefficient is the fraction of pairs in `N(w)` connected by an edge in
+/// either direction. Nodes with fewer than two neighbors contribute 0 (they
+/// cannot close a triangle). Exact computation is quadratic in degree, so
+/// neighbor sets are capped at 200 by uniform subsampling — plenty for the
+/// assertions in the generator tests and the harness printouts.
+pub fn sampled_clustering_coefficient(g: &CsrGraph, samples: usize, seed: u64) -> f64 {
+    let n = g.node_count();
+    if n == 0 || samples == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0.0;
+    for _ in 0..samples {
+        let w = rng.random_range(0..n) as NodeId;
+        total += local_clustering(g, w, 200, &mut rng);
+    }
+    total / samples as f64
+}
+
+fn local_clustering(g: &CsrGraph, w: NodeId, cap: usize, rng: &mut StdRng) -> f64 {
+    let mut neigh: FxHashSet<NodeId> = FxHashSet::default();
+    neigh.extend(g.out_neighbors(w).iter().copied());
+    neigh.extend(g.in_neighbors(w).iter().copied());
+    neigh.remove(&w);
+    let mut nodes: Vec<NodeId> = neigh.into_iter().collect();
+    if nodes.len() < 2 {
+        return 0.0;
+    }
+    if nodes.len() > cap {
+        // Uniform subsample without replacement (partial Fisher–Yates).
+        for i in 0..cap {
+            let j = rng.random_range(i..nodes.len());
+            nodes.swap(i, j);
+        }
+        nodes.truncate(cap);
+    }
+    let mut linked = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..nodes.len() {
+        for j in (i + 1)..nodes.len() {
+            pairs += 1;
+            let (a, b) = (nodes[i], nodes[j]);
+            if g.has_edge(a, b) || g.has_edge(b, a) {
+                linked += 1;
+            }
+        }
+    }
+    linked as f64 / pairs as f64
+}
+
+/// Number of directed "wedges" `x → w → y` with the closing edge `x → y`
+/// present — exactly the piggybackable triangles of Definition 4, counted
+/// over `samples` random hub nodes `w` (or all nodes if `samples >= n`).
+///
+/// Returns `(closed, wedges)` so callers can report the closure ratio.
+pub fn piggyback_triangles(g: &CsrGraph, samples: usize, seed: u64) -> (u64, u64) {
+    let n = g.node_count();
+    if n == 0 {
+        return (0, 0);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs: Vec<NodeId> = if samples >= n {
+        g.nodes().collect()
+    } else {
+        (0..samples)
+            .map(|_| rng.random_range(0..n) as NodeId)
+            .collect()
+    };
+    let mut closed = 0u64;
+    let mut wedges = 0u64;
+    for w in hubs {
+        for &x in g.in_neighbors(w) {
+            for &y in g.out_neighbors(w) {
+                if x == y {
+                    continue;
+                }
+                wedges += 1;
+                if g.has_edge(x, y) {
+                    closed += 1;
+                }
+            }
+        }
+    }
+    (closed, wedges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::erdos_renyi;
+    use crate::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        // x -> w, w -> y, x -> y : one piggybackable triangle via hub w.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1); // x -> w
+        b.add_edge(1, 2); // w -> y
+        b.add_edge(0, 2); // x -> y
+        b.build()
+    }
+
+    #[test]
+    fn degree_summaries() {
+        let g = triangle();
+        let out = out_degree_summary(&g);
+        assert_eq!(out.max, 2);
+        assert_eq!(out.min, 0);
+        assert!((out.mean - 1.0).abs() < 1e-9);
+        let inn = in_degree_summary(&g);
+        assert_eq!(inn.max, 2);
+    }
+
+    #[test]
+    fn empty_graph_summaries() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(out_degree_summary(&g).mean, 0.0);
+        assert_eq!(reciprocity(&g), 0.0);
+        assert_eq!(sampled_clustering_coefficient(&g, 10, 0), 0.0);
+    }
+
+    #[test]
+    fn reciprocity_of_mutual_pair() {
+        let mut b = GraphBuilder::new();
+        b.add_reciprocal(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert!((reciprocity(&g) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = triangle();
+        // Every node's undirected neighborhood pair is linked.
+        let c = sampled_clustering_coefficient(&g, 50, 0);
+        assert!((c - 1.0).abs() < 1e-9, "c = {c}");
+    }
+
+    #[test]
+    fn er_graph_has_low_clustering() {
+        let g = erdos_renyi(1000, 5000, 7);
+        let c = sampled_clustering_coefficient(&g, 300, 8);
+        assert!(c < 0.05, "ER clustering unexpectedly high: {c}");
+    }
+
+    #[test]
+    fn piggyback_triangle_counting() {
+        let g = triangle();
+        let (closed, wedges) = piggyback_triangles(&g, usize::MAX, 0);
+        assert_eq!(wedges, 1); // only x -> w -> y
+        assert_eq!(closed, 1); // and it is closed by x -> y
+    }
+
+    #[test]
+    fn wedge_without_closure() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let (closed, wedges) = piggyback_triangles(&g, usize::MAX, 0);
+        assert_eq!((closed, wedges), (0, 1));
+    }
+
+    #[test]
+    fn median_and_p99_ordering() {
+        let s = summarize(vec![1, 2, 3, 4, 100]);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.max, 100);
+        assert!(s.p99 <= s.max);
+        assert!(s.median <= s.p99);
+    }
+}

@@ -1,0 +1,343 @@
+//! A minimal, deterministic, in-memory MapReduce engine.
+//!
+//! The paper implements PARALLELNOSY as a sequence of Hadoop MapReduce jobs
+//! (§3.2, "Implementing PARALLELNOSY with MapReduce"). We do not have a
+//! Hadoop cluster, but the *semantics* the algorithm relies on — a parallel
+//! map phase, a shuffle that groups emitted pairs by key, and a parallel
+//! reduce phase with one invocation per key — are faithfully reproduced by
+//! this engine on a thread pool. `piggyback-core` runs PARALLELNOSY both
+//! directly threaded and through this engine and asserts the schedules are
+//! identical.
+//!
+//! Determinism: reducers see their values in emission order (stable sort by
+//! key), and results are returned in ascending key order regardless of the
+//! number of workers.
+//!
+//! # Example
+//!
+//! ```
+//! use piggyback_mapreduce::MapReduce;
+//!
+//! // Word count over numbers: key = n % 3, value = n.
+//! let engine = MapReduce::new(4);
+//! let out = engine.run(
+//!     (0u32..100).collect(),
+//!     |&n| vec![(n % 3, n)],
+//!     |key, values| (key, values.len()),
+//! );
+//! assert_eq!(out, vec![(0, 34), (1, 33), (2, 33)]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Execution statistics of the most recent job (for tests and diagnostics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Number of map invocations.
+    pub map_calls: usize,
+    /// Number of key/value pairs emitted by mappers.
+    pub pairs_emitted: usize,
+    /// Number of distinct keys (= reduce invocations).
+    pub reduce_groups: usize,
+}
+
+/// A tiny in-memory MapReduce engine with a fixed worker count.
+#[derive(Clone, Debug)]
+pub struct MapReduce {
+    workers: usize,
+}
+
+impl Default for MapReduce {
+    /// Engine sized to the available parallelism (at least 2 workers).
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(2);
+        MapReduce::new(workers)
+    }
+}
+
+impl MapReduce {
+    /// Engine with exactly `workers` worker threads per phase.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        MapReduce { workers }
+    }
+
+    /// Number of worker threads used per phase.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a full map → shuffle → reduce job and returns the reduce outputs
+    /// in ascending key order.
+    ///
+    /// * `mapper` is invoked once per input and returns emitted `(key, value)`
+    ///   pairs.
+    /// * `reducer` is invoked once per distinct key with all values emitted
+    ///   for it, in emission order (ordered first by input index, then by
+    ///   emission position — exactly what a stable shuffle provides).
+    pub fn run<I, K, V, R, M, F>(&self, inputs: Vec<I>, mapper: M, reducer: F) -> Vec<R>
+    where
+        I: Send,
+        K: Ord + Send,
+        V: Send,
+        R: Send,
+        M: Fn(&I) -> Vec<(K, V)> + Sync,
+        F: Fn(K, Vec<V>) -> R + Sync,
+    {
+        self.run_with_stats(inputs, mapper, reducer).0
+    }
+
+    /// Like [`MapReduce::run`] but also returns [`JobStats`].
+    pub fn run_with_stats<I, K, V, R, M, F>(
+        &self,
+        inputs: Vec<I>,
+        mapper: M,
+        reducer: F,
+    ) -> (Vec<R>, JobStats)
+    where
+        I: Send,
+        K: Ord + Send,
+        V: Send,
+        R: Send,
+        M: Fn(&I) -> Vec<(K, V)> + Sync,
+        F: Fn(K, Vec<V>) -> R + Sync,
+    {
+        let map_calls = inputs.len();
+        // ---- map phase ----------------------------------------------------
+        // Each worker maps a contiguous chunk; chunk outputs are concatenated
+        // in input order so the shuffle below is stable w.r.t. input order.
+        let chunk_outputs = self.parallel_map_chunks(inputs, &mapper);
+        let mut pairs: Vec<(K, V)> = Vec::new();
+        for chunk in chunk_outputs {
+            pairs.extend(chunk);
+        }
+        let pairs_emitted = pairs.len();
+
+        // ---- shuffle ------------------------------------------------------
+        // Stable sort by key preserves emission order within a key group.
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut groups: Vec<(K, Vec<V>)> = Vec::new();
+        for (k, v) in pairs {
+            match groups.last_mut() {
+                Some((gk, gv)) if *gk == k => gv.push(v),
+                _ => groups.push((k, vec![v])),
+            }
+        }
+        let reduce_groups = groups.len();
+
+        // ---- reduce phase ---------------------------------------------------
+        let results = self.parallel_reduce(groups, &reducer);
+        (
+            results,
+            JobStats {
+                map_calls,
+                pairs_emitted,
+                reduce_groups,
+            },
+        )
+    }
+
+    /// Parallel map without shuffle/reduce: applies `f` to every input and
+    /// returns outputs in input order.
+    pub fn map_only<I, O, F>(&self, inputs: Vec<I>, f: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(&I) -> O + Sync,
+    {
+        let chunks = self.parallel_map_chunks(inputs, &|i: &I| vec![f(i)]);
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Maps chunks in parallel, returning one output vec per chunk, in chunk
+    /// order.
+    fn parallel_map_chunks<I, O, M>(&self, inputs: Vec<I>, mapper: &M) -> Vec<Vec<O>>
+    where
+        I: Send,
+        O: Send,
+        M: Fn(&I) -> Vec<O> + Sync,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        let chunk_size = n.div_ceil(workers);
+        let chunks: Vec<Vec<I>> = {
+            let mut out = Vec::with_capacity(workers);
+            let mut it = inputs.into_iter();
+            loop {
+                let chunk: Vec<I> = it.by_ref().take(chunk_size).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                out.push(chunk);
+            }
+            out
+        };
+        let num_chunks = chunks.len();
+        let slots: Vec<Mutex<Vec<O>>> = (0..num_chunks).map(|_| Mutex::new(Vec::new())).collect();
+        crossbeam::scope(|s| {
+            for (idx, chunk) in chunks.into_iter().enumerate() {
+                let slot = &slots[idx];
+                let mapper = &mapper;
+                s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for item in &chunk {
+                        local.extend(mapper(item));
+                    }
+                    *slot.lock().unwrap() = local;
+                });
+            }
+        })
+        .expect("map worker panicked");
+        slots.into_iter().map(|m| m.into_inner().unwrap()).collect()
+    }
+
+    /// Reduces key groups in parallel, preserving group (key) order.
+    fn parallel_reduce<K, V, R, F>(&self, groups: Vec<(K, Vec<V>)>, reducer: &F) -> Vec<R>
+    where
+        K: Send,
+        V: Send,
+        R: Send,
+        F: Fn(K, Vec<V>) -> R + Sync,
+    {
+        let n = groups.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Work-stealing over an index counter keeps load balanced even when
+        // group sizes are skewed (hot keys are common in social graphs).
+        type Slot<K, V> = Mutex<Option<(K, Vec<V>)>>;
+        let items: Vec<Slot<K, V>> = groups.into_iter().map(|g| Mutex::new(Some(g))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        crossbeam::scope(|s| {
+            for _ in 0..self.workers.min(n) {
+                let items = &items;
+                let results = &results;
+                let cursor = &cursor;
+                s.spawn(move |_| loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let (k, vs) = items[idx].lock().unwrap().take().expect("taken twice");
+                    *results[idx].lock().unwrap() = Some(reducer(k, vs));
+                });
+            }
+        })
+        .expect("reduce worker panicked");
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("missing reduce result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_count_shape() {
+        let engine = MapReduce::new(3);
+        let (out, stats) = engine.run_with_stats(
+            vec!["a b", "b c", "c c"],
+            |line| line.split(' ').map(|w| (w.to_string(), 1u32)).collect(),
+            |k, vs| (k, vs.iter().sum::<u32>()),
+        );
+        assert_eq!(
+            out,
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 2),
+                ("c".to_string(), 3)
+            ]
+        );
+        assert_eq!(stats.map_calls, 3);
+        assert_eq!(stats.pairs_emitted, 6);
+        assert_eq!(stats.reduce_groups, 3);
+    }
+
+    #[test]
+    fn values_arrive_in_emission_order() {
+        let engine = MapReduce::new(4);
+        // All inputs emit to the same key; values must arrive in input order.
+        let out = engine.run((0u32..1000).collect(), |&n| vec![((), n)], |_, vs| vs);
+        let expected: Vec<u32> = (0..1000).collect();
+        assert_eq!(out, vec![expected]);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let inputs: Vec<u64> = (0..500).collect();
+        let run = |workers| {
+            MapReduce::new(workers).run(
+                inputs.clone(),
+                |&n| vec![(n % 7, n * n)],
+                |k, vs| (k, vs.iter().sum::<u64>()),
+            )
+        };
+        let single = run(1);
+        for w in [2, 3, 8] {
+            assert_eq!(run(w), single, "workers={w} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let engine = MapReduce::new(2);
+        let out: Vec<u32> = engine.run(Vec::<u32>::new(), |&n| vec![(n, n)], |_, _| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mapper_emitting_nothing() {
+        let engine = MapReduce::new(2);
+        let out: Vec<u32> = engine.run(vec![1, 2, 3], |_| Vec::<(u32, u32)>::new(), |_, _| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_only_preserves_order() {
+        let engine = MapReduce::new(5);
+        let out = engine.map_only((0u32..100).collect(), |&n| n * 2);
+        assert_eq!(out, (0..100).map(|n| n * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn skewed_groups_balance() {
+        // One giant key plus many tiny ones must still terminate quickly and
+        // produce sorted output.
+        let engine = MapReduce::new(4);
+        let out = engine.run(
+            (0u32..10_000).collect(),
+            |&n| {
+                if n % 2 == 0 {
+                    vec![(0u32, n)]
+                } else {
+                    vec![(n, n)]
+                }
+            },
+            |k, vs| (k, vs.len()),
+        );
+        assert_eq!(out[0], (0, 5000));
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn default_engine_has_workers() {
+        assert!(MapReduce::default().workers() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        MapReduce::new(0);
+    }
+}

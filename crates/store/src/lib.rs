@@ -1,0 +1,36 @@
+//! Social-networking store prototype (§4.3 of the paper).
+//!
+//! The paper measures *actual* throughput on a prototype whose application
+//! logic (their Algorithm 3) runs against memcached: user views hold
+//! 24-byte `(user id, event id, timestamp)` tuples, updates insert into the
+//! push-set views, queries fan out to the pull-set views with one batched
+//! request per data-store server and return the 10 latest events.
+//!
+//! We do not have their cluster; this crate rebuilds the prototype
+//! in-process with the same moving parts:
+//!
+//! * [`mod@tuple`] — the 24-byte event tuple and its wire encoding.
+//! * [`view`] — a materialized per-user view with trimming and top-k reads.
+//! * [`partition`] — hash data partitioning of views onto servers.
+//! * [`server`] — a data-store shard: batched update/query with server-side
+//!   filtering (the "thin layer on top of memcached").
+//! * [`cluster`] — Algorithm 3's application servers driving the shards,
+//!   with a deterministic single-threaded mode (message accounting) and a
+//!   concurrent mode (real threads, wall-clock throughput).
+//! * [`placement`] — the placement-aware predicted cost of Figures 7–8:
+//!   batching makes co-located views free, so cost = distinct servers
+//!   touched per request, weighted by rates.
+
+pub mod cluster;
+pub mod latency;
+pub mod partition;
+pub mod placement;
+pub mod server;
+pub mod tuple;
+pub mod view;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use partition::RandomPlacement;
+pub use placement::PlacementCost;
+pub use tuple::EventTuple;
+pub use view::View;

@@ -1,0 +1,109 @@
+//! Data partitioning: mapping user views to data-store servers.
+//!
+//! The prototype "uses a simple partitioning approach that is common in
+//! practical data store layers: the view of a user u is stored in a random
+//! server, selected by hashing the id of the user" (§4.3).
+
+use piggyback_graph::fx::FxHasher;
+use piggyback_graph::NodeId;
+use std::hash::Hasher;
+
+/// Hash-random placement of views onto `servers` servers.
+///
+/// Deterministic for a fixed `seed`, which lets experiments resample
+/// placements (the paper notes random placement makes small-system curves
+/// irregular; averaging over seeds smooths them).
+#[derive(Clone, Copy, Debug)]
+pub struct RandomPlacement {
+    servers: usize,
+    seed: u64,
+}
+
+impl RandomPlacement {
+    /// Placement over `servers` servers (must be ≥ 1).
+    pub fn new(servers: usize, seed: u64) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        RandomPlacement { servers, seed }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// The server holding `user`'s view.
+    #[inline]
+    pub fn server_of(&self, user: NodeId) -> usize {
+        let mut h = FxHasher::default();
+        h.write_u64(self.seed);
+        h.write_u32(user);
+        (h.finish() % self.servers as u64) as usize
+    }
+
+    /// Number of distinct servers holding the given views (the message
+    /// count of one batched request touching all of them).
+    pub fn distinct_servers(&self, views: impl IntoIterator<Item = NodeId>) -> usize {
+        // Few views per request: a tiny sorted vec beats a hash set.
+        let mut seen: Vec<usize> = views.into_iter().map(|v| self.server_of(v)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = RandomPlacement::new(16, 7);
+        for u in 0..100 {
+            assert_eq!(p.server_of(u), p.server_of(u));
+            assert!(p.server_of(u) < 16);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomPlacement::new(64, 1);
+        let b = RandomPlacement::new(64, 2);
+        let moved = (0..1000u32)
+            .filter(|&u| a.server_of(u) != b.server_of(u))
+            .count();
+        assert!(moved > 800, "seeds should reshuffle placement: {moved}");
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let p = RandomPlacement::new(10, 3);
+        let mut counts = vec![0usize; 10];
+        for u in 0..10_000u32 {
+            counts[p.server_of(u)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_server_collapses_everything() {
+        let p = RandomPlacement::new(1, 0);
+        assert_eq!(p.distinct_servers(0..50u32), 1);
+    }
+
+    #[test]
+    fn distinct_servers_dedups() {
+        let p = RandomPlacement::new(4, 9);
+        let views = vec![1u32, 1, 1];
+        assert_eq!(p.distinct_servers(views), 1);
+        let many = p.distinct_servers(0..100u32);
+        assert_eq!(many, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        RandomPlacement::new(0, 0);
+    }
+}

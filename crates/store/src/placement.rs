@@ -1,0 +1,222 @@
+//! Placement-aware predicted cost (§4.3, Figures 7–8).
+//!
+//! Batching makes co-located views free: a request touching five views on
+//! two servers costs two messages. The placement-aware predicted cost of a
+//! schedule is therefore
+//!
+//! ```text
+//! c = Σ_u rp(u) · |servers({u} ∪ h[u])|  +  rc(u) · |servers({u} ∪ l[u])|
+//! ```
+//!
+//! With one server every request costs exactly one message regardless of
+//! the schedule (both algorithms tie); as servers multiply, co-location
+//! vanishes and the cost converges to the placement-free model of §2.1 —
+//! reproducing the crossover and convergence of Figure 7.
+
+use piggyback_core::schedule::Schedule;
+use piggyback_graph::{CsrGraph, NodeId};
+use piggyback_workload::Rates;
+
+use crate::partition::RandomPlacement;
+
+/// Placement-aware cost and load computations for a schedule.
+#[derive(Clone, Debug)]
+pub struct PlacementCost<'a> {
+    g: &'a CsrGraph,
+    rates: &'a Rates,
+    /// `{u} ∪ h[u]` per user.
+    update_targets: Vec<Vec<NodeId>>,
+    /// `{u} ∪ l[u]` per user.
+    query_targets: Vec<Vec<NodeId>>,
+}
+
+impl<'a> PlacementCost<'a> {
+    /// Precompiles the per-user view target sets of a schedule.
+    pub fn new(g: &'a CsrGraph, rates: &'a Rates, schedule: &Schedule) -> Self {
+        assert_eq!(g.edge_count(), schedule.edge_count());
+        let n = g.node_count();
+        let mut update_targets = Vec::with_capacity(n);
+        let mut query_targets = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let mut h = schedule.push_set_of(g, u);
+            h.push(u);
+            update_targets.push(h);
+            let mut l = schedule.pull_set_of(g, u);
+            l.push(u);
+            query_targets.push(l);
+        }
+        PlacementCost {
+            g,
+            rates,
+            update_targets,
+            query_targets,
+        }
+    }
+
+    /// Total message rate under `placement` (lower is better).
+    pub fn cost(&self, placement: &RandomPlacement) -> f64 {
+        let mut total = 0.0;
+        for u in 0..self.g.node_count() {
+            let up = placement.distinct_servers(self.update_targets[u].iter().copied());
+            let qu = placement.distinct_servers(self.query_targets[u].iter().copied());
+            total +=
+                self.rates.rp(u as NodeId) * up as f64 + self.rates.rc(u as NodeId) * qu as f64;
+        }
+        total
+    }
+
+    /// Predicted throughput (inverse cost) normalized by the single-server
+    /// optimum, where every request is exactly one message — the y-axis of
+    /// Figure 7.
+    pub fn normalized_throughput(&self, placement: &RandomPlacement) -> f64 {
+        let one_server: f64 = (0..self.g.node_count())
+            .map(|u| self.rates.rp(u as NodeId) + self.rates.rc(u as NodeId))
+            .sum();
+        let c = self.cost(placement);
+        if c == 0.0 {
+            return 1.0;
+        }
+        one_server / c
+    }
+
+    /// Query-message rate arriving at each server — Figure 8's load metric.
+    /// `out[s]` is the rate of query messages server `s` receives.
+    pub fn per_server_query_load(&self, placement: &RandomPlacement) -> Vec<f64> {
+        let mut load = vec![0.0; placement.servers()];
+        let mut scratch: Vec<usize> = Vec::new();
+        for u in 0..self.g.node_count() {
+            scratch.clear();
+            scratch.extend(
+                self.query_targets[u]
+                    .iter()
+                    .map(|&v| placement.server_of(v)),
+            );
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &s in &scratch {
+                load[s] += self.rates.rc(u as NodeId);
+            }
+        }
+        load
+    }
+
+    /// `(mean, variance)` of the normalized per-server query load: each
+    /// server's share of the total query-message rate.
+    pub fn load_balance(&self, placement: &RandomPlacement) -> (f64, f64) {
+        let load = self.per_server_query_load(placement);
+        let total: f64 = load.iter().sum();
+        if total == 0.0 {
+            return (0.0, 0.0);
+        }
+        let norm: Vec<f64> = load.iter().map(|l| l / total).collect();
+        let mean = norm.iter().sum::<f64>() / norm.len() as f64;
+        let var = norm.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / norm.len() as f64;
+        (mean, var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_core::baseline::hybrid_schedule;
+    use piggyback_core::parallelnosy::ParallelNosy;
+    use piggyback_graph::gen::{copying, CopyingConfig};
+
+    fn world() -> (CsrGraph, Rates) {
+        let g = copying(CopyingConfig {
+            nodes: 300,
+            follows_per_node: 6,
+            copy_prob: 0.8,
+            seed: 14,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        (g, r)
+    }
+
+    #[test]
+    fn one_server_cost_is_total_rate() {
+        let (g, r) = world();
+        let s = hybrid_schedule(&g, &r);
+        let pc = PlacementCost::new(&g, &r, &s);
+        let placement = RandomPlacement::new(1, 0);
+        let expect: f64 = (0..g.node_count())
+            .map(|u| r.rp(u as u32) + r.rc(u as u32))
+            .sum();
+        assert!((pc.cost(&placement) - expect).abs() < 1e-9);
+        assert!((pc.normalized_throughput(&placement) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_decreases_with_servers() {
+        let (g, r) = world();
+        let s = hybrid_schedule(&g, &r);
+        let pc = PlacementCost::new(&g, &r, &s);
+        let t1 = pc.normalized_throughput(&RandomPlacement::new(1, 0));
+        let t10 = pc.normalized_throughput(&RandomPlacement::new(10, 0));
+        let t1000 = pc.normalized_throughput(&RandomPlacement::new(1000, 0));
+        assert!(t1 >= t10 && t10 >= t1000, "{t1} {t10} {t1000}");
+    }
+
+    #[test]
+    fn pn_wins_at_scale_but_not_tiny_systems() {
+        let (g, r) = world();
+        let ff = hybrid_schedule(&g, &r);
+        let pn = ParallelNosy::default().run(&g, &r).schedule;
+        let pc_ff = PlacementCost::new(&g, &r, &ff);
+        let pc_pn = PlacementCost::new(&g, &r, &pn);
+        // Tiny system: costs are equal (both = one message per request).
+        let one = RandomPlacement::new(1, 0);
+        assert!((pc_ff.cost(&one) - pc_pn.cost(&one)).abs() < 1e-9);
+        // Large system: piggybacking pulls ahead (Figure 7's crossover).
+        let big = RandomPlacement::new(2000, 0);
+        assert!(
+            pc_pn.cost(&big) < pc_ff.cost(&big),
+            "PN should win at scale: {} vs {}",
+            pc_pn.cost(&big),
+            pc_ff.cost(&big)
+        );
+    }
+
+    #[test]
+    fn converges_to_placement_free_cost() {
+        use piggyback_core::cost::schedule_cost;
+        let (g, r) = world();
+        let pn = ParallelNosy::default().run(&g, &r).schedule;
+        let pc = PlacementCost::new(&g, &r, &pn);
+        // With servers >> views-per-request, every view lands on its own
+        // server: cost = placement-free cost + one self-view message per
+        // request (the own-view access the §2.1 model treats as implicit).
+        let huge = RandomPlacement::new(1_000_000, 3);
+        let implicit: f64 = (0..g.node_count())
+            .map(|u| r.rp(u as u32) + r.rc(u as u32))
+            .sum();
+        let expect = schedule_cost(&g, &r, &pn) + implicit;
+        let got = pc.cost(&huge);
+        assert!(
+            (got - expect).abs() / expect < 0.02,
+            "expected ≈{expect}, got {got}"
+        );
+    }
+
+    #[test]
+    fn load_concentrates_on_fewer_servers() {
+        let (g, r) = world();
+        let s = hybrid_schedule(&g, &r);
+        let pc = PlacementCost::new(&g, &r, &s);
+        let load4 = pc.per_server_query_load(&RandomPlacement::new(4, 0));
+        let load64 = pc.per_server_query_load(&RandomPlacement::new(64, 0));
+        let avg4 = load4.iter().sum::<f64>() / 4.0;
+        let avg64 = load64.iter().sum::<f64>() / 64.0;
+        assert!(avg4 > avg64, "per-server load must fall with more servers");
+    }
+
+    #[test]
+    fn load_balance_mean_is_uniform_share() {
+        let (g, r) = world();
+        let s = hybrid_schedule(&g, &r);
+        let pc = PlacementCost::new(&g, &r, &s);
+        let (mean, var) = pc.load_balance(&RandomPlacement::new(32, 1));
+        assert!((mean - 1.0 / 32.0).abs() < 1e-12);
+        assert!(var < 1e-3, "hash placement should balance well: {var}");
+    }
+}

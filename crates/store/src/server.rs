@@ -1,0 +1,148 @@
+//! A data-store shard: user views plus the thin server-side layer that
+//! aggregates and filters query batches (§4.3).
+
+use piggyback_graph::fx::FxHashMap;
+use piggyback_graph::NodeId;
+
+use crate::tuple::EventTuple;
+use crate::view::View;
+
+/// One data-store server holding a subset of user views.
+///
+/// Requests arrive batched: an update carries one event plus every view on
+/// this server it must be inserted into; a query carries the set of views to
+/// read and returns at most `k` events filtered *server-side* across those
+/// views (one reply message regardless of how many views were touched).
+#[derive(Clone, Debug)]
+pub struct StoreServer {
+    views: FxHashMap<NodeId, View>,
+    view_capacity: usize,
+    updates_processed: u64,
+    queries_processed: u64,
+}
+
+impl StoreServer {
+    /// Empty server whose views are trimmed to `view_capacity` events
+    /// (0 = unbounded).
+    pub fn new(view_capacity: usize) -> Self {
+        StoreServer {
+            views: FxHashMap::default(),
+            view_capacity,
+            updates_processed: 0,
+            queries_processed: 0,
+        }
+    }
+
+    /// Applies a batched update: inserts `event` into every listed view.
+    pub fn update(&mut self, views: &[NodeId], event: EventTuple) {
+        for &v in views {
+            self.views
+                .entry(v)
+                .or_insert_with(|| View::with_capacity(self.view_capacity))
+                .insert(event);
+        }
+        self.updates_processed += 1;
+    }
+
+    /// Answers a batched query: the `k` most recent events across the
+    /// listed views, newest first (the server-side filter).
+    pub fn query(&mut self, views: &[NodeId], k: usize) -> Vec<EventTuple> {
+        self.queries_processed += 1;
+        let mut out: Vec<EventTuple> = Vec::with_capacity(k.saturating_mul(2).min(1024));
+        for &v in views {
+            if let Some(view) = self.views.get(&v) {
+                out.extend_from_slice(view.latest(k));
+            }
+        }
+        out.sort_unstable_by(|a, b| b.cmp(a));
+        out.dedup();
+        out.truncate(k);
+        out
+    }
+
+    /// Number of views materialized on this server.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// `(updates, queries)` processed since construction.
+    pub fn request_counts(&self) -> (u64, u64) {
+        (self.updates_processed, self.queries_processed)
+    }
+
+    /// Read-only access to a view (tests/diagnostics).
+    pub fn view(&self, user: NodeId) -> Option<&View> {
+        self.views.get(&user)
+    }
+
+    /// Installs a pre-populated view (used by cluster re-partitioning to
+    /// carry over views whose placement did not change).
+    pub fn adopt_view(&mut self, user: NodeId, view: View) {
+        self.views.insert(user, view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(user: u32, id: u64, ts: u64) -> EventTuple {
+        EventTuple::new(user, id, ts)
+    }
+
+    #[test]
+    fn update_then_query() {
+        let mut s = StoreServer::new(0);
+        s.update(&[1, 2], ev(9, 1, 100));
+        let r = s.query(&[1], 10);
+        assert_eq!(r, vec![ev(9, 1, 100)]);
+        let r = s.query(&[2], 10);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn query_filters_top_k_across_views() {
+        let mut s = StoreServer::new(0);
+        for i in 0..20 {
+            s.update(&[1], ev(5, i, i));
+            s.update(&[2], ev(6, i, 100 + i));
+        }
+        let r = s.query(&[1, 2], 10);
+        assert_eq!(r.len(), 10);
+        // All from view 2 (newer timestamps), newest first.
+        assert!(r.iter().all(|e| e.user == 6));
+        assert!(r.windows(2).all(|w| w[0].timestamp > w[1].timestamp));
+    }
+
+    #[test]
+    fn duplicate_events_across_views_deduped() {
+        let mut s = StoreServer::new(0);
+        s.update(&[1, 2], ev(9, 7, 50));
+        let r = s.query(&[1, 2], 10);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn missing_views_are_empty() {
+        let mut s = StoreServer::new(0);
+        assert!(s.query(&[42], 10).is_empty());
+    }
+
+    #[test]
+    fn capacity_propagates_to_views() {
+        let mut s = StoreServer::new(3);
+        for i in 0..10 {
+            s.update(&[1], ev(2, i, i));
+        }
+        assert_eq!(s.view(1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn counters() {
+        let mut s = StoreServer::new(0);
+        s.update(&[1], ev(1, 1, 1));
+        s.query(&[1], 10);
+        s.query(&[1], 10);
+        assert_eq!(s.request_counts(), (1, 2));
+    }
+}

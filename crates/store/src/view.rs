@@ -1,0 +1,138 @@
+//! Materialized per-user views.
+//!
+//! A view is the set of event references a user's stream can be assembled
+//! from (Definition 1). The prototype keeps views bounded: when a view
+//! exceeds its capacity the oldest events are trimmed away ("we added a
+//! thin layer ... to trim views when they contain too many events").
+
+use crate::tuple::EventTuple;
+
+/// A bounded, recency-ordered materialized view.
+#[derive(Clone, Debug, Default)]
+pub struct View {
+    /// Events, newest first. Kept sorted descending by timestamp.
+    events: Vec<EventTuple>,
+    /// Maximum events retained (0 = unbounded).
+    capacity: usize,
+}
+
+impl View {
+    /// Unbounded view.
+    pub fn new() -> Self {
+        View::default()
+    }
+
+    /// View trimmed to at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        View {
+            events: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the view holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Inserts an event reference, keeping recency order and trimming to
+    /// capacity. Duplicate (producer, event id) pairs are ignored.
+    pub fn insert(&mut self, t: EventTuple) {
+        // Most inserts are the newest event: check the head fast path.
+        let pos = self.events.partition_point(|e| {
+            e.timestamp > t.timestamp || (*e > t && e.timestamp == t.timestamp)
+        });
+        if self.events.get(pos) == Some(&t) {
+            return; // idempotent redelivery
+        }
+        if self
+            .events
+            .iter()
+            .any(|e| e.user == t.user && e.event_id == t.event_id)
+        {
+            return;
+        }
+        self.events.insert(pos, t);
+        if self.capacity > 0 && self.events.len() > self.capacity {
+            self.events.truncate(self.capacity);
+        }
+    }
+
+    /// The `k` most recent events, newest first.
+    pub fn latest(&self, k: usize) -> &[EventTuple] {
+        &self.events[..k.min(self.events.len())]
+    }
+
+    /// All events, newest first.
+    pub fn events(&self) -> &[EventTuple] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(user: u32, id: u64, ts: u64) -> EventTuple {
+        EventTuple::new(user, id, ts)
+    }
+
+    #[test]
+    fn keeps_recency_order() {
+        let mut v = View::new();
+        v.insert(t(1, 1, 10));
+        v.insert(t(2, 1, 30));
+        v.insert(t(3, 1, 20));
+        let ts: Vec<u64> = v.events().iter().map(|e| e.timestamp).collect();
+        assert_eq!(ts, vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn trims_to_capacity() {
+        let mut v = View::with_capacity(3);
+        for i in 0..10 {
+            v.insert(t(1, i, i));
+        }
+        assert_eq!(v.len(), 3);
+        // The newest three survive.
+        let ts: Vec<u64> = v.events().iter().map(|e| e.timestamp).collect();
+        assert_eq!(ts, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn latest_k() {
+        let mut v = View::new();
+        for i in 0..5 {
+            v.insert(t(1, i, i));
+        }
+        assert_eq!(v.latest(2).len(), 2);
+        assert_eq!(v.latest(2)[0].timestamp, 4);
+        assert_eq!(v.latest(100).len(), 5);
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let mut v = View::new();
+        v.insert(t(1, 7, 10));
+        v.insert(t(1, 7, 10));
+        assert_eq!(v.len(), 1);
+        // Same event redelivered with a different timestamp is also dropped
+        // (same producer + event id).
+        v.insert(t(1, 7, 99));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn unbounded_view_grows() {
+        let mut v = View::new();
+        for i in 0..1000 {
+            v.insert(t(1, i, i));
+        }
+        assert_eq!(v.len(), 1000);
+    }
+}

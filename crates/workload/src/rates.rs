@@ -1,0 +1,210 @@
+//! Per-user production and consumption rates.
+
+use piggyback_graph::{CsrGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Production and consumption rates for every user.
+///
+/// Rates are *relative frequencies*: only ratios matter to the cost model,
+/// so constructors normalize the mean production rate to 1. The paper's §2.1
+/// notes that asymmetric push/pull operation costs are modeled by scaling
+/// one side — [`Rates::with_pull_cost_factor`] does that.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Rates {
+    rp: Vec<f64>,
+    rc: Vec<f64>,
+}
+
+impl Rates {
+    /// Builds rates from explicit vectors (must be equal length, all finite
+    /// and non-negative).
+    pub fn from_vecs(rp: Vec<f64>, rc: Vec<f64>) -> Self {
+        assert_eq!(rp.len(), rc.len(), "rp/rc length mismatch");
+        for r in rp.iter().chain(rc.iter()) {
+            assert!(r.is_finite() && *r >= 0.0, "rates must be finite and >= 0");
+        }
+        Rates { rp, rc }
+    }
+
+    /// Uniform rates: every user produces at `rp` and consumes at `rc`.
+    pub fn uniform(n: usize, rp: f64, rc: f64) -> Self {
+        Self::from_vecs(vec![rp; n], vec![rc; n])
+    }
+
+    /// The paper's workload model (§4.1): rates proportional to the
+    /// logarithm of degrees, rescaled so that the average consumption rate
+    /// is `read_write_ratio` times the average production rate (reference
+    /// value 5).
+    ///
+    /// With the edge orientation `u → v` = "v subscribes to u", a user's
+    /// follower count is its **out**-degree (drives production) and the
+    /// number of users it follows is its **in**-degree (drives consumption).
+    pub fn log_degree(g: &CsrGraph, read_write_ratio: f64) -> Self {
+        assert!(
+            read_write_ratio > 0.0 && read_write_ratio.is_finite(),
+            "read/write ratio must be positive"
+        );
+        let n = g.node_count();
+        let mut rp: Vec<f64> = (0..n)
+            .map(|u| ((1 + g.out_degree(u as NodeId)) as f64).ln())
+            .collect();
+        let mut rc: Vec<f64> = (0..n)
+            .map(|u| ((1 + g.in_degree(u as NodeId)) as f64).ln())
+            .collect();
+        // Normalize mean(rp) to 1 and mean(rc) to read_write_ratio.
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+        let mp = mean(&rp);
+        if mp > 0.0 {
+            rp.iter_mut().for_each(|x| *x /= mp);
+        }
+        let mc = mean(&rc);
+        if mc > 0.0 {
+            let f = read_write_ratio / mc;
+            rc.iter_mut().for_each(|x| *x *= f);
+        }
+        Rates { rp, rc }
+    }
+
+    /// Number of users covered.
+    pub fn len(&self) -> usize {
+        self.rp.len()
+    }
+
+    /// Whether the workload covers zero users.
+    pub fn is_empty(&self) -> bool {
+        self.rp.is_empty()
+    }
+
+    /// Production rate of `u`.
+    #[inline]
+    pub fn rp(&self, u: NodeId) -> f64 {
+        self.rp[u as usize]
+    }
+
+    /// Consumption rate of `u`.
+    #[inline]
+    pub fn rc(&self, u: NodeId) -> f64 {
+        self.rc[u as usize]
+    }
+
+    /// Production rates as a slice.
+    pub fn rp_slice(&self) -> &[f64] {
+        &self.rp
+    }
+
+    /// Consumption rates as a slice.
+    pub fn rc_slice(&self) -> &[f64] {
+        &self.rc
+    }
+
+    /// Average consumption rate divided by average production rate.
+    pub fn read_write_ratio(&self) -> f64 {
+        let sp: f64 = self.rp.iter().sum();
+        let sc: f64 = self.rc.iter().sum();
+        if sp == 0.0 {
+            f64::INFINITY
+        } else {
+            sc / sp
+        }
+    }
+
+    /// Returns a copy rescaled to the given read/write ratio (consumption
+    /// rates are scaled, production rates untouched). Used by the Figure 9
+    /// sweeps.
+    pub fn with_read_write_ratio(&self, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio.is_finite());
+        let cur = self.read_write_ratio();
+        assert!(
+            cur.is_finite() && cur > 0.0,
+            "cannot rescale a workload with zero production or consumption"
+        );
+        let f = ratio / cur;
+        Rates {
+            rp: self.rp.clone(),
+            rc: self.rc.iter().map(|x| x * f).collect(),
+        }
+    }
+
+    /// Models a pull operation costing `k` times a push (§2.1): multiplies
+    /// every consumption rate by `k`.
+    pub fn with_pull_cost_factor(&self, k: f64) -> Self {
+        assert!(k > 0.0 && k.is_finite());
+        Rates {
+            rp: self.rp.clone(),
+            rc: self.rc.iter().map(|x| x * k).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_graph::gen::erdos_renyi;
+    use piggyback_graph::GraphBuilder;
+
+    #[test]
+    fn log_degree_hits_requested_ratio() {
+        let g = erdos_renyi(500, 4000, 1);
+        let r = Rates::log_degree(&g, 5.0);
+        assert!((r.read_write_ratio() - 5.0).abs() < 1e-9);
+        // Mean production rate normalized to 1.
+        let mp = r.rp_slice().iter().sum::<f64>() / r.len() as f64;
+        assert!((mp - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_follow_degrees() {
+        let mut b = GraphBuilder::new();
+        // Node 0 has many followers; node 3 follows many.
+        for v in 1..3 {
+            b.add_edge(0, v);
+        }
+        for u in 0..3 {
+            b.add_edge(u, 3);
+        }
+        let g = b.build();
+        let r = Rates::log_degree(&g, 5.0);
+        assert!(r.rp(0) > r.rp(1), "popular producer should produce more");
+        assert!(r.rc(3) > r.rc(1), "heavy follower should consume more");
+    }
+
+    #[test]
+    fn rescale_ratio() {
+        let g = erdos_renyi(200, 1000, 2);
+        let r = Rates::log_degree(&g, 5.0).with_read_write_ratio(100.0);
+        assert!((r.read_write_ratio() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pull_cost_factor_scales_rc_only() {
+        let r = Rates::uniform(4, 1.0, 2.0).with_pull_cost_factor(3.0);
+        assert_eq!(r.rp(0), 1.0);
+        assert_eq!(r.rc(0), 6.0);
+    }
+
+    #[test]
+    fn uniform_constructor() {
+        let r = Rates::uniform(10, 0.5, 2.5);
+        assert_eq!(r.len(), 10);
+        assert!((r.read_write_ratio() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_vec_lengths_panic() {
+        Rates::from_vecs(vec![1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_rate_panics() {
+        Rates::from_vecs(vec![-1.0], vec![1.0]);
+    }
+
+    #[test]
+    fn zero_ratio_for_empty_graph_is_safe() {
+        let g = GraphBuilder::new().build();
+        let r = Rates::log_degree(&g, 5.0);
+        assert_eq!(r.len(), 0);
+    }
+}

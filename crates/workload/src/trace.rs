@@ -1,0 +1,221 @@
+//! Concrete request traces sampled from a rate model.
+//!
+//! The store prototype (§4.3) replays a sequence of user requests — event
+//! shares and event-stream queries — against the data-store cluster.
+//! [`RequestTrace`] samples such a sequence where user `u` shares with
+//! probability proportional to `rp(u)` and queries proportional to `rc(u)`,
+//! matching the stationary behaviour the cost model assumes.
+
+use piggyback_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Rates;
+
+/// One user request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// User shares a new event (update path).
+    Share(NodeId),
+    /// User requests its event stream (query path).
+    Query(NodeId),
+}
+
+impl RequestKind {
+    /// The user issuing the request.
+    pub fn user(self) -> NodeId {
+        match self {
+            RequestKind::Share(u) | RequestKind::Query(u) => u,
+        }
+    }
+
+    /// Whether this is a query (event-stream read).
+    pub fn is_query(self) -> bool {
+        matches!(self, RequestKind::Query(_))
+    }
+}
+
+/// A reproducible stream of requests distributed according to a [`Rates`]
+/// workload.
+///
+/// Sampling uses the alias-free cumulative-weights method: O(log n) per
+/// request, deterministic for a fixed seed.
+#[derive(Clone, Debug)]
+pub struct RequestTrace {
+    /// Cumulative weights over the 2n outcomes: first all shares, then all
+    /// queries.
+    cumulative: Vec<f64>,
+    n: usize,
+    rng: StdRng,
+}
+
+impl RequestTrace {
+    /// Builds a trace sampler for the workload. Panics if every rate is zero.
+    pub fn new(rates: &Rates, seed: u64) -> Self {
+        let n = rates.len();
+        let mut cumulative = Vec::with_capacity(2 * n);
+        let mut acc = 0.0;
+        for u in 0..n {
+            acc += rates.rp(u as NodeId);
+            cumulative.push(acc);
+        }
+        for u in 0..n {
+            acc += rates.rc(u as NodeId);
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "workload has zero total rate");
+        RequestTrace {
+            cumulative,
+            n,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples the next request.
+    pub fn next_request(&mut self) -> RequestKind {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = self.rng.random_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        if idx < self.n {
+            RequestKind::Share(idx as NodeId)
+        } else {
+            RequestKind::Query((idx - self.n) as NodeId)
+        }
+    }
+
+    /// Samples a batch of `count` requests.
+    pub fn sample(&mut self, count: usize) -> Vec<RequestKind> {
+        (0..count).map(|_| self.next_request()).collect()
+    }
+}
+
+impl Iterator for RequestTrace {
+    type Item = RequestKind;
+
+    fn next(&mut self) -> Option<RequestKind> {
+        Some(self.next_request())
+    }
+}
+
+/// A request with an arrival time, produced by [`RequestTrace::timed`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedRequest {
+    /// Arrival time (abstract ticks, non-decreasing).
+    pub time: u64,
+    /// The request.
+    pub request: RequestKind,
+}
+
+impl RequestTrace {
+    /// Samples `count` requests with Poisson-ish arrival times at the given
+    /// mean inter-arrival gap (a geometric approximation on integer ticks).
+    /// Times are non-decreasing, suitable for the staleness simulator and
+    /// latency experiments.
+    pub fn timed(&mut self, count: usize, mean_gap: u64) -> Vec<TimedRequest> {
+        assert!(mean_gap >= 1, "mean gap must be at least one tick");
+        let mut out = Vec::with_capacity(count);
+        let mut now = 0u64;
+        for _ in 0..count {
+            // Geometric(1/mean_gap) inter-arrival: memoryless on ticks.
+            let mut gap = 0u64;
+            while self.rng.random_range(0..mean_gap) != 0 {
+                gap += 1;
+            }
+            now += gap;
+            out.push(TimedRequest {
+                time: now,
+                request: self.next_request(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn share_query_mix_follows_ratio() {
+        // rc/rp = 4 => about 80% queries.
+        let rates = Rates::uniform(50, 1.0, 4.0);
+        let mut t = RequestTrace::new(&rates, 7);
+        let reqs = t.sample(20_000);
+        let queries = reqs.iter().filter(|r| r.is_query()).count();
+        let frac = queries as f64 / reqs.len() as f64;
+        assert!((frac - 0.8).abs() < 0.02, "query fraction {frac}");
+    }
+
+    #[test]
+    fn zero_rate_users_never_appear() {
+        let mut rp = vec![1.0; 10];
+        let mut rc = vec![1.0; 10];
+        rp[3] = 0.0;
+        rc[3] = 0.0;
+        let rates = Rates::from_vecs(rp, rc);
+        let mut t = RequestTrace::new(&rates, 1);
+        assert!(t.sample(5000).iter().all(|r| r.user() != 3));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let rates = Rates::uniform(20, 1.0, 5.0);
+        let a = RequestTrace::new(&rates, 9).sample(100);
+        let b = RequestTrace::new(&rates, 9).sample(100);
+        assert_eq!(a, b);
+        let c = RequestTrace::new(&rates, 10).sample(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heavy_user_dominates() {
+        let mut rp = vec![0.01; 100];
+        rp[42] = 100.0;
+        let rates = Rates::from_vecs(rp, vec![0.01; 100]);
+        let mut t = RequestTrace::new(&rates, 3);
+        let hits = t
+            .sample(2000)
+            .iter()
+            .filter(|r| **r == RequestKind::Share(42))
+            .count();
+        assert!(hits > 1800, "expected user 42 to dominate, got {hits}");
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let rates = Rates::uniform(5, 1.0, 1.0);
+        let t = RequestTrace::new(&rates, 0);
+        assert_eq!(t.into_iter().take(10).count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total rate")]
+    fn all_zero_rates_panic() {
+        let rates = Rates::uniform(5, 0.0, 0.0);
+        RequestTrace::new(&rates, 0);
+    }
+
+    #[test]
+    fn timed_requests_are_ordered_with_plausible_gaps() {
+        let rates = Rates::uniform(10, 1.0, 5.0);
+        let mut t = RequestTrace::new(&rates, 4);
+        let reqs = t.timed(5000, 10);
+        assert_eq!(reqs.len(), 5000);
+        assert!(reqs.windows(2).all(|w| w[0].time <= w[1].time));
+        let span = reqs.last().unwrap().time - reqs[0].time;
+        let mean_gap = span as f64 / 4999.0;
+        // Geometric with success 1/10 has mean 9 failures per success.
+        assert!(
+            (6.0..13.0).contains(&mean_gap),
+            "mean inter-arrival {mean_gap}"
+        );
+    }
+
+    #[test]
+    fn timed_deterministic() {
+        let rates = Rates::uniform(5, 1.0, 1.0);
+        let a = RequestTrace::new(&rates, 2).timed(50, 5);
+        let b = RequestTrace::new(&rates, 2).timed(50, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Zipf-distributed rate model — an alternative to the §4.1 log-degree
+//! model for sensitivity analysis.
+//!
+//! The log-degree model ties activity to graph position. Real measurements
+//! (e.g. Huberman et al.) also show heavy-tailed *activity* distributions
+//! only weakly coupled to degree; this model draws production and
+//! consumption rates from independent Zipf distributions over randomly
+//! permuted ranks, so the harness can check that piggybacking gains do not
+//! hinge on the exact rate model (they mostly don't — see the ablation
+//! notes in EXPERIMENTS.md).
+
+use piggyback_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Rates;
+
+/// Parameters for [`zipf_rates`].
+#[derive(Clone, Copy, Debug)]
+pub struct ZipfConfig {
+    /// Zipf exponent for production rates (1.0 is classic Zipf; larger =
+    /// more skew).
+    pub production_exponent: f64,
+    /// Zipf exponent for consumption rates.
+    pub consumption_exponent: f64,
+    /// Target average consumption/production ratio (§4.1 reference: 5).
+    pub read_write_ratio: f64,
+    /// RNG seed (controls which users get which rank).
+    pub seed: u64,
+}
+
+impl Default for ZipfConfig {
+    fn default() -> Self {
+        ZipfConfig {
+            production_exponent: 1.0,
+            consumption_exponent: 0.8,
+            read_write_ratio: 5.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Draws Zipf-distributed rates for every node of `g`.
+///
+/// User at (permuted) rank `k` gets rate `∝ 1 / (k+1)^s`; ranks for
+/// production and consumption are permuted independently, then both vectors
+/// are normalized like [`Rates::log_degree`] (mean production 1, mean
+/// consumption = `read_write_ratio`).
+pub fn zipf_rates(g: &CsrGraph, cfg: ZipfConfig) -> Rates {
+    let n = g.node_count();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rank_p: Vec<usize> = (0..n).collect();
+    let mut rank_c: Vec<usize> = (0..n).collect();
+    rank_p.shuffle(&mut rng);
+    rank_c.shuffle(&mut rng);
+
+    let zipf = |rank: usize, s: f64| 1.0 / ((rank + 1) as f64).powf(s);
+    let mut rp: Vec<f64> = vec![0.0; n];
+    let mut rc: Vec<f64> = vec![0.0; n];
+    for u in 0..n {
+        rp[u] = zipf(rank_p[u], cfg.production_exponent);
+        rc[u] = zipf(rank_c[u], cfg.consumption_exponent);
+    }
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let mp = mean(&rp);
+    if mp > 0.0 {
+        rp.iter_mut().for_each(|x| *x /= mp);
+    }
+    let mc = mean(&rc);
+    if mc > 0.0 {
+        let f = cfg.read_write_ratio / mc;
+        rc.iter_mut().for_each(|x| *x *= f);
+    }
+    Rates::from_vecs(rp, rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_graph::gen::erdos_renyi;
+
+    #[test]
+    fn hits_requested_ratio() {
+        let g = erdos_renyi(500, 2000, 1);
+        let r = zipf_rates(&g, ZipfConfig::default());
+        assert!((r.read_write_ratio() - 5.0).abs() < 1e-9);
+        assert_eq!(r.len(), 500);
+    }
+
+    #[test]
+    fn rates_are_heavy_tailed() {
+        let g = erdos_renyi(1000, 3000, 2);
+        let r = zipf_rates(
+            &g,
+            ZipfConfig {
+                production_exponent: 1.2,
+                ..Default::default()
+            },
+        );
+        let mut rp: Vec<f64> = r.rp_slice().to_vec();
+        rp.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+        // Top user produces far more than the median one.
+        assert!(rp[0] > 20.0 * rp[500]);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let g = erdos_renyi(100, 400, 3);
+        let a = zipf_rates(&g, ZipfConfig::default());
+        let b = zipf_rates(&g, ZipfConfig::default());
+        assert_eq!(a.rp_slice(), b.rp_slice());
+        let c = zipf_rates(
+            &g,
+            ZipfConfig {
+                seed: 99,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a.rp_slice(), c.rp_slice());
+    }
+
+    #[test]
+    fn ranks_decouple_from_degree() {
+        // Zipf rates are assigned by random permutation, not degree, so the
+        // correlation between rp and out-degree should be weak.
+        let g = erdos_renyi(800, 8000, 5);
+        let r = zipf_rates(&g, ZipfConfig::default());
+        let degs: Vec<f64> = (0..800u32).map(|u| g.out_degree(u) as f64).collect();
+        let rps = r.rp_slice();
+        let mean_d = degs.iter().sum::<f64>() / 800.0;
+        let mean_r = rps.iter().sum::<f64>() / 800.0;
+        let cov: f64 = degs
+            .iter()
+            .zip(rps)
+            .map(|(d, r)| (d - mean_d) * (r - mean_r))
+            .sum::<f64>()
+            / 800.0;
+        let sd_d = (degs.iter().map(|d| (d - mean_d).powi(2)).sum::<f64>() / 800.0).sqrt();
+        let sd_r = (rps.iter().map(|r| (r - mean_r).powi(2)).sum::<f64>() / 800.0).sqrt();
+        let corr = cov / (sd_d * sd_r);
+        assert!(corr.abs() < 0.15, "unexpected degree correlation: {corr}");
+    }
+}

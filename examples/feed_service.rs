@@ -1,0 +1,100 @@
+//! A miniature event-stream ("news feed") service: the store prototype of
+//! §4.3 running end-to-end with a piggybacking schedule.
+//!
+//! The social graph is a celebrity cluster: a group of artists, a curator
+//! who follows all of them, and fans who follow the curator *and* the
+//! artists. The curator's view is a natural hub: artists push into it once,
+//! every fan pulls it once, and all artist→fan edges ride along for free.
+//!
+//! Demonstrates: building the sharded store, sharing events, assembling
+//! feeds, and comparing data-store message counts between schedules — the
+//! quantity that determines real throughput once the store saturates.
+//!
+//! ```text
+//! cargo run --release --example feed_service
+//! ```
+
+use social_piggybacking::prelude::*;
+use social_piggybacking::store::cluster::ClusterConfig;
+
+const ARTISTS: u32 = 10;
+const CURATOR: u32 = ARTISTS; // node 10
+const FANS: std::ops::Range<u32> = 11..41;
+
+fn main() {
+    let mut b = GraphBuilder::new();
+    for artist in 0..ARTISTS {
+        b.add_edge(artist, CURATOR); // curator follows every artist
+        for fan in FANS {
+            b.add_edge(artist, fan); // fans follow every artist...
+        }
+    }
+    for fan in FANS {
+        b.add_edge(CURATOR, fan); // ...and the curator
+    }
+    let graph = b.build();
+    // Everyone produces at rate 1 and reads their feed at rate 3.
+    let rates = Rates::uniform(graph.node_count(), 1.0, 3.0);
+
+    let schedule = ParallelNosy::default().run(&graph, &rates).schedule;
+    validate_bounded_staleness(&graph, &schedule).expect("feasible");
+    let covered = schedule.covered_edges().count();
+    println!(
+        "schedule: {covered} of {} edges piggybacked through hubs",
+        graph.edge_count()
+    );
+    assert!(covered > 0, "the curator hub should be exploited");
+
+    // A 4-server store cluster running that schedule.
+    let mut cluster = Cluster::new(
+        &graph,
+        &schedule,
+        ClusterConfig {
+            servers: 4,
+            top_k: 10,
+            ..Default::default()
+        },
+    );
+
+    // Three artists share events; the curator shares one too.
+    for (event_id, artist) in [(1u64, 0u32), (2, 1), (3, 2)] {
+        cluster.share(artist, event_id);
+    }
+    cluster.share(CURATOR, 100);
+
+    // A fan assembles their feed: artist events must arrive even though
+    // most artist→fan edges are never pushed or pulled directly.
+    let billie = 11;
+    let (feed, messages) = cluster.query(billie);
+    println!("fan {billie}'s feed ({messages} store messages):");
+    for e in &feed {
+        println!(
+            "  event {} from user {} at t={}",
+            e.event_id, e.user, e.timestamp
+        );
+    }
+    assert!(
+        feed.iter().filter(|e| e.user < ARTISTS).count() >= 3,
+        "fan must see the artists' events"
+    );
+
+    // Message accounting: replay one trace under both schedules.
+    let ff = hybrid_schedule(&graph, &rates);
+    let cfg = ClusterConfig {
+        servers: 64,
+        ..Default::default()
+    };
+    let mut t1 = RequestTrace::new(&rates, 7);
+    let mut t2 = RequestTrace::new(&rates, 7);
+    let pn_stats = Cluster::new(&graph, &schedule, cfg).simulate(&mut t1, 50_000);
+    let ff_stats = Cluster::new(&graph, &ff, cfg).simulate(&mut t2, 50_000);
+    println!(
+        "50k requests on 64 servers: piggybacking {:.3} msgs/req vs hybrid {:.3} msgs/req",
+        pn_stats.messages_per_request(),
+        ff_stats.messages_per_request()
+    );
+    println!(
+        "=> {:.1}% fewer data-store messages",
+        100.0 * (1.0 - pn_stats.messages as f64 / ff_stats.messages as f64)
+    );
+}

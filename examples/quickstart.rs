@@ -1,0 +1,58 @@
+//! Quickstart: compute a piggybacking schedule for a social graph and
+//! compare it against the state-of-the-art hybrid baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use social_piggybacking::prelude::*;
+
+fn main() {
+    // 1. A social graph. Here: a synthetic Flickr-like graph (power-law
+    //    follower counts, high clustering — the structure piggybacking
+    //    exploits). Real edge lists load via `graph::io::load_edge_list`.
+    let graph = gen::flickr_like(2_000, 42);
+    println!(
+        "graph: {} users, {} follow edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // 2. A workload: production/consumption rates per user. The log-degree
+    //    model of §4.1 with the reference read/write ratio of 5.
+    let rates = Rates::log_degree(&graph, 5.0);
+
+    // 3. Baseline: the hybrid schedule of Silberstein et al. — per edge,
+    //    the cheaper of push and pull.
+    let ff = hybrid_schedule(&graph, &rates);
+    println!(
+        "hybrid baseline cost: {:.1}",
+        schedule_cost(&graph, &rates, &ff)
+    );
+
+    // 4. Social piggybacking with PARALLELNOSY: serve edges through common
+    //    contacts ("hubs") so many edges ride a single push + pull.
+    let result = ParallelNosy::default().run(&graph, &rates);
+    let pn = &result.schedule;
+    println!(
+        "parallelnosy cost:    {:.1}  ({} iterations, {} hubs)",
+        schedule_cost(&graph, &rates, pn),
+        result.iterations,
+        result.hubs_applied
+    );
+
+    // 5. Every schedule must satisfy bounded staleness (Theorem 1): each
+    //    edge is pushed, pulled, or covered through a valid hub.
+    validate_bounded_staleness(&graph, pn).expect("schedule must be feasible");
+
+    // 6. The headline number: predicted throughput improvement.
+    let improvement = predicted_improvement(&graph, &rates, pn, &ff);
+    println!("predicted improvement over hybrid: {improvement:.2}x");
+
+    // 7. Inspect how edges are served.
+    let report = piggyback_core::validate::coverage_report(&graph, pn);
+    println!(
+        "edges: {} push, {} pull, {} push+pull, {} piggybacked (free), {} unserved",
+        report.push, report.pull, report.both, report.covered, report.unserved
+    );
+}

@@ -1,0 +1,360 @@
+//! `piggyback` — command-line front end for the social-piggybacking
+//! library: generate graphs, compute request schedules offline, and
+//! evaluate them, mirroring the paper's deployment model (schedules are
+//! computed out-of-band and shipped to the application servers).
+//!
+//! ```text
+//! piggyback generate --model flickr --nodes 4000 --seed 42 --out g.edges
+//! piggyback stats    --graph g.edges
+//! piggyback schedule --graph g.edges --algorithm parallelnosy --out s.sched
+//! piggyback evaluate --graph g.edges --schedule s.sched --servers 500
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use social_piggybacking::core::chitchat::ChitChat;
+use social_piggybacking::core::parallelnosy::ParallelNosy;
+use social_piggybacking::core::schedule_io::{load_schedule, save_schedule};
+use social_piggybacking::core::sharded_chitchat::ShardedChitChat;
+use social_piggybacking::core::validate::coverage_report;
+use social_piggybacking::graph::io::{load_edge_list, save_edge_list};
+use social_piggybacking::graph::stats as gstats;
+use social_piggybacking::prelude::*;
+use social_piggybacking::store::placement::PlacementCost as Pc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  piggyback generate --model <flickr|twitter|erdos-renyi|copying> --nodes <n> \\
+                     [--seed <s>] [--edges <m>] --out <file>
+  piggyback stats    --graph <file>
+  piggyback schedule --graph <file> --algorithm <ff|parallelnosy|chitchat|sharded> \\
+                     [--rw-ratio <r>] [--shards <k>] --out <file>
+  piggyback evaluate --graph <file> --schedule <file> [--rw-ratio <r>] [--servers <n>]
+  piggyback analyze  --graph <file> --schedule <file> [--rw-ratio <r>] [--top <k>]";
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for --{key}: {v:?}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("no subcommand given".into());
+    };
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "schedule" => cmd_schedule(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "analyze" => cmd_analyze(&flags),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = required(flags, "model")?;
+    let nodes: usize = parsed(flags, "nodes", 4000)?;
+    let seed: u64 = parsed(flags, "seed", 42)?;
+    let out = required(flags, "out")?;
+    let g = match model {
+        "flickr" => gen::flickr_like(nodes, seed),
+        "twitter" => gen::twitter_like(nodes, seed),
+        "erdos-renyi" => {
+            let edges: usize = parsed(flags, "edges", nodes * 10)?;
+            gen::erdos_renyi(nodes, edges, seed)
+        }
+        "copying" => gen::copying(gen::CopyingConfig {
+            nodes,
+            follows_per_node: parsed(flags, "follows", 8)?,
+            copy_prob: parsed(flags, "copy-prob", 0.9)?,
+            seed,
+        }),
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    save_edge_list(&g, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} nodes / {} edges to {out}",
+        g.node_count(),
+        g.edge_count()
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = required(flags, "graph")?;
+    let g = load_edge_list(path).map_err(|e| e.to_string())?;
+    let out = gstats::out_degree_summary(&g);
+    let inn = gstats::in_degree_summary(&g);
+    let (closed, wedges) = gstats::piggyback_triangles(&g, 500, 7);
+    println!("nodes:        {}", g.node_count());
+    println!("edges:        {}", g.edge_count());
+    println!(
+        "out-degree:   mean {:.2}  median {}  p99 {}  max {}",
+        out.mean, out.median, out.p99, out.max
+    );
+    println!(
+        "in-degree:    mean {:.2}  median {}  p99 {}  max {}",
+        inn.mean, inn.median, inn.p99, inn.max
+    );
+    println!("reciprocity:  {:.3}", gstats::reciprocity(&g));
+    println!(
+        "clustering:   {:.3} (sampled)",
+        gstats::sampled_clustering_coefficient(&g, 500, 7)
+    );
+    println!(
+        "wedge closure: {:.3} ({} closed / {} wedges, sampled)",
+        closed as f64 / wedges.max(1) as f64,
+        closed,
+        wedges
+    );
+    Ok(())
+}
+
+fn cmd_schedule(flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_edge_list(required(flags, "graph")?).map_err(|e| e.to_string())?;
+    let ratio: f64 = parsed(flags, "rw-ratio", 5.0)?;
+    let rates = Rates::log_degree(&g, ratio);
+    let algorithm = required(flags, "algorithm")?;
+    let out = required(flags, "out")?;
+    let schedule = match algorithm {
+        "ff" | "hybrid" => hybrid_schedule(&g, &rates),
+        "parallelnosy" | "pn" => ParallelNosy::default().run(&g, &rates).schedule,
+        "chitchat" | "cc" => ChitChat::default().run(&g, &rates).schedule,
+        "sharded" => {
+            let shards: usize = parsed(flags, "shards", 4)?;
+            ShardedChitChat {
+                shards,
+                ..Default::default()
+            }
+            .run(&g, &rates)
+            .schedule
+        }
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    validate_bounded_staleness(&g, &schedule)
+        .map_err(|e| format!("internal error — infeasible schedule: {e}"))?;
+    save_schedule(&schedule, out).map_err(|e| e.to_string())?;
+    let ff = hybrid_schedule(&g, &rates);
+    println!(
+        "wrote schedule to {out}: cost {:.1}, improvement over hybrid {:.3}x",
+        schedule_cost(&g, &rates, &schedule),
+        predicted_improvement(&g, &rates, &schedule, &ff)
+    );
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_edge_list(required(flags, "graph")?).map_err(|e| e.to_string())?;
+    let ratio: f64 = parsed(flags, "rw-ratio", 5.0)?;
+    let rates = Rates::log_degree(&g, ratio);
+    let schedule =
+        load_schedule(required(flags, "schedule")?, g.edge_count()).map_err(|e| e.to_string())?;
+    validate_bounded_staleness(&g, &schedule).map_err(|e| format!("infeasible schedule: {e}"))?;
+    let ff = hybrid_schedule(&g, &rates);
+    let report = coverage_report(&g, &schedule);
+    println!("cost:        {:.1}", schedule_cost(&g, &rates, &schedule));
+    println!(
+        "improvement: {:.3}x over hybrid",
+        predicted_improvement(&g, &rates, &schedule, &ff)
+    );
+    println!(
+        "serving:     {} push, {} pull, {} both, {} piggybacked, {} unserved",
+        report.push, report.pull, report.both, report.covered, report.unserved
+    );
+    if let Some(servers) = flags.get("servers") {
+        let servers: usize = servers
+            .parse()
+            .map_err(|_| "invalid value for --servers".to_string())?;
+        let placement = RandomPlacement::new(servers, 1);
+        let pc = Pc::new(&g, &rates, &schedule);
+        let pc_ff = Pc::new(&g, &rates, &ff);
+        println!(
+            "@{servers} servers: normalized throughput {:.4} (hybrid {:.4}), load balance σ {:.2e}",
+            pc.normalized_throughput(&placement),
+            pc_ff.normalized_throughput(&placement),
+            pc.load_balance(&placement).1.sqrt()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+    use social_piggybacking::core::analysis::{amplification, cost_breakdown, hub_report};
+    let g = load_edge_list(required(flags, "graph")?).map_err(|e| e.to_string())?;
+    let ratio: f64 = parsed(flags, "rw-ratio", 5.0)?;
+    let top: usize = parsed(flags, "top", 10)?;
+    let rates = Rates::log_degree(&g, ratio);
+    let schedule =
+        load_schedule(required(flags, "schedule")?, g.edge_count()).map_err(|e| e.to_string())?;
+    let b = cost_breakdown(&g, &rates, &schedule);
+    println!(
+        "cost breakdown: push {:.1} + pull {:.1} = {:.1}; piggybacking saves {:.1}",
+        b.push_cost,
+        b.pull_cost,
+        b.total(),
+        b.covered_hybrid_cost
+    );
+    let a = amplification(&g, &rates, &schedule);
+    println!(
+        "amplification:  {:.2} views/share, {:.2} views/query (rate-weighted)",
+        a.views_per_share, a.views_per_query
+    );
+    let hubs = hub_report(&g, &schedule);
+    println!("hubs:           {} total; top {top}:", hubs.len());
+    for h in hubs.iter().take(top) {
+        println!(
+            "  user {:>8}: covers {:>5} edges ({} pushes in, {} pulls out)",
+            h.hub, h.edges_covered, h.pushes_in, h.pulls_out
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let flags = parse_flags(&s(&["--model", "flickr", "--nodes", "100"])).unwrap();
+        assert_eq!(flags["model"], "flickr");
+        assert_eq!(flags["nodes"], "100");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(parse_flags(&s(&["--model"])).is_err());
+        assert!(parse_flags(&s(&["model", "x"])).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_rejected() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_via_tempdir() {
+        let dir = std::env::temp_dir().join("piggyback-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("g.edges").to_string_lossy().into_owned();
+        let sched = dir.join("s.sched").to_string_lossy().into_owned();
+        run(&s(&[
+            "generate", "--model", "flickr", "--nodes", "300", "--seed", "7", "--out", &graph,
+        ]))
+        .unwrap();
+        run(&s(&["stats", "--graph", &graph])).unwrap();
+        run(&s(&[
+            "schedule",
+            "--graph",
+            &graph,
+            "--algorithm",
+            "parallelnosy",
+            "--out",
+            &sched,
+        ]))
+        .unwrap();
+        run(&s(&[
+            "evaluate",
+            "--graph",
+            &graph,
+            "--schedule",
+            &sched,
+            "--servers",
+            "100",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "analyze",
+            "--graph",
+            &graph,
+            "--schedule",
+            &sched,
+            "--top",
+            "5",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schedule_rejects_unknown_algorithm() {
+        let dir = std::env::temp_dir().join("piggyback-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("g.edges").to_string_lossy().into_owned();
+        run(&s(&[
+            "generate",
+            "--model",
+            "erdos-renyi",
+            "--nodes",
+            "50",
+            "--edges",
+            "200",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        let err = run(&s(&[
+            "schedule",
+            "--graph",
+            &graph,
+            "--algorithm",
+            "magic",
+            "--out",
+            "/dev/null",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown algorithm"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: graph → workload → scheduling → store,
+//! exercising the public facade the way an application would.
+
+use social_piggybacking::core::validate::coverage_report;
+use social_piggybacking::prelude::*;
+use social_piggybacking::store::cluster::ClusterConfig;
+
+fn world(nodes: usize, seed: u64) -> (CsrGraph, Rates) {
+    let g = gen::flickr_like(nodes, seed);
+    let r = Rates::log_degree(&g, 5.0);
+    (g, r)
+}
+
+#[test]
+fn full_pipeline_produces_feasible_improving_schedule() {
+    let (g, r) = world(1500, 3);
+    let ff = hybrid_schedule(&g, &r);
+    let pn = ParallelNosy::default().run(&g, &r);
+    validate_bounded_staleness(&g, &pn.schedule).unwrap();
+    let imp = predicted_improvement(&g, &r, &pn.schedule, &ff);
+    assert!(
+        imp > 1.3,
+        "piggybacking should clearly beat hybrid on a clustered graph: {imp}"
+    );
+    let report = coverage_report(&g, &pn.schedule);
+    assert_eq!(report.unserved, 0);
+    assert!(report.covered > 0, "no edges piggybacked");
+}
+
+#[test]
+fn schedule_drives_store_and_events_flow() {
+    let (g, r) = world(600, 9);
+    let pn = ParallelNosy::default().run(&g, &r).schedule;
+    // Delivery-semantics check: disable the top-k filter and view trimming
+    // so no event can be legitimately aged out (hub views aggregate many
+    // producers, so even a small-fan-in consumer's events can fall outside
+    // a top-10 window).
+    let mut cluster = Cluster::new(
+        &g,
+        &pn,
+        ClusterConfig {
+            servers: 16,
+            top_k: usize::MAX,
+            view_capacity: 0,
+            ..Default::default()
+        },
+    );
+    // Every user shares once, then every consumer must see all producers.
+    for u in g.nodes() {
+        cluster.share(u, 1000 + u as u64);
+    }
+    for v in g.nodes() {
+        if g.in_degree(v) == 0 {
+            continue;
+        }
+        let (events, _) = cluster.query(v);
+        for &p in g.in_neighbors(v) {
+            assert!(
+                events.iter().any(|e| e.user == p),
+                "user {v} missing event from followed producer {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chitchat_and_parallelnosy_both_beat_hybrid_on_samples() {
+    let (g, _r) = world(1200, 5);
+    let sampled = sample::bfs_sample(&g, g.edge_count() / 4, 2);
+    let sr = Rates::log_degree(&sampled.graph, 5.0);
+    let ff = hybrid_schedule(&sampled.graph, &sr);
+    let cc = ChitChat::default().run(&sampled.graph, &sr);
+    let pn = ParallelNosy::default().run(&sampled.graph, &sr);
+    validate_bounded_staleness(&sampled.graph, &cc.schedule).unwrap();
+    validate_bounded_staleness(&sampled.graph, &pn.schedule).unwrap();
+    let imp_cc = predicted_improvement(&sampled.graph, &sr, &cc.schedule, &ff);
+    let imp_pn = predicted_improvement(&sampled.graph, &sr, &pn.schedule, &ff);
+    assert!(imp_cc >= 1.0 && imp_pn >= 1.0);
+    assert!(imp_cc > 1.2, "chitchat gain too small: {imp_cc}");
+}
+
+#[test]
+fn incremental_updates_preserve_feasibility_and_bound() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let (g, r) = world(800, 7);
+    let pn = ParallelNosy::default().run(&g, &r).schedule;
+    let n = g.node_count();
+    let mut inc = IncrementalScheduler::new(g, r.clone(), pn);
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..2000 {
+        let u = rng.random_range(0..n) as u32;
+        let v = rng.random_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        if rng.random_bool(0.65) {
+            inc.add_edge(u, v);
+        } else {
+            inc.remove_edge(u, v);
+        }
+    }
+    inc.validate().unwrap();
+    // Incremental schedule never exceeds all-hybrid on the current graph.
+    let frozen = inc.freeze_graph();
+    let ff = hybrid_schedule(&frozen, &r);
+    assert!(inc.cost() <= schedule_cost(&frozen, &r, &ff) + 1e-6);
+}
+
+#[test]
+fn mapreduce_and_threaded_runs_agree_via_facade() {
+    let (g, r) = world(500, 13);
+    let pn = ParallelNosy {
+        max_iterations: 5,
+        ..ParallelNosy::default()
+    };
+    let a = pn.run(&g, &r);
+    let engine = social_piggybacking::mapreduce::MapReduce::new(3);
+    let b = pn.run_on_mapreduce(&g, &r, &engine);
+    assert_eq!(a.cost_history, b.cost_history);
+}
+
+#[test]
+fn timed_trace_respects_bounded_staleness_semantically() {
+    use social_piggybacking::core::staleness::{check_semantic_staleness, Action};
+    let (g, r) = world(400, 31);
+    let sched = ParallelNosy::default().run(&g, &r).schedule;
+    // Build a timed workload and feed it to the delivery simulator.
+    let mut trace = RequestTrace::new(&r, 8);
+    let actions: Vec<Action> = trace
+        .timed(3_000, 7)
+        .into_iter()
+        .map(|tr| match tr.request {
+            RequestKind::Share(u) => Action::Post {
+                user: u,
+                time: tr.time,
+            },
+            RequestKind::Query(u) => Action::Query {
+                user: u,
+                time: tr.time,
+            },
+        })
+        .collect();
+    check_semantic_staleness(&g, &sched, &actions, 3)
+        .expect("schedule must satisfy bounded staleness on a realistic trace");
+}
+
+#[test]
+fn placement_model_matches_simulated_messages() {
+    // The analytic placement-aware cost must agree with the message counts
+    // the simulator observes (law of large numbers over a long trace).
+    let (g, r) = world(400, 21);
+    let pn = ParallelNosy::default().run(&g, &r).schedule;
+    let servers = 32;
+    let pc = PlacementCost::new(&g, &r, &pn);
+    let placement = RandomPlacement::new(servers, 0);
+    let analytic_msgs_per_request = {
+        let total_rate: f64 = (0..g.node_count())
+            .map(|u| r.rp(u as u32) + r.rc(u as u32))
+            .sum();
+        pc.cost(&placement) / total_rate
+    };
+    let mut cluster = Cluster::new(
+        &g,
+        &pn,
+        ClusterConfig {
+            servers,
+            placement_seed: 0,
+            ..Default::default()
+        },
+    );
+    let mut trace = RequestTrace::new(&r, 17);
+    let stats = cluster.simulate(&mut trace, 60_000);
+    let simulated = stats.messages_per_request();
+    let rel_err = (simulated - analytic_msgs_per_request).abs() / analytic_msgs_per_request;
+    assert!(
+        rel_err < 0.03,
+        "analytic {analytic_msgs_per_request:.3} vs simulated {simulated:.3}"
+    );
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the paper's formal claims, via `proptest`:
+//!
+//! * Theorem 1 — every schedule our algorithms emit serves each edge by
+//!   push, pull, or a valid 2-hop hub (checked structurally).
+//! * Lemma 1 — weighted peeling is a factor-2 approximation of the
+//!   weighted densest subgraph.
+//! * Cost-model identities: hybrid optimality among direct schedules,
+//!   monotonicity under rate scaling.
+
+use proptest::prelude::*;
+use social_piggybacking::core::densest::peel_weighted;
+use social_piggybacking::prelude::*;
+use social_piggybacking::workload::Rates;
+
+/// Random small digraph as an edge set over `n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(u, v)| u != v),
+            0..n * 4,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_nodes(n);
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallelnosy_always_feasible((n, edges) in arb_graph(40), ratio in 0.2f64..50.0) {
+        let g = build(n, &edges);
+        let r = Rates::log_degree(&g, ratio.max(0.2));
+        let res = ParallelNosy::default().run(&g, &r);
+        prop_assert!(validate_bounded_staleness(&g, &res.schedule).is_ok());
+    }
+
+    #[test]
+    fn chitchat_always_feasible((n, edges) in arb_graph(30)) {
+        let g = build(n, &edges);
+        let r = Rates::log_degree(&g, 5.0);
+        let res = ChitChat::default().run(&g, &r);
+        prop_assert!(validate_bounded_staleness(&g, &res.schedule).is_ok());
+    }
+
+    #[test]
+    fn piggybacking_never_loses_to_hybrid((n, edges) in arb_graph(40)) {
+        let g = build(n, &edges);
+        let r = Rates::log_degree(&g, 5.0);
+        let ff = hybrid_schedule(&g, &r);
+        let ff_cost = schedule_cost(&g, &r, &ff);
+        let pn_cost = schedule_cost(&g, &r, &ParallelNosy::default().run(&g, &r).schedule);
+        prop_assert!(pn_cost <= ff_cost + 1e-9);
+    }
+
+    #[test]
+    fn hybrid_is_optimal_among_direct_schedules((n, edges) in arb_graph(30)) {
+        // Any pure push/pull assignment costs at least the hybrid one.
+        let g = build(n, &edges);
+        let r = Rates::log_degree(&g, 5.0);
+        let ff_cost = schedule_cost(&g, &r, &hybrid_schedule(&g, &r));
+        let push_cost = schedule_cost(&g, &r, &push_all_schedule(&g));
+        let pull_cost = schedule_cost(&g, &r, &pull_all_schedule(&g));
+        prop_assert!(ff_cost <= push_cost + 1e-9);
+        prop_assert!(ff_cost <= pull_cost + 1e-9);
+    }
+
+    #[test]
+    fn peeling_respects_factor_two(
+        n in 2usize..9,
+        edge_bits in proptest::collection::vec(any::<bool>(), 36),
+        weights in proptest::collection::vec(0.1f64..5.0, 9),
+    ) {
+        // Dense encoding of an undirected graph over n vertices.
+        let mut edges = Vec::new();
+        let mut k = 0;
+        for a in 0..n as u32 {
+            for b in (a + 1)..n as u32 {
+                if edge_bits[k % edge_bits.len()] {
+                    edges.push((a, b));
+                }
+                k += 1;
+            }
+        }
+        let weights = &weights[..n];
+        let got = peel_weighted(n, &edges, weights, &vec![false; n]).density;
+        // Brute-force optimum.
+        let mut opt = 0.0f64;
+        for mask in 1u32..(1 << n) {
+            let e = edges
+                .iter()
+                .filter(|&&(a, b)| mask & (1 << a) != 0 && mask & (1 << b) != 0)
+                .count();
+            let w: f64 = (0..n).filter(|&v| mask & (1 << v) != 0).map(|v| weights[v]).sum();
+            if w > 0.0 {
+                opt = opt.max(e as f64 / w);
+            }
+        }
+        prop_assert!(got * 2.0 + 1e-9 >= opt, "peel {got} below half of {opt}");
+    }
+
+    #[test]
+    fn rate_scaling_scales_cost(scale in 0.1f64..10.0, (n, edges) in arb_graph(25)) {
+        // c(H, L) is linear in the rates: scaling both rate vectors scales
+        // any schedule's cost by the same factor.
+        let g = build(n, &edges);
+        let r1 = Rates::log_degree(&g, 5.0);
+        let rp: Vec<f64> = r1.rp_slice().iter().map(|x| x * scale).collect();
+        let rc: Vec<f64> = r1.rc_slice().iter().map(|x| x * scale).collect();
+        let r2 = Rates::from_vecs(rp, rc);
+        let s = hybrid_schedule(&g, &r1);
+        let c1 = schedule_cost(&g, &r1, &s);
+        let c2 = schedule_cost(&g, &r2, &s);
+        prop_assert!((c2 - c1 * scale).abs() <= 1e-6 * c1.max(1.0));
+    }
+
+    #[test]
+    fn covered_edges_record_real_triangles((n, edges) in arb_graph(35)) {
+        let g = build(n, &edges);
+        let r = Rates::log_degree(&g, 5.0);
+        let s = ParallelNosy::default().run(&g, &r).schedule;
+        for e in s.covered_edges() {
+            let (u, v) = g.edge_endpoints(e);
+            let w = s.hub_of(e);
+            prop_assert!(g.has_edge(u, w), "missing push leg of covered edge");
+            prop_assert!(g.has_edge(w, v), "missing pull leg of covered edge");
+        }
+    }
+}
