@@ -17,16 +17,21 @@
 //! ```
 
 use piggyback_bench::{nodes_from_args, print_header, print_row};
-use piggyback_core::baseline::hybrid_schedule;
-use piggyback_core::cost::predicted_improvement;
 use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_core::scheduler::{Hybrid, Instance, Scheduler};
 use piggyback_graph::gen::{copying, planted_partition, CopyingConfig, PlantedPartitionConfig};
 use piggyback_graph::stats;
 use piggyback_workload::Rates;
 
+/// Improvement of `s` over the hybrid baseline on one instance.
+fn improvement(s: &dyn Scheduler, g: &piggyback_graph::CsrGraph, r: &Rates) -> f64 {
+    let inst = Instance::new(g, r);
+    Hybrid.schedule(&inst).stats.cost / s.schedule(&inst).stats.cost
+}
+
 fn main() {
     let nodes = nodes_from_args().min(6000);
-    let pn = ParallelNosy {
+    let pn: &dyn Scheduler = &ParallelNosy {
         max_iterations: 100,
         ..ParallelNosy::default()
     };
@@ -41,7 +46,7 @@ fn main() {
             seed: 42,
         });
         let r = Rates::log_degree(&g, 5.0);
-        let imp = predicted_improvement(&g, &r, &pn.run(&g, &r).schedule, &hybrid_schedule(&g, &r));
+        let imp = improvement(pn, &g, &r);
         let cc = stats::sampled_clustering_coefficient(&g, 300, 7);
         print_row(&[format!("{cp}"), format!("{cc:.3}"), format!("{imp:.3}")]);
     }
@@ -66,7 +71,7 @@ fn main() {
             seed: 42,
         });
         let r = Rates::log_degree(&g, 5.0);
-        let imp = predicted_improvement(&g, &r, &pn.run(&g, &r).schedule, &hybrid_schedule(&g, &r));
+        let imp = improvement(pn, &g, &r);
         let cc = stats::sampled_clustering_coefficient(&g, 300, 7);
         print_row(&[
             format!("{:.3}", p_intra.min(1.0)),

@@ -23,6 +23,8 @@ fn main() {
             max_iterations: 20,
             ..ParallelNosy::default()
         };
+        // Native API, not the Scheduler trait: this figure plots the
+        // per-iteration cost series, which only ParallelNosyResult carries.
         let res = pn.run(&d.graph, &d.rates);
         let ff_cost = res.cost_history[0];
         print_header(&["dataset", "iteration", "improvement_ratio"]);

@@ -20,10 +20,9 @@
 use piggyback_bench::{
     flickr_dataset, nodes_from_args, print_dataset_banner, print_header, print_row,
 };
-use piggyback_core::baseline::hybrid_schedule;
-use piggyback_core::cost::schedule_cost;
 use piggyback_core::incremental::IncrementalScheduler;
 use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_core::scheduler::{Hybrid, Instance, Scheduler};
 use piggyback_graph::GraphBuilder;
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
@@ -48,11 +47,11 @@ fn main() {
     }
     let base = b.build();
 
-    let pn = ParallelNosy {
+    let pn: &dyn Scheduler = &ParallelNosy {
         max_iterations: 20,
         ..ParallelNosy::default()
     };
-    let base_schedule = pn.run(&base, &d.rates).schedule;
+    let base_schedule = pn.schedule(&Instance::new(&base, &d.rates)).schedule;
 
     print_header(&[
         "batch_size",
@@ -76,12 +75,12 @@ fn main() {
             inc.add_edge(u, v);
         }
         let grown = inc.freeze_graph();
-        let ff_cost = schedule_cost(&grown, &d.rates, &hybrid_schedule(&grown, &d.rates));
+        let grown_inst = Instance::new(&grown, &d.rates);
+        let ff_cost = Hybrid.schedule(&grown_inst).stats.cost;
         let inc_improvement = ff_cost / inc.cost();
 
         // Static: re-optimize the grown graph from scratch.
-        let static_res = pn.run(&grown, &d.rates);
-        let static_improvement = ff_cost / schedule_cost(&grown, &d.rates, &static_res.schedule);
+        let static_improvement = ff_cost / pn.schedule(&grown_inst).stats.cost;
 
         print_row(&[
             k.to_string(),

@@ -18,9 +18,9 @@
 use piggyback_bench::{
     flickr_dataset, nodes_from_args, print_dataset_banner, print_header, print_row,
 };
-use piggyback_core::baseline::hybrid_schedule;
 use piggyback_core::parallelnosy::ParallelNosy;
 use piggyback_core::schedule::Schedule;
+use piggyback_core::scheduler::{Hybrid, Instance, Scheduler};
 use piggyback_graph::CsrGraph;
 use piggyback_store::cluster::{Cluster, ClusterConfig};
 use piggyback_workload::Rates;
@@ -63,13 +63,15 @@ fn main() {
     print_dataset_banner(&d);
     println!("# Figure 6: actual per-client throughput (req/s) vs number of servers");
 
-    let ff = hybrid_schedule(&d.graph, &d.rates);
-    let pn = ParallelNosy {
-        max_iterations: 20,
-        ..ParallelNosy::default()
-    }
-    .run(&d.graph, &d.rates)
-    .schedule;
+    let inst = Instance::new(&d.graph, &d.rates);
+    let schedulers: [&dyn Scheduler; 2] = [
+        &ParallelNosy {
+            max_iterations: 20,
+            ..ParallelNosy::default()
+        },
+        &Hybrid,
+    ];
+    let [pn, ff] = schedulers.map(|s| s.schedule(&inst).schedule);
 
     let clients = 4;
     let requests_per_client = 4000;

@@ -13,8 +13,8 @@
 use piggyback_bench::{
     flickr_dataset, nodes_from_args, print_dataset_banner, print_header, print_row,
 };
-use piggyback_core::baseline::hybrid_schedule;
 use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_core::scheduler::{Hybrid, Instance, Scheduler};
 use piggyback_store::partition::RandomPlacement;
 use piggyback_store::placement::PlacementCost;
 
@@ -24,16 +24,16 @@ fn main() {
     print_dataset_banner(&d);
     println!("# Figure 7: normalized predicted throughput vs number of servers (with placement)");
 
-    let ff = hybrid_schedule(&d.graph, &d.rates);
-    let pn = ParallelNosy {
-        max_iterations: 20,
-        ..ParallelNosy::default()
-    }
-    .run(&d.graph, &d.rates)
-    .schedule;
-
-    let pc_ff = PlacementCost::new(&d.graph, &d.rates, &ff);
-    let pc_pn = PlacementCost::new(&d.graph, &d.rates, &pn);
+    let inst = Instance::new(&d.graph, &d.rates);
+    let schedulers: [&dyn Scheduler; 2] = [
+        &ParallelNosy {
+            max_iterations: 20,
+            ..ParallelNosy::default()
+        },
+        &Hybrid,
+    ];
+    let [pc_pn, pc_ff] =
+        schedulers.map(|s| PlacementCost::new(&d.graph, &d.rates, &s.schedule(&inst).schedule));
 
     print_header(&[
         "servers",

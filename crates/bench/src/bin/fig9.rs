@@ -11,45 +11,29 @@
 //! ```
 
 use piggyback_bench::{both_datasets, nodes_from_args, print_header, print_row};
-use piggyback_core::baseline::hybrid_schedule;
 use piggyback_core::chitchat::ChitChat;
-use piggyback_core::cost::{predicted_improvement, schedule_cost};
 use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_core::scheduler::{Hybrid, Instance, Scheduler};
 use piggyback_graph::sample::{bfs_sample, random_walk_sample};
 use piggyback_graph::CsrGraph;
 use piggyback_workload::Rates;
 
 const SAMPLES: usize = 5;
 
-/// `(chitchat, parallelnosy_refined, parallelnosy_paper)` improvements.
+/// Per-scheduler improvement over hybrid, in the order of `schedulers`.
 ///
 /// Two PARALLELNOSY configurations are reported: the paper-faithful one
 /// (lock every hub-graph edge, 20 iterations — reproducing Figure 9's
 /// "CHITCHAT significantly outperforms PARALLELNOSY") and this library's
 /// refined one (mutate-only locks, run to convergence), which closes most
 /// of that gap.
-fn improvements(g: &CsrGraph, rates: &Rates) -> (f64, f64, f64) {
-    let ff = hybrid_schedule(g, rates);
-    let cc = ChitChat::default().run(g, rates).schedule;
-    let pn_refined = ParallelNosy {
-        max_iterations: 200,
-        ..ParallelNosy::default()
-    }
-    .run(g, rates)
-    .schedule;
-    let pn_paper = ParallelNosy {
-        max_iterations: 20,
-        conservative_locks: true,
-        ..ParallelNosy::default()
-    }
-    .run(g, rates)
-    .schedule;
-    let _ = schedule_cost(g, rates, &ff);
-    (
-        predicted_improvement(g, rates, &cc, &ff),
-        predicted_improvement(g, rates, &pn_refined, &ff),
-        predicted_improvement(g, rates, &pn_paper, &ff),
-    )
+fn improvements(g: &CsrGraph, rates: &Rates, schedulers: &[&dyn Scheduler]) -> Vec<f64> {
+    let inst = Instance::new(g, rates);
+    let ff_cost = Hybrid.schedule(&inst).stats.cost;
+    schedulers
+        .iter()
+        .map(|s| ff_cost / s.schedule(&inst).stats.cost)
+        .collect()
 }
 
 fn main() {
@@ -63,6 +47,19 @@ fn main() {
     };
     let which = std::env::args().nth(2).unwrap_or_else(|| "both".into());
     println!("# Figure 9: ChitChat vs ParallelNosy on graph samples vs read/write ratio");
+
+    let schedulers: [&dyn Scheduler; 3] = [
+        &ChitChat::default(),
+        &ParallelNosy {
+            max_iterations: 200,
+            ..ParallelNosy::default()
+        },
+        &ParallelNosy {
+            max_iterations: 20,
+            conservative_locks: true,
+            ..ParallelNosy::default()
+        },
+    ];
 
     // Samples are a fraction of the source graph, mirroring the paper's
     // 5M-edge samples of billion-edge graphs.
@@ -82,26 +79,23 @@ fn main() {
                 "parallelnosy_paper_improvement",
             ]);
             for ratio in [1.0f64, 3.0, 5.0, 10.0, 30.0, 100.0] {
-                let (mut acc_cc, mut acc_pn, mut acc_pp) = (0.0, 0.0, 0.0);
+                let mut acc = vec![0.0; schedulers.len()];
                 for s in 0..SAMPLES {
                     let sampled = match method {
                         "rw" => random_walk_sample(&d.graph, target_edges, s as u64),
                         _ => bfs_sample(&d.graph, target_edges, s as u64),
                     };
                     let rates = Rates::log_degree(&sampled.graph, ratio);
-                    let (cc, pn, pp) = improvements(&sampled.graph, &rates);
-                    acc_cc += cc;
-                    acc_pn += pn;
-                    acc_pp += pp;
+                    for (a, imp) in
+                        acc.iter_mut()
+                            .zip(improvements(&sampled.graph, &rates, &schedulers))
+                    {
+                        *a += imp;
+                    }
                 }
-                print_row(&[
-                    d.name.to_string(),
-                    label.to_string(),
-                    format!("{ratio}"),
-                    format!("{:.4}", acc_cc / SAMPLES as f64),
-                    format!("{:.4}", acc_pn / SAMPLES as f64),
-                    format!("{:.4}", acc_pp / SAMPLES as f64),
-                ]);
+                let mut row = vec![d.name.to_string(), label.to_string(), format!("{ratio}")];
+                row.extend(acc.iter().map(|a| format!("{:.4}", a / SAMPLES as f64)));
+                print_row(&row);
             }
         }
     }

@@ -10,11 +10,9 @@
 //! ```
 
 use piggyback_bench::{print_header, print_row};
-use piggyback_core::baseline::hybrid_schedule;
 use piggyback_core::chitchat::ChitChat;
-use piggyback_core::cost::schedule_cost;
-use piggyback_core::optimal::optimal_schedule;
 use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_core::scheduler::{Exact, Hybrid, Instance, Scheduler};
 use piggyback_graph::gen::{copying, CopyingConfig};
 use piggyback_workload::Rates;
 
@@ -26,11 +24,9 @@ fn main() {
     println!(
         "# Approximation gap vs exact optimum, tiny clustered graphs (7 nodes, copying model)"
     );
-    let mut stats = vec![
-        ("chitchat", Vec::new()),
-        ("parallelnosy", Vec::new()),
-        ("hybrid", Vec::new()),
-    ];
+    let heuristics: [&dyn Scheduler; 3] = [&ChitChat::default(), &ParallelNosy::default(), &Hybrid];
+    let mut stats: Vec<(&str, Vec<f64>)> =
+        heuristics.iter().map(|s| (s.name(), Vec::new())).collect();
     let mut solved = 0usize;
     for seed in 0..trials as u64 {
         // Small but triangle-rich, with pull-friendly uniform rates so hub
@@ -42,19 +38,18 @@ fn main() {
             seed,
         });
         let r = Rates::uniform(g.node_count(), 1.0, 1.6);
-        let Some(opt) = optimal_schedule(&g, &r) else {
+        let inst = Instance::new(&g, &r);
+        if !Exact.supports(&inst) {
             continue;
-        };
-        if opt.cost <= 0.0 {
+        }
+        let opt = Exact.schedule(&inst);
+        if opt.stats.cost <= 0.0 {
             continue;
         }
         solved += 1;
-        let cc = schedule_cost(&g, &r, &ChitChat::default().run(&g, &r).schedule);
-        let pn = schedule_cost(&g, &r, &ParallelNosy::default().run(&g, &r).schedule);
-        let ff = schedule_cost(&g, &r, &hybrid_schedule(&g, &r));
-        stats[0].1.push(cc / opt.cost);
-        stats[1].1.push(pn / opt.cost);
-        stats[2].1.push(ff / opt.cost);
+        for (s, (_, ratios)) in heuristics.iter().zip(&mut stats) {
+            ratios.push(s.schedule(&inst).stats.cost / opt.stats.cost);
+        }
     }
     print_header(&[
         "algorithm",

@@ -14,6 +14,7 @@ use piggyback_bench::{
     flickr_dataset, nodes_from_args, print_dataset_banner, print_header, print_row,
 };
 use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_core::scheduler::{Instance, Scheduler};
 use piggyback_store::cluster::{Cluster, ClusterConfig};
 
 fn main() {
@@ -26,12 +27,13 @@ fn main() {
     print_dataset_banner(&d);
     println!("# Prototype latency vs offered load (workers fixed at 2)");
 
-    let pn = ParallelNosy {
+    let scheduler: &dyn Scheduler = &ParallelNosy {
         max_iterations: 15,
         ..ParallelNosy::default()
-    }
-    .run(&d.graph, &d.rates)
-    .schedule;
+    };
+    let pn = scheduler
+        .schedule(&Instance::new(&d.graph, &d.rates))
+        .schedule;
 
     print_header(&["clients", "total_req_per_sec", "p50_us", "p99_us", "max_ms"]);
     for clients in [1usize, 2, 4, 8, 16, 32] {

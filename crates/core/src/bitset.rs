@@ -6,7 +6,7 @@
 //! `HashSet<u32>` on hot paths" advice taken to its conclusion.
 
 /// A fixed-size set of `u32` keys backed by `u64` words.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
     capacity: usize,

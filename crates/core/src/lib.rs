@@ -22,6 +22,9 @@
 //! * [`staleness`] — a discrete-time delivery simulator checking Definition
 //!   2's bounded staleness *semantically*, including the Theorem 1
 //!   necessity counterexamples.
+//! * [`scheduler`] — the unified [`Scheduler`](scheduler::Scheduler) trait
+//!   and name-keyed registry every optimizer above implements, so benches,
+//!   examples and the CLI drive all algorithms through one API.
 
 pub mod active;
 pub mod analysis;
@@ -35,6 +38,7 @@ pub mod optimal;
 pub mod parallelnosy;
 pub mod schedule;
 pub mod schedule_io;
+pub mod scheduler;
 pub mod sharded_chitchat;
 pub mod staleness;
 pub mod validate;
@@ -45,5 +49,6 @@ pub use cost::{predicted_improvement, predicted_throughput, schedule_cost};
 pub use incremental::IncrementalScheduler;
 pub use parallelnosy::{ParallelNosy, ParallelNosyResult};
 pub use schedule::{EdgeAssignment, Schedule};
+pub use scheduler::{Instance, ScheduleOutcome, ScheduleStats, Scheduler};
 pub use sharded_chitchat::{ShardedChitChat, ShardedChitChatResult};
 pub use validate::{coverage_report, validate_bounded_staleness};

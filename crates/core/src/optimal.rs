@@ -43,27 +43,43 @@ pub struct OptimalResult {
 /// exceeds this many assignments (≈ a second of work).
 pub const MAX_ASSIGNMENTS: u64 = 5_000_000;
 
+/// The solver's options for one edge `u → v`: push, pull, or each common
+/// contact as hub. The single encoding of the option rule — the space
+/// guard ([`search_space`]) and the enumeration ([`optimal_schedule`])
+/// both derive from it, so they cannot diverge.
+fn edge_choices(g: &CsrGraph, u: NodeId, v: NodeId) -> Vec<Choice> {
+    let mut opts = vec![Choice::Push, Choice::Pull];
+    for &w in g.out_neighbors(u) {
+        if w != v && g.has_edge(w, v) {
+            opts.push(Choice::Via(w));
+        }
+    }
+    opts
+}
+
+/// Size of the solver's search space (product of per-edge option counts),
+/// or `None` once it exceeds [`MAX_ASSIGNMENTS`]. The single source of
+/// truth for "can the exact solver handle this instance" —
+/// [`optimal_schedule`] and the scheduler registry's `supports` both
+/// consult it.
+pub fn search_space(g: &CsrGraph) -> Option<u64> {
+    let mut space = 1u64;
+    for (_, u, v) in g.edges() {
+        space = space.saturating_mul(edge_choices(g, u, v).len() as u64);
+        if space > MAX_ASSIGNMENTS {
+            return None;
+        }
+    }
+    Some(space)
+}
+
 /// Exhaustively solves DISSEMINATION on a small graph.
 ///
 /// Returns `None` if the search space exceeds [`MAX_ASSIGNMENTS`].
 pub fn optimal_schedule(g: &CsrGraph, rates: &Rates) -> Option<OptimalResult> {
+    search_space(g)?;
     let m = g.edge_count();
-    // Per-edge options: push, pull, or each common contact as hub.
-    let mut options: Vec<Vec<Choice>> = Vec::with_capacity(m);
-    let mut space = 1u64;
-    for (_, u, v) in g.edges() {
-        let mut opts = vec![Choice::Push, Choice::Pull];
-        for &w in g.out_neighbors(u) {
-            if w != v && g.has_edge(w, v) {
-                opts.push(Choice::Via(w));
-            }
-        }
-        space = space.saturating_mul(opts.len() as u64);
-        if space > MAX_ASSIGNMENTS {
-            return None;
-        }
-        options.push(opts);
-    }
+    let options: Vec<Vec<Choice>> = g.edges().map(|(_, u, v)| edge_choices(g, u, v)).collect();
     if m == 0 {
         return Some(OptimalResult {
             schedule: Schedule::new(0),

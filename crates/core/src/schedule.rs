@@ -2,7 +2,6 @@
 //! set `C` and per-edge hub bookkeeping used by the algorithms.
 
 use piggyback_graph::{CsrGraph, EdgeId, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::bitset::BitSet;
 
@@ -32,7 +31,7 @@ pub enum EdgeAssignment {
 /// `L`, covered set `C`) plus the hub node for every covered edge. The type
 /// does not hold a graph reference; all methods take edge ids produced by
 /// the graph the schedule was sized for.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Schedule {
     h: BitSet,
     l: BitSet,

@@ -1,0 +1,451 @@
+//! One trait for every optimizer: the unified `Scheduler` abstraction.
+//!
+//! The crate grew one request-schedule optimizer per paper section —
+//! baselines (§1), CHITCHAT (§3.1), PARALLELNOSY (§3.2, threaded and
+//! MapReduce), the sharded CHITCHAT extension, and the exact solver — each
+//! with its own entry point and result struct. Benches, examples and the
+//! CLI all had per-algorithm call sites, so adding an algorithm meant
+//! touching every consumer.
+//!
+//! This module is the one seam they all plug into instead:
+//!
+//! * [`Instance`] — the problem: a graph plus per-user rates.
+//! * [`Scheduler`] — the algorithm: `name()` + `schedule(&Instance)`.
+//! * [`ScheduleOutcome`] — the answer: a feasible [`Schedule`] plus
+//!   [`ScheduleStats`] common to every algorithm (cost, oracle calls,
+//!   iterations, hubs applied, wall time).
+//! * [`registry`] / [`by_name`] — the name-keyed catalog consumers iterate
+//!   over (`for s in &registry() { s.schedule(&inst) }`), so a new
+//!   algorithm becomes one `impl Scheduler` plus one registry line.
+//!
+//! The exact solver cannot handle arbitrary instances (its search space is
+//! exponential); [`Scheduler::supports`] lets such algorithms bow out of an
+//! instance without panicking, and lets generic drivers skip them cleanly.
+
+use std::time::{Duration, Instant};
+
+use piggyback_graph::CsrGraph;
+use piggyback_mapreduce::MapReduce;
+use piggyback_workload::Rates;
+
+use crate::baseline::{hybrid_schedule, pull_all_schedule, push_all_schedule};
+use crate::chitchat::ChitChat;
+use crate::cost::schedule_cost;
+use crate::optimal::{optimal_schedule, search_space};
+use crate::parallelnosy::ParallelNosy;
+use crate::schedule::Schedule;
+use crate::sharded_chitchat::ShardedChitChat;
+
+/// One DISSEMINATION instance: the social graph and its workload.
+///
+/// Fields are private so [`Instance::new`]'s coverage check is the only
+/// way in — every scheduler can then index `rates` by any node id without
+/// re-validating.
+#[derive(Clone, Copy, Debug)]
+pub struct Instance<'a> {
+    graph: &'a CsrGraph,
+    rates: &'a Rates,
+}
+
+impl<'a> Instance<'a> {
+    /// Bundles a graph and its rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rates do not cover every node of the graph.
+    pub fn new(graph: &'a CsrGraph, rates: &'a Rates) -> Self {
+        assert!(
+            rates.len() >= graph.node_count(),
+            "rates cover {} users, graph has {}",
+            rates.len(),
+            graph.node_count()
+        );
+        Instance { graph, rates }
+    }
+
+    /// The social graph (`u → v` = `v` subscribes to `u`).
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.graph
+    }
+
+    /// Per-user production/consumption rates (cover every node).
+    pub fn rates(&self) -> &'a Rates {
+        self.rates
+    }
+}
+
+/// Statistics every scheduler reports, in the same shape.
+///
+/// Fields that do not apply to an algorithm stay zero (e.g. the baselines
+/// make no oracle calls and run no iterations).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ScheduleStats {
+    /// Cost `c(H, L)` of the produced schedule under the §2.1 model.
+    pub cost: f64,
+    /// Densest-subgraph oracle invocations (CHITCHAT family).
+    pub oracle_calls: usize,
+    /// Optimization iterations executed (PARALLELNOSY family); the exact
+    /// solver reports evaluated assignments here.
+    pub iterations: usize,
+    /// Hub-graphs applied / hub selections made.
+    pub hubs_applied: usize,
+    /// Wall-clock time of the `schedule` call.
+    pub wall_time: Duration,
+}
+
+/// A schedule plus the uniform statistics of the run that produced it.
+#[derive(Clone, Debug)]
+pub struct ScheduleOutcome {
+    /// The computed request schedule. Every registered scheduler returns a
+    /// *feasible* schedule (each edge pushed, pulled, or covered).
+    pub schedule: Schedule,
+    /// Run statistics.
+    pub stats: ScheduleStats,
+}
+
+/// A request-schedule optimizer.
+pub trait Scheduler {
+    /// Stable registry key (lower-kebab-case, e.g. `"parallelnosy"`).
+    fn name(&self) -> &str;
+
+    /// Whether this scheduler can handle `inst`. Defaults to `true`;
+    /// algorithms with hard feasibility limits (the exact solver) override
+    /// it, and generic drivers skip unsupported instances.
+    fn supports(&self, _inst: &Instance) -> bool {
+        true
+    }
+
+    /// Computes a feasible schedule for `inst`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `supports` returned `false` for this instance.
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome;
+}
+
+/// Times `f` and assembles an outcome, filling `cost` and `wall_time`.
+fn timed(inst: &Instance, f: impl FnOnce() -> (Schedule, ScheduleStats)) -> ScheduleOutcome {
+    let start = Instant::now();
+    let (schedule, mut stats) = f();
+    stats.wall_time = start.elapsed();
+    stats.cost = schedule_cost(inst.graph, inst.rates, &schedule);
+    ScheduleOutcome { schedule, stats }
+}
+
+/// Push-all baseline (§1): every edge is a push.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PushAll;
+
+impl Scheduler for PushAll {
+    fn name(&self) -> &str {
+        "push-all"
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            (push_all_schedule(inst.graph), ScheduleStats::default())
+        })
+    }
+}
+
+/// Pull-all baseline (§1): every edge is a pull.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PullAll;
+
+impl Scheduler for PullAll {
+    fn name(&self) -> &str {
+        "pull-all"
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            (pull_all_schedule(inst.graph), ScheduleStats::default())
+        })
+    }
+}
+
+/// The hybrid FEEDINGFRENZY baseline of Silberstein et al.: per edge, the
+/// cheaper of push and pull.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hybrid;
+
+impl Scheduler for Hybrid {
+    fn name(&self) -> &str {
+        "hybrid"
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            (
+                hybrid_schedule(inst.graph, inst.rates),
+                ScheduleStats::default(),
+            )
+        })
+    }
+}
+
+impl Scheduler for ChitChat {
+    fn name(&self) -> &str {
+        "chitchat"
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            let res = self.run(inst.graph, inst.rates);
+            let stats = ScheduleStats {
+                oracle_calls: res.oracle_calls,
+                hubs_applied: res.hub_selections,
+                ..Default::default()
+            };
+            (res.schedule, stats)
+        })
+    }
+}
+
+impl Scheduler for ParallelNosy {
+    fn name(&self) -> &str {
+        "parallelnosy"
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            let res = self.run(inst.graph, inst.rates);
+            let stats = ScheduleStats {
+                iterations: res.iterations,
+                hubs_applied: res.hubs_applied,
+                ..Default::default()
+            };
+            (res.schedule, stats)
+        })
+    }
+}
+
+/// PARALLELNOSY executed as MapReduce jobs (the paper's Hadoop pipeline),
+/// producing the identical schedule to the threaded execution.
+#[derive(Clone, Debug, Default)]
+pub struct MapReduceNosy {
+    /// Algorithm configuration (shared with the threaded mode).
+    pub inner: ParallelNosy,
+    /// The MapReduce engine jobs run on.
+    pub engine: MapReduce,
+}
+
+impl Scheduler for MapReduceNosy {
+    fn name(&self) -> &str {
+        "parallelnosy-mr"
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            let res = self
+                .inner
+                .run_on_mapreduce(inst.graph, inst.rates, &self.engine);
+            let stats = ScheduleStats {
+                iterations: res.iterations,
+                hubs_applied: res.hubs_applied,
+                ..Default::default()
+            };
+            (res.schedule, stats)
+        })
+    }
+}
+
+impl Scheduler for ShardedChitChat {
+    fn name(&self) -> &str {
+        "sharded-chitchat"
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            let res = self.run(inst.graph, inst.rates);
+            let stats = ScheduleStats {
+                oracle_calls: res.oracle_calls,
+                // One full CHITCHAT per shard; expose shard count where the
+                // iteration counter lives for the other algorithms.
+                iterations: res.shards,
+                hubs_applied: res.hub_selections,
+                ..Default::default()
+            };
+            (res.schedule, stats)
+        })
+    }
+}
+
+/// The exact (exponential) DISSEMINATION solver. Only [`supports`] tiny
+/// instances — see [`MAX_ASSIGNMENTS`](crate::optimal::MAX_ASSIGNMENTS).
+///
+/// [`supports`]: Scheduler::supports
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Exact;
+
+impl Scheduler for Exact {
+    fn name(&self) -> &str {
+        "exact"
+    }
+
+    fn supports(&self, inst: &Instance) -> bool {
+        search_space(inst.graph).is_some()
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            let res = optimal_schedule(inst.graph, inst.rates)
+                .expect("instance too large for the exact solver; check supports() first");
+            let stats = ScheduleStats {
+                iterations: res.assignments_evaluated as usize,
+                ..Default::default()
+            };
+            (res.schedule, stats)
+        })
+    }
+}
+
+/// Every registered scheduler, baselines first, in a stable order.
+///
+/// The list is the single source of truth for "all algorithms" across the
+/// CLI (`piggyback compare`), benches and tests.
+pub fn registry() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(PushAll),
+        Box::new(PullAll),
+        Box::new(Hybrid),
+        Box::new(ChitChat::default()),
+        Box::new(ParallelNosy::default()),
+        Box::new(MapReduceNosy::default()),
+        Box::new(ShardedChitChat::default()),
+        Box::new(Exact),
+    ]
+}
+
+/// Looks a scheduler up by its registry [`name`](Scheduler::name).
+/// Common aliases from the CLI's history are honored.
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    let canonical = match name {
+        "ff" | "feedingfrenzy" => "hybrid",
+        "pn" => "parallelnosy",
+        "cc" => "chitchat",
+        "sharded" => "sharded-chitchat",
+        other => other,
+    };
+    registry().into_iter().find(|s| s.name() == canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_bounded_staleness;
+    use piggyback_graph::gen::erdos_renyi;
+    use piggyback_graph::GraphBuilder;
+
+    fn small_world() -> (CsrGraph, Rates) {
+        let g = erdos_renyi(60, 240, 3);
+        let r = Rates::log_degree(&g, 5.0);
+        (g, r)
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names: Vec<String> = registry().iter().map(|s| s.name().to_string()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scheduler names");
+        assert_eq!(
+            names,
+            vec![
+                "push-all",
+                "pull-all",
+                "hybrid",
+                "chitchat",
+                "parallelnosy",
+                "parallelnosy-mr",
+                "sharded-chitchat",
+                "exact",
+            ]
+        );
+    }
+
+    #[test]
+    fn by_name_resolves_aliases() {
+        for (alias, canonical) in [
+            ("ff", "hybrid"),
+            ("pn", "parallelnosy"),
+            ("cc", "chitchat"),
+            ("sharded", "sharded-chitchat"),
+            ("exact", "exact"),
+        ] {
+            assert_eq!(by_name(alias).expect(alias).name(), canonical);
+        }
+        assert!(by_name("no-such-algorithm").is_none());
+    }
+
+    #[test]
+    fn every_supported_scheduler_is_feasible_with_cost_filled() {
+        let (g, r) = small_world();
+        let inst = Instance::new(&g, &r);
+        for s in &registry() {
+            if !s.supports(&inst) {
+                continue;
+            }
+            let out = s.schedule(&inst);
+            validate_bounded_staleness(&g, &out.schedule)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            let direct = schedule_cost(&g, &r, &out.schedule);
+            assert!(
+                (out.stats.cost - direct).abs() < 1e-9,
+                "{}: stats.cost {} != {}",
+                s.name(),
+                out.stats.cost,
+                direct
+            );
+        }
+    }
+
+    #[test]
+    fn exact_supports_matches_solver() {
+        let (g, r) = small_world();
+        assert!(!Exact.supports(&Instance::new(&g, &r)));
+        assert!(optimal_schedule(&g, &r).is_none());
+
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let tiny = b.build();
+        let tr = Rates::uniform(3, 1.0, 5.0);
+        let inst = Instance::new(&tiny, &tr);
+        assert!(Exact.supports(&inst));
+        let out = Exact.schedule(&inst);
+        assert!(out.stats.iterations > 0, "assignments evaluated");
+        validate_bounded_staleness(&tiny, &out.schedule).unwrap();
+    }
+
+    #[test]
+    fn threaded_and_mapreduce_agree_via_trait() {
+        let (g, r) = small_world();
+        let inst = Instance::new(&g, &r);
+        let a = ParallelNosy::default().schedule(&inst);
+        let b = MapReduceNosy::default().schedule(&inst);
+        assert_eq!(a.stats.cost, b.stats.cost);
+        assert_eq!(a.stats.iterations, b.stats.iterations);
+    }
+
+    #[test]
+    fn baselines_report_zero_algorithm_stats() {
+        let (g, r) = small_world();
+        let inst = Instance::new(&g, &r);
+        let out = Hybrid.schedule(&inst);
+        assert_eq!(out.stats.oracle_calls, 0);
+        assert_eq!(out.stats.iterations, 0);
+        assert_eq!(out.stats.hubs_applied, 0);
+        assert!(out.stats.cost > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates cover")]
+    fn instance_rejects_uncovered_rates() {
+        let g = erdos_renyi(10, 20, 1);
+        let r = Rates::uniform(3, 1.0, 1.0);
+        let _ = Instance::new(&g, &r);
+    }
+}

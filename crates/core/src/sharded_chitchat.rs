@@ -73,6 +73,10 @@ pub struct ShardedChitChatResult {
     pub intra_shard_edges: usize,
     /// Edges between shards (served hybrid).
     pub cross_shard_edges: usize,
+    /// Hub-graph selections summed across all shards.
+    pub hub_selections: usize,
+    /// Densest-subgraph oracle invocations summed across all shards.
+    pub oracle_calls: usize,
 }
 
 impl ShardedChitChat {
@@ -98,33 +102,39 @@ impl ShardedChitChat {
 
         // Run CHITCHAT on every induced shard subgraph in parallel.
         let inner = self.inner;
-        let shard_results: Vec<(piggyback_graph::sample::SampledGraph, Schedule)> =
-            crossbeam::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|&keep| {
-                        s.spawn(move |_| {
-                            let sub = induced_subgraph(g, keep);
-                            let sub_rates = Rates::from_vecs(
-                                sub.original_ids.iter().map(|&o| rates.rp(o)).collect(),
-                                sub.original_ids.iter().map(|&o| rates.rc(o)).collect(),
-                            );
-                            let res = inner.run(&sub.graph, &sub_rates);
-                            (sub, res.schedule)
-                        })
+        let shard_results: Vec<(
+            piggyback_graph::sample::SampledGraph,
+            crate::chitchat::ChitChatResult,
+        )> = crossbeam::scope(|s| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&keep| {
+                    s.spawn(move |_| {
+                        let sub = induced_subgraph(g, keep);
+                        let sub_rates = Rates::from_vecs(
+                            sub.original_ids.iter().map(|&o| rates.rp(o)).collect(),
+                            sub.original_ids.iter().map(|&o| rates.rc(o)).collect(),
+                        );
+                        let res = inner.run(&sub.graph, &sub_rates);
+                        (sub, res)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope failed");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+
+        let hub_selections = shard_results.iter().map(|(_, r)| r.hub_selections).sum();
+        let oracle_calls = shard_results.iter().map(|(_, r)| r.oracle_calls).sum();
 
         // Translate shard schedules back to global edge ids.
         let mut schedule = Schedule::for_graph(g);
         let mut intra = 0usize;
-        for (sub, sub_sched) in &shard_results {
+        for (sub, res) in &shard_results {
+            let sub_sched = &res.schedule;
             for (se, su, sv) in sub.graph.edges() {
                 let (ou, ov) = (sub.original_ids[su as usize], sub.original_ids[sv as usize]);
                 let ge = g.edge_id(ou, ov);
@@ -167,6 +177,8 @@ impl ShardedChitChat {
             shards: chunks.len(),
             intra_shard_edges: intra,
             cross_shard_edges: cross,
+            hub_selections,
+            oracle_calls,
         }
     }
 }

@@ -1,5 +1,9 @@
-//! Property-based tests of schedule/algorithm invariants inside the core
-//! crate (the facade crate has its own end-to-end property suite).
+//! Randomized property tests of schedule/algorithm invariants inside the
+//! core crate (the facade crate has its own end-to-end property suite).
+//!
+//! Formerly `proptest`-based; the offline build vendors only a seeded RNG,
+//! so each property now runs over a fixed number of deterministic random
+//! cases (same invariants, reproducible failures by seed).
 
 use piggyback_core::baseline::hybrid_schedule;
 use piggyback_core::bitset::BitSet;
@@ -11,106 +15,138 @@ use piggyback_core::staleness::{check_semantic_staleness, random_actions};
 use piggyback_core::validate::validate_bounded_staleness;
 use piggyback_graph::{CsrGraph, GraphBuilder};
 use piggyback_workload::Rates;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2..max_n).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(u, v)| u != v),
-            0..n * 3,
-        );
-        (Just(n), edges)
-    })
-}
+const CASES: u64 = 48;
 
-fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+/// Random digraph without self-loops: `(node_count, graph)`.
+fn arb_graph(rng: &mut StdRng, max_n: usize, edges_per_node: usize) -> CsrGraph {
+    let n = rng.random_range(2..max_n);
+    let count = rng.random_range(0..n * edges_per_node);
     let mut b = GraphBuilder::new();
     b.reserve_nodes(n);
-    for &(u, v) in edges {
-        b.add_edge(u, v);
+    for _ in 0..count {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v);
+        }
     }
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn bitset_matches_reference(ops in proptest::collection::vec((any::<bool>(), 0u32..256), 0..400)) {
+#[test]
+fn bitset_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut bits = BitSet::new(256);
         let mut reference = std::collections::BTreeSet::new();
-        for (insert, key) in ops {
+        for _ in 0..rng.random_range(0..400usize) {
+            let insert = rng.random_bool(0.5);
+            let key = rng.random_range(0..256u32);
             if insert {
-                prop_assert_eq!(bits.insert(key), reference.insert(key));
+                assert_eq!(bits.insert(key), reference.insert(key), "seed {seed}");
             } else {
-                prop_assert_eq!(bits.remove(key), reference.remove(&key));
+                assert_eq!(bits.remove(key), reference.remove(&key), "seed {seed}");
             }
         }
-        prop_assert_eq!(bits.len(), reference.len());
-        prop_assert_eq!(bits.iter().collect::<Vec<_>>(), reference.into_iter().collect::<Vec<_>>());
+        assert_eq!(bits.len(), reference.len(), "seed {seed}");
+        assert_eq!(
+            bits.iter().collect::<Vec<_>>(),
+            reference.into_iter().collect::<Vec<_>>(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn schedule_state_machine((n, edges) in arb_graph(20), ops in proptest::collection::vec((0u8..3, 0usize..64), 0..80)) {
-        let g = build(n, &edges);
+#[test]
+fn schedule_state_machine() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let g = arb_graph(&mut rng, 20, 3);
         if g.edge_count() == 0 {
-            return Ok(());
+            continue;
         }
         let m = g.edge_count();
         let mut s = Schedule::for_graph(&g);
-        for (op, raw_e) in ops {
-            let e = (raw_e % m) as u32;
+        for _ in 0..rng.random_range(0..80usize) {
+            let op: u8 = rng.random_range(0..3u32) as u8;
+            let e = (rng.random_range(0..64usize) % m) as u32;
             match op {
-                0 if !s.is_covered(e) => { s.set_push(e); }
-                1 if !s.is_covered(e) => { s.set_pull(e); }
-                2 if !s.is_push(e) && !s.is_pull(e) => { s.set_covered(e, 0); }
+                0 if !s.is_covered(e) => {
+                    s.set_push(e);
+                }
+                1 if !s.is_covered(e) => {
+                    s.set_pull(e);
+                }
+                2 if !s.is_push(e) && !s.is_pull(e) => {
+                    s.set_covered(e, 0);
+                }
                 _ => {}
             }
             // Invariant: covered is disjoint from push/pull.
-            prop_assert!(!(s.is_covered(e) && (s.is_push(e) || s.is_pull(e))));
+            assert!(
+                !(s.is_covered(e) && (s.is_push(e) || s.is_pull(e))),
+                "seed {seed}"
+            );
             // Assignment is consistent with the bits.
             match s.assignment(e) {
-                EdgeAssignment::Push => prop_assert!(s.is_push(e) && !s.is_pull(e)),
-                EdgeAssignment::Pull => prop_assert!(s.is_pull(e) && !s.is_push(e)),
-                EdgeAssignment::PushAndPull => prop_assert!(s.is_push(e) && s.is_pull(e)),
-                EdgeAssignment::Covered(_) => prop_assert!(s.is_covered(e)),
-                EdgeAssignment::Unassigned => prop_assert!(!s.is_served(e)),
+                EdgeAssignment::Push => assert!(s.is_push(e) && !s.is_pull(e), "seed {seed}"),
+                EdgeAssignment::Pull => assert!(s.is_pull(e) && !s.is_push(e), "seed {seed}"),
+                EdgeAssignment::PushAndPull => assert!(s.is_push(e) && s.is_pull(e), "seed {seed}"),
+                EdgeAssignment::Covered(_) => assert!(s.is_covered(e), "seed {seed}"),
+                EdgeAssignment::Unassigned => assert!(!s.is_served(e), "seed {seed}"),
             }
         }
     }
+}
 
-    #[test]
-    fn partial_cost_equals_full_cost_when_finalized((n, edges) in arb_graph(25)) {
-        let g = build(n, &edges);
+#[test]
+fn partial_cost_equals_full_cost_when_finalized() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let g = arb_graph(&mut rng, 25, 3);
         let r = Rates::log_degree(&g, 5.0);
         let res = ParallelNosy::default().run(&g, &r);
         // After finalization nothing is unassigned, so partial == full.
         let full = schedule_cost(&g, &r, &res.schedule);
         let partial = partial_cost(&g, &r, &res.schedule);
-        prop_assert!((full - partial).abs() < 1e-9);
+        assert!((full - partial).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn optimal_lower_bounds_heuristics_on_tiny_graphs((n, edges) in arb_graph(7)) {
-        let g = build(n, &edges);
+#[test]
+fn optimal_lower_bounds_heuristics_on_tiny_graphs() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let g = arb_graph(&mut rng, 7, 3);
         let r = Rates::log_degree(&g, 5.0);
-        let Some(opt) = optimal_schedule(&g, &r) else { return Ok(()); };
+        let Some(opt) = optimal_schedule(&g, &r) else {
+            continue;
+        };
         validate_bounded_staleness(&g, &opt.schedule).unwrap();
         let ff = schedule_cost(&g, &r, &hybrid_schedule(&g, &r));
         let pn = schedule_cost(&g, &r, &ParallelNosy::default().run(&g, &r).schedule);
-        prop_assert!(opt.cost <= ff + 1e-9);
-        prop_assert!(opt.cost <= pn + 1e-9);
+        assert!(opt.cost <= ff + 1e-9, "seed {seed}");
+        assert!(opt.cost <= pn + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn semantic_and_structural_feasibility_agree((n, edges) in arb_graph(18), seed in 0u64..4) {
+#[test]
+fn semantic_and_structural_feasibility_agree() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let g = arb_graph(&mut rng, 18, 3);
+        let r = Rates::log_degree(&g, 5.0);
         // A schedule that passes the structural validator must pass the
         // semantic simulator on any action sequence.
-        let g = build(n, &edges);
-        let r = Rates::log_degree(&g, 5.0);
         let sched = ParallelNosy::default().run(&g, &r).schedule;
         validate_bounded_staleness(&g, &sched).unwrap();
         let actions = random_actions(&g, 60, 60, 300, seed);
-        prop_assert!(check_semantic_staleness(&g, &sched, &actions, 5).is_ok());
+        assert!(
+            check_semantic_staleness(&g, &sched, &actions, 5).is_ok(),
+            "seed {seed}"
+        );
     }
 }

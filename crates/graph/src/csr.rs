@@ -11,8 +11,6 @@
 //! Edge ids index the forward adjacency array, so per-edge algorithm state
 //! (push/pull/covered bits, costs, locks) lives in flat arrays.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node (user). Dense in `0..node_count`.
 pub type NodeId = u32;
 
@@ -27,7 +25,7 @@ pub const INVALID_EDGE: EdgeId = u32::MAX;
 /// Immutable CSR digraph. Construct via [`crate::GraphBuilder`].
 ///
 /// An edge `u → v` means *v subscribes to u* (u produces, v consumes).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CsrGraph {
     /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` / edge ids.
     out_offsets: Vec<usize>,

@@ -1,15 +1,26 @@
-//! Property-based tests of the graph substrate's structural invariants.
+//! Randomized property tests of the graph substrate's structural
+//! invariants.
+//!
+//! Formerly `proptest`-based; the offline build vendors only a seeded RNG,
+//! so each property now runs over a fixed number of deterministic random
+//! cases (same invariants, reproducible failures by seed).
 
 use piggyback_graph::fx::FxHashSet;
 use piggyback_graph::io::{read_edge_list, write_edge_list};
 use piggyback_graph::sample::{bfs_sample, random_walk_sample};
 use piggyback_graph::{CsrGraph, DynamicGraph, GraphBuilder, INVALID_EDGE};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Arbitrary edge list over up to `max_n` nodes (self-loops and duplicates
+const CASES: u64 = 64;
+
+/// Random edge list over up to `max_n` nodes (self-loops and duplicates
 /// included on purpose — the builder must handle them).
-fn arb_edges(max_n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    proptest::collection::vec((0..max_n, 0..max_n), 0..200)
+fn arb_edges(rng: &mut StdRng, max_n: u32, max_edges: usize) -> Vec<(u32, u32)> {
+    let count = rng.random_range(0..max_edges);
+    (0..count)
+        .map(|_| (rng.random_range(0..max_n), rng.random_range(0..max_n)))
+        .collect()
 }
 
 fn build(edges: &[(u32, u32)]) -> CsrGraph {
@@ -20,134 +31,156 @@ fn build(edges: &[(u32, u32)]) -> CsrGraph {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn csr_matches_reference_set(edges in arb_edges(40)) {
+#[test]
+fn csr_matches_reference_set() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = arb_edges(&mut rng, 40, 200);
         let g = build(&edges);
-        let reference: FxHashSet<(u32, u32)> = edges
-            .iter()
-            .copied()
-            .filter(|(u, v)| u != v)
-            .collect();
-        prop_assert_eq!(g.edge_count(), reference.len());
+        let reference: FxHashSet<(u32, u32)> =
+            edges.iter().copied().filter(|(u, v)| u != v).collect();
+        assert_eq!(g.edge_count(), reference.len(), "seed {seed}");
         for &(u, v) in &reference {
-            prop_assert!(g.has_edge(u, v));
+            assert!(g.has_edge(u, v), "seed {seed}: missing {u}->{v}");
         }
         for (_, u, v) in g.edges() {
-            prop_assert!(reference.contains(&(u, v)));
+            assert!(reference.contains(&(u, v)), "seed {seed}: extra {u}->{v}");
         }
     }
+}
 
-    #[test]
-    fn degree_sums_equal_edge_count(edges in arb_edges(30)) {
-        let g = build(&edges);
+#[test]
+fn degree_sums_equal_edge_count() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let g = build(&arb_edges(&mut rng, 30, 200));
         let out_sum: usize = g.nodes().map(|u| g.out_degree(u)).sum();
         let in_sum: usize = g.nodes().map(|u| g.in_degree(u)).sum();
-        prop_assert_eq!(out_sum, g.edge_count());
-        prop_assert_eq!(in_sum, g.edge_count());
+        assert_eq!(out_sum, g.edge_count(), "seed {seed}");
+        assert_eq!(in_sum, g.edge_count(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn forward_and_reverse_adjacency_agree(edges in arb_edges(30)) {
-        let g = build(&edges);
+#[test]
+fn forward_and_reverse_adjacency_agree() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let g = build(&arb_edges(&mut rng, 30, 200));
         for v in g.nodes() {
             for &u in g.in_neighbors(v) {
-                prop_assert!(g.out_neighbors(u).contains(&v));
+                assert!(g.out_neighbors(u).contains(&v), "seed {seed}");
             }
         }
         for u in g.nodes() {
             for &v in g.out_neighbors(u) {
-                prop_assert!(g.in_neighbors(v).contains(&u));
+                assert!(g.in_neighbors(v).contains(&u), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn edge_ids_are_a_bijection(edges in arb_edges(30)) {
-        let g = build(&edges);
+#[test]
+fn edge_ids_are_a_bijection() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let g = build(&arb_edges(&mut rng, 30, 200));
         let mut seen = FxHashSet::default();
         for (e, u, v) in g.edges() {
-            prop_assert_eq!(g.edge_id(u, v), e);
-            prop_assert_eq!(g.edge_endpoints(e), (u, v));
-            prop_assert!(seen.insert(e));
+            assert_eq!(g.edge_id(u, v), e, "seed {seed}");
+            assert_eq!(g.edge_endpoints(e), (u, v), "seed {seed}");
+            assert!(seen.insert(e), "seed {seed}: duplicate edge id {e}");
         }
-        prop_assert_eq!(seen.len(), g.edge_count());
+        assert_eq!(seen.len(), g.edge_count(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn missing_edges_report_invalid(edges in arb_edges(20), u in 0u32..20, v in 0u32..20) {
-        let g = build(&edges);
+#[test]
+fn missing_edges_report_invalid() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let g = build(&arb_edges(&mut rng, 20, 120));
+        let (u, v) = (rng.random_range(0..20u32), rng.random_range(0..20u32));
         if (u as usize) < g.node_count() && (v as usize) < g.node_count() {
             let id = g.edge_id(u, v);
-            prop_assert_eq!(id != INVALID_EDGE, g.has_edge(u, v));
+            assert_eq!(id != INVALID_EDGE, g.has_edge(u, v), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn io_roundtrip(edges in arb_edges(40)) {
-        let g = build(&edges);
+#[test]
+fn io_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let g = build(&arb_edges(&mut rng, 40, 200));
         let mut buf = Vec::new();
         write_edge_list(&g, &mut buf).unwrap();
         let h = read_edge_list(buf.as_slice()).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             g.edges().collect::<Vec<_>>(),
-            h.edges().collect::<Vec<_>>()
+            h.edges().collect::<Vec<_>>(),
+            "seed {seed}"
         );
     }
+}
 
-    #[test]
-    fn dynamic_graph_matches_reference(
-        base_edges in arb_edges(25),
-        ops in proptest::collection::vec((any::<bool>(), 0u32..25, 0u32..25), 0..120),
-    ) {
-        let base = build(&base_edges);
+#[test]
+fn dynamic_graph_matches_reference() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        let base = build(&arb_edges(&mut rng, 25, 150));
         let mut dynamic = DynamicGraph::new(base.clone());
-        let mut reference: FxHashSet<(u32, u32)> =
-            base.edges().map(|(_, u, v)| (u, v)).collect();
-        for (add, u, v) in ops {
+        let mut reference: FxHashSet<(u32, u32)> = base.edges().map(|(_, u, v)| (u, v)).collect();
+        let ops = rng.random_range(0..120usize);
+        for _ in 0..ops {
+            let add = rng.random_bool(0.5);
+            let (u, v) = (rng.random_range(0..25u32), rng.random_range(0..25u32));
             if add {
                 let expected = u != v && !reference.contains(&(u, v));
-                prop_assert_eq!(dynamic.add_edge(u, v), expected);
+                assert_eq!(dynamic.add_edge(u, v), expected, "seed {seed}");
                 if expected {
                     reference.insert((u, v));
                 }
             } else {
                 let expected = reference.remove(&(u, v));
-                prop_assert_eq!(dynamic.remove_edge(u, v), expected);
+                assert_eq!(dynamic.remove_edge(u, v), expected, "seed {seed}");
             }
         }
-        prop_assert_eq!(dynamic.edge_count(), reference.len());
+        assert_eq!(dynamic.edge_count(), reference.len(), "seed {seed}");
         for &(u, v) in &reference {
-            prop_assert!(dynamic.has_edge(u, v));
+            assert!(dynamic.has_edge(u, v), "seed {seed}");
         }
         // Freeze and compare the full edge set.
         let frozen = dynamic.freeze();
-        let frozen_set: FxHashSet<(u32, u32)> =
-            frozen.edges().map(|(_, u, v)| (u, v)).collect();
-        prop_assert_eq!(frozen_set, reference);
+        let frozen_set: FxHashSet<(u32, u32)> = frozen.edges().map(|(_, u, v)| (u, v)).collect();
+        assert_eq!(frozen_set, reference, "seed {seed}");
     }
+}
 
-    #[test]
-    fn samples_are_induced_subgraphs(edges in arb_edges(40), target in 1usize..100, seed in 0u64..8) {
-        let g = build(&edges);
+#[test]
+fn samples_are_induced_subgraphs() {
+    for seed in 0..CASES / 2 {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let g = build(&arb_edges(&mut rng, 40, 200));
         if g.node_count() == 0 {
-            return Ok(());
+            continue;
         }
-        for s in [random_walk_sample(&g, target, seed), bfs_sample(&g, target, seed)] {
+        let target = rng.random_range(1..100usize);
+        for s in [
+            random_walk_sample(&g, target, seed),
+            bfs_sample(&g, target, seed),
+        ] {
             // Relabeled ids map back to original edges.
             for (_, nu, nv) in s.graph.edges() {
                 let (ou, ov) = (s.original_ids[nu as usize], s.original_ids[nv as usize]);
-                prop_assert!(g.has_edge(ou, ov));
+                assert!(g.has_edge(ou, ov), "seed {seed}");
             }
             // Induced: every source edge between sampled nodes is present.
             for (i, &ou) in s.original_ids.iter().enumerate() {
                 for (j, &ov) in s.original_ids.iter().enumerate() {
                     if g.has_edge(ou, ov) {
-                        prop_assert!(
+                        assert!(
                             s.graph.has_edge(i as u32, j as u32),
-                            "induced edge missing"
+                            "seed {seed}: induced edge missing"
                         );
                     }
                 }

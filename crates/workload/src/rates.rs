@@ -1,7 +1,6 @@
 //! Per-user production and consumption rates.
 
 use piggyback_graph::{CsrGraph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Production and consumption rates for every user.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// so constructors normalize the mean production rate to 1. The paper's §2.1
 /// notes that asymmetric push/pull operation costs are modeled by scaling
 /// one side — [`Rates::with_pull_cost_factor`] does that.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Rates {
     rp: Vec<f64>,
     rc: Vec<f64>,

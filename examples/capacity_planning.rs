@@ -22,10 +22,10 @@ fn main() {
         rates.read_write_ratio()
     );
 
-    let ff = hybrid_schedule(&graph, &rates);
-    let pn = ParallelNosy::default().run(&graph, &rates).schedule;
-    let cost_ff = PlacementCost::new(&graph, &rates, &ff);
-    let cost_pn = PlacementCost::new(&graph, &rates, &pn);
+    let inst = Instance::new(&graph, &rates);
+    let schedulers: [&dyn Scheduler; 2] = [&Hybrid, &ParallelNosy::default()];
+    let [cost_ff, cost_pn] =
+        schedulers.map(|s| PlacementCost::new(&graph, &rates, &s.schedule(&inst).schedule));
 
     println!("\nservers  hybrid msg-rate  piggyback msg-rate  savings");
     let mut crossover: Option<usize> = None;

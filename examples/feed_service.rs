@@ -36,7 +36,8 @@ fn main() {
     // Everyone produces at rate 1 and reads their feed at rate 3.
     let rates = Rates::uniform(graph.node_count(), 1.0, 3.0);
 
-    let schedule = ParallelNosy::default().run(&graph, &rates).schedule;
+    let inst = Instance::new(&graph, &rates);
+    let schedule = ParallelNosy::default().schedule(&inst).schedule;
     validate_bounded_staleness(&graph, &schedule).expect("feasible");
     let covered = schedule.covered_edges().count();
     println!(
@@ -79,7 +80,7 @@ fn main() {
     );
 
     // Message accounting: replay one trace under both schedules.
-    let ff = hybrid_schedule(&graph, &rates);
+    let ff = Hybrid.schedule(&inst).schedule;
     let cfg = ClusterConfig {
         servers: 64,
         ..Default::default()

@@ -19,7 +19,8 @@ fn main() {
     let n = graph.node_count();
 
     // Optimize once...
-    let schedule = ParallelNosy::default().run(&graph, &rates).schedule;
+    let pn: &dyn Scheduler = &ParallelNosy::default();
+    let schedule = pn.schedule(&Instance::new(&graph, &rates)).schedule;
     let mut inc = IncrementalScheduler::new(graph.clone(), rates.clone(), schedule);
     let optimized_cost = inc.cost();
     println!("optimized cost: {optimized_cost:.1}");
@@ -51,9 +52,9 @@ fn main() {
 
     // Degradation check: compare against re-optimizing from scratch.
     let frozen = inc.freeze_graph();
-    let reopt = ParallelNosy::default().run(&frozen, &rates);
-    let reopt_cost = schedule_cost(&frozen, &rates, &reopt.schedule);
-    let ff_cost = schedule_cost(&frozen, &rates, &hybrid_schedule(&frozen, &rates));
+    let frozen_inst = Instance::new(&frozen, &rates);
+    let reopt_cost = pn.schedule(&frozen_inst).stats.cost;
+    let ff_cost = Hybrid.schedule(&frozen_inst).stats.cost;
     println!(
         "\ncurrent graph: incremental {:.1} | re-optimized {:.1} | hybrid {:.1}",
         inc.cost(),

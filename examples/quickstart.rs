@@ -19,26 +19,27 @@ fn main() {
     );
 
     // 2. A workload: production/consumption rates per user. The log-degree
-    //    model of §4.1 with the reference read/write ratio of 5.
+    //    model of §4.1 with the reference read/write ratio of 5. Together
+    //    with the graph this is one DISSEMINATION instance.
     let rates = Rates::log_degree(&graph, 5.0);
+    let inst = Instance::new(&graph, &rates);
 
     // 3. Baseline: the hybrid schedule of Silberstein et al. — per edge,
-    //    the cheaper of push and pull.
-    let ff = hybrid_schedule(&graph, &rates);
-    println!(
-        "hybrid baseline cost: {:.1}",
-        schedule_cost(&graph, &rates, &ff)
-    );
+    //    the cheaper of push and pull. Every optimizer implements the same
+    //    `Scheduler` trait, so they are all invoked identically.
+    let ff = Hybrid.schedule(&inst);
+    println!("hybrid baseline cost: {:.1}", ff.stats.cost);
 
     // 4. Social piggybacking with PARALLELNOSY: serve edges through common
     //    contacts ("hubs") so many edges ride a single push + pull.
-    let result = ParallelNosy::default().run(&graph, &rates);
+    let result = ParallelNosy::default().schedule(&inst);
     let pn = &result.schedule;
     println!(
-        "parallelnosy cost:    {:.1}  ({} iterations, {} hubs)",
-        schedule_cost(&graph, &rates, pn),
-        result.iterations,
-        result.hubs_applied
+        "parallelnosy cost:    {:.1}  ({} iterations, {} hubs, {:.0} ms)",
+        result.stats.cost,
+        result.stats.iterations,
+        result.stats.hubs_applied,
+        result.stats.wall_time.as_secs_f64() * 1e3
     );
 
     // 5. Every schedule must satisfy bounded staleness (Theorem 1): each
@@ -46,7 +47,7 @@ fn main() {
     validate_bounded_staleness(&graph, pn).expect("schedule must be feasible");
 
     // 6. The headline number: predicted throughput improvement.
-    let improvement = predicted_improvement(&graph, &rates, pn, &ff);
+    let improvement = predicted_improvement(&graph, &rates, pn, &ff.schedule);
     println!("predicted improvement over hybrid: {improvement:.2}x");
 
     // 7. Inspect how edges are served.
@@ -55,4 +56,15 @@ fn main() {
         "edges: {} push, {} pull, {} push+pull, {} piggybacked (free), {} unserved",
         report.push, report.pull, report.both, report.covered, report.unserved
     );
+
+    // 8. Or sweep the whole algorithm registry — `piggyback compare` is
+    //    exactly this loop.
+    println!("\nall registered schedulers on this instance:");
+    for s in &scheduler::registry() {
+        if !s.supports(&inst) {
+            continue; // the exact solver bows out of large instances
+        }
+        let out = s.schedule(&inst);
+        println!("  {:<18} cost {:>10.1}", s.name(), out.stats.cost);
+    }
 }

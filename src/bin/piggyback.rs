@@ -8,13 +8,16 @@
 //! piggyback stats    --graph g.edges
 //! piggyback schedule --graph g.edges --algorithm parallelnosy --out s.sched
 //! piggyback evaluate --graph g.edges --schedule s.sched --servers 500
+//! piggyback compare  --preset flickr-like --nodes 2000
 //! ```
+//!
+//! Every optimizer is reached through the [`Scheduler`] registry — the CLI
+//! has no per-algorithm call sites, so a newly registered algorithm shows
+//! up in `schedule --algorithm` and `compare` automatically.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use social_piggybacking::core::chitchat::ChitChat;
-use social_piggybacking::core::parallelnosy::ParallelNosy;
 use social_piggybacking::core::schedule_io::{load_schedule, save_schedule};
 use social_piggybacking::core::sharded_chitchat::ShardedChitChat;
 use social_piggybacking::core::validate::coverage_report;
@@ -40,10 +43,15 @@ const USAGE: &str = "usage:
   piggyback generate --model <flickr|twitter|erdos-renyi|copying> --nodes <n> \\
                      [--seed <s>] [--edges <m>] --out <file>
   piggyback stats    --graph <file>
-  piggyback schedule --graph <file> --algorithm <ff|parallelnosy|chitchat|sharded> \\
+  piggyback schedule --graph <file> --algorithm <name> \\
                      [--rw-ratio <r>] [--shards <k>] --out <file>
   piggyback evaluate --graph <file> --schedule <file> [--rw-ratio <r>] [--servers <n>]
-  piggyback analyze  --graph <file> --schedule <file> [--rw-ratio <r>] [--top <k>]";
+  piggyback analyze  --graph <file> --schedule <file> [--rw-ratio <r>] [--top <k>]
+  piggyback compare  [--preset <flickr-like|twitter-like>] [--graph <file>] \\
+                     [--nodes <n>] [--seed <s>] [--rw-ratio <r>] [--shards <k>]
+
+<name> is any registered scheduler (see `compare` output), e.g. hybrid,
+chitchat, parallelnosy, parallelnosy-mr, sharded-chitchat, exact.";
 
 /// Parses `--key value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -93,6 +101,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "schedule" => cmd_schedule(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "analyze" => cmd_analyze(&flags),
+        "compare" => cmd_compare(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -156,36 +165,130 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Applies CLI configuration flags to a registry scheduler. The one place
+/// per-algorithm flags live: `schedule` and `compare` both route through
+/// it, so a flag honored in one subcommand is honored in the other.
+fn configure_scheduler(
+    flags: &HashMap<String, String>,
+    scheduler: Box<dyn Scheduler>,
+) -> Result<Box<dyn Scheduler>, String> {
+    if scheduler.name() == "sharded-chitchat" {
+        let shards: usize = parsed(flags, "shards", 4)?;
+        if shards < 1 {
+            return Err("--shards must be at least 1".into());
+        }
+        return Ok(Box::new(ShardedChitChat {
+            shards,
+            ..Default::default()
+        }));
+    }
+    Ok(scheduler)
+}
+
+/// Resolves `--algorithm` against the scheduler registry and applies any
+/// configuration flags.
+fn resolve_scheduler(
+    flags: &HashMap<String, String>,
+    algorithm: &str,
+) -> Result<Box<dyn Scheduler>, String> {
+    let scheduler =
+        scheduler::by_name(algorithm).ok_or_else(|| format!("unknown algorithm {algorithm:?}"))?;
+    configure_scheduler(flags, scheduler)
+}
+
 fn cmd_schedule(flags: &HashMap<String, String>) -> Result<(), String> {
     let g = load_edge_list(required(flags, "graph")?).map_err(|e| e.to_string())?;
     let ratio: f64 = parsed(flags, "rw-ratio", 5.0)?;
     let rates = Rates::log_degree(&g, ratio);
-    let algorithm = required(flags, "algorithm")?;
     let out = required(flags, "out")?;
-    let schedule = match algorithm {
-        "ff" | "hybrid" => hybrid_schedule(&g, &rates),
-        "parallelnosy" | "pn" => ParallelNosy::default().run(&g, &rates).schedule,
-        "chitchat" | "cc" => ChitChat::default().run(&g, &rates).schedule,
-        "sharded" => {
-            let shards: usize = parsed(flags, "shards", 4)?;
-            ShardedChitChat {
-                shards,
-                ..Default::default()
-            }
-            .run(&g, &rates)
-            .schedule
-        }
-        other => return Err(format!("unknown algorithm {other:?}")),
-    };
-    validate_bounded_staleness(&g, &schedule)
+    let scheduler = resolve_scheduler(flags, required(flags, "algorithm")?)?;
+    let inst = Instance::new(&g, &rates);
+    if !scheduler.supports(&inst) {
+        return Err(format!(
+            "algorithm {:?} cannot handle this instance (too large for exact search)",
+            scheduler.name()
+        ));
+    }
+    let outcome = scheduler.schedule(&inst);
+    validate_bounded_staleness(&g, &outcome.schedule)
         .map_err(|e| format!("internal error — infeasible schedule: {e}"))?;
-    save_schedule(&schedule, out).map_err(|e| e.to_string())?;
-    let ff = hybrid_schedule(&g, &rates);
+    save_schedule(&outcome.schedule, out).map_err(|e| e.to_string())?;
+    let ff = Hybrid.schedule(&inst);
     println!(
         "wrote schedule to {out}: cost {:.1}, improvement over hybrid {:.3}x",
-        schedule_cost(&g, &rates, &schedule),
-        predicted_improvement(&g, &rates, &schedule, &ff)
+        outcome.stats.cost,
+        predicted_improvement(&g, &rates, &outcome.schedule, &ff.schedule)
     );
+    Ok(())
+}
+
+/// Runs every registered scheduler on one instance and prints one
+/// cost/stats line per algorithm.
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let nodes: usize = parsed(flags, "nodes", 2000)?;
+    let seed: u64 = parsed(flags, "seed", 42)?;
+    let ratio: f64 = parsed(flags, "rw-ratio", 5.0)?;
+    let g = match flags.get("graph") {
+        Some(path) => {
+            // --graph fixes the instance; generation flags would be
+            // silently dead, so reject the combination.
+            for conflicting in ["preset", "nodes", "seed"] {
+                if flags.contains_key(conflicting) {
+                    return Err(format!("--graph conflicts with --{conflicting}"));
+                }
+            }
+            load_edge_list(path).map_err(|e| e.to_string())?
+        }
+        None => match flags
+            .get("preset")
+            .map(String::as_str)
+            .unwrap_or("flickr-like")
+        {
+            "flickr-like" | "flickr" => gen::flickr_like(nodes, seed),
+            "twitter-like" | "twitter" => gen::twitter_like(nodes, seed),
+            other => return Err(format!("unknown preset {other:?}")),
+        },
+    };
+    let rates = Rates::log_degree(&g, ratio);
+    let inst = Instance::new(&g, &rates);
+    println!(
+        "# instance: {} nodes, {} edges, rw-ratio {ratio}",
+        g.node_count(),
+        g.edge_count()
+    );
+    let hybrid_cost = Hybrid.schedule(&inst).stats.cost;
+    println!(
+        "# {:<18} {:>12} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "algorithm", "cost", "vs_ff", "oracle", "iters", "hubs", "wall_ms"
+    );
+    let schedulers: Vec<Box<dyn Scheduler>> = scheduler::registry()
+        .into_iter()
+        .map(|s| configure_scheduler(flags, s))
+        .collect::<Result<_, _>>()?;
+    for s in &schedulers {
+        if !s.supports(&inst) {
+            println!("  {:<18} (skipped: instance unsupported)", s.name());
+            continue;
+        }
+        let out = s.schedule(&inst);
+        validate_bounded_staleness(&g, &out.schedule)
+            .map_err(|e| format!("{}: infeasible schedule: {e}", s.name()))?;
+        let st = &out.stats;
+        println!(
+            "  {:<18} {:>12.1} {:>7.3}x {:>12} {:>10} {:>10} {:>10.1}",
+            s.name(),
+            st.cost,
+            if st.cost > 0.0 {
+                hybrid_cost / st.cost
+            } else {
+                f64::INFINITY
+            },
+            st.oracle_calls,
+            st.iterations,
+            st.hubs_applied,
+            st.wall_time.as_secs_f64() * 1e3
+        );
+    }
     Ok(())
 }
 
@@ -324,6 +427,79 @@ mod tests {
             "5",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_runs_every_registered_scheduler() {
+        run(&s(&[
+            "compare",
+            "--preset",
+            "flickr-like",
+            "--nodes",
+            "150",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "compare",
+            "--preset",
+            "twitter-like",
+            "--nodes",
+            "120",
+        ]))
+        .unwrap();
+        assert!(run(&s(&["compare", "--preset", "weird"])).is_err());
+        // Generation flags are dead when --graph fixes the instance.
+        let err = run(&s(&[
+            "compare",
+            "--graph",
+            "g.edges",
+            "--preset",
+            "flickr-like",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+    }
+
+    #[test]
+    fn schedule_accepts_registry_names() {
+        let dir = std::env::temp_dir().join("piggyback-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("g.edges").to_string_lossy().into_owned();
+        run(&s(&[
+            "generate", "--model", "flickr", "--nodes", "200", "--seed", "1", "--out", &graph,
+        ]))
+        .unwrap();
+        for algo in ["hybrid", "chitchat", "sharded-chitchat", "parallelnosy-mr"] {
+            let sched = dir
+                .join(format!("{algo}.sched"))
+                .to_string_lossy()
+                .into_owned();
+            run(&s(&[
+                "schedule",
+                "--graph",
+                &graph,
+                "--algorithm",
+                algo,
+                "--out",
+                &sched,
+            ]))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+        }
+        // Exact must refuse an instance this large instead of hanging.
+        let err = run(&s(&[
+            "schedule",
+            "--graph",
+            &graph,
+            "--algorithm",
+            "exact",
+            "--out",
+            "/dev/null",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot handle"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -24,20 +24,32 @@
 //!
 //! # Quickstart
 //!
+//! Every optimizer implements the [`Scheduler`](core::scheduler::Scheduler)
+//! trait, so comparing algorithms is a loop over the registry:
+//!
 //! ```
 //! use social_piggybacking::prelude::*;
 //!
 //! // A small clustered social graph and a log-degree workload (§4.1).
 //! let graph = gen::flickr_like(500, 42);
 //! let rates = Rates::log_degree(&graph, 5.0);
+//! let inst = Instance::new(&graph, &rates);
 //!
 //! // The state-of-the-art baseline (Silberstein et al.) ...
-//! let ff = hybrid_schedule(&graph, &rates);
-//! // ... and a piggybacking schedule.
-//! let pn = ParallelNosy::default().run(&graph, &rates);
+//! let ff = Hybrid.schedule(&inst);
+//! // ... and a piggybacking schedule, through the same trait.
+//! let pn = ParallelNosy::default().schedule(&inst);
 //!
-//! let improvement = predicted_improvement(&graph, &rates, &pn.schedule, &ff);
+//! let improvement = predicted_improvement(&graph, &rates, &pn.schedule, &ff.schedule);
 //! assert!(improvement >= 1.0); // piggybacking never loses under the cost model
+//!
+//! // Or run everything that handles this instance:
+//! for s in &scheduler::registry() {
+//!     if s.supports(&inst) {
+//!         let out = s.schedule(&inst);
+//!         assert!(validate_bounded_staleness(&graph, &out.schedule).is_ok());
+//!     }
+//! }
 //! ```
 
 pub use piggyback_core as core;
@@ -57,6 +69,10 @@ pub mod prelude {
     pub use piggyback_core::parallelnosy::{ParallelNosy, ParallelNosyResult};
     pub use piggyback_core::schedule::{EdgeAssignment, Schedule};
     pub use piggyback_core::schedule_io::{load_schedule, save_schedule};
+    pub use piggyback_core::scheduler::{
+        self, Exact, Hybrid, Instance, MapReduceNosy, PullAll, PushAll, ScheduleOutcome,
+        ScheduleStats, Scheduler,
+    };
     pub use piggyback_core::sharded_chitchat::{Partitioning, ShardedChitChat};
     pub use piggyback_core::staleness::{check_semantic_staleness, random_actions};
     pub use piggyback_core::validate::validate_bounded_staleness;

@@ -1,4 +1,4 @@
-//! Property-based tests of the paper's formal claims, via `proptest`:
+//! Randomized property tests of the paper's formal claims:
 //!
 //! * Theorem 1 — every schedule our algorithms emit serves each edge by
 //!   push, pull, or a valid 2-hop hub (checked structurally).
@@ -6,92 +6,108 @@
 //!   weighted densest subgraph.
 //! * Cost-model identities: hybrid optimality among direct schedules,
 //!   monotonicity under rate scaling.
+//!
+//! Formerly `proptest`-based; the offline build vendors only a seeded RNG,
+//! so each property now runs over a fixed number of deterministic random
+//! cases (same invariants, reproducible failures by seed).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use social_piggybacking::core::densest::peel_weighted;
 use social_piggybacking::prelude::*;
 use social_piggybacking::workload::Rates;
 
-/// Random small digraph as an edge set over `n` nodes.
-fn arb_graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2..max_n).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32).prop_filter("no self-loops", |(u, v)| u != v),
-            0..n * 4,
-        );
-        (Just(n), edges)
-    })
-}
+const CASES: u64 = 48;
 
-fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+/// Random small digraph without self-loops over 2..max_n nodes.
+fn arb_graph(rng: &mut StdRng, max_n: usize, edges_per_node: usize) -> CsrGraph {
+    let n = rng.random_range(2..max_n);
+    let count = rng.random_range(0..n * edges_per_node);
     let mut b = GraphBuilder::new();
     b.reserve_nodes(n);
-    for &(u, v) in edges {
-        b.add_edge(u, v);
+    for _ in 0..count {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u != v {
+            b.add_edge(u, v);
+        }
     }
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn parallelnosy_always_feasible((n, edges) in arb_graph(40), ratio in 0.2f64..50.0) {
-        let g = build(n, &edges);
+#[test]
+fn parallelnosy_always_feasible() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng, 40, 4);
+        let ratio = rng.random_range(0.2f64..50.0);
         let r = Rates::log_degree(&g, ratio.max(0.2));
         let res = ParallelNosy::default().run(&g, &r);
-        prop_assert!(validate_bounded_staleness(&g, &res.schedule).is_ok());
+        assert!(
+            validate_bounded_staleness(&g, &res.schedule).is_ok(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn chitchat_always_feasible((n, edges) in arb_graph(30)) {
-        let g = build(n, &edges);
+#[test]
+fn chitchat_always_feasible() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let g = arb_graph(&mut rng, 30, 4);
         let r = Rates::log_degree(&g, 5.0);
         let res = ChitChat::default().run(&g, &r);
-        prop_assert!(validate_bounded_staleness(&g, &res.schedule).is_ok());
+        assert!(
+            validate_bounded_staleness(&g, &res.schedule).is_ok(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn piggybacking_never_loses_to_hybrid((n, edges) in arb_graph(40)) {
-        let g = build(n, &edges);
+#[test]
+fn piggybacking_never_loses_to_hybrid() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let g = arb_graph(&mut rng, 40, 4);
         let r = Rates::log_degree(&g, 5.0);
         let ff = hybrid_schedule(&g, &r);
         let ff_cost = schedule_cost(&g, &r, &ff);
         let pn_cost = schedule_cost(&g, &r, &ParallelNosy::default().run(&g, &r).schedule);
-        prop_assert!(pn_cost <= ff_cost + 1e-9);
+        assert!(pn_cost <= ff_cost + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn hybrid_is_optimal_among_direct_schedules((n, edges) in arb_graph(30)) {
+#[test]
+fn hybrid_is_optimal_among_direct_schedules() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
         // Any pure push/pull assignment costs at least the hybrid one.
-        let g = build(n, &edges);
+        let g = arb_graph(&mut rng, 30, 4);
         let r = Rates::log_degree(&g, 5.0);
         let ff_cost = schedule_cost(&g, &r, &hybrid_schedule(&g, &r));
         let push_cost = schedule_cost(&g, &r, &push_all_schedule(&g));
         let pull_cost = schedule_cost(&g, &r, &pull_all_schedule(&g));
-        prop_assert!(ff_cost <= push_cost + 1e-9);
-        prop_assert!(ff_cost <= pull_cost + 1e-9);
+        assert!(ff_cost <= push_cost + 1e-9, "seed {seed}");
+        assert!(ff_cost <= pull_cost + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn peeling_respects_factor_two(
-        n in 2usize..9,
-        edge_bits in proptest::collection::vec(any::<bool>(), 36),
-        weights in proptest::collection::vec(0.1f64..5.0, 9),
-    ) {
-        // Dense encoding of an undirected graph over n vertices.
+#[test]
+fn peeling_respects_factor_two() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let n = rng.random_range(2..9usize);
+        // Dense random undirected graph over n vertices, random weights.
         let mut edges = Vec::new();
-        let mut k = 0;
         for a in 0..n as u32 {
             for b in (a + 1)..n as u32 {
-                if edge_bits[k % edge_bits.len()] {
+                if rng.random_bool(0.5) {
                     edges.push((a, b));
                 }
-                k += 1;
             }
         }
-        let weights = &weights[..n];
-        let got = peel_weighted(n, &edges, weights, &vec![false; n]).density;
+        let weights: Vec<f64> = (0..n).map(|_| rng.random_range(0.1f64..5.0)).collect();
+        let got = peel_weighted(n, &edges, &weights, &vec![false; n]).density;
         // Brute-force optimum.
         let mut opt = 0.0f64;
         for mask in 1u32..(1 << n) {
@@ -99,19 +115,29 @@ proptest! {
                 .iter()
                 .filter(|&&(a, b)| mask & (1 << a) != 0 && mask & (1 << b) != 0)
                 .count();
-            let w: f64 = (0..n).filter(|&v| mask & (1 << v) != 0).map(|v| weights[v]).sum();
+            let w: f64 = (0..n)
+                .filter(|&v| mask & (1 << v) != 0)
+                .map(|v| weights[v])
+                .sum();
             if w > 0.0 {
                 opt = opt.max(e as f64 / w);
             }
         }
-        prop_assert!(got * 2.0 + 1e-9 >= opt, "peel {got} below half of {opt}");
+        assert!(
+            got * 2.0 + 1e-9 >= opt,
+            "seed {seed}: peel {got} below half of {opt}"
+        );
     }
+}
 
-    #[test]
-    fn rate_scaling_scales_cost(scale in 0.1f64..10.0, (n, edges) in arb_graph(25)) {
+#[test]
+fn rate_scaling_scales_cost() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let scale = rng.random_range(0.1f64..10.0);
         // c(H, L) is linear in the rates: scaling both rate vectors scales
         // any schedule's cost by the same factor.
-        let g = build(n, &edges);
+        let g = arb_graph(&mut rng, 25, 4);
         let r1 = Rates::log_degree(&g, 5.0);
         let rp: Vec<f64> = r1.rp_slice().iter().map(|x| x * scale).collect();
         let rc: Vec<f64> = r1.rc_slice().iter().map(|x| x * scale).collect();
@@ -119,19 +145,45 @@ proptest! {
         let s = hybrid_schedule(&g, &r1);
         let c1 = schedule_cost(&g, &r1, &s);
         let c2 = schedule_cost(&g, &r2, &s);
-        prop_assert!((c2 - c1 * scale).abs() <= 1e-6 * c1.max(1.0));
+        assert!((c2 - c1 * scale).abs() <= 1e-6 * c1.max(1.0), "seed {seed}");
     }
+}
 
-    #[test]
-    fn covered_edges_record_real_triangles((n, edges) in arb_graph(35)) {
-        let g = build(n, &edges);
+#[test]
+fn covered_edges_record_real_triangles() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        let g = arb_graph(&mut rng, 35, 4);
         let r = Rates::log_degree(&g, 5.0);
         let s = ParallelNosy::default().run(&g, &r).schedule;
         for e in s.covered_edges() {
             let (u, v) = g.edge_endpoints(e);
             let w = s.hub_of(e);
-            prop_assert!(g.has_edge(u, w), "missing push leg of covered edge");
-            prop_assert!(g.has_edge(w, v), "missing pull leg of covered edge");
+            assert!(g.has_edge(u, w), "seed {seed}: missing push leg");
+            assert!(g.has_edge(w, v), "seed {seed}: missing pull leg");
+        }
+    }
+}
+
+#[test]
+fn every_registered_scheduler_is_feasible_on_random_graphs() {
+    // The trait-level counterpart of the per-algorithm feasibility tests
+    // above: whatever the registry grows to contain must stay feasible.
+    for seed in 0..CASES / 6 {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let g = arb_graph(&mut rng, 25, 3);
+        let r = Rates::log_degree(&g, 5.0);
+        let inst = Instance::new(&g, &r);
+        for s in &scheduler::registry() {
+            if !s.supports(&inst) {
+                continue;
+            }
+            let out = s.schedule(&inst);
+            assert!(
+                validate_bounded_staleness(&g, &out.schedule).is_ok(),
+                "seed {seed}, scheduler {}",
+                s.name()
+            );
         }
     }
 }

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (cheaply clonable immutable buffer), [`BytesMut`]
+//! (growable builder) and the [`Buf`]/[`BufMut`] cursor traits — the
+//! surface `piggyback-store` uses for its 24-byte wire tuples. Backed by an
+//! `Arc<[u8]>` window rather than upstream's vtable machinery; clone and
+//! slice are O(1) and allocation-free, which is what the prototype's
+//! message-passing hot path relies on.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Immutable shared byte buffer. Cloning and slicing share the allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// O(1) sub-window sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// View as a byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable byte builder; [`BytesMut::freeze`] converts to [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read cursor for the `Buf` impl (bytes before it are consumed).
+    cursor: usize,
+}
+
+impl BytesMut {
+    /// Empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty builder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            cursor: 0,
+        }
+    }
+
+    /// Unconsumed length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Converts into an immutable [`Bytes`] (unconsumed portion).
+    pub fn freeze(self) -> Bytes {
+        if self.cursor == 0 {
+            Bytes::from(self.data)
+        } else {
+            Bytes::from(self.data[self.cursor..].to_vec())
+        }
+    }
+}
+
+/// Read cursor over a byte source (little-endian accessors only — the wire
+/// format of the store prototype).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns `n` bytes as a slice reference is not possible
+    /// across implementations, so implementors expose a fixed-size copy.
+    fn copy_and_advance(&mut self, n: usize) -> &[u8];
+
+    /// Consumes 8 bytes as a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.copy_and_advance(8));
+        u64::from_le_bytes(raw)
+    }
+
+    /// Consumes 4 bytes as a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(self.copy_and_advance(4));
+        u32::from_le_bytes(raw)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_and_advance(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underrun");
+        let start = self.start;
+        self.start += n;
+        &self.data[start..start + n]
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_and_advance(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underrun");
+        let start = self.cursor;
+        self.cursor += n;
+        &self.data[start..start + n]
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a `u64` little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64_le(0xDEAD_BEEF_0BAD_F00D);
+        b.put_u64_le(7);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 16);
+        assert_eq!(frozen.get_u64_le(), 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(frozen.get_u64_le(), 7);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_and_windows() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(b.len(), 5, "parent unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underrun")]
+    fn short_read_panics() {
+        let mut b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.get_u64_le();
+    }
+
+    #[test]
+    fn bytesmut_reads_its_own_writes() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(9);
+        assert_eq!(b.get_u32_le(), 9);
+        assert!(b.is_empty());
+    }
+}
