@@ -30,6 +30,21 @@ enum OverlayAssignment {
     Pull,
 }
 
+/// Which users' serving sets an edge mutation touched.
+///
+/// Online consumers (the `piggyback-serve` runtime) keep per-user push/pull
+/// sets compiled for the serving hot path; after a churn operation only the
+/// listed users need their sets recompiled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChurnEffect {
+    /// Whether the mutation was applied (false: edge already there/missing).
+    pub applied: bool,
+    /// Users whose push set (`h[u]` of Algorithm 3) changed.
+    pub push_changed: Vec<NodeId>,
+    /// Users whose pull set (`l[v]` of Algorithm 3) changed.
+    pub pull_changed: Vec<NodeId>,
+}
+
 /// A schedule kept consistent across edge insertions and deletions.
 ///
 /// Wraps a frozen base graph + schedule (produced by any optimizer) and a
@@ -44,6 +59,8 @@ pub struct IncrementalScheduler {
     /// hub node -> base edges covered through it (for orphan re-serving).
     hub_covers: FxHashMap<NodeId, Vec<EdgeId>>,
     cost: f64,
+    /// Cost of the optimized snapshot this scheduler started from.
+    base_cost: f64,
 }
 
 impl IncrementalScheduler {
@@ -65,12 +82,28 @@ impl IncrementalScheduler {
             overlay: FxHashMap::default(),
             hub_covers,
             cost,
+            base_cost: cost,
         }
     }
 
     /// Current total cost under the §2.1 model.
     pub fn cost(&self) -> f64 {
         self.cost
+    }
+
+    /// Cost of the optimized snapshot this scheduler started from.
+    pub fn base_cost(&self) -> f64 {
+        self.base_cost
+    }
+
+    /// How much the running cost has degraded (or improved, if negative)
+    /// relative to the optimized snapshot: `cost() - base_cost()`.
+    ///
+    /// Callers use this to decide when a full re-optimization pays off —
+    /// schedule quality decays slowly under churn (Figure 5), so the delta
+    /// crossing a fraction of the base cost is the natural trigger.
+    pub fn overlay_cost_delta(&self) -> f64 {
+        self.cost - self.base_cost
     }
 
     /// The underlying dynamic graph.
@@ -100,13 +133,21 @@ impl IncrementalScheduler {
     ///
     /// Panics if `u` or `v` is not covered by the rate model.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.add_edge_detailed(u, v).applied
+    }
+
+    /// [`add_edge`](Self::add_edge), reporting which users' serving sets
+    /// changed.
+    pub fn add_edge_detailed(&mut self, u: NodeId, v: NodeId) -> ChurnEffect {
         assert!(
             (u as usize) < self.rates.len() && (v as usize) < self.rates.len(),
             "rates do not cover user {u} or {v}"
         );
+        let mut effect = ChurnEffect::default();
         if !self.graph.add_edge(u, v) {
-            return false;
+            return effect;
         }
+        effect.applied = true;
         // A re-added base edge gets its bit back in the base schedule;
         // brand-new edges go to the overlay. Either way: hybrid assignment.
         let push = self.rates.rp(u) <= self.rates.rc(v);
@@ -128,43 +169,66 @@ impl IncrementalScheduler {
                 self.overlay.insert((u, v), a);
             }
         }
+        if push {
+            effect.push_changed.push(u);
+        } else {
+            effect.pull_changed.push(v);
+        }
         self.cost += hybrid_edge_cost(&self.rates, u, v);
-        true
+        effect
     }
 
     /// Removes the follow `u → v`, re-serving any cross edges that were
     /// piggybacking on it. Returns `false` if the edge does not exist.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.remove_edge_detailed(u, v).applied
+    }
+
+    /// [`remove_edge`](Self::remove_edge), reporting which users' serving
+    /// sets changed — including users whose piggybacked edges were orphaned
+    /// by the removal and re-served directly.
+    pub fn remove_edge_detailed(&mut self, u: NodeId, v: NodeId) -> ChurnEffect {
+        let mut effect = ChurnEffect::default();
         // Overlay edges are direct: drop them and refund the hybrid cost.
         if let Some(a) = self.overlay.remove(&(u, v)) {
             self.graph.remove_edge(u, v);
+            effect.applied = true;
             self.cost -= match a {
-                OverlayAssignment::Push => self.rates.rp(u),
-                OverlayAssignment::Pull => self.rates.rc(v),
+                OverlayAssignment::Push => {
+                    effect.push_changed.push(u);
+                    self.rates.rp(u)
+                }
+                OverlayAssignment::Pull => {
+                    effect.pull_changed.push(v);
+                    self.rates.rc(v)
+                }
             };
-            return true;
+            return effect;
         }
         let Some(e) = self.base_edge_id(u, v) else {
-            return false;
+            return effect;
         };
         if !self.graph.remove_edge(u, v) {
-            return false;
+            return effect;
         }
+        effect.applied = true;
         // Refund what the edge itself was paying.
         if self.schedule.is_push(e) {
             self.cost -= self.rates.rp(u);
+            effect.push_changed.push(u);
         }
         if self.schedule.is_pull(e) {
             self.cost -= self.rates.rc(v);
+            effect.pull_changed.push(v);
         }
         // Orphaned piggybackers: a removed pull w→y strands covered edges
         // *into y* via hub w=u; a removed push x→w strands covered edges
         // *from x* via hub w=v.
         if self.schedule.is_pull(e) {
-            self.reserve_covered_via(u, |_, dst| dst == v);
+            self.reserve_covered_via(u, |_, dst| dst == v, &mut effect);
         }
         if self.schedule.is_push(e) {
-            self.reserve_covered_via(v, |src, _| src == u);
+            self.reserve_covered_via(v, |src, _| src == u, &mut effect);
         }
         if self.schedule.is_covered(e) {
             let hub = self.schedule.hub_of(e);
@@ -173,12 +237,18 @@ impl IncrementalScheduler {
             }
         }
         self.schedule.unassign(e);
-        true
+        effect
     }
 
     /// Re-serves directly every edge covered through `hub` that matches the
-    /// endpoint predicate, charging the hybrid cost for each.
-    fn reserve_covered_via(&mut self, hub: NodeId, matches: impl Fn(NodeId, NodeId) -> bool) {
+    /// endpoint predicate, charging the hybrid cost for each and recording
+    /// the touched users in `effect`.
+    fn reserve_covered_via(
+        &mut self,
+        hub: NodeId,
+        matches: impl Fn(NodeId, NodeId) -> bool,
+        effect: &mut ChurnEffect,
+    ) {
         let Some(list) = self.hub_covers.get_mut(&hub) else {
             return;
         };
@@ -202,11 +272,38 @@ impl IncrementalScheduler {
             }
             if self.rates.rp(src) <= self.rates.rc(dst) {
                 self.schedule.set_push(f);
+                effect.push_changed.push(src);
             } else {
                 self.schedule.set_pull(f);
+                effect.pull_changed.push(dst);
             }
             self.cost += hybrid_edge_cost(&self.rates, src, dst);
         }
+    }
+
+    /// The current push set `h[u]` of Algorithm 3 over the *dynamic* graph:
+    /// every `v` whose view must be updated when `u` shares (base-schedule
+    /// pushes plus direct-push overlay edges, excluding removed edges).
+    pub fn push_targets(&self, u: NodeId) -> Vec<NodeId> {
+        self.graph
+            .out_neighbors(u)
+            .filter(|&v| match self.base_edge_id(u, v) {
+                Some(e) => self.schedule.is_push(e),
+                None => self.overlay.get(&(u, v)) == Some(&OverlayAssignment::Push),
+            })
+            .collect()
+    }
+
+    /// The current pull set `l[v]` of Algorithm 3 over the *dynamic* graph:
+    /// every `u` whose view must be queried when `v` reads its stream.
+    pub fn pull_sources(&self, v: NodeId) -> Vec<NodeId> {
+        self.graph
+            .in_neighbors(v)
+            .filter(|&u| match self.base_edge_id(u, v) {
+                Some(e) => self.schedule.is_pull(e),
+                None => self.overlay.get(&(u, v)) == Some(&OverlayAssignment::Pull),
+            })
+            .collect()
     }
 
     /// Base-graph edge id of `(u, v)`, if `(u, v)` is a base edge.
@@ -403,6 +500,107 @@ mod tests {
             inc.cost(),
             inc.recompute_cost()
         );
+    }
+
+    #[test]
+    fn overlay_cost_delta_matches_recomputed_cost() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = copying(CopyingConfig {
+            nodes: 150,
+            follows_per_node: 4,
+            copy_prob: 0.7,
+            seed: 11,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        let s = optimized(&g, &r);
+        let base_cost = schedule_cost(&g, &r, &s);
+        let mut inc = IncrementalScheduler::new(g, r, s);
+        assert_eq!(inc.base_cost(), base_cost);
+        assert_eq!(inc.overlay_cost_delta(), 0.0);
+        let n = 150;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..400 {
+            let u = rng.random_range(0..n) as NodeId;
+            let v = rng.random_range(0..n) as NodeId;
+            if u == v {
+                continue;
+            }
+            if rng.random_bool(0.5) {
+                inc.add_edge(u, v);
+            } else {
+                inc.remove_edge(u, v);
+            }
+            // The delta is always the running cost relative to the frozen
+            // base cost, and the running cost matches a from-scratch
+            // recomputation.
+            assert!((inc.overlay_cost_delta() - (inc.cost() - base_cost)).abs() < 1e-9);
+        }
+        assert!(
+            (inc.overlay_cost_delta() - (inc.recompute_cost() - base_cost)).abs() < 1e-6,
+            "delta {} vs recomputed {}",
+            inc.overlay_cost_delta(),
+            inc.recompute_cost() - base_cost
+        );
+    }
+
+    #[test]
+    fn churn_effects_report_exactly_the_changed_serving_sets() {
+        use piggyback_graph::fx::FxHashMap;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = copying(CopyingConfig {
+            nodes: 120,
+            follows_per_node: 5,
+            copy_prob: 0.8,
+            seed: 3,
+        });
+        let n = g.node_count();
+        let r = Rates::log_degree(&g, 5.0);
+        let s = optimized(&g, &r);
+        let mut inc = IncrementalScheduler::new(g, r, s);
+        // Shadow copies of every user's serving sets, patched only at the
+        // users each ChurnEffect names; they must stay equal to the real
+        // sets throughout.
+        let mut pushes: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+        let mut pulls: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+        for u in 0..n as NodeId {
+            pushes.insert(u, inc.push_targets(u));
+            pulls.insert(u, inc.pull_sources(u));
+        }
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..600 {
+            let u = rng.random_range(0..n) as NodeId;
+            let v = rng.random_range(0..n) as NodeId;
+            if u == v {
+                continue;
+            }
+            let effect = if rng.random_bool(0.55) {
+                inc.add_edge_detailed(u, v)
+            } else {
+                inc.remove_edge_detailed(u, v)
+            };
+            if !effect.applied {
+                assert!(effect.push_changed.is_empty() && effect.pull_changed.is_empty());
+                continue;
+            }
+            for &x in &effect.push_changed {
+                pushes.insert(x, inc.push_targets(x));
+            }
+            for &x in &effect.pull_changed {
+                pulls.insert(x, inc.pull_sources(x));
+            }
+        }
+        for u in 0..n as NodeId {
+            let (mut a, mut b) = (pushes[&u].clone(), inc.push_targets(u));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "push set of {u} drifted from reported effects");
+            let (mut a, mut b) = (pulls[&u].clone(), inc.pull_sources(u));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "pull set of {u} drifted from reported effects");
+        }
     }
 
     #[test]

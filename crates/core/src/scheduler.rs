@@ -104,7 +104,13 @@ pub struct ScheduleOutcome {
 }
 
 /// A request-schedule optimizer.
-pub trait Scheduler {
+///
+/// `Send + Sync` is part of the contract: online consumers (the
+/// `piggyback-serve` runtime) hand a scheduler to a background thread for
+/// full re-optimization while the serving path keeps running. Every
+/// registered scheduler is a plain configuration struct, so the bound is
+/// free.
+pub trait Scheduler: Send + Sync {
     /// Stable registry key (lower-kebab-case, e.g. `"parallelnosy"`).
     fn name(&self) -> &str;
 

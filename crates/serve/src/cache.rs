@@ -1,0 +1,147 @@
+//! The staleness-bounded pull cache.
+//!
+//! Theorem 1 guarantees bounded staleness: every event becomes visible
+//! within one propagation step of the schedule. A serving system that
+//! accepts a *time* budget on top of that can answer a query from a cached
+//! result at most `ttl` old, skipping the whole pull fan-out — the paper's
+//! staleness budget turned into a runtime TTL.
+//!
+//! Entries are tagged with the schedule epoch they were computed under; an
+//! epoch swap (churn or re-optimization) invalidates them implicitly, so a
+//! cached result never outlives the schedule that produced it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use piggyback_graph::fx::FxHashMap;
+use piggyback_graph::NodeId;
+use piggyback_store::EventTuple;
+
+struct Entry {
+    at: Instant,
+    epoch: u64,
+    events: Vec<EventTuple>,
+}
+
+/// A sharded, TTL-bounded cache of per-user query results.
+pub struct PullCache {
+    ttl: Duration,
+    slots: Vec<Mutex<FxHashMap<NodeId, Entry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PullCache {
+    /// Cache with the given staleness budget, lock-sharded `slots` ways
+    /// (a TTL of zero disables the cache entirely).
+    pub fn new(ttl: Duration, slots: usize) -> Self {
+        let slots = slots.max(1);
+        PullCache {
+            ttl,
+            slots: (0..slots)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the cache is active.
+    pub fn enabled(&self) -> bool {
+        !self.ttl.is_zero()
+    }
+
+    fn slot(&self, u: NodeId) -> &Mutex<FxHashMap<NodeId, Entry>> {
+        &self.slots[u as usize % self.slots.len()]
+    }
+
+    /// A cached stream for `u`, if one exists that is younger than the TTL
+    /// and was computed under schedule `epoch`.
+    pub fn get(&self, u: NodeId, epoch: u64) -> Option<Vec<EventTuple>> {
+        if !self.enabled() {
+            return None;
+        }
+        let slot = self.slot(u).lock();
+        match slot.get(&u) {
+            Some(e) if e.epoch == epoch && e.at.elapsed() <= self.ttl => {
+                let events = e.events.clone();
+                drop(slot);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(events)
+            }
+            _ => {
+                drop(slot);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly computed stream for `u` under schedule `epoch`.
+    pub fn put(&self, u: NodeId, epoch: u64, events: Vec<EventTuple>) {
+        if !self.enabled() {
+            return;
+        }
+        self.slot(u).lock().insert(
+            u,
+            Entry {
+                at: Instant::now(),
+                epoch,
+                events,
+            },
+        );
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64) -> EventTuple {
+        EventTuple::new(1, id, id)
+    }
+
+    #[test]
+    fn zero_ttl_disables() {
+        let c = PullCache::new(Duration::ZERO, 4);
+        assert!(!c.enabled());
+        c.put(1, 0, vec![ev(1)]);
+        assert!(c.get(1, 0).is_none());
+        // Disabled caches count nothing.
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn hit_within_ttl_and_epoch() {
+        let c = PullCache::new(Duration::from_secs(60), 4);
+        assert!(c.get(7, 3).is_none());
+        c.put(7, 3, vec![ev(1), ev(2)]);
+        assert_eq!(c.get(7, 3).unwrap().len(), 2);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn epoch_swap_invalidates() {
+        let c = PullCache::new(Duration::from_secs(60), 4);
+        c.put(7, 3, vec![ev(1)]);
+        assert!(c.get(7, 4).is_none(), "new epoch must miss");
+        assert!(c.get(7, 3).is_some(), "old epoch entry intact");
+    }
+
+    #[test]
+    fn ttl_expiry_invalidates() {
+        let c = PullCache::new(Duration::from_millis(10), 1);
+        c.put(9, 0, vec![ev(1)]);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(c.get(9, 0).is_none(), "entry older than the TTL must miss");
+    }
+}

@@ -1,0 +1,56 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Configuration of the online serving runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Number of (logical) data-store servers.
+    pub shards: usize,
+    /// Shard worker OS threads (shard `s` is owned by worker `s % workers`).
+    pub workers: usize,
+    /// Events returned per event-stream query (the paper uses 10).
+    pub top_k: usize,
+    /// Per-view trim capacity (0 = unbounded).
+    pub view_capacity: usize,
+    /// Placement seed (hash-random data partitioning).
+    pub placement_seed: u64,
+    /// Staleness budget of the pull cache: queries may be answered from a
+    /// cached result at most this old (zero disables the cache). This is
+    /// Theorem 1's staleness bound turned into a runtime knob.
+    pub pull_cache_ttl: Duration,
+    /// Fire a background full re-optimization once the incremental
+    /// schedule's cost degradation exceeds this fraction of the optimized
+    /// base cost (`f64::INFINITY` disables re-optimization).
+    pub reopt_threshold: f64,
+    /// Bound on the operation front-end channels (back-pressure depth).
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 8,
+            workers: 4,
+            top_k: 10,
+            view_capacity: 128,
+            placement_seed: 0,
+            pull_cache_ttl: Duration::ZERO,
+            reopt_threshold: 0.2,
+            queue_depth: 1024,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.shards >= 1 && c.workers >= 1 && c.top_k >= 1);
+        assert!(c.reopt_threshold > 0.0);
+        assert_eq!(c.pull_cache_ttl, Duration::ZERO);
+    }
+}

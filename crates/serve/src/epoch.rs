@@ -1,0 +1,234 @@
+//! Epoch-swapped serving schedules.
+//!
+//! The hot serving path cannot take a lock around schedule lookups while a
+//! churn manager mutates the schedule underneath it. Instead, the schedule
+//! is *compiled* into immutable per-user push/pull sets ([`ServingSchedule`])
+//! and published through an [`EpochHandle`]: readers grab an `Arc` snapshot
+//! with one uncontended read-lock acquisition (arc-swap style — the write
+//! side holds the lock only for the pointer exchange), then use that
+//! snapshot for the whole request. A request therefore sees exactly one
+//! epoch end-to-end: concurrent swaps can never show it a mix of the old
+//! and new schedule.
+//!
+//! Churn publishes cheap *overrides* on top of the compiled base — only
+//! the users whose serving sets a follow/unfollow touched — while a full
+//! re-optimization replaces the base wholesale and clears the overrides.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use piggyback_core::schedule::Schedule;
+use piggyback_graph::fx::FxHashMap;
+use piggyback_graph::{CsrGraph, NodeId};
+
+/// Fully compiled per-user serving sets (`h[u]` and `l[u]` of Algorithm 3).
+#[derive(Clone, Debug, Default)]
+pub struct CompiledSets {
+    /// `push[u]`: views to update when `u` shares (excluding `u` itself).
+    pub push: Vec<Vec<NodeId>>,
+    /// `pull[v]`: views to query when `v` reads its stream (excluding `v`).
+    pub pull: Vec<Vec<NodeId>>,
+}
+
+/// Per-user churn override: a recompiled set for one user, shadowing the
+/// compiled base. `None` means "base is still current" for that side.
+#[derive(Clone, Debug, Default)]
+pub struct UserOverride {
+    push: Option<Vec<NodeId>>,
+    pull: Option<Vec<NodeId>>,
+}
+
+/// One immutable epoch of the serving schedule.
+#[derive(Clone, Debug)]
+pub struct ServingSchedule {
+    epoch: u64,
+    base: Arc<CompiledSets>,
+    overrides: FxHashMap<NodeId, UserOverride>,
+}
+
+impl ServingSchedule {
+    /// Compiles per-user serving sets from an optimized `(graph, schedule)`
+    /// pair; O(n + m).
+    pub fn compile(g: &CsrGraph, s: &Schedule, epoch: u64) -> Self {
+        assert_eq!(g.edge_count(), s.edge_count());
+        let n = g.node_count();
+        let mut sets = CompiledSets {
+            push: Vec::with_capacity(n),
+            pull: Vec::with_capacity(n),
+        };
+        for u in 0..n as NodeId {
+            sets.push.push(s.push_set_of(g, u));
+            sets.pull.push(s.pull_set_of(g, u));
+        }
+        ServingSchedule {
+            epoch,
+            base: Arc::new(sets),
+            overrides: FxHashMap::default(),
+        }
+    }
+
+    /// Builds an epoch directly from compiled sets (re-optimization path
+    /// and tests).
+    pub fn from_sets(sets: CompiledSets, epoch: u64) -> Self {
+        ServingSchedule {
+            epoch,
+            base: Arc::new(sets),
+            overrides: FxHashMap::default(),
+        }
+    }
+
+    /// The epoch number (strictly increasing across publishes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of users the base compilation covers.
+    pub fn users(&self) -> usize {
+        self.base.push.len()
+    }
+
+    /// Number of users with an active churn override.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// The views to update when `u` shares an event (not counting `u`).
+    pub fn push_targets(&self, u: NodeId) -> &[NodeId] {
+        if let Some(o) = self.overrides.get(&u) {
+            if let Some(p) = &o.push {
+                return p;
+            }
+        }
+        self.base.push.get(u as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The views to query when `v` reads its stream (not counting `v`).
+    pub fn pull_sources(&self, v: NodeId) -> &[NodeId] {
+        if let Some(o) = self.overrides.get(&v) {
+            if let Some(p) = &o.pull {
+                return p;
+            }
+        }
+        self.base.pull.get(v as usize).map_or(&[], Vec::as_slice)
+    }
+
+    /// The next epoch: same base, with the given users' sets replaced.
+    /// The churn manager (single writer) builds this and swaps it in.
+    pub fn with_updates(
+        &self,
+        push_updates: impl IntoIterator<Item = (NodeId, Vec<NodeId>)>,
+        pull_updates: impl IntoIterator<Item = (NodeId, Vec<NodeId>)>,
+    ) -> Self {
+        let mut overrides = self.overrides.clone();
+        for (u, set) in push_updates {
+            overrides.entry(u).or_default().push = Some(set);
+        }
+        for (v, set) in pull_updates {
+            overrides.entry(v).or_default().pull = Some(set);
+        }
+        ServingSchedule {
+            epoch: self.epoch + 1,
+            base: Arc::clone(&self.base),
+            overrides,
+        }
+    }
+}
+
+/// The swap point between the serving path and the churn manager.
+///
+/// Readers call [`load`](EpochHandle::load) once per request; the single
+/// writer (the churn manager) calls [`swap`](EpochHandle::swap). The write
+/// lock is held only for the pointer exchange, so the read path never
+/// blocks for longer than a pointer copy.
+#[derive(Debug)]
+pub struct EpochHandle {
+    slot: RwLock<Arc<ServingSchedule>>,
+}
+
+impl EpochHandle {
+    /// Wraps an initial schedule snapshot.
+    pub fn new(initial: ServingSchedule) -> Self {
+        EpochHandle {
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current snapshot. Requests must call this exactly once and use
+    /// the returned snapshot for their entire lifetime.
+    pub fn load(&self) -> Arc<ServingSchedule> {
+        Arc::clone(&self.slot.read())
+    }
+
+    /// Publishes `next`, returning the previous snapshot.
+    pub fn swap(&self, next: ServingSchedule) -> Arc<ServingSchedule> {
+        let next = Arc::new(next);
+        let mut slot = self.slot.write();
+        std::mem::replace(&mut *slot, next)
+    }
+
+    /// Epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.slot.read().epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_core::baseline::hybrid_schedule;
+    use piggyback_graph::gen::{copying, CopyingConfig};
+    use piggyback_workload::Rates;
+
+    #[test]
+    fn compile_matches_schedule_sets() {
+        let g = copying(CopyingConfig {
+            nodes: 80,
+            follows_per_node: 4,
+            copy_prob: 0.6,
+            seed: 5,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        let s = hybrid_schedule(&g, &r);
+        let compiled = ServingSchedule::compile(&g, &s, 7);
+        assert_eq!(compiled.epoch(), 7);
+        assert_eq!(compiled.users(), g.node_count());
+        for u in 0..g.node_count() as NodeId {
+            assert_eq!(compiled.push_targets(u), s.push_set_of(&g, u).as_slice());
+            assert_eq!(compiled.pull_sources(u), s.pull_set_of(&g, u).as_slice());
+        }
+    }
+
+    #[test]
+    fn unknown_users_have_empty_sets() {
+        let compiled = ServingSchedule::from_sets(CompiledSets::default(), 0);
+        assert!(compiled.push_targets(42).is_empty());
+        assert!(compiled.pull_sources(42).is_empty());
+    }
+
+    #[test]
+    fn overrides_shadow_base_and_bump_epoch() {
+        let sets = CompiledSets {
+            push: vec![vec![1], vec![2]],
+            pull: vec![vec![], vec![0]],
+        };
+        let s0 = ServingSchedule::from_sets(sets, 0);
+        let s1 = s0.with_updates([(0, vec![1, 3])], [(1, vec![0, 3])]);
+        assert_eq!(s1.epoch(), 1);
+        assert_eq!(s1.push_targets(0), &[1, 3]);
+        assert_eq!(s1.pull_sources(1), &[0, 3]);
+        // Untouched users still read the shared base.
+        assert_eq!(s1.push_targets(1), &[2]);
+        // The old epoch is unchanged (immutability).
+        assert_eq!(s0.push_targets(0), &[1]);
+        assert_eq!(s0.epoch(), 0);
+    }
+
+    #[test]
+    fn handle_swap_returns_previous() {
+        let h = EpochHandle::new(ServingSchedule::from_sets(CompiledSets::default(), 0));
+        assert_eq!(h.epoch(), 0);
+        let prev = h.swap(ServingSchedule::from_sets(CompiledSets::default(), 1));
+        assert_eq!(prev.epoch(), 0);
+        assert_eq!(h.load().epoch(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # piggyback-serve — the online feed-serving runtime
+//!
+//! The paper's prototype (§4.3) replays a fixed trace against a *static*
+//! schedule. A production system serves live traffic: follows arrive
+//! mid-flight, rates drift, and the schedule must be maintained online
+//! (§3.3) without stopping the serving path. This crate composes the
+//! existing layers into exactly that system:
+//!
+//! * [`ops`] — the front end: an interleaved stream of `Share`, `Query`,
+//!   `Follow` and `Unfollow` operations (the [`piggyback_workload::Op`]
+//!   alphabet) entering via bounded channels.
+//! * [`epoch`] — the epoch-swapped schedule handle: per-user push/pull
+//!   sets compiled from a [`Schedule`](piggyback_core::schedule::Schedule),
+//!   published as immutable snapshots that the hot read path picks up with
+//!   a single uncontended read-lock acquisition (arc-swap style). A
+//!   request uses exactly one snapshot end-to-end, so concurrent swaps can
+//!   never show it a mix of two schedules.
+//! * [`cache`] — the staleness-bounded pull cache: Theorem 1 guarantees
+//!   every event is visible within one propagation step; an operator who
+//!   accepts a bounded staleness window can trade freshness for query
+//!   fan-out. The budget becomes a runtime TTL.
+//! * [`runtime`] — the sharded serving core ([`piggyback_store`] shard
+//!   workers behind channels, one batched message per touched server) plus
+//!   the churn manager: `Follow`/`Unfollow` flow through
+//!   [`IncrementalScheduler`](piggyback_core::incremental::IncrementalScheduler),
+//!   each mutation publishes a fresh epoch, and when the accumulated
+//!   overlay cost degradation crosses a configurable threshold a full
+//!   re-optimization runs on a background thread through any registered
+//!   [`Scheduler`](piggyback_core::scheduler::Scheduler), swapping the
+//!   fresh schedule in atomically.
+//! * [`harness`] — the load harness: closed-loop and open-loop (fixed
+//!   arrival rate) generators reporting throughput plus p50/p95/p99
+//!   latency via the [`piggyback_store::latency`] histogram.
+
+pub mod cache;
+pub mod config;
+pub mod epoch;
+pub mod harness;
+pub mod ops;
+pub mod runtime;
+
+pub use cache::PullCache;
+pub use config::ServeConfig;
+pub use epoch::{EpochHandle, ServingSchedule};
+pub use harness::{run_harness, Arrival, HarnessConfig, HarnessReport};
+pub use ops::{ChurnReport, ServeReport};
+pub use runtime::{ServeClient, ServeRuntime};

@@ -1,0 +1,84 @@
+//! Front-end operation messages and end-of-run reports.
+//!
+//! The runtime accepts the full [`piggyback_workload::Op`] alphabet:
+//! `Share`/`Query` flow straight to the shard workers through the serving
+//! snapshot, while `Follow`/`Unfollow` are routed over a bounded channel to
+//! the churn manager, which owns the incremental scheduler.
+
+use crossbeam::channel::Sender;
+use piggyback_core::schedule::Schedule;
+use piggyback_graph::{CsrGraph, NodeId};
+
+/// Messages consumed by the churn manager thread.
+pub(crate) enum ChurnMsg {
+    /// Edge `u → v` appears (`v` starts following `u`).
+    Follow {
+        u: NodeId,
+        v: NodeId,
+        /// Acked with whether the edge was newly applied.
+        done: Sender<bool>,
+    },
+    /// Edge `u → v` disappears.
+    Unfollow {
+        u: NodeId,
+        v: NodeId,
+        done: Sender<bool>,
+    },
+    /// A background full re-optimization finished. Boxed: the payload is a
+    /// whole graph + schedule, far larger than the churn variants that
+    /// dominate the channel.
+    ReoptDone(Box<ReoptResult>),
+    /// Finish outstanding work, validate, and report.
+    Shutdown { done: Sender<ChurnReport> },
+}
+
+/// Payload of a finished background re-optimization.
+pub(crate) struct ReoptResult {
+    /// The frozen graph snapshot the optimizer ran on.
+    pub graph: CsrGraph,
+    /// The fresh schedule for that snapshot.
+    pub schedule: Schedule,
+}
+
+/// What the churn manager did over the runtime's lifetime.
+#[derive(Clone, Debug)]
+pub struct ChurnReport {
+    /// Follows applied (excluding duplicates of existing edges).
+    pub follows_applied: u64,
+    /// Unfollows applied (excluding misses).
+    pub unfollows_applied: u64,
+    /// Churn operations that were no-ops (duplicate follow / missing edge).
+    pub churn_rejected: u64,
+    /// Background full re-optimizations completed and swapped in.
+    pub reopts: u64,
+    /// Optimized base cost of the *latest* snapshot.
+    pub base_cost: f64,
+    /// Running incremental cost at shutdown.
+    pub final_cost: f64,
+    /// First bounded-staleness violation found by the post-run validation,
+    /// if any. `None` is the paper's invariant: every current edge is
+    /// served by push, pull, or an intact hub pair.
+    pub staleness_violation: Option<String>,
+}
+
+impl ChurnReport {
+    /// Whether the post-run validation found the schedule fully feasible.
+    pub fn zero_violations(&self) -> bool {
+        self.staleness_violation.is_none()
+    }
+}
+
+/// Full end-of-run report from [`ServeRuntime::shutdown`].
+///
+/// [`ServeRuntime::shutdown`]: crate::runtime::ServeRuntime::shutdown
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Churn-manager accounting and post-run staleness validation.
+    pub churn: ChurnReport,
+    /// Pull-cache hits over the run.
+    pub cache_hits: u64,
+    /// Pull-cache misses over the run.
+    pub cache_misses: u64,
+    /// Epoch of the final published schedule snapshot (number of swaps).
+    pub final_epoch: u64,
+}

@@ -1,0 +1,679 @@
+//! The online serving runtime: shard workers, serving clients, and the
+//! churn manager.
+//!
+//! Thread layout:
+//!
+//! * **Shard workers** (`config.workers` threads) own the
+//!   [`StoreServer`] shards behind channels — the same wire-format
+//!   [`worker`](piggyback_store::worker) protocol the batch prototype
+//!   uses, now long-running.
+//! * **Clients** ([`ServeClient`]) execute `Share`/`Query` against the
+//!   current [`ServingSchedule`] snapshot (one [`EpochHandle::load`] per
+//!   operation) and forward `Follow`/`Unfollow` to the churn manager.
+//! * **The churn manager** (one thread) owns the
+//!   [`IncrementalScheduler`]: it applies topology mutations (§3.3 —
+//!   new edges served directly with the hybrid rule, orphaned piggybacked
+//!   edges re-served), publishes a new epoch per mutation, and fires a
+//!   **background full re-optimization** when the accumulated cost
+//!   degradation crosses the configured threshold. While the optimizer
+//!   runs on its own thread, churn keeps flowing; the mutations are
+//!   replayed onto the fresh schedule before it is swapped in atomically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use piggyback_core::incremental::{ChurnEffect, IncrementalScheduler};
+use piggyback_core::schedule::Schedule;
+use piggyback_core::scheduler::{Instance, Scheduler};
+use piggyback_graph::{CsrGraph, NodeId};
+use piggyback_store::server::StoreServer;
+use piggyback_store::worker::{dispatch, worker_loop, ShardRequest};
+use piggyback_store::{EventTuple, RandomPlacement};
+use piggyback_workload::{Op, Rates};
+
+use crate::cache::PullCache;
+use crate::config::ServeConfig;
+use crate::epoch::{CompiledSets, EpochHandle, ServingSchedule};
+use crate::ops::{ChurnMsg, ChurnReport, ReoptResult, ServeReport};
+
+/// The long-running serving system.
+///
+/// Construct with [`ServeRuntime::start`], obtain any number of
+/// [`ServeClient`]s, and finish with [`ServeRuntime::shutdown`] (after the
+/// clients are dropped) to collect the end-of-run report.
+pub struct ServeRuntime {
+    handle: Arc<EpochHandle>,
+    placement: RandomPlacement,
+    senders: Arc<Vec<Sender<ShardRequest>>>,
+    churn_tx: Sender<ChurnMsg>,
+    cache: Arc<PullCache>,
+    clock: Arc<AtomicU64>,
+    top_k: usize,
+    client_counter: AtomicU64,
+    worker_handles: Vec<JoinHandle<()>>,
+    churn_handle: Option<JoinHandle<()>>,
+}
+
+impl ServeRuntime {
+    /// Boots the runtime for an optimized `(graph, rates, schedule)`
+    /// triple. `reopt` is the optimizer the churn manager re-runs in the
+    /// background when schedule quality degrades past
+    /// [`ServeConfig::reopt_threshold`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not match the graph or the rates do not
+    /// cover every node.
+    pub fn start(
+        graph: CsrGraph,
+        rates: Rates,
+        schedule: Schedule,
+        reopt: Box<dyn Scheduler>,
+        config: ServeConfig,
+    ) -> Self {
+        assert!(config.shards >= 1 && config.workers >= 1, "need threads");
+        assert_eq!(graph.edge_count(), schedule.edge_count());
+        assert!(
+            rates.len() >= graph.node_count(),
+            "rates cover {} users, graph has {}",
+            rates.len(),
+            graph.node_count()
+        );
+        let handle = Arc::new(EpochHandle::new(ServingSchedule::compile(
+            &graph, &schedule, 0,
+        )));
+        let shards: Arc<Vec<Mutex<StoreServer>>> = Arc::new(
+            (0..config.shards)
+                .map(|_| Mutex::new(StoreServer::new(config.view_capacity)))
+                .collect(),
+        );
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut worker_handles = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = bounded::<ShardRequest>(config.queue_depth);
+            let shards = Arc::clone(&shards);
+            worker_handles.push(std::thread::spawn(move || worker_loop(&shards, &rx)));
+            senders.push(tx);
+        }
+        let (churn_tx, churn_rx) = bounded::<ChurnMsg>(config.queue_depth);
+        let manager = ChurnManager {
+            inc: IncrementalScheduler::new(graph, rates.clone(), schedule),
+            rates,
+            handle: Arc::clone(&handle),
+            scheduler: Arc::from(reopt),
+            threshold: config.reopt_threshold,
+            rx: churn_rx,
+            self_tx: churn_tx.clone(),
+            reopt_in_flight: false,
+            reopt_unsupported: false,
+            replay_log: Vec::new(),
+            follows: 0,
+            unfollows: 0,
+            rejected: 0,
+            reopts: 0,
+        };
+        let churn_handle = std::thread::spawn(move || manager.run());
+        ServeRuntime {
+            handle,
+            placement: RandomPlacement::new(config.shards, config.placement_seed),
+            senders: Arc::new(senders),
+            churn_tx,
+            cache: Arc::new(PullCache::new(config.pull_cache_ttl, 64)),
+            clock: Arc::new(AtomicU64::new(1)),
+            top_k: config.top_k,
+            client_counter: AtomicU64::new(0),
+            worker_handles,
+            churn_handle: Some(churn_handle),
+        }
+    }
+
+    /// A new front-end client with its own event-id namespace.
+    pub fn client(&self) -> ServeClient {
+        let id = self.client_counter.fetch_add(1, Ordering::Relaxed);
+        ServeClient {
+            handle: Arc::clone(&self.handle),
+            placement: self.placement,
+            senders: Arc::clone(&self.senders),
+            churn_tx: self.churn_tx.clone(),
+            cache: Arc::clone(&self.cache),
+            clock: Arc::clone(&self.clock),
+            top_k: self.top_k,
+            next_event: id << 40,
+        }
+    }
+
+    /// Epoch of the currently published schedule snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.handle.epoch()
+    }
+
+    /// The currently published schedule snapshot (diagnostics/tests).
+    pub fn snapshot(&self) -> Arc<ServingSchedule> {
+        self.handle.load()
+    }
+
+    /// Stops the churn manager (waiting for any in-flight re-optimization
+    /// to land), validates bounded staleness on the final dynamic graph,
+    /// and tears the worker pool down.
+    ///
+    /// Clients should be dropped first; a client that outlives shutdown
+    /// keeps its shard channels alive (its operations still complete) but
+    /// churn operations are rejected.
+    pub fn shutdown(mut self) -> ServeReport {
+        let (tx, rx) = bounded(1);
+        self.churn_tx
+            .send(ChurnMsg::Shutdown { done: tx })
+            .expect("churn manager gone before shutdown");
+        let churn = rx.recv().expect("churn manager dropped its report");
+        if let Some(h) = self.churn_handle.take() {
+            h.join().expect("churn manager panicked");
+        }
+        drop(self.churn_tx);
+        // Workers exit once every request sender is gone. If a client still
+        // holds the sender Arc, leave the workers serving; they die with it.
+        if let Ok(senders) = Arc::try_unwrap(self.senders) {
+            drop(senders);
+            for h in self.worker_handles.drain(..) {
+                h.join().expect("shard worker panicked");
+            }
+        }
+        let (cache_hits, cache_misses) = self.cache.stats();
+        ServeReport {
+            churn,
+            cache_hits,
+            cache_misses,
+            final_epoch: self.handle.epoch(),
+        }
+    }
+}
+
+/// A front-end handle issuing operations against the runtime.
+///
+/// Every operation loads the schedule snapshot exactly once and uses it
+/// end-to-end, so a concurrent epoch swap can never split one request
+/// across two schedules.
+pub struct ServeClient {
+    handle: Arc<EpochHandle>,
+    placement: RandomPlacement,
+    senders: Arc<Vec<Sender<ShardRequest>>>,
+    churn_tx: Sender<ChurnMsg>,
+    cache: Arc<PullCache>,
+    clock: Arc<AtomicU64>,
+    top_k: usize,
+    next_event: u64,
+}
+
+impl ServeClient {
+    /// Shares a new event from `u`: one batched update per touched server
+    /// (Algorithm 3 lines 1–7). Returns the number of store messages sent.
+    pub fn share(&mut self, u: NodeId) -> u64 {
+        let snap = self.handle.load();
+        self.next_event += 1;
+        let ts = self.clock.fetch_add(1, Ordering::Relaxed);
+        let event = EventTuple::new(u, self.next_event, ts);
+        let payload = event.to_bytes();
+        let mut targets = snap.push_targets(u).to_vec();
+        targets.push(u);
+        dispatch(
+            &self.placement,
+            &self.senders,
+            &targets,
+            |shard, views, done| ShardRequest::Update {
+                shard,
+                views,
+                payload: payload.clone(),
+                done,
+            },
+        )
+        .len() as u64
+    }
+
+    /// Assembles `u`'s event stream (Algorithm 3 lines 8–16), possibly
+    /// from the staleness-bounded cache. Returns `(events, messages)`;
+    /// a cache hit costs zero messages.
+    pub fn query(&mut self, u: NodeId) -> (Vec<EventTuple>, u64) {
+        let snap = self.handle.load();
+        if let Some(events) = self.cache.get(u, snap.epoch()) {
+            return (events, 0);
+        }
+        let mut targets = snap.pull_sources(u).to_vec();
+        targets.push(u);
+        let k = self.top_k;
+        let replies = dispatch(
+            &self.placement,
+            &self.senders,
+            &targets,
+            |shard, views, done| ShardRequest::Query {
+                shard,
+                views,
+                k,
+                done,
+            },
+        );
+        let messages = replies.len() as u64;
+        let mut merged: Vec<EventTuple> = Vec::new();
+        for mut reply in replies {
+            while let Some(t) = EventTuple::decode(&mut reply) {
+                merged.push(t);
+            }
+        }
+        merged.sort_unstable_by(|a, b| b.cmp(a));
+        merged.dedup();
+        merged.truncate(k);
+        self.cache.put(u, snap.epoch(), merged.clone());
+        (merged, messages)
+    }
+
+    /// `v` starts following `u`. Blocks until the churn manager has
+    /// applied the edge and published the new epoch; `false` if the edge
+    /// already existed (or the runtime is shutting down).
+    pub fn follow(&self, u: NodeId, v: NodeId) -> bool {
+        self.churn(true, u, v)
+    }
+
+    /// `v` stops following `u`. `false` if the edge did not exist.
+    pub fn unfollow(&self, u: NodeId, v: NodeId) -> bool {
+        self.churn(false, u, v)
+    }
+
+    fn churn(&self, add: bool, u: NodeId, v: NodeId) -> bool {
+        let (done, ack) = bounded(1);
+        let msg = if add {
+            ChurnMsg::Follow { u, v, done }
+        } else {
+            ChurnMsg::Unfollow { u, v, done }
+        };
+        if self.churn_tx.send(msg).is_err() {
+            return false;
+        }
+        ack.recv().unwrap_or(false)
+    }
+
+    /// Executes one trace operation, returning the store messages it sent.
+    pub fn apply_op(&mut self, op: Op) -> u64 {
+        match op {
+            Op::Share(u) => self.share(u),
+            Op::Query(u) => self.query(u).1,
+            Op::Follow(u, v) => {
+                self.follow(u, v);
+                0
+            }
+            Op::Unfollow(u, v) => {
+                self.unfollow(u, v);
+                0
+            }
+        }
+    }
+}
+
+/// The single-writer churn manager (one thread; owns the incremental
+/// scheduler, publishes every epoch).
+struct ChurnManager {
+    inc: IncrementalScheduler,
+    rates: Rates,
+    handle: Arc<EpochHandle>,
+    scheduler: Arc<dyn Scheduler>,
+    threshold: f64,
+    rx: Receiver<ChurnMsg>,
+    self_tx: Sender<ChurnMsg>,
+    reopt_in_flight: bool,
+    /// Set once the optimizer declines the instance (`supports() == false`)
+    /// so the freeze-and-check is not repeated on every later churn op.
+    reopt_unsupported: bool,
+    /// Mutations applied while a re-optimization is in flight; replayed
+    /// onto the fresh schedule before it is swapped in.
+    replay_log: Vec<(bool, NodeId, NodeId)>,
+    follows: u64,
+    unfollows: u64,
+    rejected: u64,
+    reopts: u64,
+}
+
+/// Churn overrides above this count are compacted into a fresh compiled
+/// base (one O(n + m) recompile) instead of growing — it bounds both the
+/// per-publish override-map clone and the snapshot's memory overhead on
+/// long runs where re-optimization never fires.
+const OVERRIDE_COMPACT_LIMIT: usize = 1024;
+
+impl ChurnManager {
+    fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                ChurnMsg::Follow { u, v, done } => {
+                    let _ = done.send(self.apply(true, u, v));
+                }
+                ChurnMsg::Unfollow { u, v, done } => {
+                    let _ = done.send(self.apply(false, u, v));
+                }
+                ChurnMsg::ReoptDone(result) => self.install_reopt(*result),
+                ChurnMsg::Shutdown { done } => {
+                    // Let an in-flight re-optimization land so its thread
+                    // is not abandoned mid-swap; further churn is rejected.
+                    while self.reopt_in_flight {
+                        match self.rx.recv() {
+                            Ok(ChurnMsg::ReoptDone(result)) => {
+                                self.install_reopt(*result);
+                            }
+                            Ok(ChurnMsg::Follow { done, .. })
+                            | Ok(ChurnMsg::Unfollow { done, .. }) => {
+                                let _ = done.send(false);
+                            }
+                            Ok(ChurnMsg::Shutdown { .. }) | Err(_) => break,
+                        }
+                    }
+                    let _ = done.send(self.final_report());
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Applies one mutation, publishes the next epoch, and checks the
+    /// re-optimization trigger. Returns whether the edge actually changed.
+    fn apply(&mut self, add: bool, u: NodeId, v: NodeId) -> bool {
+        let n = self.rates.len() as u64;
+        if u as u64 >= n || v as u64 >= n {
+            // Users outside the rate model cannot be priced; reject.
+            self.rejected += 1;
+            return false;
+        }
+        let effect = if add {
+            self.inc.add_edge_detailed(u, v)
+        } else {
+            self.inc.remove_edge_detailed(u, v)
+        };
+        if !effect.applied {
+            self.rejected += 1;
+            return false;
+        }
+        if add {
+            self.follows += 1;
+        } else {
+            self.unfollows += 1;
+        }
+        if self.reopt_in_flight {
+            self.replay_log.push((add, u, v));
+        }
+        self.publish(&effect);
+        self.maybe_reopt();
+        true
+    }
+
+    /// Publishes a new epoch overriding exactly the users the mutation
+    /// touched. Single writer: load-modify-swap is race-free. Once the
+    /// override map would exceed [`OVERRIDE_COMPACT_LIMIT`], the sets are
+    /// compacted into a fresh base instead, keeping per-publish cost
+    /// bounded on runs where re-optimization never fires.
+    fn publish(&self, effect: &ChurnEffect) {
+        let snap = self.handle.load();
+        if snap.override_count() >= OVERRIDE_COMPACT_LIMIT {
+            self.publish_full_base();
+            return;
+        }
+        let push_updates: Vec<(NodeId, Vec<NodeId>)> = effect
+            .push_changed
+            .iter()
+            .map(|&x| (x, self.inc.push_targets(x)))
+            .collect();
+        let pull_updates: Vec<(NodeId, Vec<NodeId>)> = effect
+            .pull_changed
+            .iter()
+            .map(|&x| (x, self.inc.pull_sources(x)))
+            .collect();
+        self.handle
+            .swap(snap.with_updates(push_updates, pull_updates));
+    }
+
+    /// Publishes a freshly compiled base (no overrides) reflecting the
+    /// incremental scheduler's current serving sets; O(n + m).
+    fn publish_full_base(&self) {
+        let n = self.rates.len();
+        let mut sets = CompiledSets {
+            push: Vec::with_capacity(n),
+            pull: Vec::with_capacity(n),
+        };
+        for x in 0..n as NodeId {
+            sets.push.push(self.inc.push_targets(x));
+            sets.pull.push(self.inc.pull_sources(x));
+        }
+        let epoch = self.handle.epoch() + 1;
+        self.handle.swap(ServingSchedule::from_sets(sets, epoch));
+    }
+
+    /// Fires a background re-optimization when degradation crosses the
+    /// threshold and none is already running.
+    fn maybe_reopt(&mut self) {
+        if self.reopt_in_flight || self.reopt_unsupported || !self.threshold.is_finite() {
+            return;
+        }
+        let base = self.inc.base_cost();
+        if base <= 0.0 || self.inc.overlay_cost_delta() <= self.threshold * base {
+            return;
+        }
+        let frozen = self.inc.freeze_graph();
+        let rates = self.rates.clone();
+        if !self.scheduler.supports(&Instance::new(&frozen, &rates)) {
+            // An optimizer that declines this instance will decline every
+            // grown version of it too; never pay the freeze again.
+            self.reopt_unsupported = true;
+            return;
+        }
+        let scheduler = Arc::clone(&self.scheduler);
+        let tx = self.self_tx.clone();
+        self.reopt_in_flight = true;
+        std::thread::spawn(move || {
+            let out = scheduler.schedule(&Instance::new(&frozen, &rates));
+            // The manager may have shut down meanwhile; that drop is fine.
+            let _ = tx.send(ChurnMsg::ReoptDone(Box::new(ReoptResult {
+                graph: frozen,
+                schedule: out.schedule,
+            })));
+        });
+    }
+
+    /// Swaps a finished re-optimization in: replay the churn that arrived
+    /// while it ran, recompile the serving sets, publish a fresh base.
+    fn install_reopt(&mut self, result: ReoptResult) {
+        let ReoptResult { graph, schedule } = result;
+        let mut fresh = IncrementalScheduler::new(graph, self.rates.clone(), schedule);
+        for (add, u, v) in self.replay_log.drain(..) {
+            if add {
+                fresh.add_edge(u, v);
+            } else {
+                fresh.remove_edge(u, v);
+            }
+        }
+        self.inc = fresh;
+        self.reopt_in_flight = false;
+        self.reopts += 1;
+        self.publish_full_base();
+    }
+
+    fn final_report(&self) -> ChurnReport {
+        ChurnReport {
+            follows_applied: self.follows,
+            unfollows_applied: self.unfollows,
+            churn_rejected: self.rejected,
+            reopts: self.reopts,
+            base_cost: self.inc.base_cost(),
+            final_cost: self.inc.cost(),
+            staleness_violation: self.inc.validate().err().map(|e| e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_core::parallelnosy::ParallelNosy;
+    use piggyback_core::scheduler::Hybrid;
+    use piggyback_graph::GraphBuilder;
+
+    fn fig2_world() -> (CsrGraph, Rates, Schedule) {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        let r = Rates::from_vecs(vec![1.0, 5.0, 5.0], vec![5.0, 5.0, 1.8]);
+        let s = ParallelNosy::default()
+            .schedule(&Instance::new(&g, &r))
+            .schedule;
+        (g, r, s)
+    }
+
+    fn boot(cfg: ServeConfig) -> ServeRuntime {
+        let (g, r, s) = fig2_world();
+        ServeRuntime::start(g, r, s, Box::new(Hybrid), cfg)
+    }
+
+    #[test]
+    fn piggybacked_event_flows_online() {
+        let rt = boot(ServeConfig {
+            shards: 4,
+            workers: 2,
+            ..Default::default()
+        });
+        let mut c = rt.client();
+        // Covered edge 0 → 2 through hub 1: Art's share reaches Billie.
+        c.share(0);
+        let (events, msgs) = c.query(2);
+        assert!(msgs >= 1);
+        assert!(
+            events.iter().any(|e| e.user == 0),
+            "piggybacked event missing: {events:?}"
+        );
+        drop(c);
+        let report = rt.shutdown();
+        assert!(report.churn.zero_violations());
+        assert_eq!(report.final_epoch, 0, "no churn, no swaps");
+    }
+
+    #[test]
+    fn follow_takes_effect_for_future_shares() {
+        let rt = boot(ServeConfig {
+            shards: 2,
+            workers: 1,
+            ..Default::default()
+        });
+        let mut c = rt.client();
+        // No edge 2 → 0 yet: Billie's shares do not reach Art.
+        c.share(2);
+        let (events, _) = c.query(0);
+        assert!(!events.iter().any(|e| e.user == 2));
+        assert!(c.follow(2, 0), "new edge must apply");
+        assert!(!c.follow(2, 0), "duplicate follow rejected");
+        assert!(rt.epoch() >= 1, "churn publishes a new epoch");
+        c.share(2);
+        let (events, _) = c.query(0);
+        assert!(
+            events.iter().any(|e| e.user == 2),
+            "followed producer's event missing: {events:?}"
+        );
+        // Unfollow: later shares stop flowing (old events may remain).
+        assert!(c.unfollow(2, 0));
+        let before: Vec<_> = c.query(0).0;
+        c.share(2);
+        let (after, _) = c.query(0);
+        assert_eq!(before, after, "no new event may arrive after unfollow");
+        drop(c);
+        let report = rt.shutdown();
+        assert_eq!(report.churn.follows_applied, 1);
+        assert_eq!(report.churn.unfollows_applied, 1);
+        assert_eq!(report.churn.churn_rejected, 1);
+        assert!(report.churn.zero_violations());
+    }
+
+    #[test]
+    fn sustained_churn_compacts_overrides() {
+        use piggyback_graph::gen::{copying, CopyingConfig};
+        let g = copying(CopyingConfig {
+            nodes: 100,
+            follows_per_node: 4,
+            copy_prob: 0.6,
+            seed: 1,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        let s = ParallelNosy::default()
+            .schedule(&Instance::new(&g, &r))
+            .schedule;
+        let rt = ServeRuntime::start(
+            g.clone(),
+            r,
+            s,
+            Box::new(Hybrid),
+            ServeConfig {
+                shards: 2,
+                workers: 1,
+                // Re-optimization never fires: compaction alone must bound
+                // the override map.
+                reopt_threshold: f64::INFINITY,
+                ..Default::default()
+            },
+        );
+        let mut c = rt.client();
+        // 50 × 40 distinct pairs; only pre-existing graph edges reject, so
+        // well over OVERRIDE_COMPACT_LIMIT mutations apply.
+        let mut applied = 0u64;
+        for u in 0..50u32 {
+            for v in 50..90u32 {
+                if c.follow(u, v) {
+                    applied += 1;
+                }
+            }
+        }
+        assert!(
+            applied > OVERRIDE_COMPACT_LIMIT as u64,
+            "storm too small: {applied}"
+        );
+        assert!(
+            rt.snapshot().override_count() <= OVERRIDE_COMPACT_LIMIT,
+            "override map must stay bounded: {}",
+            rt.snapshot().override_count()
+        );
+        // Serving still works after compactions.
+        c.share(0);
+        let _ = c.query(1);
+        drop(c);
+        let report = rt.shutdown();
+        assert!(report.churn.zero_violations());
+        assert_eq!(report.churn.reopts, 0);
+    }
+
+    #[test]
+    fn out_of_model_users_are_rejected() {
+        let rt = boot(ServeConfig::default());
+        let c = rt.client();
+        assert!(!c.follow(0, 99), "user 99 has no rates");
+        drop(c);
+        let report = rt.shutdown();
+        assert_eq!(report.churn.churn_rejected, 1);
+    }
+
+    #[test]
+    fn cached_query_skips_messages_and_respects_epoch() {
+        let rt = boot(ServeConfig {
+            shards: 4,
+            workers: 2,
+            pull_cache_ttl: std::time::Duration::from_secs(60),
+            ..Default::default()
+        });
+        let mut c = rt.client();
+        c.share(0);
+        let (_, msgs) = c.query(2);
+        assert!(msgs >= 1, "first query fans out");
+        let (_, msgs) = c.query(2);
+        assert_eq!(msgs, 0, "second query served from cache");
+        // A churn-published epoch invalidates the cached result.
+        assert!(c.follow(2, 1));
+        let (_, msgs) = c.query(2);
+        assert!(msgs >= 1, "epoch swap must invalidate the cache");
+        drop(c);
+        let report = rt.shutdown();
+        assert_eq!(report.cache_hits, 1);
+        assert!(report.churn.zero_violations());
+    }
+}

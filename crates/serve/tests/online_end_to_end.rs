@@ -1,0 +1,153 @@
+//! End-to-end online serving: interleaved share/query/follow/unfollow
+//! load with live re-optimization, validated for bounded staleness.
+
+use std::time::Duration;
+
+use piggyback_core::scheduler::{by_name, Instance};
+use piggyback_graph::gen::{copying, CopyingConfig};
+use piggyback_graph::CsrGraph;
+use piggyback_serve::{run_harness, Arrival, HarnessConfig, ServeConfig, ServeRuntime};
+use piggyback_workload::Rates;
+
+fn world(nodes: usize, seed: u64) -> (CsrGraph, Rates) {
+    let g = copying(CopyingConfig {
+        nodes,
+        follows_per_node: 6,
+        copy_prob: 0.8,
+        seed,
+    });
+    let r = Rates::log_degree(&g, 5.0);
+    (g, r)
+}
+
+/// Heavy follow pressure with a hair-trigger threshold must fire at least
+/// one background re-optimization, and the serving path must stay
+/// feasible throughout (zero staleness violations post-run).
+#[test]
+fn churn_triggers_background_reoptimization() {
+    let (g, r) = world(400, 9);
+    let opt = by_name("parallelnosy").unwrap();
+    let schedule = opt.schedule(&Instance::new(&g, &r)).schedule;
+    let rt = ServeRuntime::start(
+        g.clone(),
+        r.clone(),
+        schedule,
+        by_name("hybrid").unwrap(),
+        ServeConfig {
+            shards: 4,
+            workers: 2,
+            reopt_threshold: 0.01,
+            ..Default::default()
+        },
+    );
+    let mut c = rt.client();
+    let n = g.node_count() as u32;
+    // Deterministic follow storm: new edges cost hybrid price each, so the
+    // overlay delta crosses 1% of base quickly.
+    let mut applied = 0;
+    for i in 0..2_000u32 {
+        let u = (i * 7919) % n;
+        let v = (i * 104_729 + 1) % n;
+        if u != v && c.follow(u, v) {
+            applied += 1;
+        }
+        // Keep the read/write path busy between mutations.
+        if i % 16 == 0 {
+            c.share(u % n);
+            c.query(v % n);
+        }
+    }
+    assert!(applied > 100, "follow storm barely applied: {applied}");
+    drop(c);
+    let report = rt.shutdown();
+    assert_eq!(report.churn.follows_applied, applied);
+    assert!(
+        report.churn.reopts >= 1,
+        "no re-optimization fired despite threshold 0.01 and {applied} follows"
+    );
+    assert!(
+        report.churn.zero_violations(),
+        "staleness violated: {:?}",
+        report.churn.staleness_violation
+    );
+    // The re-optimized schedule starts from a fresh (higher) base cost
+    // that reflects the grown graph.
+    assert!(report.churn.base_cost > 0.0);
+    assert!(report.final_epoch as u64 > applied);
+}
+
+/// The full harness on a mid-size graph: concurrent clients, churn, the
+/// pull cache, and open/closed arrival generators all compose, and the
+/// post-run validation is clean.
+#[test]
+fn harness_sustains_concurrent_churn_with_cache() {
+    let (g, r) = world(1_000, 4);
+    let opt = by_name("chitchat").unwrap();
+    let schedule = opt.schedule(&Instance::new(&g, &r)).schedule;
+    let report = run_harness(
+        &g,
+        &r,
+        schedule,
+        by_name("hybrid").unwrap(),
+        ServeConfig {
+            shards: 8,
+            workers: 2,
+            pull_cache_ttl: Duration::from_millis(50),
+            reopt_threshold: 0.05,
+            ..Default::default()
+        },
+        &HarnessConfig {
+            clients: 3,
+            duration: Duration::from_millis(400),
+            churn_ratio: 0.1,
+            arrival: Arrival::Closed,
+            seed: 21,
+        },
+    );
+    assert!(report.ops > 0);
+    assert!(report.follows + report.unfollows > 0, "no churn exercised");
+    assert!(report.serve.churn.zero_violations());
+    assert!(
+        report.serve.final_epoch >= report.serve.churn.follows_applied,
+        "every applied mutation publishes an epoch"
+    );
+    // The cache saw traffic (hits are load-dependent, misses are certain).
+    assert!(report.serve.cache_hits + report.serve.cache_misses > 0);
+    // Percentiles are well-formed.
+    assert!(report.quantile_ms(0.5) <= report.quantile_ms(0.95));
+    assert!(report.quantile_ms(0.95) <= report.quantile_ms(0.99));
+}
+
+/// The paper's throughput ordering survives the online path: with enough
+/// servers that batching no longer hides fan-out (Figure 6's right side),
+/// the same live workload costs strictly fewer store messages under a
+/// piggybacking schedule than under push-all.
+#[test]
+fn piggybacking_reduces_online_messages() {
+    let (g, r) = world(600, 2);
+    let mk = |name: &str| {
+        let opt = by_name(name).unwrap();
+        opt.schedule(&Instance::new(&g, &r)).schedule
+    };
+    let cfg = ServeConfig {
+        shards: 256,
+        workers: 2,
+        ..Default::default()
+    };
+    let load = HarnessConfig {
+        clients: 1,
+        duration: Duration::from_millis(300),
+        churn_ratio: 0.0,
+        arrival: Arrival::Closed,
+        seed: 33,
+    };
+    let run = |name: &str| run_harness(&g, &r, mk(name), by_name("hybrid").unwrap(), cfg, &load);
+    let push_all = run("push-all");
+    let chitchat = run("chitchat");
+    let pa = push_all.messages as f64 / push_all.ops.max(1) as f64;
+    let cc = chitchat.messages as f64 / chitchat.ops.max(1) as f64;
+    assert!(
+        cc < pa,
+        "chitchat should touch fewer servers per op: {cc:.2} vs push-all {pa:.2}"
+    );
+}

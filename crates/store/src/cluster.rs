@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use piggyback_core::schedule::Schedule;
 use piggyback_graph::{CsrGraph, NodeId};
@@ -29,6 +29,7 @@ use piggyback_workload::{Rates, RequestKind, RequestTrace};
 use crate::partition::RandomPlacement;
 use crate::server::StoreServer;
 use crate::tuple::EventTuple;
+use crate::worker::{dispatch, worker_loop, ShardRequest};
 
 /// Prototype configuration.
 #[derive(Clone, Copy, Debug)]
@@ -286,43 +287,11 @@ impl Cluster {
             .collect();
         let start = Instant::now();
         crossbeam::scope(|s| {
-            // Shard workers. Requests and replies cross the channel in the
-            // 24-byte wire format, so every message pays realistic
-            // (de)serialization work — as a memcached round trip would.
+            // Shard workers: the shared wire-format worker loop (see
+            // [`crate::worker`]).
             for rx in receivers {
                 let shared = Arc::clone(&shared);
-                s.spawn(move |_| {
-                    while let Ok(req) = rx.recv() {
-                        match req {
-                            ShardRequest::Update {
-                                shard,
-                                views,
-                                mut payload,
-                                done,
-                            } => {
-                                let event = EventTuple::decode(&mut payload)
-                                    .expect("malformed update payload");
-                                shared.shards[shard].lock().update(&views, event);
-                                let _ = done.send(bytes::Bytes::new());
-                            }
-                            ShardRequest::Query {
-                                shard,
-                                views,
-                                k,
-                                done,
-                            } => {
-                                let out = shared.shards[shard].lock().query(&views, k);
-                                let mut buf = bytes::BytesMut::with_capacity(
-                                    out.len() * crate::tuple::TUPLE_BYTES,
-                                );
-                                for t in &out {
-                                    t.encode(&mut buf);
-                                }
-                                let _ = done.send(buf.freeze());
-                            }
-                        }
-                    }
-                });
+                s.spawn(move |_| worker_loop(&shared.shards, &rx));
             }
             // Clients.
             for (c, latency_slot) in latencies.iter().enumerate() {
@@ -473,65 +442,6 @@ impl Cluster {
 struct SharedCluster {
     shards: Vec<Mutex<StoreServer>>,
     clock: AtomicU64,
-}
-
-enum ShardRequest {
-    Update {
-        shard: usize,
-        views: Vec<NodeId>,
-        /// Wire-encoded [`EventTuple`].
-        payload: bytes::Bytes,
-        done: Sender<bytes::Bytes>,
-    },
-    Query {
-        shard: usize,
-        views: Vec<NodeId>,
-        k: usize,
-        done: Sender<bytes::Bytes>,
-    },
-}
-
-impl ShardRequest {
-    fn shard(&self) -> usize {
-        match self {
-            ShardRequest::Update { shard, .. } | ShardRequest::Query { shard, .. } => *shard,
-        }
-    }
-}
-
-/// Groups `targets` by shard, sends one request per shard via the worker
-/// channels, and waits for every reply (a request completes when all
-/// per-server replies arrived — Algorithm 3's ack handling).
-fn dispatch(
-    placement: &RandomPlacement,
-    senders: &[Sender<ShardRequest>],
-    targets: &[NodeId],
-    make: impl Fn(usize, Vec<NodeId>, Sender<bytes::Bytes>) -> ShardRequest,
-) -> Vec<bytes::Bytes> {
-    let mut tagged: Vec<(usize, NodeId)> = targets
-        .iter()
-        .map(|&v| (placement.server_of(v), v))
-        .collect();
-    tagged.sort_unstable();
-    let mut pending = Vec::new();
-    let mut i = 0;
-    while i < tagged.len() {
-        let shard = tagged[i].0;
-        let start = i;
-        while i < tagged.len() && tagged[i].0 == shard {
-            i += 1;
-        }
-        let views: Vec<NodeId> = tagged[start..i].iter().map(|&(_, v)| v).collect();
-        let (done_tx, done_rx) = bounded(1);
-        let req = make(shard, views, done_tx);
-        let worker = req.shard() % senders.len();
-        senders[worker].send(req).expect("worker channel closed");
-        pending.push(done_rx);
-    }
-    pending
-        .into_iter()
-        .map(|rx| rx.recv().expect("worker dropped reply"))
-        .collect()
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! * [`partition`] — hash data partitioning of views onto servers.
 //! * [`server`] — a data-store shard: batched update/query with server-side
 //!   filtering (the "thin layer on top of memcached").
+//! * [`worker`] — the wire-format shard-worker protocol shared by every
+//!   execution harness (batch replay and the online serve runtime).
 //! * [`cluster`] — Algorithm 3's application servers driving the shards,
 //!   with a deterministic single-threaded mode (message accounting) and a
 //!   concurrent mode (real threads, wall-clock throughput).
@@ -28,6 +30,7 @@ pub mod placement;
 pub mod server;
 pub mod tuple;
 pub mod view;
+pub mod worker;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use partition::RandomPlacement;

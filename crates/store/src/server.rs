@@ -48,11 +48,19 @@ impl StoreServer {
     /// listed views, newest first (the server-side filter).
     pub fn query(&mut self, views: &[NodeId], k: usize) -> Vec<EventTuple> {
         self.queries_processed += 1;
-        let mut out: Vec<EventTuple> = Vec::with_capacity(k.saturating_mul(2).min(1024));
-        for &v in views {
-            if let Some(view) = self.views.get(&v) {
-                out.extend_from_slice(view.latest(k));
-            }
+        if k == 0 {
+            return Vec::new();
+        }
+        // Each listed view contributes at most min(k, its length) events, so
+        // the exact pre-reservation is one cheap pass over the view slices.
+        let slices: Vec<&[EventTuple]> = views
+            .iter()
+            .filter_map(|v| self.views.get(v))
+            .map(|view| view.latest(k))
+            .collect();
+        let mut out: Vec<EventTuple> = Vec::with_capacity(slices.iter().map(|s| s.len()).sum());
+        for s in slices {
+            out.extend_from_slice(s);
         }
         out.sort_unstable_by(|a, b| b.cmp(a));
         out.dedup();
@@ -120,6 +128,34 @@ mod tests {
         s.update(&[1, 2], ev(9, 7, 50));
         let r = s.query(&[1, 2], 10);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn zero_k_returns_nothing() {
+        let mut s = StoreServer::new(0);
+        s.update(&[1, 2], ev(9, 7, 50));
+        let r = s.query(&[1, 2], 0);
+        assert!(r.is_empty());
+        // The query is still counted.
+        assert_eq!(s.request_counts(), (1, 1));
+    }
+
+    #[test]
+    fn duplicates_interleaved_across_many_views_deduped() {
+        let mut s = StoreServer::new(0);
+        // The same three events land in four views each; distinct events in
+        // between make the duplicates non-adjacent before the sort.
+        for i in 0..3u64 {
+            s.update(&[1, 2, 3, 4], ev(9, i, 10 + i));
+            s.update(&[2], ev(8, 100 + i, 20 + i));
+        }
+        let r = s.query(&[1, 2, 3, 4], 100);
+        assert_eq!(r.len(), 6, "expected 6 distinct events: {r:?}");
+        // Every survivor is unique.
+        let mut seen = std::collections::HashSet::new();
+        assert!(r.iter().all(|e| seen.insert((e.user, e.event_id))));
+        // And newest first.
+        assert!(r.windows(2).all(|w| w[0] > w[1]));
     }
 
     #[test]

@@ -18,5 +18,5 @@ pub mod trace;
 pub mod zipf;
 
 pub use rates::Rates;
-pub use trace::{RequestKind, RequestTrace, TimedRequest};
+pub use trace::{Op, OpTrace, RequestKind, RequestTrace, TimedRequest};
 pub use zipf::{zipf_rates, ZipfConfig};

@@ -131,6 +131,117 @@ impl RequestTrace {
     }
 }
 
+/// One operation in an *online* trace: the share/query request mix of
+/// [`RequestKind`] plus live topology churn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// User shares a new event (update path).
+    Share(NodeId),
+    /// User requests its event stream (query path).
+    Query(NodeId),
+    /// `v` starts following `u` (edge `u → v` appears).
+    Follow(NodeId, NodeId),
+    /// `v` stops following `u` (edge `u → v` disappears).
+    Unfollow(NodeId, NodeId),
+}
+
+impl Op {
+    /// Whether this operation mutates the social graph.
+    pub fn is_churn(self) -> bool {
+        matches!(self, Op::Follow(..) | Op::Unfollow(..))
+    }
+}
+
+/// A reproducible interleaved stream of shares, queries, follows and
+/// unfollows — the workload of an online feed-serving system, where
+/// topology mutations arrive concurrently with reads and writes.
+///
+/// Requests follow the [`Rates`] workload exactly as [`RequestTrace`]
+/// does; with probability `churn_ratio` an operation is instead a churn
+/// op, split evenly between follows (a uniformly random new pair) and
+/// unfollows (retracting a follow this trace issued earlier, so every
+/// unfollow names an edge that plausibly exists). Deterministic for a
+/// fixed seed.
+#[derive(Clone, Debug)]
+pub struct OpTrace {
+    requests: RequestTrace,
+    nodes: usize,
+    churn_ratio: f64,
+    rng: StdRng,
+    /// Follows issued by this trace and not yet retracted (duplicate-free;
+    /// `live_set` mirrors it for O(1) membership).
+    live: Vec<(NodeId, NodeId)>,
+    live_set: std::collections::HashSet<(NodeId, NodeId)>,
+}
+
+impl OpTrace {
+    /// Builds an op sampler over `rates` with the given churn fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `churn_ratio` is outside `[0, 1]`, the workload covers
+    /// fewer than two users, or every rate is zero.
+    pub fn new(rates: &Rates, churn_ratio: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&churn_ratio),
+            "churn ratio must be in [0, 1]"
+        );
+        assert!(rates.len() >= 2, "churn needs at least two users");
+        OpTrace {
+            requests: RequestTrace::new(rates, seed),
+            nodes: rates.len(),
+            churn_ratio,
+            // Decorrelate the churn stream from the request stream.
+            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            live: Vec::new(),
+            live_set: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Samples the next operation.
+    pub fn next_op(&mut self) -> Op {
+        if self.churn_ratio > 0.0 && self.rng.random_bool(self.churn_ratio) {
+            // Unfollow only what we followed; keeps churn edge-meaningful.
+            if !self.live.is_empty() && self.rng.random_bool(0.5) {
+                let i = self.rng.random_range(0..self.live.len());
+                let (u, v) = self.live.swap_remove(i);
+                self.live_set.remove(&(u, v));
+                return Op::Unfollow(u, v);
+            }
+            loop {
+                let u = self.rng.random_range(0..self.nodes) as NodeId;
+                let v = self.rng.random_range(0..self.nodes) as NodeId;
+                if u != v {
+                    // A re-follow of a still-live pair is emitted (the
+                    // runtime treats it as a no-op) but not tracked twice,
+                    // so every unfollow retracts a distinct live follow.
+                    if self.live_set.insert((u, v)) {
+                        self.live.push((u, v));
+                    }
+                    return Op::Follow(u, v);
+                }
+            }
+        }
+        match self.requests.next_request() {
+            RequestKind::Share(u) => Op::Share(u),
+            RequestKind::Query(u) => Op::Query(u),
+        }
+    }
+
+    /// Samples a batch of `count` operations.
+    pub fn sample(&mut self, count: usize) -> Vec<Op> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+}
+
+impl Iterator for OpTrace {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        Some(self.next_op())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +328,63 @@ mod tests {
         let a = RequestTrace::new(&rates, 2).timed(50, 5);
         let b = RequestTrace::new(&rates, 2).timed(50, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn op_trace_respects_churn_ratio() {
+        let rates = Rates::uniform(40, 1.0, 4.0);
+        let mut t = OpTrace::new(&rates, 0.1, 5);
+        let ops = t.sample(20_000);
+        let churn = ops.iter().filter(|o| o.is_churn()).count();
+        let frac = churn as f64 / ops.len() as f64;
+        assert!((frac - 0.1).abs() < 0.01, "churn fraction {frac}");
+        // The request mix inside the non-churn ops still follows rc/rp = 4.
+        let queries = ops.iter().filter(|o| matches!(o, Op::Query(_))).count();
+        let requests = ops.len() - churn;
+        let qfrac = queries as f64 / requests as f64;
+        assert!((qfrac - 0.8).abs() < 0.02, "query fraction {qfrac}");
+    }
+
+    #[test]
+    fn op_trace_zero_churn_is_pure_requests() {
+        let rates = Rates::uniform(10, 1.0, 5.0);
+        let mut t = OpTrace::new(&rates, 0.0, 9);
+        assert!(t.sample(5_000).iter().all(|o| !o.is_churn()));
+    }
+
+    #[test]
+    fn op_trace_unfollows_only_prior_follows() {
+        let rates = Rates::uniform(30, 1.0, 2.0);
+        let mut t = OpTrace::new(&rates, 0.5, 13);
+        let mut live = std::collections::HashSet::new();
+        for op in t.sample(10_000) {
+            match op {
+                Op::Follow(u, v) => {
+                    assert_ne!(u, v, "self-follows never sampled");
+                    live.insert((u, v));
+                }
+                Op::Unfollow(u, v) => {
+                    assert!(live.remove(&(u, v)), "unfollow of never-followed edge");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn op_trace_deterministic_by_seed() {
+        let rates = Rates::uniform(25, 1.0, 5.0);
+        let a = OpTrace::new(&rates, 0.2, 77).sample(2_000);
+        let b = OpTrace::new(&rates, 0.2, 77).sample(2_000);
+        assert_eq!(a, b);
+        let c = OpTrace::new(&rates, 0.2, 78).sample(2_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "churn ratio")]
+    fn op_trace_rejects_bad_ratio() {
+        let rates = Rates::uniform(5, 1.0, 1.0);
+        OpTrace::new(&rates, 1.5, 0);
     }
 }

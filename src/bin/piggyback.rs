@@ -9,7 +9,13 @@
 //! piggyback schedule --graph g.edges --algorithm parallelnosy --out s.sched
 //! piggyback evaluate --graph g.edges --schedule s.sched --servers 500
 //! piggyback compare  --preset flickr-like --nodes 2000
+//! piggyback serve    --model flickr --nodes 100000 --algorithm chitchat --duration 2s
 //! ```
+//!
+//! `serve` is the *online* mode: it boots the `piggyback-serve` runtime
+//! and drives it with an interleaved share/query/follow/unfollow workload,
+//! reporting throughput, latency percentiles, churn/re-optimization
+//! accounting, and the post-run bounded-staleness validation.
 //!
 //! Every optimizer is reached through the [`Scheduler`] registry — the CLI
 //! has no per-algorithm call sites, so a newly registered algorithm shows
@@ -49,6 +55,11 @@ const USAGE: &str = "usage:
   piggyback analyze  --graph <file> --schedule <file> [--rw-ratio <r>] [--top <k>]
   piggyback compare  [--preset <flickr-like|twitter-like>] [--graph <file>] \\
                      [--nodes <n>] [--seed <s>] [--rw-ratio <r>] [--shards <k>]
+  piggyback serve    [--graph <file> | --model <m> --nodes <n>] [--algorithm <name>] \\
+                     [--duration <2s|500ms>] [--clients <n>] [--servers <n>] \\
+                     [--workers <n>] [--churn-ratio <f>] [--rate <ops/s>] \\
+                     [--cache-ttl-ms <n>] [--reopt-threshold <f>] \\
+                     [--rw-ratio <r>] [--seed <s>]
 
 <name> is any registered scheduler (see `compare` output), e.g. hybrid,
 chitchat, parallelnosy, parallelnosy-mr, sharded-chitchat, exact.";
@@ -102,6 +113,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "evaluate" => cmd_evaluate(&flags),
         "analyze" => cmd_analyze(&flags),
         "compare" => cmd_compare(&flags),
+        "serve" => cmd_serve(&flags),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -327,6 +339,144 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `"2s"`, `"500ms"`, or a plain number of seconds.
+fn parse_duration(v: &str) -> Result<std::time::Duration, String> {
+    let (num, scale) = if let Some(ms) = v.strip_suffix("ms") {
+        (ms, 1e-3)
+    } else if let Some(s) = v.strip_suffix('s') {
+        (s, 1.0)
+    } else {
+        (v, 1.0)
+    };
+    let secs: f64 = num
+        .parse()
+        .map_err(|_| format!("invalid duration {v:?} (use e.g. 2s or 500ms)"))?;
+    if !secs.is_finite() || secs <= 0.0 || secs * scale > 86_400.0 {
+        return Err("duration must be positive (and at most 24h)".into());
+    }
+    Ok(std::time::Duration::from_secs_f64(secs * scale))
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = parsed(flags, "seed", 42)?;
+    let g = match flags.get("graph") {
+        Some(path) => load_edge_list(path).map_err(|e| e.to_string())?,
+        None => {
+            let nodes: usize = parsed(flags, "nodes", 10_000)?;
+            match flags.get("model").map(String::as_str).unwrap_or("flickr") {
+                "flickr" => gen::flickr_like(nodes, seed),
+                "twitter" => gen::twitter_like(nodes, seed),
+                other => return Err(format!("unknown model {other:?}")),
+            }
+        }
+    };
+    let ratio: f64 = parsed(flags, "rw-ratio", 5.0)?;
+    let rates = Rates::log_degree(&g, ratio);
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("parallelnosy");
+    let scheduler = resolve_scheduler(flags, algorithm)?;
+    let inst = Instance::new(&g, &rates);
+    if !scheduler.supports(&inst) {
+        return Err(format!(
+            "algorithm {algorithm:?} cannot handle this instance"
+        ));
+    }
+    let outcome = scheduler.schedule(&inst);
+    validate_bounded_staleness(&g, &outcome.schedule)
+        .map_err(|e| format!("internal error — infeasible schedule: {e}"))?;
+    let serve_config = ServeConfig {
+        shards: parsed(flags, "servers", 64)?,
+        workers: parsed(flags, "workers", 4)?,
+        pull_cache_ttl: std::time::Duration::from_millis(parsed(flags, "cache-ttl-ms", 0)?),
+        reopt_threshold: parsed(flags, "reopt-threshold", 0.2)?,
+        ..Default::default()
+    };
+    let churn_ratio: f64 = parsed(flags, "churn-ratio", 0.02)?;
+    if !(0.0..=1.0).contains(&churn_ratio) {
+        return Err("--churn-ratio must be in [0, 1]".into());
+    }
+    let load = HarnessConfig {
+        clients: parsed(flags, "clients", 4)?,
+        duration: parse_duration(flags.get("duration").map(String::as_str).unwrap_or("2s"))?,
+        churn_ratio,
+        arrival: match flags.get("rate") {
+            Some(r) => Arrival::Open {
+                ops_per_sec: r.parse().map_err(|_| "invalid value for --rate")?,
+            },
+            None => Arrival::Closed,
+        },
+        seed,
+    };
+    println!(
+        "# online serve: {} nodes, {} edges, schedule {} (cost {:.1}), {} servers, {} clients, churn {:.1}%",
+        g.node_count(),
+        g.edge_count(),
+        algorithm,
+        outcome.stats.cost,
+        serve_config.shards,
+        load.clients,
+        load.churn_ratio * 100.0
+    );
+    let report = run_harness(&g, &rates, outcome.schedule, scheduler, serve_config, &load);
+    let churn = &report.serve.churn;
+    println!(
+        "throughput:  {:.0} op/s ({} ops in {:.2}s; {} shares, {} queries, {} follows, {} unfollows)",
+        report.throughput(),
+        report.ops,
+        report.elapsed_secs,
+        report.shares,
+        report.queries,
+        report.follows,
+        report.unfollows
+    );
+    println!(
+        "messages:    {} total, {:.2} per op",
+        report.messages,
+        report.messages as f64 / report.ops.max(1) as f64
+    );
+    println!(
+        "latency:     p50 {:.3}ms  p95 {:.3}ms  p99 {:.3}ms  max {:.3}ms",
+        report.quantile_ms(0.5),
+        report.quantile_ms(0.95),
+        report.quantile_ms(0.99),
+        report.latency.max_ns() as f64 / 1e6
+    );
+    println!(
+        "churn:       {} follows + {} unfollows applied ({} rejected), {} epochs published, {} re-optimizations",
+        churn.follows_applied,
+        churn.unfollows_applied,
+        churn.churn_rejected,
+        report.serve.final_epoch,
+        churn.reopts
+    );
+    println!(
+        "cost:        base {:.1} -> final {:.1} ({:+.2}%)",
+        churn.base_cost,
+        churn.final_cost,
+        if churn.base_cost > 0.0 {
+            (churn.final_cost / churn.base_cost - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    );
+    if report.serve.cache_hits + report.serve.cache_misses > 0 {
+        println!(
+            "pull cache:  {} hits / {} misses ({:.1}% hit rate)",
+            report.serve.cache_hits,
+            report.serve.cache_misses,
+            100.0 * report.serve.cache_hits as f64
+                / (report.serve.cache_hits + report.serve.cache_misses) as f64
+        );
+    }
+    match &churn.staleness_violation {
+        None => println!("staleness:   OK (zero violations, validated post-run)"),
+        Some(v) => return Err(format!("staleness violated after online churn: {v}")),
+    }
+    Ok(())
+}
+
 fn cmd_analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     use social_piggybacking::core::analysis::{amplification, cost_breakdown, hub_report};
     let g = load_edge_list(required(flags, "graph")?).map_err(|e| e.to_string())?;
@@ -501,6 +651,71 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("cannot handle"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_subcommand_runs_online_and_validates() {
+        run(&s(&[
+            "serve",
+            "--model",
+            "flickr",
+            "--nodes",
+            "400",
+            "--algorithm",
+            "chitchat",
+            "--duration",
+            "200ms",
+            "--clients",
+            "2",
+            "--servers",
+            "8",
+            "--workers",
+            "2",
+            "--churn-ratio",
+            "0.05",
+            "--cache-ttl-ms",
+            "20",
+        ]))
+        .unwrap();
+        // Open-loop arrival and threshold flags parse too.
+        run(&s(&[
+            "serve",
+            "--model",
+            "flickr",
+            "--nodes",
+            "200",
+            "--duration",
+            "150ms",
+            "--rate",
+            "500",
+            "--reopt-threshold",
+            "0.01",
+        ]))
+        .unwrap();
+        assert!(run(&s(&["serve", "--duration", "bogus"])).is_err());
+        assert!(run(&s(&["serve", "--duration", "-1s"])).is_err());
+        assert!(run(&s(&["serve", "--duration", "inf"])).is_err());
+        assert!(run(&s(&["serve", "--duration", "9e99s"])).is_err());
+        assert!(run(&s(&["serve", "--churn-ratio", "1.5"])).is_err());
+        assert!(run(&s(&["serve", "--model", "weird"])).is_err());
+    }
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(
+            parse_duration("2s").unwrap(),
+            std::time::Duration::from_secs(2)
+        );
+        assert_eq!(
+            parse_duration("500ms").unwrap(),
+            std::time::Duration::from_millis(500)
+        );
+        assert_eq!(
+            parse_duration("1.5").unwrap(),
+            std::time::Duration::from_millis(1500)
+        );
+        assert!(parse_duration("0s").is_err());
+        assert!(parse_duration("x").is_err());
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //! * [`mapreduce`] — the in-memory MapReduce engine PARALLELNOSY runs on.
 //! * [`store`] — the memcached-style prototype store and placement-aware
 //!   cost models used by the paper's prototype evaluation.
+//! * [`serve`] — the online feed-serving runtime: live follow/unfollow
+//!   churn through the §3.3 incremental maintenance path, epoch-swapped
+//!   schedules, background re-optimization, a staleness-bounded pull
+//!   cache, and a latency-percentile load harness.
 //!
 //! # Quickstart
 //!
@@ -55,6 +59,7 @@
 pub use piggyback_core as core;
 pub use piggyback_graph as graph;
 pub use piggyback_mapreduce as mapreduce;
+pub use piggyback_serve as serve;
 pub use piggyback_store as store;
 pub use piggyback_workload as workload;
 
@@ -77,9 +82,14 @@ pub mod prelude {
     pub use piggyback_core::staleness::{check_semantic_staleness, random_actions};
     pub use piggyback_core::validate::validate_bounded_staleness;
     pub use piggyback_graph::{gen, sample, stats, CsrGraph, DynamicGraph, GraphBuilder};
+    pub use piggyback_serve::{
+        run_harness, Arrival, HarnessConfig, HarnessReport, ServeClient, ServeConfig, ServeRuntime,
+    };
     pub use piggyback_store::cluster::{Cluster, ClusterConfig};
     pub use piggyback_store::latency::LatencyHistogram;
     pub use piggyback_store::partition::RandomPlacement;
     pub use piggyback_store::placement::PlacementCost;
-    pub use piggyback_workload::{zipf_rates, Rates, RequestKind, RequestTrace, ZipfConfig};
+    pub use piggyback_workload::{
+        zipf_rates, Op, OpTrace, Rates, RequestKind, RequestTrace, ZipfConfig,
+    };
 }

@@ -1,9 +1,13 @@
-//! Offline stand-in for `parking_lot`: a `Mutex` with parking_lot's
-//! poison-free API (`lock()` returns the guard directly), implemented over
-//! `std::sync::Mutex`. A poisoned std mutex — a holder panicked — yields
-//! the inner data anyway, matching parking_lot semantics.
+//! Offline stand-in for `parking_lot`: a `Mutex` and an `RwLock` with
+//! parking_lot's poison-free API (`lock()`/`read()`/`write()` return the
+//! guard directly), implemented over the std primitives. A poisoned std
+//! lock — a holder panicked — yields the inner data anyway, matching
+//! parking_lot semantics.
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+};
 
 /// Mutual exclusion with parking_lot's non-poisoning interface.
 #[derive(Debug, Default)]
@@ -49,9 +53,91 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Reader-writer lock with parking_lot's non-poisoning interface.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(StdRwLock<T>);
+
+/// RAII shared-read guard; the lock is released on drop.
+pub struct RwLockReadGuard<'a, T: ?Sized>(StdReadGuard<'a, T>);
+
+/// RAII exclusive-write guard; the lock is released on drop.
+pub struct RwLockWriteGuard<'a, T: ?Sized>(StdWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates an unlocked reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(StdRwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Blocks until shared read access is acquired.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Blocks until exclusive write access is acquired.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
+
+    #[test]
+    fn rwlock_read_write_roundtrip() {
+        let l = RwLock::new(5u32);
+        assert_eq!(*l.read(), 5);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_many_concurrent_readers() {
+        let l = std::sync::Arc::new(RwLock::new(1u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || (0..500).map(|_| *l.read()).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 500);
+        }
+    }
 
     #[test]
     fn lock_and_into_inner() {
