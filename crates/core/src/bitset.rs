@@ -100,6 +100,37 @@ impl BitSet {
         })
     }
 
+    /// Iterates present keys in `lo..hi`, ascending. Word-at-a-time: dense
+    /// id ranges (e.g. a CSR node's out-edge block) scan at 64 keys per
+    /// load, which is what makes "visit only the uncovered edges of `u`"
+    /// cheap for the schedulers.
+    pub fn iter_range(&self, lo: u32, hi: u32) -> impl Iterator<Item = u32> + '_ {
+        let hi = (hi as usize).min(self.capacity) as u32;
+        let (wlo, whi) = if lo >= hi {
+            (0usize, 0usize) // empty
+        } else {
+            (lo as usize / 64, (hi as usize - 1) / 64 + 1)
+        };
+        self.words[wlo..whi]
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, &w)| {
+                let wi = wlo + i;
+                let base = (wi * 64) as u32;
+                let mut word = w;
+                if base < lo {
+                    word &= !0u64 << (lo - base);
+                }
+                if (base + 63) >= hi {
+                    let keep = hi - base; // 1..=64
+                    if keep < 64 {
+                        word &= (1u64 << keep) - 1;
+                    }
+                }
+                BitIter { word, base }
+            })
+    }
+
     /// Whether this set and `other` share any key (capacities must match).
     pub fn intersects(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
@@ -178,6 +209,32 @@ mod tests {
     #[should_panic(expected = "out of capacity")]
     fn out_of_range_insert_panics() {
         BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn iter_range_matches_filtered_iter() {
+        let mut s = BitSet::new(300);
+        for k in [0u32, 1, 63, 64, 65, 127, 128, 200, 255, 256, 299] {
+            s.insert(k);
+        }
+        for (lo, hi) in [
+            (0u32, 300u32),
+            (0, 0),
+            (64, 64),
+            (1, 64),
+            (63, 65),
+            (64, 128),
+            (65, 256),
+            (200, 299),
+            (256, 300),
+            (299, 300),
+        ] {
+            let got: Vec<u32> = s.iter_range(lo, hi).collect();
+            let want: Vec<u32> = s.iter().filter(|&k| k >= lo && k < hi).collect();
+            assert_eq!(got, want, "range {lo}..{hi}");
+        }
+        // hi beyond capacity clamps.
+        assert_eq!(s.iter_range(290, 400).collect::<Vec<_>>(), vec![299]);
     }
 
     #[test]

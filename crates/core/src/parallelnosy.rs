@@ -23,9 +23,9 @@
 //! [`piggyback_mapreduce::MapReduce`] ([`ParallelNosy::run_on_mapreduce`]),
 //! mirroring the paper's Hadoop implementation.
 
-use piggyback_graph::{CsrGraph, EdgeId, NodeId, INVALID_EDGE};
+use piggyback_graph::{intersect_sorted, CsrGraph, EdgeId, NodeId, INVALID_EDGE};
 use piggyback_mapreduce::MapReduce;
-use piggyback_workload::Rates;
+use piggyback_workload::{EdgeCosts, Rates};
 
 use crate::cost::hybrid_edge_cost;
 use crate::schedule::Schedule;
@@ -113,27 +113,29 @@ impl Candidate {
     }
 }
 
-/// Positive cost of scheduling push leg `x → w` (§3.2's `cX`).
+/// Positive cost of scheduling push leg `x → w` over edge `e` (§3.2's
+/// `cX`). The hybrid cost comes from the precomputed per-edge cache.
 #[inline]
-fn push_leg_cost(rates: &Rates, sched: &Schedule, x: NodeId, w: NodeId, e: EdgeId) -> f64 {
+fn push_leg_cost(rates: &Rates, costs: &EdgeCosts, sched: &Schedule, x: NodeId, e: EdgeId) -> f64 {
     if sched.is_push(e) {
         0.0
     } else if sched.is_pull(e) {
         rates.rp(x)
     } else {
-        rates.rp(x) - hybrid_edge_cost(rates, x, w)
+        rates.rp(x) - costs.hybrid_cost(e)
     }
 }
 
-/// Positive cost of scheduling pull leg `w → y` (specular to `cX`).
+/// Positive cost of scheduling pull leg `w → y` over edge `e` (specular to
+/// `cX`).
 #[inline]
-fn pull_leg_cost(rates: &Rates, sched: &Schedule, w: NodeId, y: NodeId, e: EdgeId) -> f64 {
+fn pull_leg_cost(rates: &Rates, costs: &EdgeCosts, sched: &Schedule, y: NodeId, e: EdgeId) -> f64 {
     if sched.is_pull(e) {
         0.0
     } else if sched.is_push(e) {
         rates.rc(y)
     } else {
-        rates.rc(y) - hybrid_edge_cost(rates, w, y)
+        rates.rc(y) - costs.hybrid_cost(e)
     }
 }
 
@@ -142,6 +144,7 @@ fn pull_leg_cost(rates: &Rates, sched: &Schedule, w: NodeId, y: NodeId, e: EdgeI
 fn build_candidate(
     g: &CsrGraph,
     rates: &Rates,
+    costs: &EdgeCosts,
     sched: &Schedule,
     hub_edge: EdgeId,
     cross_cap: usize,
@@ -152,41 +155,35 @@ fn build_candidate(
     let (w, y) = g.edge_endpoints(hub_edge);
     // X = common predecessors of w and y, subject to Algorithm 2 line 2:
     //   x→w ∈ E \ C   and   x→y ∈ E \ (C ∪ H ∪ L).
-    // Both in-edge lists are sorted by source: merge-intersect them.
+    // Both in-neighbor slices are sorted by source: merge-intersect them,
+    // recovering the leg edge ids from the slice positions.
     let mut xs: Vec<(NodeId, EdgeId, EdgeId)> = Vec::new();
     let mut saved = 0.0;
-    let mut it_w = g.in_edges(w);
-    let mut it_y = g.in_edges(y);
-    let (mut a, mut b) = (it_w.next(), it_y.next());
-    while let (Some((xw_src, xw_e)), Some((xy_src, xy_e))) = (a, b) {
-        match xw_src.cmp(&xy_src) {
-            std::cmp::Ordering::Less => a = it_w.next(),
-            std::cmp::Ordering::Greater => b = it_y.next(),
-            std::cmp::Ordering::Equal => {
-                let x = xw_src;
-                if x != y
-                    && !sched.is_covered(xw_e)
-                    && !sched.is_covered(xy_e)
-                    && !sched.is_push(xy_e)
-                    && !sched.is_pull(xy_e)
-                {
-                    xs.push((x, xw_e, xy_e));
-                    saved += hybrid_edge_cost(rates, x, y);
-                    if xs.len() >= cross_cap {
-                        break;
-                    }
-                }
-                a = it_w.next();
-                b = it_y.next();
+    let in_w = g.in_neighbors(w);
+    intersect_sorted(in_w, g.in_neighbors(y), |iw, iy| {
+        let x = in_w[iw];
+        let xw_e = g.in_edge_id_at(w, iw);
+        let xy_e = g.in_edge_id_at(y, iy);
+        if x != y
+            && !sched.is_covered(xw_e)
+            && !sched.is_covered(xy_e)
+            && !sched.is_push(xy_e)
+            && !sched.is_pull(xy_e)
+        {
+            xs.push((x, xw_e, xy_e));
+            saved += costs.hybrid_cost(xy_e);
+            if xs.len() >= cross_cap {
+                return false;
             }
         }
-    }
+        true
+    });
     if xs.is_empty() {
         return None;
     }
-    let mut cost = pull_leg_cost(rates, sched, w, y, hub_edge);
+    let mut cost = pull_leg_cost(rates, costs, sched, y, hub_edge);
     for &(x, xw_e, _) in &xs {
-        cost += push_leg_cost(rates, sched, x, w, xw_e);
+        cost += push_leg_cost(rates, costs, sched, x, xw_e);
     }
     let gain = saved - cost;
     if gain > 1e-12 {
@@ -246,6 +243,7 @@ struct Decision {
 fn decide(
     g: &CsrGraph,
     rates: &Rates,
+    costs: &EdgeCosts,
     sched: &Schedule,
     cand: &Candidate,
     conservative: bool,
@@ -265,15 +263,15 @@ fn decide(
     for &(x, xw_e, xy_e) in &cand.xs {
         if held(xw_e, !sched.is_push(xw_e)) && granted(xy_e) {
             legs.push((xw_e, xy_e));
-            saved += hybrid_edge_cost(rates, x, cand.y);
-            cost += push_leg_cost(rates, sched, x, cand.w, xw_e);
+            saved += costs.hybrid_cost(xy_e);
+            cost += push_leg_cost(rates, costs, sched, x, xw_e);
         }
     }
     let _ = g;
     if legs.is_empty() {
         return None;
     }
-    cost += pull_leg_cost(rates, sched, cand.w, cand.y, cand.hub_edge);
+    cost += pull_leg_cost(rates, costs, sched, cand.y, cand.hub_edge);
     if saved - cost > 1e-12 {
         Some(Decision {
             hub_edge: cand.hub_edge,
@@ -323,6 +321,24 @@ pub fn partial_cost(g: &CsrGraph, rates: &Rates, sched: &Schedule) -> f64 {
     cost
 }
 
+/// [`partial_cost`] with the per-edge hybrid costs already cached — the
+/// variant the iteration loop uses.
+fn partial_cost_cached(g: &CsrGraph, rates: &Rates, costs: &EdgeCosts, sched: &Schedule) -> f64 {
+    let mut cost = 0.0;
+    for (e, u, v) in g.edges() {
+        if sched.is_push(e) {
+            cost += rates.rp(u);
+        }
+        if sched.is_pull(e) {
+            cost += rates.rc(v);
+        }
+        if !sched.is_push(e) && !sched.is_pull(e) && !sched.is_covered(e) {
+            cost += costs.hybrid_cost(e);
+        }
+    }
+    cost
+}
+
 /// Fills every unscheduled edge with its hybrid (cheaper-side) assignment.
 fn finalize(g: &CsrGraph, rates: &Rates, sched: &mut Schedule) {
     for (e, u, v) in g.edges() {
@@ -339,7 +355,10 @@ fn finalize(g: &CsrGraph, rates: &Rates, sched: &mut Schedule) {
 impl ParallelNosy {
     /// Runs PARALLELNOSY with crossbeam-threaded candidate selection.
     pub fn run(&self, g: &CsrGraph, rates: &Rates) -> ParallelNosyResult {
-        self.run_impl(g, rates, |sched| self.candidates_threaded(g, rates, sched))
+        let costs = EdgeCosts::hybrid(g, rates);
+        self.run_impl(g, rates, &costs, |sched| {
+            self.candidates_threaded(g, rates, &costs, sched)
+        })
     }
 
     /// Runs PARALLELNOSY as MapReduce jobs on `engine`, mirroring the
@@ -354,8 +373,10 @@ impl ParallelNosy {
         engine: &MapReduce,
     ) -> ParallelNosyResult {
         let m = g.edge_count();
+        let costs = EdgeCosts::hybrid(g, rates);
+        let costs = &costs;
         let mut sched = Schedule::for_graph(g);
-        let mut history = vec![partial_cost(g, rates, &sched)];
+        let mut history = vec![partial_cost_cached(g, rates, costs, &sched)];
         let mut hubs_applied = 0usize;
         let mut iterations = 0usize;
 
@@ -364,7 +385,7 @@ impl ParallelNosy {
             let inputs: Vec<EdgeId> = (0..m as EdgeId).collect();
             let grants: Vec<(EdgeId, (f64, EdgeId))> = engine.run(
                 inputs,
-                |&e| match build_candidate(g, rates, &sched, e, self.cross_cap) {
+                |&e| match build_candidate(g, rates, costs, &sched, e, self.cross_cap) {
                     Some(c) => c
                         .lock_edges(&sched, self.conservative_locks)
                         .map(|le| (le, (c.gain, c.hub_edge)))
@@ -392,9 +413,17 @@ impl ParallelNosy {
                 grants,
                 |&(edge, (_gain, hub))| vec![(hub, edge)],
                 |hub, granted_edges| {
-                    let cand = build_candidate(g, rates, &sched, hub, self.cross_cap)?;
+                    let cand = build_candidate(g, rates, costs, &sched, hub, self.cross_cap)?;
                     let granted = |e: EdgeId| granted_edges.contains(&e);
-                    decide(g, rates, &sched, &cand, self.conservative_locks, granted)
+                    decide(
+                        g,
+                        rates,
+                        costs,
+                        &sched,
+                        &cand,
+                        self.conservative_locks,
+                        granted,
+                    )
                 },
             );
             let decisions: Vec<Decision> = decisions.into_iter().flatten().collect();
@@ -402,7 +431,7 @@ impl ParallelNosy {
             let applied = apply_decisions(&mut sched, &decisions);
             iterations += 1;
             hubs_applied += applied;
-            history.push(partial_cost(g, rates, &sched));
+            history.push(partial_cost_cached(g, rates, costs, &sched));
             if applied == 0 {
                 break;
             }
@@ -417,13 +446,19 @@ impl ParallelNosy {
         }
     }
 
-    fn run_impl<F>(&self, g: &CsrGraph, rates: &Rates, mut candidates: F) -> ParallelNosyResult
+    fn run_impl<F>(
+        &self,
+        g: &CsrGraph,
+        rates: &Rates,
+        costs: &EdgeCosts,
+        mut candidates: F,
+    ) -> ParallelNosyResult
     where
         F: FnMut(&Schedule) -> Vec<Candidate>,
     {
         let m = g.edge_count();
         let mut sched = Schedule::for_graph(g);
-        let mut history = vec![partial_cost(g, rates, &sched)];
+        let mut history = vec![partial_cost_cached(g, rates, costs, &sched)];
         let mut hubs_applied = 0usize;
         let mut iterations = 0usize;
 
@@ -443,7 +478,7 @@ impl ParallelNosy {
             let decisions: Vec<Decision> = cands
                 .iter()
                 .filter_map(|c| {
-                    decide(g, rates, &sched, c, self.conservative_locks, |e| {
+                    decide(g, rates, costs, &sched, c, self.conservative_locks, |e| {
                         locks.granted_to(e, c.hub_edge)
                     })
                 })
@@ -452,7 +487,7 @@ impl ParallelNosy {
             let applied = apply_decisions(&mut sched, &decisions);
             iterations += 1;
             hubs_applied += applied;
-            history.push(partial_cost(g, rates, &sched));
+            history.push(partial_cost_cached(g, rates, costs, &sched));
             if applied == 0 {
                 break;
             }
@@ -468,7 +503,13 @@ impl ParallelNosy {
     }
 
     /// Phase 1 over all edges, chunked across threads.
-    fn candidates_threaded(&self, g: &CsrGraph, rates: &Rates, sched: &Schedule) -> Vec<Candidate> {
+    fn candidates_threaded(
+        &self,
+        g: &CsrGraph,
+        rates: &Rates,
+        costs: &EdgeCosts,
+        sched: &Schedule,
+    ) -> Vec<Candidate> {
         let m = g.edge_count();
         if m == 0 {
             return Vec::new();
@@ -485,7 +526,7 @@ impl ParallelNosy {
                     let mut local = Vec::new();
                     for e in lo..hi {
                         if let Some(c) =
-                            build_candidate(g, rates, sched, e as EdgeId, self.cross_cap)
+                            build_candidate(g, rates, costs, sched, e as EdgeId, self.cross_cap)
                         {
                             local.push(c);
                         }
@@ -685,8 +726,9 @@ mod tests {
         }
         let g = b.build();
         let r = Rates::uniform(40, 1.0, 5.0);
+        let costs = EdgeCosts::hybrid(&g, &r);
         let sched = Schedule::for_graph(&g);
-        let cand = build_candidate(&g, &r, &sched, g.edge_id(w, y), 5).unwrap();
+        let cand = build_candidate(&g, &r, &costs, &sched, g.edge_id(w, y), 5).unwrap();
         assert_eq!(cand.xs.len(), 5);
     }
 

@@ -311,14 +311,46 @@ impl Scheduler for Exact {
 /// The list is the single source of truth for "all algorithms" across the
 /// CLI (`piggyback compare`), benches and tests.
 pub fn registry() -> Vec<Box<dyn Scheduler>> {
+    registry_with_threads(0)
+}
+
+/// [`registry`] with an explicit worker-thread budget applied to every
+/// parallel optimizer (`0` = each algorithm's own default, one worker per
+/// available core). Every parallel algorithm in the registry is
+/// deterministic across thread counts, so the knob only changes wall time.
+pub fn registry_with_threads(threads: usize) -> Vec<Box<dyn Scheduler>> {
+    let chitchat = ChitChat {
+        threads,
+        ..Default::default()
+    };
+    let nosy = if threads == 0 {
+        ParallelNosy::default()
+    } else {
+        ParallelNosy {
+            threads,
+            ..Default::default()
+        }
+    };
+    let engine = if threads == 0 {
+        MapReduce::default()
+    } else {
+        MapReduce::new(threads)
+    };
     vec![
         Box::new(PushAll),
         Box::new(PullAll),
         Box::new(Hybrid),
-        Box::new(ChitChat::default()),
-        Box::new(ParallelNosy::default()),
-        Box::new(MapReduceNosy::default()),
-        Box::new(ShardedChitChat::default()),
+        Box::new(chitchat),
+        Box::new(nosy),
+        Box::new(MapReduceNosy {
+            inner: nosy,
+            engine,
+        }),
+        Box::new(ShardedChitChat {
+            threads,
+            inner: chitchat,
+            ..Default::default()
+        }),
         Box::new(Exact),
     ]
 }
@@ -326,6 +358,12 @@ pub fn registry() -> Vec<Box<dyn Scheduler>> {
 /// Looks a scheduler up by its registry [`name`](Scheduler::name).
 /// Common aliases from the CLI's history are honored.
 pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    by_name_with_threads(name, 0)
+}
+
+/// [`by_name`] with an explicit worker-thread budget (see
+/// [`registry_with_threads`]).
+pub fn by_name_with_threads(name: &str, threads: usize) -> Option<Box<dyn Scheduler>> {
     let canonical = match name {
         "ff" | "feedingfrenzy" => "hybrid",
         "pn" => "parallelnosy",
@@ -333,7 +371,9 @@ pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
         "sharded" => "sharded-chitchat",
         other => other,
     };
-    registry().into_iter().find(|s| s.name() == canonical)
+    registry_with_threads(threads)
+        .into_iter()
+        .find(|s| s.name() == canonical)
 }
 
 #[cfg(test)]
@@ -434,6 +474,29 @@ mod tests {
         let b = MapReduceNosy::default().schedule(&inst);
         assert_eq!(a.stats.cost, b.stats.cost);
         assert_eq!(a.stats.iterations, b.stats.iterations);
+    }
+
+    #[test]
+    fn thread_budget_preserves_every_schedule() {
+        // The --threads knob must be pure wall-time: every parallel
+        // optimizer returns the identical schedule under any budget.
+        let (g, r) = small_world();
+        let inst = Instance::new(&g, &r);
+        for name in [
+            "chitchat",
+            "parallelnosy",
+            "parallelnosy-mr",
+            "sharded-chitchat",
+        ] {
+            let base = by_name(name).unwrap().schedule(&inst);
+            for threads in [1usize, 2, 5] {
+                let out = by_name_with_threads(name, threads).unwrap().schedule(&inst);
+                assert_eq!(
+                    out.stats.cost, base.stats.cost,
+                    "{name} at {threads} threads diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! of cross-shard edges — measured in the tests and the `ablations` bench.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use piggyback_graph::sample::induced_subgraph;
 use piggyback_graph::{CsrGraph, NodeId};
@@ -48,8 +49,14 @@ pub struct ShardedChitChat {
     pub shards: usize,
     /// Node-to-shard grouping strategy.
     pub partitioning: Partitioning,
-    /// Per-shard CHITCHAT configuration.
+    /// Per-shard CHITCHAT configuration. Its `threads` field is overridden
+    /// per run: the [`ShardedChitChat::threads`] budget is split between
+    /// shard-level workers and each worker's oracle fan-out.
     pub inner: ChitChat,
+    /// Total worker-thread budget (`0` = one per available core). Shard
+    /// results are merged in shard order, so — like plain CHITCHAT — the
+    /// schedule is identical for every value.
+    pub threads: usize,
 }
 
 impl Default for ShardedChitChat {
@@ -58,6 +65,7 @@ impl Default for ShardedChitChat {
             shards: 4,
             partitioning: Partitioning::LabelPropagation,
             inner: ChitChat::default(),
+            threads: 0,
         }
     }
 }
@@ -100,32 +108,72 @@ impl ShardedChitChat {
         };
         let chunks: Vec<&[NodeId]> = groups.iter().map(Vec::as_slice).collect();
 
-        // Run CHITCHAT on every induced shard subgraph in parallel.
-        let inner = self.inner;
-        let shard_results: Vec<(
+        // Run CHITCHAT on every induced shard subgraph over a bounded
+        // work-queue: the thread budget is split between shard-level
+        // workers and each shard's own oracle fan-out, so a run never
+        // oversubscribes the machine regardless of the shard count.
+        let budget = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        let workers = budget.min(chunks.len()).max(1);
+        let inner = ChitChat {
+            threads: (budget / workers).max(1),
+            ..self.inner
+        };
+        let run_shard = |keep: &[NodeId]| {
+            let sub = induced_subgraph(g, keep);
+            let sub_rates = Rates::from_vecs(
+                sub.original_ids.iter().map(|&o| rates.rp(o)).collect(),
+                sub.original_ids.iter().map(|&o| rates.rc(o)).collect(),
+            );
+            let res = inner.run(&sub.graph, &sub_rates);
+            (sub, res)
+        };
+        type ShardOutput = (
             piggyback_graph::sample::SampledGraph,
             crate::chitchat::ChitChatResult,
-        )> = crossbeam::scope(|s| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|&keep| {
-                    s.spawn(move |_| {
-                        let sub = induced_subgraph(g, keep);
-                        let sub_rates = Rates::from_vecs(
-                            sub.original_ids.iter().map(|&o| rates.rp(o)).collect(),
-                            sub.original_ids.iter().map(|&o| rates.rc(o)).collect(),
-                        );
-                        let res = inner.run(&sub.graph, &sub_rates);
-                        (sub, res)
+        );
+        let shard_results: Vec<ShardOutput> = if workers <= 1 {
+            chunks.iter().map(|&keep| run_shard(keep)).collect()
+        } else {
+            let counter = AtomicUsize::new(0);
+            let mut slots: Vec<Option<ShardOutput>> = crossbeam::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let counter = &counter;
+                        let chunks = &chunks;
+                        let run_shard = &run_shard;
+                        s.spawn(move |_| {
+                            let mut done: Vec<(usize, ShardOutput)> = Vec::new();
+                            loop {
+                                let i = counter.fetch_add(1, Ordering::Relaxed);
+                                if i >= chunks.len() {
+                                    break;
+                                }
+                                done.push((i, run_shard(chunks[i])));
+                            }
+                            done
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                    .collect();
+                let mut slots: Vec<Option<ShardOutput>> = (0..chunks.len()).map(|_| None).collect();
+                for h in handles {
+                    for (i, out) in h.join().expect("shard worker panicked") {
+                        slots[i] = Some(out);
+                    }
+                }
+                slots
+            })
+            .expect("crossbeam scope failed");
+            slots
+                .iter_mut()
+                .map(|slot| slot.take().expect("shard skipped by work queue"))
                 .collect()
-        })
-        .expect("crossbeam scope failed");
+        };
 
         let hub_selections = shard_results.iter().map(|(_, r)| r.hub_selections).sum();
         let oracle_calls = shard_results.iter().map(|(_, r)| r.oracle_calls).sum();
@@ -420,6 +468,36 @@ mod tests {
         let r = Rates::uniform(0, 1.0, 1.0);
         let res = ShardedChitChat::default().run(&g, &r);
         assert_eq!(res.schedule.edge_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_thread_budgets() {
+        let (g, r) = world(300);
+        let run = |threads| {
+            ShardedChitChat {
+                shards: 4,
+                threads,
+                ..Default::default()
+            }
+            .run(&g, &r)
+        };
+        let a = run(1);
+        for threads in [3usize, 8] {
+            let b = run(threads);
+            assert_eq!(
+                schedule_cost(&g, &r, &a.schedule),
+                schedule_cost(&g, &r, &b.schedule),
+                "threads={threads}: cost diverged"
+            );
+            for e in 0..g.edge_count() as u32 {
+                assert_eq!(
+                    a.schedule.assignment(e),
+                    b.schedule.assignment(e),
+                    "threads={threads}: edge {e} differs"
+                );
+            }
+            assert_eq!(a.oracle_calls, b.oracle_calls);
+        }
     }
 
     #[test]

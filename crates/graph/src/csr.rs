@@ -146,6 +146,71 @@ impl CsrGraph {
         range.map(move |i| (self.out_targets[i], i as EdgeId))
     }
 
+    /// Edge id of the `idx`-th out-edge of `u` (position in the sorted
+    /// out-neighbor slice). O(1); pairs with [`Self::out_neighbors`] so
+    /// intersection loops over neighbor slices can recover edge ids without
+    /// binary searches.
+    #[inline]
+    pub fn out_edge_id_at(&self, u: NodeId, idx: usize) -> EdgeId {
+        debug_assert!(idx < self.out_degree(u));
+        (self.out_offsets[u as usize] + idx) as EdgeId
+    }
+
+    /// Forward edge id of the `idx`-th in-edge of `v` (position in the
+    /// sorted in-neighbor slice). O(1); pairs with [`Self::in_neighbors`].
+    #[inline]
+    pub fn in_edge_id_at(&self, v: NodeId, idx: usize) -> EdgeId {
+        debug_assert!(idx < self.in_degree(v));
+        self.in_edge_ids[self.in_offsets[v as usize] + idx]
+    }
+
+    /// Half-open range of edge ids owned by `u`'s out-adjacency. Edge ids
+    /// index the forward array, so `u`'s out-edges are exactly
+    /// `range.0..range.1` — the key to iterating a node's edges through a
+    /// per-edge bitset at word speed.
+    #[inline]
+    pub fn out_edge_id_range(&self, u: NodeId) -> (EdgeId, EdgeId) {
+        (
+            self.out_offsets[u as usize] as EdgeId,
+            self.out_offsets[u as usize + 1] as EdgeId,
+        )
+    }
+
+    /// Half-open range of *in-slot* indices owned by `v`'s in-adjacency
+    /// (positions into the reverse arrays, dense in `0..edge_count`).
+    /// The reverse-orientation analogue of [`Self::out_edge_id_range`]:
+    /// per-in-edge state in a bitset keyed by slot scans at word speed.
+    #[inline]
+    pub fn in_slot_range(&self, v: NodeId) -> (u32, u32) {
+        (
+            self.in_offsets[v as usize] as u32,
+            self.in_offsets[v as usize + 1] as u32,
+        )
+    }
+
+    /// Source node of the in-edge stored at `slot` (see
+    /// [`Self::in_slot_range`]).
+    #[inline]
+    pub fn in_source_at_slot(&self, slot: u32) -> NodeId {
+        self.in_sources[slot as usize]
+    }
+
+    /// In-slot of edge `u → v`, or `None` if absent. O(log in_degree(v)).
+    #[inline]
+    pub fn in_slot(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        let base = self.in_offsets[v as usize];
+        self.in_neighbors(v)
+            .binary_search(&u)
+            .ok()
+            .map(|pos| (base + pos) as u32)
+    }
+
+    /// Destination of edge `e`. O(1) (forward-array load).
+    #[inline]
+    pub fn edge_target(&self, e: EdgeId) -> NodeId {
+        self.out_targets[e as usize]
+    }
+
     /// Looks up the id of edge `u → v`, or [`INVALID_EDGE`] if absent.
     ///
     /// O(log out_degree(u)) via binary search of the sorted neighbor slice.
@@ -200,6 +265,31 @@ impl CsrGraph {
             + self.out_targets.len() * std::mem::size_of::<NodeId>()
             + self.in_sources.len() * std::mem::size_of::<NodeId>()
             + self.in_edge_ids.len() * std::mem::size_of::<EdgeId>()
+    }
+}
+
+/// Merge-intersects two ascending slices, invoking `f(i, j)` for every
+/// common value (where `a[i] == b[j]`), in ascending value order.
+///
+/// `f` returns whether to continue; returning `false` stops the scan (used
+/// by callers with a budget, e.g. §3.2's cross-edge cap `b`). O(|a| + |b|),
+/// allocation-free — the shared inner loop of hub-graph construction
+/// (neighbor lists are CSR slices, so indices convert to edge ids via
+/// [`CsrGraph::out_edge_id_at`] / [`CsrGraph::in_edge_id_at`]).
+pub fn intersect_sorted(a: &[NodeId], b: &[NodeId], mut f: impl FnMut(usize, usize) -> bool) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if !f(i, j) {
+                    return;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
     }
 }
 
@@ -346,5 +436,48 @@ mod tests {
     fn memory_accounting_positive() {
         let g = diamond();
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn edge_id_at_matches_iterators() {
+        let g = diamond();
+        for u in g.nodes() {
+            for (idx, (t, e)) in g.out_edges(u).enumerate() {
+                assert_eq!(g.out_edge_id_at(u, idx), e);
+                assert_eq!(g.out_neighbors(u)[idx], t);
+            }
+        }
+        for v in g.nodes() {
+            for (idx, (s, e)) in g.in_edges(v).enumerate() {
+                assert_eq!(g.in_edge_id_at(v, idx), e);
+                assert_eq!(g.in_neighbors(v)[idx], s);
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_sorted_finds_common_values() {
+        let a = [1u32, 3, 5, 7, 9];
+        let b = [2u32, 3, 4, 7, 10];
+        let mut hits = Vec::new();
+        intersect_sorted(&a, &b, |i, j| {
+            assert_eq!(a[i], b[j]);
+            hits.push(a[i]);
+            true
+        });
+        assert_eq!(hits, vec![3, 7]);
+    }
+
+    #[test]
+    fn intersect_sorted_early_stop() {
+        let a = [1u32, 2, 3, 4];
+        let b = [1u32, 2, 3, 4];
+        let mut count = 0;
+        intersect_sorted(&a, &b, |_, _| {
+            count += 1;
+            count < 2
+        });
+        assert_eq!(count, 2);
+        intersect_sorted(&a, &[], |_, _| panic!("no common values"));
     }
 }

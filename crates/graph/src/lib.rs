@@ -53,7 +53,7 @@ pub mod sample;
 pub mod stats;
 
 pub use builder::GraphBuilder;
-pub use csr::{CsrGraph, EdgeId, NodeId, INVALID_EDGE};
+pub use csr::{intersect_sorted, CsrGraph, EdgeId, NodeId, INVALID_EDGE};
 pub use dynamic::DynamicGraph;
 
 #[cfg(test)]

@@ -50,16 +50,17 @@ const USAGE: &str = "usage:
                      [--seed <s>] [--edges <m>] --out <file>
   piggyback stats    --graph <file>
   piggyback schedule --graph <file> --algorithm <name> \\
-                     [--rw-ratio <r>] [--shards <k>] --out <file>
+                     [--rw-ratio <r>] [--shards <k>] [--threads <t>] --out <file>
   piggyback evaluate --graph <file> --schedule <file> [--rw-ratio <r>] [--servers <n>]
   piggyback analyze  --graph <file> --schedule <file> [--rw-ratio <r>] [--top <k>]
   piggyback compare  [--preset <flickr-like|twitter-like>] [--graph <file>] \\
-                     [--nodes <n>] [--seed <s>] [--rw-ratio <r>] [--shards <k>]
+                     [--nodes <n>] [--seed <s>] [--rw-ratio <r>] [--shards <k>] \\
+                     [--threads <t>]
   piggyback serve    [--graph <file> | --model <m> --nodes <n>] [--algorithm <name>] \\
                      [--duration <2s|500ms>] [--clients <n>] [--servers <n>] \\
                      [--workers <n>] [--churn-ratio <f>] [--rate <ops/s>] \\
                      [--cache-ttl-ms <n>] [--reopt-threshold <f>] \\
-                     [--rw-ratio <r>] [--seed <s>]
+                     [--rw-ratio <r>] [--seed <s>] [--threads <t>]
 
 <name> is any registered scheduler (see `compare` output), e.g. hybrid,
 chitchat, parallelnosy, parallelnosy-mr, sharded-chitchat, exact.";
@@ -178,12 +179,16 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// Applies CLI configuration flags to a registry scheduler. The one place
-/// per-algorithm flags live: `schedule` and `compare` both route through
-/// it, so a flag honored in one subcommand is honored in the other.
+/// per-algorithm flags live: `schedule`, `compare` and `serve` all route
+/// through it, so a flag honored in one subcommand is honored in the
+/// others. `--threads` caps the worker fan-out of every parallel optimizer
+/// (0 = one per core); every registered algorithm is deterministic across
+/// thread counts, so the flag never changes the schedule.
 fn configure_scheduler(
     flags: &HashMap<String, String>,
     scheduler: Box<dyn Scheduler>,
 ) -> Result<Box<dyn Scheduler>, String> {
+    let threads: usize = parsed(flags, "threads", 0)?;
     if scheduler.name() == "sharded-chitchat" {
         let shards: usize = parsed(flags, "shards", 4)?;
         if shards < 1 {
@@ -191,8 +196,13 @@ fn configure_scheduler(
         }
         return Ok(Box::new(ShardedChitChat {
             shards,
+            threads,
             ..Default::default()
         }));
+    }
+    if threads > 0 {
+        return scheduler::by_name_with_threads(scheduler.name(), threads)
+            .ok_or_else(|| format!("unknown algorithm {:?}", scheduler.name()));
     }
     Ok(scheduler)
 }
@@ -650,6 +660,62 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("cannot handle"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_reaches_every_optimizer_entry_point() {
+        let dir = std::env::temp_dir().join("piggyback-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("g.edges").to_string_lossy().into_owned();
+        run(&s(&[
+            "generate", "--model", "flickr", "--nodes", "200", "--seed", "9", "--out", &graph,
+        ]))
+        .unwrap();
+        // schedule: any algorithm accepts --threads (identical schedules,
+        // so the files must round-trip through evaluate).
+        for algo in ["chitchat", "parallelnosy", "sharded-chitchat"] {
+            let sched = dir
+                .join(format!("{algo}.sched"))
+                .to_string_lossy()
+                .into_owned();
+            run(&s(&[
+                "schedule",
+                "--graph",
+                &graph,
+                "--algorithm",
+                algo,
+                "--threads",
+                "2",
+                "--out",
+                &sched,
+            ]))
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            run(&s(&["evaluate", "--graph", &graph, "--schedule", &sched])).unwrap();
+        }
+        // compare honors it for the whole registry sweep.
+        run(&s(&[
+            "compare",
+            "--preset",
+            "flickr-like",
+            "--nodes",
+            "150",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(run(&s(&[
+            "schedule",
+            "--graph",
+            &graph,
+            "--algorithm",
+            "chitchat",
+            "--threads",
+            "zap",
+            "--out",
+            "/dev/null",
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
