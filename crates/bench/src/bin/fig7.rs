@@ -15,8 +15,8 @@ use piggyback_bench::{
 };
 use piggyback_core::parallelnosy::ParallelNosy;
 use piggyback_core::scheduler::{Hybrid, Instance, Scheduler};
-use piggyback_store::partition::RandomPlacement;
 use piggyback_store::placement::PlacementCost;
+use piggyback_store::topology::Topology;
 
 fn main() {
     let nodes = nodes_from_args();
@@ -47,7 +47,7 @@ fn main() {
     for servers in [1usize, 3, 10, 30, 100, 200, 300, 1000, 3000, 10000] {
         let (mut tp, mut tf) = (0.0, 0.0);
         for &s in &seeds {
-            let p = RandomPlacement::new(servers, s);
+            let p = Topology::hash(d.graph.node_count(), servers, s);
             tp += pc_pn.normalized_throughput(&p);
             tf += pc_ff.normalized_throughput(&p);
         }

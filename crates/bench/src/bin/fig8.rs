@@ -13,8 +13,8 @@ use piggyback_bench::{
 };
 use piggyback_core::parallelnosy::ParallelNosy;
 use piggyback_core::scheduler::{Hybrid, Instance, Scheduler};
-use piggyback_store::partition::RandomPlacement;
 use piggyback_store::placement::PlacementCost;
+use piggyback_store::topology::Topology;
 
 fn main() {
     let nodes = nodes_from_args();
@@ -41,7 +41,7 @@ fn main() {
         "ff_load_variance",
     ]);
     for servers in [1usize, 10, 100, 1000, 10000] {
-        let p = RandomPlacement::new(servers, 5);
+        let p = Topology::hash(d.graph.node_count(), servers, 5);
         let (pn_mean, pn_var) = pc_pn.load_balance(&p);
         let (ff_mean, ff_var) = pc_ff.load_balance(&p);
         print_row(&[

@@ -1,4 +1,5 @@
-//! The throughput cost model of §2.1.
+//! The throughput cost model of §2.1, with optional server-aware
+//! accounting.
 //!
 //! ```text
 //! c(H, L) = Σ_{u→v ∈ H} rp(u)  +  Σ_{u→v ∈ L} rc(v)
@@ -7,11 +8,20 @@
 //! Predicted throughput is the inverse of cost (§4.2); the *predicted
 //! improvement ratio* of algorithm A over a baseline B is
 //! `t_A / t_B = c_B / c_A`.
+//!
+//! The flat model charges every scheduled message the same. On a real
+//! cluster the quantity that matters is *messages between data stores*
+//! (the paper's objective), and a message between two views on the same
+//! server is free — batching folds it into a request that was being sent
+//! anyway. [`CostModel::with_topology`] prices a schedule against a
+//! `user → server` map: intra-server messages are discounted (free by
+//! default) and each server's ingress/egress rates are tallied.
 
 use piggyback_graph::{CsrGraph, NodeId};
 use piggyback_workload::Rates;
 
 use crate::schedule::Schedule;
+use crate::scheduler::ScheduleStats;
 
 /// Cost of serving edge `u → v` directly under the hybrid policy of
 /// Silberstein et al.: the cheaper of a push and a pull,
@@ -68,6 +78,141 @@ pub fn predicted_improvement(g: &CsrGraph, rates: &Rates, a: &Schedule, b: &Sche
         }
     } else {
         cb / ca
+    }
+}
+
+/// Server-aware cost accounting: the flat §2.1 model refined by a cluster
+/// topology (`user → server`), so intra-server messages can be discounted
+/// and per-server traffic tallied.
+///
+/// A push edge `u → v` carries `rp(u)` messages from `u`'s server to
+/// `v`'s; a pull edge carries `rc(v)` the same way (the queried view's
+/// server replies toward the consumer's). Covered edges carry nothing —
+/// their traffic rides the hub legs, which are push/pull edges themselves.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel<'a> {
+    shard_of: &'a [u32],
+    servers: usize,
+    /// Price of an intra-server message relative to a cross-server one
+    /// (0 = free, the batched-request default; 1 = the flat model).
+    intra_factor: f64,
+}
+
+impl<'a> CostModel<'a> {
+    /// A model over `servers` servers with the given `user → server` map
+    /// (e.g. `Topology::assignment()` from the store crate). Intra-server
+    /// messages are free; tune with
+    /// [`intra_factor`](CostModel::with_intra_factor).
+    pub fn with_topology(shard_of: &'a [u32], servers: usize) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        debug_assert!(shard_of.iter().all(|&s| (s as usize) < servers));
+        CostModel {
+            shard_of,
+            servers,
+            intra_factor: 0.0,
+        }
+    }
+
+    /// Sets the intra-server message price (must be in `[0, 1]`).
+    pub fn with_intra_factor(mut self, intra_factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&intra_factor),
+            "intra factor {intra_factor} outside [0, 1]"
+        );
+        self.intra_factor = intra_factor;
+        self
+    }
+
+    /// Effective cost of `s` under this model:
+    /// `cross + intra_factor · intra`.
+    pub fn cost(&self, g: &CsrGraph, rates: &Rates, s: &Schedule) -> f64 {
+        let acct = self.accounting(g, rates, s);
+        acct.cross + self.intra_factor * acct.intra
+    }
+
+    /// Full per-server accounting of `s` under this model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is sized for a different graph or the
+    /// topology does not cover every node.
+    pub fn accounting(&self, g: &CsrGraph, rates: &Rates, s: &Schedule) -> TopologyAccounting {
+        assert_eq!(
+            g.edge_count(),
+            s.edge_count(),
+            "schedule sized for a different graph"
+        );
+        assert!(
+            self.shard_of.len() >= g.node_count(),
+            "topology covers {} users, graph has {}",
+            self.shard_of.len(),
+            g.node_count()
+        );
+        let mut acct = TopologyAccounting {
+            ingress: vec![0.0; self.servers],
+            egress: vec![0.0; self.servers],
+            ..Default::default()
+        };
+        let mut bill = |u: NodeId, v: NodeId, rate: f64| {
+            let (from, to) = (
+                self.shard_of[u as usize] as usize,
+                self.shard_of[v as usize] as usize,
+            );
+            acct.egress[from] += rate;
+            acct.ingress[to] += rate;
+            if from == to {
+                acct.intra += rate;
+            } else {
+                acct.cross += rate;
+            }
+        };
+        for e in s.push_edges() {
+            let (u, v) = g.edge_endpoints(e);
+            bill(u, v, rates.rp(u));
+        }
+        for e in s.pull_edges() {
+            let (u, v) = g.edge_endpoints(e);
+            bill(u, v, rates.rc(v));
+        }
+        acct.total = acct.intra + acct.cross;
+        acct
+    }
+
+    /// Fills the topology-aware fields of a [`ScheduleStats`] (the flat
+    /// fields are left untouched).
+    pub fn annotate(&self, g: &CsrGraph, rates: &Rates, s: &Schedule, stats: &mut ScheduleStats) {
+        let acct = self.accounting(g, rates, s);
+        stats.intra_cost = acct.intra;
+        stats.cross_cost = acct.cross;
+    }
+}
+
+/// Per-server message accounting of a schedule under a [`CostModel`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TopologyAccounting {
+    /// Topology-free total message rate — always equals
+    /// [`schedule_cost`] (and `intra + cross`).
+    pub total: f64,
+    /// Message rate between co-located views.
+    pub intra: f64,
+    /// Message rate crossing servers — the paper's "messages between data
+    /// stores" with batching priced in.
+    pub cross: f64,
+    /// Message rate arriving at each server.
+    pub ingress: Vec<f64>,
+    /// Message rate leaving each server.
+    pub egress: Vec<f64>,
+}
+
+impl TopologyAccounting {
+    /// Fraction of the total message rate that crosses servers (0 for an
+    /// empty schedule).
+    pub fn cross_fraction(&self) -> f64 {
+        if self.total == 0.0 {
+            0.0
+        } else {
+            self.cross / self.total
+        }
     }
 }
 
@@ -153,5 +298,74 @@ mod tests {
         let r = rates();
         let s = Schedule::new(99);
         schedule_cost(&g, &r, &s);
+    }
+
+    #[test]
+    fn topology_accounting_splits_the_flat_cost() {
+        let g = triangle();
+        let r = rates();
+        let mut s = Schedule::for_graph(&g);
+        s.set_push(0); // 0 -> 1, rp(0) = 2
+        s.set_pull(2); // 1 -> 2, rc(2) = 13
+        s.set_covered(1, 1); // covered: carries nothing
+                             // Users 0 and 1 co-located; 2 alone.
+        let shard_of = [0u32, 0, 1];
+        let model = CostModel::with_topology(&shard_of, 2);
+        let acct = model.accounting(&g, &r, &s);
+        assert!((acct.intra - 2.0).abs() < 1e-12, "0 -> 1 stays home");
+        assert!((acct.cross - 13.0).abs() < 1e-12, "1 -> 2 crosses");
+        assert!((acct.total - schedule_cost(&g, &r, &s)).abs() < 1e-12);
+        assert!((acct.cross_fraction() - 13.0 / 15.0).abs() < 1e-12);
+        // Ingress/egress tallies: server 0 sends both messages, receives
+        // the intra one; server 1 only receives.
+        assert!((acct.egress[0] - 15.0).abs() < 1e-12);
+        assert!((acct.egress[1] - 0.0).abs() < 1e-12);
+        assert!((acct.ingress[0] - 2.0).abs() < 1e-12);
+        assert!((acct.ingress[1] - 13.0).abs() < 1e-12);
+        // Intra free by default; the flat model is intra_factor = 1.
+        assert!((model.cost(&g, &r, &s) - 13.0).abs() < 1e-12);
+        let flat = model.with_intra_factor(1.0).cost(&g, &r, &s);
+        assert!((flat - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_server_topology_makes_everything_free() {
+        let g = triangle();
+        let r = rates();
+        let mut s = Schedule::for_graph(&g);
+        s.set_push(0);
+        s.set_pull(1);
+        s.set_pull(2);
+        let shard_of = [0u32, 0, 0];
+        let model = CostModel::with_topology(&shard_of, 1);
+        let acct = model.accounting(&g, &r, &s);
+        assert_eq!(acct.cross, 0.0);
+        assert!((acct.intra - acct.total).abs() < 1e-12);
+        assert_eq!(model.cost(&g, &r, &s), 0.0);
+    }
+
+    #[test]
+    fn annotate_fills_schedule_stats() {
+        let g = triangle();
+        let r = rates();
+        let mut s = Schedule::for_graph(&g);
+        s.set_push(0);
+        s.set_pull(2);
+        let shard_of = [0u32, 0, 1];
+        let mut stats = ScheduleStats {
+            cost: 99.0,
+            ..Default::default()
+        };
+        CostModel::with_topology(&shard_of, 2).annotate(&g, &r, &s, &mut stats);
+        assert!((stats.intra_cost - 2.0).abs() < 1e-12);
+        assert!((stats.cross_cost - 13.0).abs() < 1e-12);
+        assert_eq!(stats.cost, 99.0, "flat fields untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn intra_factor_out_of_range_panics() {
+        let shard_of = [0u32];
+        let _ = CostModel::with_topology(&shard_of, 1).with_intra_factor(1.5);
     }
 }

@@ -16,7 +16,7 @@
 
 use piggyback_graph::fx::FxHashMap;
 use piggyback_graph::{CsrGraph, DynamicGraph, EdgeId, NodeId};
-use piggyback_workload::Rates;
+use piggyback_workload::{EdgeCosts, Rates};
 
 use crate::cost::{hybrid_edge_cost, schedule_cost};
 use crate::schedule::Schedule;
@@ -43,6 +43,12 @@ pub struct ChurnEffect {
     pub push_changed: Vec<NodeId>,
     /// Users whose pull set (`l[v]` of Algorithm 3) changed.
     pub pull_changed: Vec<NodeId>,
+    /// Edges that switched to *direct* serving at hybrid cost because of
+    /// this mutation: the added edge itself, or — for a removed hub leg —
+    /// every orphaned piggybacked edge that had to be re-served. Lets
+    /// topology-aware consumers price the degradation each churn op put
+    /// on the wire (e.g. the serve runtime's rebalance trigger).
+    pub reserved_direct: Vec<(NodeId, NodeId)>,
 }
 
 /// A schedule kept consistent across edge insertions and deletions.
@@ -54,6 +60,11 @@ pub struct ChurnEffect {
 pub struct IncrementalScheduler {
     graph: DynamicGraph,
     rates: Rates,
+    /// Per-base-edge hybrid costs, computed once at snapshot time. The
+    /// churn path re-serves orphaned base edges at their hybrid cost; the
+    /// cache turns each of those from two rate lookups plus a `min` into
+    /// one flat-array load.
+    edge_costs: EdgeCosts,
     schedule: Schedule,
     overlay: FxHashMap<(NodeId, NodeId), OverlayAssignment>,
     /// hub node -> base edges covered through it (for orphan re-serving).
@@ -71,6 +82,7 @@ impl IncrementalScheduler {
     pub fn new(graph: CsrGraph, rates: Rates, schedule: Schedule) -> Self {
         assert_eq!(graph.edge_count(), schedule.edge_count());
         let cost = schedule_cost(&graph, &rates, &schedule);
+        let edge_costs = EdgeCosts::hybrid(&graph, &rates);
         let mut hub_covers: FxHashMap<NodeId, Vec<EdgeId>> = FxHashMap::default();
         for e in schedule.covered_edges() {
             hub_covers.entry(schedule.hub_of(e)).or_default().push(e);
@@ -78,6 +90,7 @@ impl IncrementalScheduler {
         IncrementalScheduler {
             graph: DynamicGraph::new(graph),
             rates,
+            edge_costs,
             schedule,
             overlay: FxHashMap::default(),
             hub_covers,
@@ -174,8 +187,27 @@ impl IncrementalScheduler {
         } else {
             effect.pull_changed.push(v);
         }
-        self.cost += hybrid_edge_cost(&self.rates, u, v);
+        effect.reserved_direct.push((u, v));
+        let direct_cost = match base_id {
+            Some(e) => self.base_hybrid_cost(e, u, v),
+            None => hybrid_edge_cost(&self.rates, u, v),
+        };
+        self.cost += direct_cost;
         effect
+    }
+
+    /// Cached hybrid cost of base edge `e` (= `u -> v`), asserted against
+    /// the direct formula in debug builds — the cache is computed once at
+    /// snapshot time and must never drift from the rate model.
+    fn base_hybrid_cost(&self, e: EdgeId, u: NodeId, v: NodeId) -> f64 {
+        let cached = self.edge_costs.hybrid_cost(e);
+        debug_assert!(
+            (cached - hybrid_edge_cost(&self.rates, u, v)).abs() < 1e-12,
+            "EdgeCosts cache inconsistent at edge {e} ({u} -> {v}): \
+             cached {cached} vs direct {}",
+            hybrid_edge_cost(&self.rates, u, v)
+        );
+        cached
     }
 
     /// Removes the follow `u → v`, re-serving any cross edges that were
@@ -277,7 +309,9 @@ impl IncrementalScheduler {
                 self.schedule.set_pull(f);
                 effect.pull_changed.push(dst);
             }
-            self.cost += hybrid_edge_cost(&self.rates, src, dst);
+            effect.reserved_direct.push((src, dst));
+            let direct_cost = self.base_hybrid_cost(f, src, dst);
+            self.cost += direct_cost;
         }
     }
 
@@ -367,6 +401,45 @@ impl IncrementalScheduler {
     pub fn freeze_graph(&self) -> CsrGraph {
         self.graph.freeze()
     }
+
+    /// Freezes the current graph **with** the schedule currently serving
+    /// it: base-edge assignments (push/pull/covered) are copied across and
+    /// overlay edges keep their direct hybrid assignment, re-keyed to the
+    /// frozen graph's edge ids. The pair is exactly what schedule-aware
+    /// consumers (e.g. a topology rebalance) need to weigh *today's*
+    /// traffic, not the boot snapshot's.
+    pub fn freeze_with_schedule(&self) -> (CsrGraph, Schedule) {
+        let frozen = self.graph.freeze();
+        let mut s = Schedule::for_graph(&frozen);
+        for (e, u, v) in frozen.edges() {
+            match self.base_edge_id(u, v) {
+                Some(b) => {
+                    if self.schedule.is_covered(b) {
+                        s.set_covered(e, self.schedule.hub_of(b));
+                    } else {
+                        if self.schedule.is_push(b) {
+                            s.set_push(e);
+                        }
+                        if self.schedule.is_pull(b) {
+                            s.set_pull(e);
+                        }
+                    }
+                }
+                None => match self.overlay.get(&(u, v)) {
+                    Some(OverlayAssignment::Push) => {
+                        s.set_push(e);
+                    }
+                    Some(OverlayAssignment::Pull) => {
+                        s.set_pull(e);
+                    }
+                    // Every non-base edge of the dynamic graph was added
+                    // through add_edge, which records it in the overlay.
+                    None => unreachable!("overlay edge {u} -> {v} without assignment"),
+                },
+            }
+        }
+        (frozen, s)
+    }
 }
 
 #[cfg(test)]
@@ -441,6 +514,25 @@ mod tests {
         inc.validate().unwrap();
         assert!(inc.base_schedule().is_push(e02) || inc.base_schedule().is_pull(e02));
         assert!((inc.recompute_cost() - inc.cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effects_report_edges_switched_to_direct_serving() {
+        let (g, r) = hub_world();
+        let s = optimized(&g, &r);
+        let mut inc = IncrementalScheduler::new(g, r, s);
+        // An added follow is itself served directly.
+        let effect = inc.add_edge_detailed(3, 4);
+        assert_eq!(effect.reserved_direct, vec![(3, 4)]);
+        // Removing the pull leg 1 -> 2 orphans the covered edge 0 -> 2,
+        // which is re-served directly; the removed edge itself is not
+        // "switched to direct" (it is gone).
+        let effect = inc.remove_edge_detailed(1, 2);
+        assert_eq!(effect.reserved_direct, vec![(0, 2)]);
+        // Removing a direct edge re-serves nothing.
+        let effect = inc.remove_edge_detailed(3, 4);
+        assert!(effect.reserved_direct.is_empty());
+        inc.validate().unwrap();
     }
 
     #[test]
@@ -601,6 +693,57 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b, "pull set of {u} drifted from reported effects");
         }
+    }
+
+    #[test]
+    fn freeze_with_schedule_matches_cost_and_serving_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let g = copying(CopyingConfig {
+            nodes: 150,
+            follows_per_node: 5,
+            copy_prob: 0.7,
+            seed: 9,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        let s = optimized(&g, &r);
+        let mut inc = IncrementalScheduler::new(g, r.clone(), s);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..400 {
+            let u = rng.random_range(0..150) as NodeId;
+            let v = rng.random_range(0..150) as NodeId;
+            if u == v {
+                continue;
+            }
+            if rng.random_bool(0.6) {
+                inc.add_edge(u, v);
+            } else {
+                inc.remove_edge(u, v);
+            }
+        }
+        let (frozen, sched) = inc.freeze_with_schedule();
+        assert_eq!(frozen.edge_count(), sched.edge_count());
+        // The frozen pair prices exactly like the incremental state...
+        assert!(
+            (schedule_cost(&frozen, &r, &sched) - inc.cost()).abs() < 1e-6,
+            "frozen schedule cost {} != incremental {}",
+            schedule_cost(&frozen, &r, &sched),
+            inc.cost()
+        );
+        // ...and serves exactly the same per-user sets.
+        for u in 0..150 as NodeId {
+            let (mut a, mut b) = (sched.push_set_of(&frozen, u), inc.push_targets(u));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "push set of {u} diverged");
+            let (mut a, mut b) = (sched.pull_set_of(&frozen, u), inc.pull_sources(u));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "pull set of {u} diverged");
+        }
+        // And it is feasible: the incremental invariant carries over.
+        inc.validate().unwrap();
+        crate::validate::validate_bounded_staleness(&frozen, &sched).unwrap();
     }
 
     #[test]

@@ -91,6 +91,15 @@ pub struct ScheduleStats {
     pub hubs_applied: usize,
     /// Wall-clock time of the `schedule` call.
     pub wall_time: Duration,
+    /// Message rate between co-located views under a cluster topology.
+    /// Zero until a topology-aware evaluator fills it (schedulers are
+    /// topology-free by design — §4.3; see
+    /// [`CostModel::annotate`](crate::cost::CostModel::annotate)).
+    pub intra_cost: f64,
+    /// Message rate crossing servers under a cluster topology (see
+    /// [`intra_cost`](ScheduleStats::intra_cost); `intra_cost +
+    /// cross_cost = cost` once filled).
+    pub cross_cost: f64,
 }
 
 /// A schedule plus the uniform statistics of the run that produced it.

@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use piggyback_store::topology::PartitionStrategy;
 use std::time::Duration;
 
 /// Configuration of the online serving runtime.
@@ -13,8 +14,11 @@ pub struct ServeConfig {
     pub top_k: usize,
     /// Per-view trim capacity (0 = unbounded).
     pub view_capacity: usize,
-    /// Placement seed (hash-random data partitioning).
+    /// Placement seed (partitioner determinism / hash placement).
     pub placement_seed: u64,
+    /// How user views are partitioned onto the shards at boot and on every
+    /// live rebalance.
+    pub partition: PartitionStrategy,
     /// Staleness budget of the pull cache: queries may be answered from a
     /// cached result at most this old (zero disables the cache). This is
     /// Theorem 1's staleness bound turned into a runtime knob.
@@ -23,6 +27,10 @@ pub struct ServeConfig {
     /// schedule's cost degradation exceeds this fraction of the optimized
     /// base cost (`f64::INFINITY` disables re-optimization).
     pub reopt_threshold: f64,
+    /// Re-partition and live-migrate views once the cross-server message
+    /// rate added by churn exceeds this fraction of the optimized base
+    /// cost (`f64::INFINITY` disables rebalancing).
+    pub rebalance_threshold: f64,
     /// Bound on the operation front-end channels (back-pressure depth).
     pub queue_depth: usize,
 }
@@ -35,8 +43,10 @@ impl Default for ServeConfig {
             top_k: 10,
             view_capacity: 128,
             placement_seed: 0,
+            partition: PartitionStrategy::Hash,
             pull_cache_ttl: Duration::ZERO,
             reopt_threshold: 0.2,
+            rebalance_threshold: f64::INFINITY,
             queue_depth: 1024,
         }
     }
@@ -52,5 +62,9 @@ mod tests {
         assert!(c.shards >= 1 && c.workers >= 1 && c.top_k >= 1);
         assert!(c.reopt_threshold > 0.0);
         assert_eq!(c.pull_cache_ttl, Duration::ZERO);
+        // Defaults preserve the paper's baseline behavior: hash placement,
+        // no live rebalancing.
+        assert_eq!(c.partition, PartitionStrategy::Hash);
+        assert!(c.rebalance_threshold.is_infinite());
     }
 }

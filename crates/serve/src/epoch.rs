@@ -13,6 +13,11 @@
 //! Churn publishes cheap *overrides* on top of the compiled base — only
 //! the users whose serving sets a follow/unfollow touched — while a full
 //! re-optimization replaces the base wholesale and clears the overrides.
+//!
+//! The snapshot also carries the cluster [`Topology`]: a live rebalance
+//! publishes a new topology through the same swap, so a request can never
+//! route one batch with the old `user → shard` map and the next with the
+//! new one.
 
 use std::sync::Arc;
 
@@ -20,6 +25,7 @@ use parking_lot::RwLock;
 use piggyback_core::schedule::Schedule;
 use piggyback_graph::fx::FxHashMap;
 use piggyback_graph::{CsrGraph, NodeId};
+use piggyback_store::topology::Topology;
 
 /// Fully compiled per-user serving sets (`h[u]` and `l[u]` of Algorithm 3).
 #[derive(Clone, Debug, Default)]
@@ -44,14 +50,20 @@ pub struct ServingSchedule {
     epoch: u64,
     base: Arc<CompiledSets>,
     overrides: FxHashMap<NodeId, UserOverride>,
+    topology: Arc<Topology>,
 }
 
 impl ServingSchedule {
     /// Compiles per-user serving sets from an optimized `(graph, schedule)`
     /// pair; O(n + m).
-    pub fn compile(g: &CsrGraph, s: &Schedule, epoch: u64) -> Self {
+    pub fn compile(g: &CsrGraph, s: &Schedule, topology: Arc<Topology>, epoch: u64) -> Self {
         assert_eq!(g.edge_count(), s.edge_count());
         let n = g.node_count();
+        assert!(
+            topology.users() >= n,
+            "topology covers {} users, graph has {n}",
+            topology.users()
+        );
         let mut sets = CompiledSets {
             push: Vec::with_capacity(n),
             pull: Vec::with_capacity(n),
@@ -64,16 +76,36 @@ impl ServingSchedule {
             epoch,
             base: Arc::new(sets),
             overrides: FxHashMap::default(),
+            topology,
         }
     }
 
     /// Builds an epoch directly from compiled sets (re-optimization path
     /// and tests).
-    pub fn from_sets(sets: CompiledSets, epoch: u64) -> Self {
+    pub fn from_sets(sets: CompiledSets, topology: Arc<Topology>, epoch: u64) -> Self {
         ServingSchedule {
             epoch,
             base: Arc::new(sets),
             overrides: FxHashMap::default(),
+            topology,
+        }
+    }
+
+    /// The cluster topology this epoch serves under. Requests route every
+    /// batch of their lifetime through this one map.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topology
+    }
+
+    /// The next epoch: identical serving sets, new topology — published by
+    /// the churn manager after a live rebalance has migrated the moved
+    /// views.
+    pub fn with_topology(&self, topology: Arc<Topology>) -> Self {
+        ServingSchedule {
+            epoch: self.epoch + 1,
+            base: Arc::clone(&self.base),
+            overrides: self.overrides.clone(),
+            topology,
         }
     }
 
@@ -130,6 +162,7 @@ impl ServingSchedule {
             epoch: self.epoch + 1,
             base: Arc::clone(&self.base),
             overrides,
+            topology: Arc::clone(&self.topology),
         }
     }
 }
@@ -189,7 +222,9 @@ mod tests {
         });
         let r = Rates::log_degree(&g, 5.0);
         let s = hybrid_schedule(&g, &r);
-        let compiled = ServingSchedule::compile(&g, &s, 7);
+        let topology = Arc::new(Topology::hash(g.node_count(), 4, 1));
+        let compiled = ServingSchedule::compile(&g, &s, Arc::clone(&topology), 7);
+        assert_eq!(compiled.topology().servers(), 4);
         assert_eq!(compiled.epoch(), 7);
         assert_eq!(compiled.users(), g.node_count());
         for u in 0..g.node_count() as NodeId {
@@ -200,7 +235,11 @@ mod tests {
 
     #[test]
     fn unknown_users_have_empty_sets() {
-        let compiled = ServingSchedule::from_sets(CompiledSets::default(), 0);
+        let compiled = ServingSchedule::from_sets(
+            CompiledSets::default(),
+            Arc::new(Topology::single_server(0)),
+            0,
+        );
         assert!(compiled.push_targets(42).is_empty());
         assert!(compiled.pull_sources(42).is_empty());
     }
@@ -211,7 +250,7 @@ mod tests {
             push: vec![vec![1], vec![2]],
             pull: vec![vec![], vec![0]],
         };
-        let s0 = ServingSchedule::from_sets(sets, 0);
+        let s0 = ServingSchedule::from_sets(sets, Arc::new(Topology::single_server(2)), 0);
         let s1 = s0.with_updates([(0, vec![1, 3])], [(1, vec![0, 3])]);
         assert_eq!(s1.epoch(), 1);
         assert_eq!(s1.push_targets(0), &[1, 3]);
@@ -225,10 +264,35 @@ mod tests {
 
     #[test]
     fn handle_swap_returns_previous() {
-        let h = EpochHandle::new(ServingSchedule::from_sets(CompiledSets::default(), 0));
+        let t = Arc::new(Topology::single_server(0));
+        let h = EpochHandle::new(ServingSchedule::from_sets(
+            CompiledSets::default(),
+            Arc::clone(&t),
+            0,
+        ));
         assert_eq!(h.epoch(), 0);
-        let prev = h.swap(ServingSchedule::from_sets(CompiledSets::default(), 1));
+        let prev = h.swap(ServingSchedule::from_sets(CompiledSets::default(), t, 1));
         assert_eq!(prev.epoch(), 0);
         assert_eq!(h.load().epoch(), 1);
+    }
+
+    #[test]
+    fn with_topology_republishes_sets_under_a_new_map() {
+        let sets = CompiledSets {
+            push: vec![vec![1], vec![0]],
+            pull: vec![vec![1], vec![0]],
+        };
+        let old = Arc::new(Topology::hash(2, 4, 0));
+        let s0 = ServingSchedule::from_sets(sets, Arc::clone(&old), 0)
+            .with_updates([(0, vec![1, 9])], []);
+        let new = Arc::new(Topology::hash(2, 4, 99));
+        let s1 = s0.with_topology(Arc::clone(&new));
+        assert_eq!(s1.epoch(), s0.epoch() + 1);
+        // Serving sets (base and overrides) survive the topology swap.
+        assert_eq!(s1.push_targets(0), s0.push_targets(0));
+        assert_eq!(s1.pull_sources(1), s0.pull_sources(1));
+        assert!(Arc::ptr_eq(s1.topology(), &new));
+        // The old epoch still routes through the old map (immutability).
+        assert!(Arc::ptr_eq(s0.topology(), &old));
     }
 }

@@ -51,6 +51,13 @@ pub struct ChurnReport {
     pub churn_rejected: u64,
     /// Background full re-optimizations completed and swapped in.
     pub reopts: u64,
+    /// Live topology rebalances (re-partition + view migration) published.
+    pub rebalances: u64,
+    /// User views re-homed to a different shard across all rebalances.
+    pub users_migrated: u64,
+    /// Cross-server message rate added by churn since the last rebalance
+    /// (the rebalance trigger's accumulator, reported for observability).
+    pub cross_cost_churned: f64,
     /// Optimized base cost of the *latest* snapshot.
     pub base_cost: f64,
     /// Running incremental cost at shutdown.

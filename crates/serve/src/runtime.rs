@@ -11,13 +11,20 @@
 //!   current [`ServingSchedule`] snapshot (one [`EpochHandle::load`] per
 //!   operation) and forward `Follow`/`Unfollow` to the churn manager.
 //! * **The churn manager** (one thread) owns the
-//!   [`IncrementalScheduler`]: it applies topology mutations (§3.3 —
+//!   [`IncrementalScheduler`]: it applies graph mutations (§3.3 —
 //!   new edges served directly with the hybrid rule, orphaned piggybacked
 //!   edges re-served), publishes a new epoch per mutation, and fires a
 //!   **background full re-optimization** when the accumulated cost
 //!   degradation crosses the configured threshold. While the optimizer
 //!   runs on its own thread, churn keeps flowing; the mutations are
 //!   replayed onto the fresh schedule before it is swapped in atomically.
+//!   It also owns the cluster [`Topology`]: churn that lands cross-server
+//!   traffic accumulates toward [`ServeConfig::rebalance_threshold`], and
+//!   crossing it triggers a **live rebalance** — the configured
+//!   [`Partitioner`](piggyback_store::topology::Partitioner) recomputes
+//!   the partition map, moved views are migrated shard-to-shard over the
+//!   wire protocol, and the new topology is published through the same
+//!   epoch swap the schedule uses, so no request ever mixes two maps.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,8 +37,9 @@ use piggyback_core::schedule::Schedule;
 use piggyback_core::scheduler::{Instance, Scheduler};
 use piggyback_graph::{CsrGraph, NodeId};
 use piggyback_store::server::StoreServer;
-use piggyback_store::worker::{dispatch, worker_loop, ShardRequest};
-use piggyback_store::{EventTuple, RandomPlacement};
+use piggyback_store::topology::{PartitionRequest, PartitionStrategy};
+use piggyback_store::worker::{dispatch, send_to_shard_async, worker_loop, ShardRequest};
+use piggyback_store::EventTuple;
 use piggyback_workload::{Op, Rates};
 
 use crate::cache::PullCache;
@@ -46,7 +54,6 @@ use crate::ops::{ChurnMsg, ChurnReport, ReoptResult, ServeReport};
 /// clients are dropped) to collect the end-of-run report.
 pub struct ServeRuntime {
     handle: Arc<EpochHandle>,
-    placement: RandomPlacement,
     senders: Arc<Vec<Sender<ShardRequest>>>,
     churn_tx: Sender<ChurnMsg>,
     cache: Arc<PullCache>,
@@ -82,8 +89,15 @@ impl ServeRuntime {
             rates.len(),
             graph.node_count()
         );
+        let topology = Arc::new(config.partition.partitioner().partition(&PartitionRequest {
+            graph: &graph,
+            rates: &rates,
+            schedule: Some(&schedule),
+            servers: config.shards,
+            seed: config.placement_seed,
+        }));
         let handle = Arc::new(EpochHandle::new(ServingSchedule::compile(
-            &graph, &schedule, 0,
+            &graph, &schedule, topology, 0,
         )));
         let shards: Arc<Vec<Mutex<StoreServer>>> = Arc::new(
             (0..config.shards)
@@ -99,12 +113,17 @@ impl ServeRuntime {
             senders.push(tx);
         }
         let (churn_tx, churn_rx) = bounded::<ChurnMsg>(config.queue_depth);
+        let senders = Arc::new(senders);
         let manager = ChurnManager {
             inc: IncrementalScheduler::new(graph, rates.clone(), schedule),
             rates,
             handle: Arc::clone(&handle),
             scheduler: Arc::from(reopt),
             threshold: config.reopt_threshold,
+            partition: config.partition,
+            rebalance_threshold: config.rebalance_threshold,
+            placement_seed: config.placement_seed,
+            senders: Arc::clone(&senders),
             rx: churn_rx,
             self_tx: churn_tx.clone(),
             reopt_in_flight: false,
@@ -114,12 +133,14 @@ impl ServeRuntime {
             unfollows: 0,
             rejected: 0,
             reopts: 0,
+            rebalances: 0,
+            users_migrated: 0,
+            cross_churned: 0.0,
         };
         let churn_handle = std::thread::spawn(move || manager.run());
         ServeRuntime {
             handle,
-            placement: RandomPlacement::new(config.shards, config.placement_seed),
-            senders: Arc::new(senders),
+            senders,
             churn_tx,
             cache: Arc::new(PullCache::new(config.pull_cache_ttl, 64)),
             clock: Arc::new(AtomicU64::new(1)),
@@ -135,7 +156,6 @@ impl ServeRuntime {
         let id = self.client_counter.fetch_add(1, Ordering::Relaxed);
         ServeClient {
             handle: Arc::clone(&self.handle),
-            placement: self.placement,
             senders: Arc::clone(&self.senders),
             churn_tx: self.churn_tx.clone(),
             cache: Arc::clone(&self.cache),
@@ -197,7 +217,6 @@ impl ServeRuntime {
 /// across two schedules.
 pub struct ServeClient {
     handle: Arc<EpochHandle>,
-    placement: RandomPlacement,
     senders: Arc<Vec<Sender<ShardRequest>>>,
     churn_tx: Sender<ChurnMsg>,
     cache: Arc<PullCache>,
@@ -209,8 +228,13 @@ pub struct ServeClient {
 impl ServeClient {
     /// Shares a new event from `u`: one batched update per touched server
     /// (Algorithm 3 lines 1–7). Returns the number of store messages sent.
+    /// Users outside the topology (no rates, no home shard) are rejected
+    /// with zero messages, mirroring the churn path's rejection.
     pub fn share(&mut self, u: NodeId) -> u64 {
         let snap = self.handle.load();
+        if u as usize >= snap.topology().users() {
+            return 0;
+        }
         self.next_event += 1;
         let ts = self.clock.fetch_add(1, Ordering::Relaxed);
         let event = EventTuple::new(u, self.next_event, ts);
@@ -218,7 +242,7 @@ impl ServeClient {
         let mut targets = snap.push_targets(u).to_vec();
         targets.push(u);
         dispatch(
-            &self.placement,
+            snap.topology(),
             &self.senders,
             &targets,
             |shard, views, done| ShardRequest::Update {
@@ -236,6 +260,9 @@ impl ServeClient {
     /// a cache hit costs zero messages.
     pub fn query(&mut self, u: NodeId) -> (Vec<EventTuple>, u64) {
         let snap = self.handle.load();
+        if u as usize >= snap.topology().users() {
+            return (Vec::new(), 0);
+        }
         if let Some(events) = self.cache.get(u, snap.epoch()) {
             return (events, 0);
         }
@@ -243,7 +270,7 @@ impl ServeClient {
         targets.push(u);
         let k = self.top_k;
         let replies = dispatch(
-            &self.placement,
+            snap.topology(),
             &self.senders,
             &targets,
             |shard, views, done| ShardRequest::Query {
@@ -317,6 +344,14 @@ struct ChurnManager {
     handle: Arc<EpochHandle>,
     scheduler: Arc<dyn Scheduler>,
     threshold: f64,
+    /// Partitioner the live rebalance re-runs.
+    partition: PartitionStrategy,
+    /// Rebalance once churn's cross-server cost exceeds this fraction of
+    /// the optimized base cost (infinite = disabled).
+    rebalance_threshold: f64,
+    placement_seed: u64,
+    /// Worker channels, for shard-to-shard view migration.
+    senders: Arc<Vec<Sender<ShardRequest>>>,
     rx: Receiver<ChurnMsg>,
     self_tx: Sender<ChurnMsg>,
     reopt_in_flight: bool,
@@ -330,6 +365,10 @@ struct ChurnManager {
     unfollows: u64,
     rejected: u64,
     reopts: u64,
+    rebalances: u64,
+    users_migrated: u64,
+    /// Cross-server message rate added by churn since the last rebalance.
+    cross_churned: f64,
 }
 
 /// Churn overrides above this count are compacted into a fresh compiled
@@ -397,9 +436,128 @@ impl ChurnManager {
         if self.reopt_in_flight {
             self.replay_log.push((add, u, v));
         }
+        // Every edge this mutation switched to direct serving — the added
+        // follow itself, or the piggybacked edges an unfollow orphaned —
+        // adds its hybrid cost to the wire when its endpoints live on
+        // different servers. That is the degradation a rebalance can win
+        // back; skip the accounting entirely when rebalancing can never
+        // fire (disabled, or the stateless hash strategy).
+        if self.rebalance_threshold.is_finite()
+            && self.partition != PartitionStrategy::Hash
+            && !effect.reserved_direct.is_empty()
+        {
+            let snap = self.handle.load();
+            let t = snap.topology();
+            for &(x, y) in &effect.reserved_direct {
+                if t.server_of(x) != t.server_of(y) {
+                    self.cross_churned += self.rates.rp(x).min(self.rates.rc(y));
+                }
+            }
+        }
         self.publish(&effect);
+        self.maybe_rebalance();
         self.maybe_reopt();
         true
+    }
+
+    /// Fires a live rebalance when churn has pushed enough message rate
+    /// across servers: re-partition with the configured strategy, migrate
+    /// the moved views shard-to-shard, publish the new topology.
+    fn maybe_rebalance(&mut self) {
+        // Hash placement is a pure function of (users, servers, seed):
+        // re-partitioning reproduces the current map, so a rebalance could
+        // never move anything — don't bother (apply() skips the
+        // accumulator for the same reason).
+        if !self.rebalance_threshold.is_finite() || self.partition == PartitionStrategy::Hash {
+            return;
+        }
+        let base = self.inc.base_cost();
+        if base <= 0.0 || self.cross_churned <= self.rebalance_threshold * base {
+            return;
+        }
+        self.rebalance();
+    }
+
+    /// Recomputes the topology and re-homes every moved view.
+    ///
+    /// The migration speaks the shard wire protocol (extract at the old
+    /// home, merge-install at the new one), pipelined — every extract is
+    /// in flight before the first reply is awaited, and installs stream
+    /// out as payloads arrive — and completes *before* the new topology
+    /// is published, so a query after the swap finds the view already at
+    /// its new home. In-flight requests keep routing through the snapshot
+    /// they loaded — the epoch swap guarantees no request mixes the two
+    /// maps.
+    ///
+    /// Consistency is the store's memcached model (§4.3: views are
+    /// caches; re-placement implies cache misses): an update that races
+    /// the migration — routed via an old snapshot after its view was
+    /// extracted or after the swap — can land at the old home and stay
+    /// invisible to later queries, exactly as a resized batch cluster
+    /// drops moved views. Bounded staleness of the *schedule* is
+    /// unaffected (validated post-run); quiescent-traffic migration is
+    /// lossless (`tests/rebalance.rs`).
+    ///
+    /// Deliberately synchronous on the churn thread (unlike the
+    /// backgrounded re-optimization): the single writer is what makes
+    /// migrate-then-swap race-free, at the price of stalling churn — not
+    /// serving — for the repartition + migration (seconds at 100k users;
+    /// `BENCH_placement.json` wall times). Size `rebalance_threshold` so
+    /// this stays rare.
+    fn rebalance(&mut self) {
+        let snap = self.handle.load();
+        let old = Arc::clone(snap.topology());
+        // Re-partition the *current* graph under the schedule actually
+        // serving it (base assignments + direct overlay edges), so the new
+        // map reflects the traffic churn created — not the boot snapshot.
+        let (frozen, serving) = self.inc.freeze_with_schedule();
+        let new = self.partition.partitioner().partition(&PartitionRequest {
+            graph: &frozen,
+            rates: &self.rates,
+            schedule: Some(&serving),
+            servers: old.servers(),
+            seed: self.placement_seed,
+        });
+        let moved = old.moved_users(&new);
+        if moved.is_empty() {
+            // The partitioner reproduced the current map (always true for
+            // deterministic hash with a fixed seed): nothing to migrate,
+            // and publishing an identical topology would only flush every
+            // client's pull cache. Reset the trigger and keep the epoch.
+            self.cross_churned = 0.0;
+            return;
+        }
+        let extracts: Vec<_> = moved
+            .iter()
+            .map(|&u| {
+                send_to_shard_async(&self.senders, |done| ShardRequest::ExtractView {
+                    shard: old.server_of(u),
+                    view: u,
+                    done,
+                })
+            })
+            .collect();
+        let mut installs = Vec::new();
+        for (&u, rx) in moved.iter().zip(extracts) {
+            let payload = rx.recv().expect("worker dropped extract reply");
+            if !payload.is_empty() {
+                installs.push(send_to_shard_async(&self.senders, |done| {
+                    ShardRequest::InstallView {
+                        shard: new.server_of(u),
+                        view: u,
+                        payload,
+                        done,
+                    }
+                }));
+            }
+        }
+        for rx in installs {
+            rx.recv().expect("worker dropped install reply");
+        }
+        self.users_migrated += moved.len() as u64;
+        self.rebalances += 1;
+        self.cross_churned = 0.0;
+        self.handle.swap(snap.with_topology(Arc::new(new)));
     }
 
     /// Publishes a new epoch overriding exactly the users the mutation
@@ -428,7 +586,8 @@ impl ChurnManager {
     }
 
     /// Publishes a freshly compiled base (no overrides) reflecting the
-    /// incremental scheduler's current serving sets; O(n + m).
+    /// incremental scheduler's current serving sets; O(n + m). The
+    /// topology is carried over unchanged.
     fn publish_full_base(&self) {
         let n = self.rates.len();
         let mut sets = CompiledSets {
@@ -439,8 +598,13 @@ impl ChurnManager {
             sets.push.push(self.inc.push_targets(x));
             sets.pull.push(self.inc.pull_sources(x));
         }
-        let epoch = self.handle.epoch() + 1;
-        self.handle.swap(ServingSchedule::from_sets(sets, epoch));
+        let snap = self.handle.load();
+        let epoch = snap.epoch() + 1;
+        self.handle.swap(ServingSchedule::from_sets(
+            sets,
+            Arc::clone(snap.topology()),
+            epoch,
+        ));
     }
 
     /// Fires a background re-optimization when degradation crosses the
@@ -489,6 +653,10 @@ impl ChurnManager {
         self.inc = fresh;
         self.reopt_in_flight = false;
         self.reopts += 1;
+        // The fresh schedule re-piggybacks the direct-served churn edges,
+        // so the cross-server degradation the accumulator priced is gone;
+        // a rebalance justified by it would migrate for nothing.
+        self.cross_churned = 0.0;
         self.publish_full_base();
     }
 
@@ -498,6 +666,9 @@ impl ChurnManager {
             unfollows_applied: self.unfollows,
             churn_rejected: self.rejected,
             reopts: self.reopts,
+            rebalances: self.rebalances,
+            users_migrated: self.users_migrated,
+            cross_cost_churned: self.cross_churned,
             base_cost: self.inc.base_cost(),
             final_cost: self.inc.cost(),
             staleness_violation: self.inc.validate().err().map(|e| e.to_string()),
@@ -646,8 +817,14 @@ mod tests {
     #[test]
     fn out_of_model_users_are_rejected() {
         let rt = boot(ServeConfig::default());
-        let c = rt.client();
+        let mut c = rt.client();
         assert!(!c.follow(0, 99), "user 99 has no rates");
+        // Share/query for users outside the topology are no-ops, not
+        // panics (the flat user → shard map has no home for them).
+        assert_eq!(c.share(99), 0);
+        let (events, msgs) = c.query(99);
+        assert!(events.is_empty());
+        assert_eq!(msgs, 0);
         drop(c);
         let report = rt.shutdown();
         assert_eq!(report.churn.churn_rejected, 1);

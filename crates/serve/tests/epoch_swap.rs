@@ -12,6 +12,7 @@ use std::time::Duration;
 use crossbeam::channel::bounded;
 use piggyback_graph::NodeId;
 use piggyback_serve::epoch::{CompiledSets, EpochHandle, ServingSchedule};
+use piggyback_store::topology::Topology;
 
 const USERS: usize = 64;
 
@@ -23,16 +24,25 @@ fn tagged(epoch: u64) -> ServingSchedule {
         push: (0..USERS as NodeId).map(|u| vec![tag, u]).collect(),
         pull: (0..USERS as NodeId).map(|u| vec![tag, u, u]).collect(),
     };
-    ServingSchedule::from_sets(sets, epoch)
+    // Each epoch also carries its own topology, seeded by the epoch
+    // number: a torn read of the topology would route through a map that
+    // disagrees with the snapshot's serving sets.
+    ServingSchedule::from_sets(sets, Arc::new(Topology::hash(USERS, 4, epoch)), epoch)
 }
 
 /// Asserts that every set of `snap` matches its own epoch tag — the "no
 /// mix" invariant a request relies on.
 fn assert_uniform(snap: &ServingSchedule) {
     let tag = snap.epoch() as NodeId;
+    let expect = Topology::hash(USERS, 4, snap.epoch());
     for u in 0..USERS as NodeId {
         assert_eq!(snap.push_targets(u), &[tag, u], "torn push set at {u}");
         assert_eq!(snap.pull_sources(u), &[tag, u, u], "torn pull set at {u}");
+        assert_eq!(
+            snap.topology().server_of(u),
+            expect.server_of(u),
+            "topology from a different epoch at {u}"
+        );
     }
 }
 
@@ -124,7 +134,11 @@ fn override_publishes_are_atomic() {
         push: (0..USERS as NodeId).map(|u| vec![u]).collect(),
         pull: (0..USERS as NodeId).map(|u| vec![u]).collect(),
     };
-    let handle = Arc::new(EpochHandle::new(ServingSchedule::from_sets(sets, 0)));
+    let handle = Arc::new(EpochHandle::new(ServingSchedule::from_sets(
+        sets,
+        Arc::new(Topology::single_server(USERS)),
+        0,
+    )));
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     std::thread::scope(|s| {
         for _ in 0..3 {

@@ -26,8 +26,8 @@ use piggyback_core::schedule::Schedule;
 use piggyback_graph::{CsrGraph, NodeId};
 use piggyback_workload::{Rates, RequestKind, RequestTrace};
 
-use crate::partition::RandomPlacement;
 use crate::server::StoreServer;
+use crate::topology::Topology;
 use crate::tuple::EventTuple;
 use crate::worker::{dispatch, worker_loop, ShardRequest};
 
@@ -105,22 +105,46 @@ impl ActualStats {
 }
 
 /// The prototype cluster: per-user push/pull sets compiled from a schedule,
-/// a placement, and the shard array.
+/// a topology, and the shard array.
 pub struct Cluster {
     /// `h[u]` of Algorithm 3 (excluding `u` itself).
     push_sets: Vec<Vec<NodeId>>,
     /// `l[u]` of Algorithm 3 (excluding `u` itself).
     pull_sets: Vec<Vec<NodeId>>,
-    placement: RandomPlacement,
+    topology: Topology,
     config: ClusterConfig,
     shards: Vec<StoreServer>,
     clock: AtomicU64,
 }
 
 impl Cluster {
-    /// Builds a cluster for `g` under `schedule`.
+    /// Builds a cluster for `g` under `schedule` with the paper's baseline
+    /// hash topology (`config.placement_seed`).
     pub fn new(g: &CsrGraph, schedule: &Schedule, config: ClusterConfig) -> Self {
+        let topology = Topology::hash(g.node_count(), config.servers, config.placement_seed);
+        Cluster::with_topology(g, schedule, config, topology)
+    }
+
+    /// Builds a cluster with an explicit [`Topology`] (any
+    /// [`Partitioner`](crate::topology::Partitioner) output).
+    pub fn with_topology(
+        g: &CsrGraph,
+        schedule: &Schedule,
+        config: ClusterConfig,
+        topology: Topology,
+    ) -> Self {
         assert_eq!(g.edge_count(), schedule.edge_count());
+        assert!(
+            topology.users() >= g.node_count(),
+            "topology covers {} users, graph has {}",
+            topology.users(),
+            g.node_count()
+        );
+        assert_eq!(
+            topology.servers(),
+            config.servers,
+            "topology server count disagrees with the config"
+        );
         let n = g.node_count();
         let mut push_sets = Vec::with_capacity(n);
         let mut pull_sets = Vec::with_capacity(n);
@@ -134,7 +158,7 @@ impl Cluster {
         Cluster {
             push_sets,
             pull_sets,
-            placement: RandomPlacement::new(config.servers, config.placement_seed),
+            topology,
             config,
             shards,
             clock: AtomicU64::new(1),
@@ -146,9 +170,9 @@ impl Cluster {
         self.push_sets.len()
     }
 
-    /// The placement in use.
-    pub fn placement(&self) -> &RandomPlacement {
-        &self.placement
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
     }
 
     /// Handles one share request from `u` (Algorithm 3 lines 1–7):
@@ -160,24 +184,12 @@ impl Cluster {
         let mut targets = self.push_sets[u as usize].clone();
         targets.push(u);
         // Split borrows: shards mutated inside the closure.
-        let placement = self.placement;
-        let mut tagged: Vec<(usize, NodeId)> = targets
-            .iter()
-            .map(|&v| (placement.server_of(v), v))
-            .collect();
-        tagged.sort_unstable();
+        let (topology, shards) = (&self.topology, &mut self.shards);
         let mut messages = 0u64;
-        let mut i = 0;
-        while i < tagged.len() {
-            let server = tagged[i].0;
-            let start = i;
-            while i < tagged.len() && tagged[i].0 == server {
-                i += 1;
-            }
-            let views: Vec<NodeId> = tagged[start..i].iter().map(|&(_, v)| v).collect();
-            self.shards[server].update(&views, event);
+        topology.group_by_server(&targets, |server, views| {
+            shards[server].update(views, event);
             messages += 1;
-        }
+        });
         messages
     }
 
@@ -187,27 +199,15 @@ impl Cluster {
     pub fn query(&mut self, u: NodeId) -> (Vec<EventTuple>, u64) {
         let mut targets = self.pull_sets[u as usize].clone();
         targets.push(u);
-        let placement = self.placement;
         let k = self.config.top_k;
-        let mut tagged: Vec<(usize, NodeId)> = targets
-            .iter()
-            .map(|&v| (placement.server_of(v), v))
-            .collect();
-        tagged.sort_unstable();
+        let (topology, shards) = (&self.topology, &mut self.shards);
         let mut merged: Vec<EventTuple> = Vec::with_capacity(k.saturating_mul(2).min(1024));
         let mut messages = 0u64;
-        let mut i = 0;
-        while i < tagged.len() {
-            let server = tagged[i].0;
-            let start = i;
-            while i < tagged.len() && tagged[i].0 == server {
-                i += 1;
-            }
-            let views: Vec<NodeId> = tagged[start..i].iter().map(|&(_, v)| v).collect();
+        topology.group_by_server(&targets, |server, views| {
             // filter(n, r[u]) of Algorithm 3: merge and keep the k latest.
-            merged.extend(self.shards[server].query(&views, k));
+            merged.extend(shards[server].query(views, k));
             messages += 1;
-        }
+        });
         merged.sort_unstable_by(|a, b| b.cmp(a));
         merged.dedup();
         merged.truncate(k);
@@ -259,11 +259,12 @@ impl Cluster {
         let Cluster {
             push_sets,
             pull_sets,
-            placement,
+            topology,
             config,
             shards,
             clock,
         } = self;
+        let topology = Arc::new(topology);
         let push_sets = Arc::new(push_sets);
         let pull_sets = Arc::new(pull_sets);
         let shared = Arc::new(SharedCluster {
@@ -297,6 +298,7 @@ impl Cluster {
             for (c, latency_slot) in latencies.iter().enumerate() {
                 let push_sets = Arc::clone(&push_sets);
                 let pull_sets = Arc::clone(&pull_sets);
+                let topology = Arc::clone(&topology);
                 let senders = Arc::clone(&senders);
                 let shared = Arc::clone(&shared);
                 let total_messages = Arc::clone(&total_messages);
@@ -315,25 +317,23 @@ impl Cluster {
                                 let payload = event.to_bytes();
                                 let mut targets = push_sets[u as usize].clone();
                                 targets.push(u);
-                                msgs += dispatch(
-                                    &placement,
-                                    &senders,
-                                    &targets,
-                                    |shard, views, done| ShardRequest::Update {
-                                        shard,
-                                        views,
-                                        payload: payload.clone(),
-                                        done,
-                                    },
-                                )
-                                .len() as u64;
+                                msgs +=
+                                    dispatch(&topology, &senders, &targets, |shard, views, done| {
+                                        ShardRequest::Update {
+                                            shard,
+                                            views,
+                                            payload: payload.clone(),
+                                            done,
+                                        }
+                                    })
+                                    .len() as u64;
                             }
                             RequestKind::Query(u) => {
                                 let mut targets = pull_sets[u as usize].clone();
                                 targets.push(u);
                                 let k = config.top_k;
                                 let replies = dispatch(
-                                    &placement,
+                                    &topology,
                                     &senders,
                                     &targets,
                                     |shard, views, done| ShardRequest::Query {
@@ -372,7 +372,7 @@ impl Cluster {
         let cluster = Cluster {
             push_sets: Arc::try_unwrap(push_sets).expect("push sets shared"),
             pull_sets: Arc::try_unwrap(pull_sets).expect("pull sets shared"),
-            placement,
+            topology: Arc::try_unwrap(topology).expect("topology shared"),
             config,
             shards: shared.shards.into_iter().map(Mutex::into_inner).collect(),
             clock: shared.clock,
@@ -417,16 +417,16 @@ impl Cluster {
     /// system").
     pub fn resize(&mut self, servers: usize) {
         assert!(servers >= 1, "need at least one server");
-        let old_placement = self.placement;
-        let new_placement = RandomPlacement::new(servers, self.config.placement_seed);
+        let new_topology =
+            Topology::hash(self.push_sets.len(), servers, self.config.placement_seed);
         let mut new_shards: Vec<StoreServer> = (0..servers)
             .map(|_| StoreServer::new(self.config.view_capacity))
             .collect();
         // Preserve views that stay put (possible only for server indexes
         // that exist in both configurations).
         for user in 0..self.push_sets.len() as NodeId {
-            let old_s = old_placement.server_of(user);
-            let new_s = new_placement.server_of(user);
+            let old_s = self.topology.server_of(user);
+            let new_s = new_topology.server_of(user);
             if old_s == new_s && new_s < new_shards.len() {
                 if let Some(view) = self.shards[old_s].view(user) {
                     new_shards[new_s].adopt_view(user, view.clone());
@@ -434,8 +434,30 @@ impl Cluster {
             }
         }
         self.shards = new_shards;
-        self.placement = new_placement;
+        self.topology = new_topology;
         self.config.servers = servers;
+    }
+
+    /// Switches to an arbitrary new [`Topology`], migrating every view to
+    /// its new home (no cache loss — the topology-managed counterpart of
+    /// the hash-only [`resize`](Cluster::resize)).
+    pub fn repartition(&mut self, topology: Topology) {
+        assert!(
+            topology.users() >= self.push_sets.len(),
+            "topology covers fewer users than the cluster serves"
+        );
+        let mut new_shards: Vec<StoreServer> = (0..topology.servers())
+            .map(|_| StoreServer::new(self.config.view_capacity))
+            .collect();
+        for user in 0..self.push_sets.len() as NodeId {
+            let old_s = self.topology.server_of(user);
+            if let Some(view) = self.shards[old_s].remove_view(user) {
+                new_shards[topology.server_of(user)].adopt_view(user, view);
+            }
+        }
+        self.config.servers = topology.servers();
+        self.shards = new_shards;
+        self.topology = topology;
     }
 }
 
@@ -669,6 +691,37 @@ mod tests {
         c.resize(4); // identical placement: every view "stays put"
         let after = c.query(2).0;
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn repartition_migrates_every_view_losslessly() {
+        use crate::topology::{PartitionRequest, Partitioner, ScheduleAwarePartitioner};
+        let (g, r, s) = fig2_world();
+        let mut c = Cluster::new(
+            &g,
+            &s,
+            ClusterConfig {
+                servers: 4,
+                ..Default::default()
+            },
+        );
+        c.share(0, 1);
+        c.share(1, 2);
+        let before = c.query(2).0;
+        assert!(!before.is_empty());
+        // Move to a schedule-aware topology on a different server count:
+        // unlike resize(), every view travels with its user.
+        let next = ScheduleAwarePartitioner::default().partition(&PartitionRequest {
+            graph: &g,
+            rates: &r,
+            schedule: Some(&s),
+            servers: 2,
+            seed: 9,
+        });
+        c.repartition(next);
+        assert_eq!(c.topology().servers(), 2);
+        let after = c.query(2).0;
+        assert_eq!(before, after, "repartition must not lose events");
     }
 
     #[test]

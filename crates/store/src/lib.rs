@@ -11,11 +11,14 @@
 //!
 //! * [`mod@tuple`] — the 24-byte event tuple and its wire encoding.
 //! * [`view`] — a materialized per-user view with trimming and top-k reads.
-//! * [`partition`] — hash data partitioning of views onto servers.
+//! * [`topology`] — the unified cluster topology: the `user → shard` map
+//!   every layer routes through, plus the [`Partitioner`] catalog (hash
+//!   baseline, streaming LDG, schedule-aware greedy).
 //! * [`server`] — a data-store shard: batched update/query with server-side
-//!   filtering (the "thin layer on top of memcached").
+//!   filtering (the "thin layer on top of memcached") and view migration.
 //! * [`worker`] — the wire-format shard-worker protocol shared by every
-//!   execution harness (batch replay and the online serve runtime).
+//!   execution harness (batch replay and the online serve runtime),
+//!   including the extract/install requests of live rebalancing.
 //! * [`cluster`] — Algorithm 3's application servers driving the shards,
 //!   with a deterministic single-threaded mode (message accounting) and a
 //!   concurrent mode (real threads, wall-clock throughput).
@@ -25,15 +28,18 @@
 
 pub mod cluster;
 pub mod latency;
-pub mod partition;
 pub mod placement;
 pub mod server;
+pub mod topology;
 pub mod tuple;
 pub mod view;
 pub mod worker;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use partition::RandomPlacement;
 pub use placement::PlacementCost;
+pub use topology::{
+    HashPartitioner, LdgPartitioner, PartitionRequest, PartitionStrategy, Partitioner,
+    ScheduleAwarePartitioner, Topology,
+};
 pub use tuple::EventTuple;
 pub use view::View;

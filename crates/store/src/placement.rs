@@ -17,7 +17,7 @@ use piggyback_core::schedule::Schedule;
 use piggyback_graph::{CsrGraph, NodeId};
 use piggyback_workload::Rates;
 
-use crate::partition::RandomPlacement;
+use crate::topology::Topology;
 
 /// Placement-aware cost and load computations for a schedule.
 #[derive(Clone, Debug)]
@@ -53,12 +53,12 @@ impl<'a> PlacementCost<'a> {
         }
     }
 
-    /// Total message rate under `placement` (lower is better).
-    pub fn cost(&self, placement: &RandomPlacement) -> f64 {
+    /// Total message rate under `topology` (lower is better).
+    pub fn cost(&self, topology: &Topology) -> f64 {
         let mut total = 0.0;
         for u in 0..self.g.node_count() {
-            let up = placement.distinct_servers(self.update_targets[u].iter().copied());
-            let qu = placement.distinct_servers(self.query_targets[u].iter().copied());
+            let up = topology.distinct_servers(self.update_targets[u].iter().copied());
+            let qu = topology.distinct_servers(self.query_targets[u].iter().copied());
             total +=
                 self.rates.rp(u as NodeId) * up as f64 + self.rates.rc(u as NodeId) * qu as f64;
         }
@@ -68,11 +68,11 @@ impl<'a> PlacementCost<'a> {
     /// Predicted throughput (inverse cost) normalized by the single-server
     /// optimum, where every request is exactly one message — the y-axis of
     /// Figure 7.
-    pub fn normalized_throughput(&self, placement: &RandomPlacement) -> f64 {
+    pub fn normalized_throughput(&self, topology: &Topology) -> f64 {
         let one_server: f64 = (0..self.g.node_count())
             .map(|u| self.rates.rp(u as NodeId) + self.rates.rc(u as NodeId))
             .sum();
-        let c = self.cost(placement);
+        let c = self.cost(topology);
         if c == 0.0 {
             return 1.0;
         }
@@ -81,16 +81,12 @@ impl<'a> PlacementCost<'a> {
 
     /// Query-message rate arriving at each server — Figure 8's load metric.
     /// `out[s]` is the rate of query messages server `s` receives.
-    pub fn per_server_query_load(&self, placement: &RandomPlacement) -> Vec<f64> {
-        let mut load = vec![0.0; placement.servers()];
+    pub fn per_server_query_load(&self, topology: &Topology) -> Vec<f64> {
+        let mut load = vec![0.0; topology.servers()];
         let mut scratch: Vec<usize> = Vec::new();
         for u in 0..self.g.node_count() {
             scratch.clear();
-            scratch.extend(
-                self.query_targets[u]
-                    .iter()
-                    .map(|&v| placement.server_of(v)),
-            );
+            scratch.extend(self.query_targets[u].iter().map(|&v| topology.server_of(v)));
             scratch.sort_unstable();
             scratch.dedup();
             for &s in &scratch {
@@ -102,8 +98,8 @@ impl<'a> PlacementCost<'a> {
 
     /// `(mean, variance)` of the normalized per-server query load: each
     /// server's share of the total query-message rate.
-    pub fn load_balance(&self, placement: &RandomPlacement) -> (f64, f64) {
-        let load = self.per_server_query_load(placement);
+    pub fn load_balance(&self, topology: &Topology) -> (f64, f64) {
+        let load = self.per_server_query_load(topology);
         let total: f64 = load.iter().sum();
         if total == 0.0 {
             return (0.0, 0.0);
@@ -138,12 +134,12 @@ mod tests {
         let (g, r) = world();
         let s = hybrid_schedule(&g, &r);
         let pc = PlacementCost::new(&g, &r, &s);
-        let placement = RandomPlacement::new(1, 0);
+        let topology = Topology::single_server(g.node_count());
         let expect: f64 = (0..g.node_count())
             .map(|u| r.rp(u as u32) + r.rc(u as u32))
             .sum();
-        assert!((pc.cost(&placement) - expect).abs() < 1e-9);
-        assert!((pc.normalized_throughput(&placement) - 1.0).abs() < 1e-12);
+        assert!((pc.cost(&topology) - expect).abs() < 1e-9);
+        assert!((pc.normalized_throughput(&topology) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -151,9 +147,9 @@ mod tests {
         let (g, r) = world();
         let s = hybrid_schedule(&g, &r);
         let pc = PlacementCost::new(&g, &r, &s);
-        let t1 = pc.normalized_throughput(&RandomPlacement::new(1, 0));
-        let t10 = pc.normalized_throughput(&RandomPlacement::new(10, 0));
-        let t1000 = pc.normalized_throughput(&RandomPlacement::new(1000, 0));
+        let t1 = pc.normalized_throughput(&Topology::single_server(300));
+        let t10 = pc.normalized_throughput(&Topology::hash(300, 10, 0));
+        let t1000 = pc.normalized_throughput(&Topology::hash(300, 1000, 0));
         assert!(t1 >= t10 && t10 >= t1000, "{t1} {t10} {t1000}");
     }
 
@@ -165,10 +161,10 @@ mod tests {
         let pc_ff = PlacementCost::new(&g, &r, &ff);
         let pc_pn = PlacementCost::new(&g, &r, &pn);
         // Tiny system: costs are equal (both = one message per request).
-        let one = RandomPlacement::new(1, 0);
+        let one = Topology::single_server(300);
         assert!((pc_ff.cost(&one) - pc_pn.cost(&one)).abs() < 1e-9);
         // Large system: piggybacking pulls ahead (Figure 7's crossover).
-        let big = RandomPlacement::new(2000, 0);
+        let big = Topology::hash(300, 2000, 0);
         assert!(
             pc_pn.cost(&big) < pc_ff.cost(&big),
             "PN should win at scale: {} vs {}",
@@ -186,7 +182,7 @@ mod tests {
         // With servers >> views-per-request, every view lands on its own
         // server: cost = placement-free cost + one self-view message per
         // request (the own-view access the §2.1 model treats as implicit).
-        let huge = RandomPlacement::new(1_000_000, 3);
+        let huge = Topology::hash(300, 1_000_000, 3);
         let implicit: f64 = (0..g.node_count())
             .map(|u| r.rp(u as u32) + r.rc(u as u32))
             .sum();
@@ -203,8 +199,8 @@ mod tests {
         let (g, r) = world();
         let s = hybrid_schedule(&g, &r);
         let pc = PlacementCost::new(&g, &r, &s);
-        let load4 = pc.per_server_query_load(&RandomPlacement::new(4, 0));
-        let load64 = pc.per_server_query_load(&RandomPlacement::new(64, 0));
+        let load4 = pc.per_server_query_load(&Topology::hash(300, 4, 0));
+        let load64 = pc.per_server_query_load(&Topology::hash(300, 64, 0));
         let avg4 = load4.iter().sum::<f64>() / 4.0;
         let avg64 = load64.iter().sum::<f64>() / 64.0;
         assert!(avg4 > avg64, "per-server load must fall with more servers");
@@ -215,7 +211,7 @@ mod tests {
         let (g, r) = world();
         let s = hybrid_schedule(&g, &r);
         let pc = PlacementCost::new(&g, &r, &s);
-        let (mean, var) = pc.load_balance(&RandomPlacement::new(32, 1));
+        let (mean, var) = pc.load_balance(&Topology::hash(300, 32, 1));
         assert!((mean - 1.0 / 32.0).abs() < 1e-12);
         assert!(var < 1e-3, "hash placement should balance well: {var}");
     }

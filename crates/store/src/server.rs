@@ -88,6 +88,26 @@ impl StoreServer {
     pub fn adopt_view(&mut self, user: NodeId, view: View) {
         self.views.insert(user, view);
     }
+
+    /// Removes `user`'s view and returns it — the donor side of a live
+    /// migration to a new topology.
+    pub fn remove_view(&mut self, user: NodeId) -> Option<View> {
+        self.views.remove(&user)
+    }
+
+    /// Merges `events` into `user`'s view (creating it if absent) — the
+    /// recipient side of a live migration. Insertion keeps recency order
+    /// and drops duplicates, so events that already landed at the new home
+    /// survive alongside the migrated ones.
+    pub fn merge_view(&mut self, user: NodeId, events: &[EventTuple]) {
+        let view = self
+            .views
+            .entry(user)
+            .or_insert_with(|| View::with_capacity(self.view_capacity));
+        for &e in events {
+            view.insert(e);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +191,30 @@ mod tests {
             s.update(&[1], ev(2, i, i));
         }
         assert_eq!(s.view(1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn remove_then_merge_preserves_events_and_dedups() {
+        let mut a = StoreServer::new(0);
+        let mut b = StoreServer::new(0);
+        a.update(&[1], ev(7, 1, 10));
+        a.update(&[1], ev(7, 2, 20));
+        b.update(&[1], ev(8, 9, 30)); // already at the destination
+        b.update(&[1], ev(7, 2, 20)); // duplicate of a migrated event
+        let view = a.remove_view(1).expect("view existed");
+        assert!(a.view(1).is_none());
+        b.merge_view(1, view.events());
+        let merged = b.query(&[1], 10);
+        assert_eq!(merged, vec![ev(8, 9, 30), ev(7, 2, 20), ev(7, 1, 10)]);
+        assert!(a.remove_view(42).is_none());
+    }
+
+    #[test]
+    fn merge_view_respects_capacity() {
+        let mut s = StoreServer::new(2);
+        let events: Vec<EventTuple> = (0..5).map(|i| ev(1, i, i)).collect();
+        s.merge_view(9, &events);
+        assert_eq!(s.view(9).unwrap().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,1031 @@
+//! The cluster topology: which data-store server owns each user's view.
+//!
+//! Every layer that needs shard ownership — the placement-aware cost model,
+//! the batch prototype ([`crate::cluster`]), the wire-format worker protocol
+//! ([`crate::worker`]) and the online serve runtime — routes through one
+//! [`Topology`]: a server count plus a flat `user → shard` array (CSR-style
+//! flat storage instead of per-user hash maps, after the in-memory
+//! graph-analytics playbook). The paper's prototype hashes users to random
+//! servers (§4.3); that policy is now just one [`Partitioner`] among
+//! several, and the partition map itself becomes an optimized dimension:
+//! the schedule-aware partitioner places the heavy hub → consumer traffic
+//! of an optimized push/pull schedule *intra-server*, where batching makes
+//! it free.
+//!
+//! Partitioners:
+//!
+//! * [`HashPartitioner`] — the paper's baseline: `FxHash(seed, user) mod
+//!   servers`. Stateless, perfectly balanced in expectation, cost-blind.
+//! * [`LdgPartitioner`] — streaming Linear Deterministic Greedy: each user
+//!   joins the shard holding most of its neighbors, damped by a capacity
+//!   penalty. Graph-aware, schedule-blind.
+//! * [`ScheduleAwarePartitioner`] — multilevel partitioning over
+//!   *schedule traffic* weights: an edge counts what it actually costs
+//!   under the optimized schedule (`rp(u)` if pushed, `rc(v)` if pulled,
+//!   zero if piggybacked); heavy-edge matchings contract hubs with their
+//!   heaviest counterparts, and refinement sweeps at every level pull
+//!   each user toward the shard it trades the most messages with.
+
+use piggyback_core::schedule::Schedule;
+use piggyback_graph::fx::FxHasher;
+use piggyback_graph::{CsrGraph, EdgeId, NodeId};
+use piggyback_workload::Rates;
+use std::hash::Hasher;
+
+/// The cluster topology: `servers` data-store servers and the home server
+/// of every user's view, stored as a flat array indexed by user id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    servers: usize,
+    shard_of: Vec<u32>,
+    /// Replica slots per view (1 = primary only). Slot `i` of user `u` is
+    /// `(primary + i) mod servers`; the serving paths currently read and
+    /// write the primary, the extra slots reserve the address space for
+    /// replicated deployments.
+    replication: usize,
+}
+
+/// The paper's hash placement: `FxHash(seed, user) mod servers`.
+#[inline]
+pub(crate) fn hash_server_of(user: NodeId, servers: usize, seed: u64) -> usize {
+    let mut h = FxHasher::default();
+    h.write_u64(seed);
+    h.write_u32(user);
+    (h.finish() % servers as u64) as usize
+}
+
+impl Topology {
+    /// Wraps an explicit assignment. Every entry must be `< servers`.
+    pub fn from_assignment(shard_of: Vec<u32>, servers: usize) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        debug_assert!(shard_of.iter().all(|&s| (s as usize) < servers));
+        Topology {
+            servers,
+            shard_of,
+            replication: 1,
+        }
+    }
+
+    /// Hash-random placement of `users` views onto `servers` servers —
+    /// the paper's §4.3 baseline. Deterministic for a fixed `seed`.
+    pub fn hash(users: usize, servers: usize, seed: u64) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        let shard_of = (0..users as NodeId)
+            .map(|u| hash_server_of(u, servers, seed) as u32)
+            .collect();
+        Topology {
+            servers,
+            shard_of,
+            replication: 1,
+        }
+    }
+
+    /// Everything on one server (tests and degenerate configurations).
+    pub fn single_server(users: usize) -> Self {
+        Topology {
+            servers: 1,
+            shard_of: vec![0; users],
+            replication: 1,
+        }
+    }
+
+    /// Sets the replica-slot count (must be ≥ 1 and ≤ `servers`).
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        assert!(
+            replication >= 1 && replication <= self.servers,
+            "replication {replication} out of range for {} servers",
+            self.servers
+        );
+        self.replication = replication;
+        self
+    }
+
+    /// Number of users covered by the partition map.
+    pub fn users(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Replica slots per view (1 = primary only).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The server holding `user`'s (primary) view.
+    #[inline]
+    pub fn server_of(&self, user: NodeId) -> usize {
+        self.shard_of[user as usize] as usize
+    }
+
+    /// The replica slots of `user`'s view, primary first.
+    pub fn replica_slots(&self, user: NodeId) -> impl Iterator<Item = usize> + '_ {
+        let primary = self.server_of(user);
+        (0..self.replication).map(move |i| (primary + i) % self.servers)
+    }
+
+    /// The raw `user → shard` array — the interchange format for
+    /// topology-aware cost accounting (`piggyback_core::cost::CostModel`).
+    pub fn assignment(&self) -> &[u32] {
+        &self.shard_of
+    }
+
+    /// Number of distinct servers holding the given views (the message
+    /// count of one batched request touching all of them).
+    pub fn distinct_servers(&self, views: impl IntoIterator<Item = NodeId>) -> usize {
+        // Few views per request: a tiny sorted vec beats a hash set.
+        let mut seen: Vec<usize> = views.into_iter().map(|v| self.server_of(v)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Groups `targets` by home server and invokes `f(server, views)` once
+    /// per touched server — the one batched message per server of
+    /// Algorithm 3. The single shard-ownership derivation every execution
+    /// path (batch cluster, wire dispatch, serve runtime) shares.
+    pub fn group_by_server(&self, targets: &[NodeId], mut f: impl FnMut(usize, &[NodeId])) {
+        let mut tagged: Vec<(usize, NodeId)> =
+            targets.iter().map(|&v| (self.server_of(v), v)).collect();
+        tagged.sort_unstable();
+        let mut views: Vec<NodeId> = Vec::new();
+        let mut i = 0;
+        while i < tagged.len() {
+            let server = tagged[i].0;
+            views.clear();
+            while i < tagged.len() && tagged[i].0 == server {
+                views.push(tagged[i].1);
+                i += 1;
+            }
+            f(server, &views);
+        }
+    }
+
+    /// Users per shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.servers];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Users whose home server differs between `self` and `next` — the
+    /// views a live migration must re-home.
+    pub fn moved_users(&self, next: &Topology) -> Vec<NodeId> {
+        assert_eq!(
+            self.users(),
+            next.users(),
+            "topologies cover different user sets"
+        );
+        (0..self.users() as NodeId)
+            .filter(|&u| self.server_of(u) != next.server_of(u))
+            .collect()
+    }
+}
+
+/// Number of graph edges whose endpoints live on different servers.
+pub fn edges_cut(g: &CsrGraph, t: &Topology) -> usize {
+    g.edges()
+        .filter(|&(_, u, v)| t.server_of(u) != t.server_of(v))
+        .count()
+}
+
+/// One partitioning problem: the graph, its workload, and (optionally) the
+/// optimized schedule whose traffic the partitioner should exploit.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionRequest<'a> {
+    /// The social graph.
+    pub graph: &'a CsrGraph,
+    /// Per-user rates (must cover every graph node; may cover more users —
+    /// the serve runtime admits churn up to the rate model's width).
+    pub rates: &'a Rates,
+    /// The optimized push/pull schedule, if one exists. Schedule-aware
+    /// partitioners fall back to hybrid edge costs without it.
+    pub schedule: Option<&'a Schedule>,
+    /// Number of servers to partition onto.
+    pub servers: usize,
+    /// Determinism seed (hash placement, tie-breaking).
+    pub seed: u64,
+}
+
+impl PartitionRequest<'_> {
+    /// Users the produced topology must cover: every graph node plus every
+    /// user the rate model admits.
+    pub fn users(&self) -> usize {
+        self.graph.node_count().max(self.rates.len())
+    }
+}
+
+/// A view-placement policy: maps a [`PartitionRequest`] to a [`Topology`].
+///
+/// Every implementation must be deterministic for a fixed request (same
+/// graph, rates, schedule, servers, seed ⇒ identical topology) — replays
+/// and distributed consumers rely on it.
+pub trait Partitioner: Send + Sync {
+    /// Stable registry key (lower-kebab-case, e.g. `"schedule-aware"`).
+    fn name(&self) -> &str;
+
+    /// Computes the topology.
+    fn partition(&self, req: &PartitionRequest) -> Topology;
+}
+
+/// The paper's baseline: hash-random placement (§4.3). Cost-blind.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn name(&self) -> &str {
+        "hash"
+    }
+
+    fn partition(&self, req: &PartitionRequest) -> Topology {
+        Topology::hash(req.users(), req.servers, req.seed)
+    }
+}
+
+/// Default headroom over perfect balance for the greedy partitioners.
+const DEFAULT_SLACK: f64 = 1.05;
+
+/// Streaming Linear Deterministic Greedy: user `u` joins the shard `s`
+/// maximizing `|N(u) ∩ s| · (1 − load(s)/capacity)` among shards with
+/// spare capacity, falling back to the least-loaded shard when no placed
+/// neighbor exists. Neighborhoods count both follow directions.
+#[derive(Clone, Copy, Debug)]
+pub struct LdgPartitioner {
+    /// Per-shard capacity headroom over `users / servers` (≥ 1.0).
+    pub slack: f64,
+}
+
+impl Default for LdgPartitioner {
+    fn default() -> Self {
+        LdgPartitioner {
+            slack: DEFAULT_SLACK,
+        }
+    }
+}
+
+impl Partitioner for LdgPartitioner {
+    fn name(&self) -> &str {
+        "ldg"
+    }
+
+    fn partition(&self, req: &PartitionRequest) -> Topology {
+        assert!(req.servers >= 1, "need at least one server");
+        assert!(self.slack >= 1.0, "slack must be >= 1.0");
+        let users = req.users();
+        if req.servers == 1 {
+            return Topology::single_server(users);
+        }
+        // Unit edge weights, streaming id order, no refinement: classic
+        // one-pass LDG, sharing the damped greedy with the multilevel
+        // partitioner's placement stage.
+        let level = build_level(req.graph, users, |_| 1.0);
+        let capacity = (((users as f64) * self.slack / req.servers as f64).ceil() as usize).max(1);
+        let order: Vec<NodeId> = (0..users as NodeId).collect();
+        let assignment = initial_placement(&level, req.servers, capacity, &order);
+        Topology::from_assignment(assignment, req.servers)
+    }
+}
+
+/// Schedule-aware multilevel placement: edges are weighted by the message
+/// rate they carry under the optimized schedule — `rp(u)` for a push,
+/// `rc(v)` for a pull, both if double-served, **zero** if piggybacked (a
+/// covered edge sends nothing; its hub legs carry the traffic and are
+/// weighted as the push/pull edges they are). The weighted graph is then
+/// partitioned METIS-style: heavy-edge matchings contract hubs with their
+/// heaviest counterparts level by level, a capacity-damped greedy places
+/// the coarsest graph, and the placement is projected back with a
+/// cut-reducing refinement sweep at every level — so heavy hub → consumer
+/// traffic lands intra-server where batching makes it free.
+///
+/// Without a schedule in the request, edges fall back to the hybrid direct
+/// cost `min(rp(u), rc(v))` — the traffic of the FEEDINGFRENZY baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleAwarePartitioner {
+    /// Per-shard capacity headroom over `users / servers` (≥ 1.0).
+    pub slack: f64,
+    /// Maximum refinement sweeps per level (each sweep stops early once no
+    /// user wants to move).
+    pub refine_passes: usize,
+}
+
+impl Default for ScheduleAwarePartitioner {
+    fn default() -> Self {
+        ScheduleAwarePartitioner {
+            slack: 1.1,
+            refine_passes: 12,
+        }
+    }
+}
+
+impl Partitioner for ScheduleAwarePartitioner {
+    fn name(&self) -> &str {
+        "schedule-aware"
+    }
+
+    fn partition(&self, req: &PartitionRequest) -> Topology {
+        assert!(req.servers >= 1, "need at least one server");
+        assert!(self.slack >= 1.0, "slack must be >= 1.0");
+        let g = req.graph;
+        let rates = req.rates;
+        let users = req.users();
+        if req.servers == 1 {
+            return Topology::single_server(users);
+        }
+        // Per-edge schedule traffic, flat over dense edge ids.
+        let weight: Vec<f64> = match req.schedule {
+            Some(s) => {
+                assert_eq!(
+                    g.edge_count(),
+                    s.edge_count(),
+                    "schedule sized for a different graph"
+                );
+                g.edges()
+                    .map(|(e, u, v)| {
+                        let mut w = 0.0;
+                        if s.is_push(e) {
+                            w += rates.rp(u);
+                        }
+                        if s.is_pull(e) {
+                            w += rates.rc(v);
+                        }
+                        w
+                    })
+                    .collect()
+            }
+            None => g
+                .edges()
+                .map(|(_, u, v)| rates.rp(u).min(rates.rc(v)))
+                .collect(),
+        };
+        let level = build_level(g, users, |e| weight[e as usize]);
+        let capacity = (((users as f64) * self.slack / req.servers as f64).ceil() as usize).max(1);
+        let mut assignment = multilevel(level, req.servers, capacity, self.refine_passes);
+        // Coarse levels place *contracted* nodes, whose indivisible weight
+        // can force a shard past capacity when nothing else fits. At user
+        // granularity every overflow is fixable: drain over-full shards
+        // into the least-loaded ones. Makes the capacity bound
+        // unconditional.
+        enforce_capacity(&mut assignment, req.servers, capacity);
+        Topology::from_assignment(assignment, req.servers)
+    }
+}
+
+/// Moves users (unit weight each) out of shards above `capacity` into the
+/// least-loaded shards, highest user ids first — deterministic, and always
+/// possible since `capacity · servers ≥ users`.
+fn enforce_capacity(assignment: &mut [u32], servers: usize, capacity: usize) {
+    let mut load = vec![0usize; servers];
+    for &s in assignment.iter() {
+        load[s as usize] += 1;
+    }
+    if !load.iter().any(|&l| l > capacity) {
+        return;
+    }
+    for u in (0..assignment.len()).rev() {
+        let s = assignment[u] as usize;
+        if load[s] <= capacity {
+            continue;
+        }
+        let mut t = 0;
+        for c in 1..servers {
+            if load[c] < load[t] {
+                t = c;
+            }
+        }
+        assignment[u] = t as u32;
+        load[s] -= 1;
+        load[t] += 1;
+    }
+    debug_assert!(load.iter().all(|&l| l <= capacity));
+}
+
+/// Builds the level-0 [`LevelGraph`]: undirected weighted adjacency over
+/// `users` nodes (direction does not change which cut a message crosses),
+/// parallel edges merged, zero-weight edges dropped (they carry no
+/// traffic worth keeping local).
+fn build_level(g: &CsrGraph, users: usize, edge_weight: impl Fn(EdgeId) -> f64) -> LevelGraph {
+    let mut level = LevelGraph {
+        adj: vec![Vec::new(); users],
+        node_w: vec![1u32; users],
+    };
+    for (e, u, v) in g.edges() {
+        let w = edge_weight(e);
+        if w > 0.0 && u != v {
+            level.adj[u as usize].push((v, w));
+            level.adj[v as usize].push((u, w));
+        }
+    }
+    for list in &mut level.adj {
+        merge_parallel(list);
+    }
+    level
+}
+
+/// One level of the multilevel hierarchy: merged weighted adjacency plus
+/// how many original users each (possibly contracted) node stands for.
+struct LevelGraph {
+    adj: Vec<Vec<(NodeId, f64)>>,
+    node_w: Vec<u32>,
+}
+
+impl LevelGraph {
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Total incident weight per node, the "heaviest first" ordering key.
+    fn masses(&self) -> Vec<f64> {
+        self.adj
+            .iter()
+            .map(|list| list.iter().map(|&(_, w)| w).sum())
+            .collect()
+    }
+
+    /// Node indices sorted by descending mass, ties toward lower ids.
+    fn heavy_order(&self) -> Vec<NodeId> {
+        let mass = self.masses();
+        let mut order: Vec<NodeId> = (0..self.len() as NodeId).collect();
+        order.sort_by(|&a, &b| {
+            mass[b as usize]
+                .partial_cmp(&mass[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+/// Sorts an adjacency list by neighbor and folds parallel entries into one
+/// summed weight.
+fn merge_parallel(list: &mut Vec<(NodeId, f64)>) {
+    if list.len() < 2 {
+        return;
+    }
+    list.sort_unstable_by_key(|&(v, _)| v);
+    let mut out = 0;
+    for i in 1..list.len() {
+        if list[i].0 == list[out].0 {
+            list[out].1 += list[i].1;
+        } else {
+            out += 1;
+            list[out] = list[i];
+        }
+    }
+    list.truncate(out + 1);
+}
+
+/// Recursive multilevel partitioning of a [`LevelGraph`]: heavy-edge
+/// matching contracts the graph until it is small, a capacity-damped
+/// greedy places the coarsest level, and each projection back is followed
+/// by refinement sweeps. Deterministic throughout (fixed orders, exact
+/// comparisons, lowest-index ties).
+fn multilevel(level: LevelGraph, servers: usize, capacity: usize, passes: usize) -> Vec<u32> {
+    let n = level.len();
+    // Small enough (or coarsening stalled): place directly.
+    let stop = (servers * 4).max(32);
+    if n <= stop {
+        return coarsest_placement(&level, servers, capacity, passes);
+    }
+    // Heavy-edge matching, heaviest nodes first: a hub grabs the neighbor
+    // it exchanges the most traffic with. Contracted nodes may not exceed
+    // a fraction of the shard capacity, or the coarsest placement could
+    // not balance.
+    const UNMATCHED: u32 = u32::MAX;
+    let max_node_w = (capacity / 2).max(1) as u32;
+    let mass = level.masses();
+    let mut mate = vec![UNMATCHED; n];
+    for &u in &level.heavy_order() {
+        if mate[u as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(f64, NodeId)> = None;
+        for &(v, w) in &level.adj[u as usize] {
+            if mate[v as usize] != UNMATCHED
+                || level.node_w[u as usize] + level.node_w[v as usize] > max_node_w
+            {
+                continue;
+            }
+            // Normalized heavy-edge score: prefer the neighbor for which
+            // this edge is a large share of its total traffic, so hubs
+            // absorb their dedicated counterparts instead of whichever
+            // heavyweight happens to be adjacent.
+            let score = w / mass[v as usize].max(f64::MIN_POSITIVE);
+            let better = match best {
+                None => true,
+                Some((bw, bv)) => score > bw || (score == bw && v < bv),
+            };
+            if better {
+                best = Some((score, v));
+            }
+        }
+        match best {
+            Some((_, v)) => {
+                mate[u as usize] = v;
+                mate[v as usize] = u;
+            }
+            None => mate[u as usize] = u, // singleton
+        }
+    }
+    // Coarse ids in first-appearance order over node ids.
+    let mut coarse_of = vec![UNMATCHED; n];
+    let mut coarse_n = 0u32;
+    for u in 0..n {
+        if coarse_of[u] != UNMATCHED {
+            continue;
+        }
+        coarse_of[u] = coarse_n;
+        let v = mate[u] as usize;
+        if v != u {
+            coarse_of[v] = coarse_n;
+        }
+        coarse_n += 1;
+    }
+    if (coarse_n as usize) as f64 > 0.95 * n as f64 {
+        // Matching found almost nothing to contract; recursing further
+        // would loop. Place this level directly.
+        return coarsest_placement(&level, servers, capacity, passes);
+    }
+    let mut coarse = LevelGraph {
+        adj: vec![Vec::new(); coarse_n as usize],
+        node_w: vec![0; coarse_n as usize],
+    };
+    for u in 0..n {
+        let cu = coarse_of[u];
+        coarse.node_w[cu as usize] += level.node_w[u];
+        for &(v, w) in &level.adj[u] {
+            let cv = coarse_of[v as usize];
+            if cu != cv {
+                coarse.adj[cu as usize].push((cv, w));
+            }
+        }
+    }
+    for list in &mut coarse.adj {
+        merge_parallel(list);
+    }
+    let coarse_assignment = multilevel(coarse, servers, capacity, passes);
+    // Project back and polish at this level's granularity.
+    let mut assignment: Vec<u32> = (0..n)
+        .map(|u| coarse_assignment[coarse_of[u] as usize])
+        .collect();
+    refine(&level, &mut assignment, servers, capacity, passes);
+    assignment
+}
+
+/// Weighted cut of an assignment over a level (each undirected adjacency
+/// entry appears twice, so the sum is halved).
+fn level_cut(level: &LevelGraph, assignment: &[u32]) -> f64 {
+    let mut cut = 0.0;
+    for u in 0..level.len() {
+        for &(v, w) in &level.adj[u] {
+            if assignment[u] != assignment[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut / 2.0
+}
+
+/// Places the coarsest level: several deterministic greedy starts (the
+/// heavy-first order rotated by a few offsets), each polished by
+/// refinement; the assignment with the smallest weighted cut wins. The
+/// coarsest graph is tiny, so the restarts cost microseconds and buy the
+/// level every finer projection inherits from.
+fn coarsest_placement(
+    level: &LevelGraph,
+    servers: usize,
+    capacity: usize,
+    passes: usize,
+) -> Vec<u32> {
+    let order = level.heavy_order();
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    let n = order.len().max(1);
+    for rot in [0usize, n / 4, n / 2, 3 * n / 4] {
+        let mut rotated = Vec::with_capacity(n);
+        rotated.extend_from_slice(&order[rot.min(n - 1)..]);
+        rotated.extend_from_slice(&order[..rot.min(n - 1)]);
+        let mut assignment = initial_placement(level, servers, capacity, &rotated);
+        refine(level, &mut assignment, servers, capacity, passes);
+        let cut = level_cut(level, &assignment);
+        let better = match &best {
+            None => true,
+            Some((b, _)) => cut < *b,
+        };
+        if better {
+            best = Some((cut, assignment));
+        }
+    }
+    best.expect("at least one restart").1
+}
+
+/// Capacity-damped greedy placement of a (coarsest) level in the given
+/// order: each node joins the shard with the highest damped affinity
+/// toward already-placed neighbors; nodes without usable affinity go to
+/// the least-loaded shard.
+fn initial_placement(
+    level: &LevelGraph,
+    servers: usize,
+    capacity: usize,
+    order: &[NodeId],
+) -> Vec<u32> {
+    const UNPLACED: u32 = u32::MAX;
+    let n = level.len();
+    let mut assignment = vec![UNPLACED; n];
+    let mut load = vec![0usize; servers];
+    let mut score = vec![0.0f64; servers];
+    let mut touched: Vec<usize> = Vec::new();
+    for &u in order {
+        let w_u = level.node_w[u as usize] as usize;
+        for &(v, w) in &level.adj[u as usize] {
+            let s = assignment[v as usize];
+            if s != UNPLACED {
+                if score[s as usize] == 0.0 {
+                    touched.push(s as usize);
+                }
+                score[s as usize] += w;
+            }
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for &s in &touched {
+            if load[s] + w_u > capacity {
+                continue;
+            }
+            let damped = score[s] * (1.0 - load[s] as f64 / capacity as f64);
+            let better = match best {
+                None => damped > 0.0,
+                Some((b, bs)) => damped > b || (damped == b && s < bs),
+            };
+            if better {
+                best = Some((damped, s));
+            }
+        }
+        let target = match best {
+            Some((_, s)) => s,
+            None => {
+                // Least-loaded shard, lowest index on ties; among shards
+                // with room if any (the slack usually guarantees one).
+                let mut t = 0;
+                let mut t_fits = load[0] + w_u <= capacity;
+                for c in 1..servers {
+                    let fits = load[c] + w_u <= capacity;
+                    if (fits && !t_fits) || (fits == t_fits && load[c] < load[t]) {
+                        t = c;
+                        t_fits = fits;
+                    }
+                }
+                t
+            }
+        };
+        assignment[u as usize] = target as u32;
+        load[target] += w_u;
+        for &s in &touched {
+            score[s] = 0.0;
+        }
+        touched.clear();
+    }
+    assignment
+}
+
+/// Refinement sweeps: move each node to the shard it has the strongest
+/// affinity toward if that strictly reduces the weighted cut and respects
+/// capacity. Stops early when a sweep makes no move.
+fn refine(
+    level: &LevelGraph,
+    assignment: &mut [u32],
+    servers: usize,
+    capacity: usize,
+    passes: usize,
+) {
+    let order = level.heavy_order();
+    let mut load = vec![0usize; servers];
+    for u in 0..level.len() {
+        load[assignment[u] as usize] += level.node_w[u] as usize;
+    }
+    let mut score = vec![0.0f64; servers];
+    let mut touched: Vec<usize> = Vec::new();
+    for _ in 0..passes {
+        let mut moved = false;
+        for &u in &order {
+            if level.adj[u as usize].is_empty() {
+                continue;
+            }
+            for &(v, w) in &level.adj[u as usize] {
+                let s = assignment[v as usize] as usize;
+                if score[s] == 0.0 {
+                    touched.push(s);
+                }
+                score[s] += w;
+            }
+            let cur = assignment[u as usize] as usize;
+            let w_u = level.node_w[u as usize] as usize;
+            let mut best = (score[cur], cur);
+            for &s in &touched {
+                if s == cur || load[s] + w_u > capacity {
+                    continue;
+                }
+                if score[s] > best.0 || (score[s] == best.0 && best.1 != cur && s < best.1) {
+                    best = (score[s], s);
+                }
+            }
+            if best.1 != cur {
+                load[cur] -= w_u;
+                load[best.1] += w_u;
+                assignment[u as usize] = best.1 as u32;
+                moved = true;
+            }
+            for &s in &touched {
+                score[s] = 0.0;
+            }
+            touched.clear();
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+/// Every registered partitioner, baseline first, in a stable order.
+pub fn partitioners() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(HashPartitioner),
+        Box::new(LdgPartitioner::default()),
+        Box::new(ScheduleAwarePartitioner::default()),
+    ]
+}
+
+/// Looks a partitioner up by its registry [`name`](Partitioner::name).
+pub fn partitioner_by_name(name: &str) -> Option<Box<dyn Partitioner>> {
+    partitioners().into_iter().find(|p| p.name() == name)
+}
+
+/// A `Copy`-able partitioner selector for configuration structs (the serve
+/// runtime's [`ServeConfig`] stays `Copy`).
+///
+/// [`ServeConfig`]: ../../piggyback_serve/struct.ServeConfig.html
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// [`HashPartitioner`] — the paper's baseline.
+    #[default]
+    Hash,
+    /// [`LdgPartitioner`].
+    Ldg,
+    /// [`ScheduleAwarePartitioner`].
+    ScheduleAware,
+}
+
+impl PartitionStrategy {
+    /// The strategy's partitioner.
+    pub fn partitioner(self) -> Box<dyn Partitioner> {
+        match self {
+            PartitionStrategy::Hash => Box::new(HashPartitioner),
+            PartitionStrategy::Ldg => Box::new(LdgPartitioner::default()),
+            PartitionStrategy::ScheduleAware => Box::new(ScheduleAwarePartitioner::default()),
+        }
+    }
+
+    /// Registry name of the strategy's partitioner.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Hash => "hash",
+            PartitionStrategy::Ldg => "ldg",
+            PartitionStrategy::ScheduleAware => "schedule-aware",
+        }
+    }
+
+    /// Parses a registry name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "hash" => Some(PartitionStrategy::Hash),
+            "ldg" => Some(PartitionStrategy::Ldg),
+            "schedule-aware" => Some(PartitionStrategy::ScheduleAware),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use piggyback_graph::gen::{copying, CopyingConfig};
+
+    fn world() -> (CsrGraph, Rates) {
+        let g = copying(CopyingConfig {
+            nodes: 300,
+            follows_per_node: 6,
+            copy_prob: 0.8,
+            seed: 14,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        (g, r)
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let t = Topology::hash(100, 16, 7);
+        let again = Topology::hash(100, 16, 7);
+        assert_eq!(t, again);
+        for u in 0..100 {
+            assert!(t.server_of(u) < 16);
+        }
+    }
+
+    #[test]
+    fn different_seeds_reshuffle_hash_placement() {
+        let a = Topology::hash(1000, 64, 1);
+        let b = Topology::hash(1000, 64, 2);
+        let moved = a.moved_users(&b).len();
+        assert!(moved > 800, "seeds should reshuffle placement: {moved}");
+    }
+
+    #[test]
+    fn hash_is_roughly_balanced() {
+        let t = Topology::hash(10_000, 10, 3);
+        for &c in &t.shard_sizes() {
+            assert!(
+                (700..1300).contains(&c),
+                "imbalanced: {:?}",
+                t.shard_sizes()
+            );
+        }
+    }
+
+    #[test]
+    fn single_server_collapses_everything() {
+        let t = Topology::single_server(50);
+        assert_eq!(t.distinct_servers(0..50u32), 1);
+    }
+
+    #[test]
+    fn distinct_servers_dedups() {
+        let t = Topology::hash(100, 4, 9);
+        assert_eq!(t.distinct_servers(vec![1u32, 1, 1]), 1);
+        assert_eq!(t.distinct_servers(0..100u32), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        Topology::hash(10, 0, 0);
+    }
+
+    #[test]
+    fn group_by_server_emits_one_batch_per_server() {
+        let t = Topology::hash(200, 5, 2);
+        let targets: Vec<NodeId> = (0..200).collect();
+        let mut seen = Vec::new();
+        let mut total = 0;
+        t.group_by_server(&targets, |server, views| {
+            assert!(views.iter().all(|&v| t.server_of(v) == server));
+            seen.push(server);
+            total += views.len();
+        });
+        assert_eq!(total, 200);
+        let mut dedup = seen.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seen.len(), "server visited twice");
+        assert_eq!(seen.len(), t.distinct_servers(0..200u32));
+    }
+
+    #[test]
+    fn replica_slots_wrap_and_start_at_primary() {
+        let t = Topology::hash(10, 4, 0).with_replication(3);
+        for u in 0..10u32 {
+            let slots: Vec<usize> = t.replica_slots(u).collect();
+            assert_eq!(slots.len(), 3);
+            assert_eq!(slots[0], t.server_of(u));
+            let mut dedup = slots.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "replica slots must be distinct servers");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn replication_beyond_servers_panics() {
+        let _ = Topology::hash(10, 2, 0).with_replication(3);
+    }
+
+    #[test]
+    fn greedy_partitioners_respect_capacity() {
+        let (g, r) = world();
+        let req = PartitionRequest {
+            graph: &g,
+            rates: &r,
+            schedule: None,
+            servers: 7,
+            seed: 1,
+        };
+        // LDG runs at DEFAULT_SLACK (1.05), schedule-aware at 1.1; both
+        // must respect the looser of the two bounds.
+        let capacity = ((300.0f64 * 1.1 / 7.0).ceil()) as usize;
+        for p in [
+            Box::new(LdgPartitioner::default()) as Box<dyn Partitioner>,
+            Box::new(ScheduleAwarePartitioner::default()),
+        ] {
+            let t = p.partition(&req);
+            assert_eq!(t.users(), 300);
+            let sizes = t.shard_sizes();
+            assert!(
+                sizes.iter().all(|&s| s <= capacity),
+                "{}: shard over capacity {capacity}: {sizes:?}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_aware_cuts_fewer_weighted_edges_than_hash() {
+        let (g, r) = world();
+        // An optimized schedule, as in production: piggybacked edges carry
+        // nothing, so the partitioner concentrates on hub-leg traffic.
+        let s = piggyback_core::parallelnosy::ParallelNosy::default()
+            .run(&g, &r)
+            .schedule;
+        let req = PartitionRequest {
+            graph: &g,
+            rates: &r,
+            schedule: Some(&s),
+            servers: 8,
+            seed: 3,
+        };
+        let hash = HashPartitioner.partition(&req);
+        let aware = ScheduleAwarePartitioner::default().partition(&req);
+        // Weighted cut under the schedule: traffic on cross-server edges.
+        let cut = |t: &Topology| -> f64 {
+            g.edges()
+                .filter(|&(_, u, v)| t.server_of(u) != t.server_of(v))
+                .map(|(e, u, v)| {
+                    let mut w = 0.0;
+                    if s.is_push(e) {
+                        w += r.rp(u);
+                    }
+                    if s.is_pull(e) {
+                        w += r.rc(v);
+                    }
+                    w
+                })
+                .sum()
+        };
+        let (ch, ca) = (cut(&hash), cut(&aware));
+        assert!(
+            ca < ch * 0.75,
+            "schedule-aware cut {ca} not under 75% of hash cut {ch}"
+        );
+    }
+
+    #[test]
+    fn request_users_covers_rates_beyond_graph() {
+        let (g, _) = world();
+        let wide = Rates::uniform(500, 1.0, 5.0);
+        let req = PartitionRequest {
+            graph: &g,
+            rates: &wide,
+            schedule: None,
+            servers: 4,
+            seed: 0,
+        };
+        assert_eq!(req.users(), 500);
+        for p in partitioners() {
+            let t = p.partition(&req);
+            assert_eq!(t.users(), 500, "{} must cover rate-model users", p.name());
+            for u in 0..500u32 {
+                assert!(t.server_of(u) < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_names_stable_and_strategy_roundtrips() {
+        let names: Vec<&str> = vec!["hash", "ldg", "schedule-aware"];
+        assert_eq!(
+            partitioners()
+                .iter()
+                .map(|p| p.name().to_string())
+                .collect::<Vec<_>>(),
+            names
+        );
+        for n in names {
+            let strat = PartitionStrategy::parse(n).unwrap();
+            assert_eq!(strat.name(), n);
+            assert_eq!(strat.partitioner().name(), n);
+            assert_eq!(partitioner_by_name(n).unwrap().name(), n);
+        }
+        assert!(PartitionStrategy::parse("round-robin").is_none());
+        assert!(partitioner_by_name("round-robin").is_none());
+    }
+
+    #[test]
+    fn edges_cut_counts_cross_server_edges() {
+        let (g, _) = world();
+        let one = Topology::single_server(300);
+        assert_eq!(edges_cut(&g, &one), 0);
+        let many = Topology::from_assignment((0..300u32).collect(), 300);
+        assert_eq!(edges_cut(&g, &many), g.edge_count());
+    }
+}

@@ -10,15 +10,17 @@
 //!
 //! Requests and replies cross the channel in the 24-byte wire format, so
 //! every message pays realistic (de)serialization work — as a memcached
-//! round trip would (§4.3).
+//! round trip would (§4.3). View migration (live rebalancing onto a new
+//! [`Topology`]) speaks the same format: a view is extracted as its wire
+//! encoding and installed by replaying the tuples.
 
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use piggyback_graph::NodeId;
 
-use crate::partition::RandomPlacement;
 use crate::server::StoreServer;
+use crate::topology::Topology;
 use crate::tuple::{EventTuple, TUPLE_BYTES};
 
 /// One batched message to a data-store shard.
@@ -45,13 +47,40 @@ pub enum ShardRequest {
         /// Reply channel (wire-encoded tuples, newest first).
         done: Sender<Bytes>,
     },
+    /// Remove `view` from the shard and reply with its wire-encoded
+    /// contents (empty if the view was never materialized) — the donor
+    /// half of a live migration.
+    ExtractView {
+        /// Shard giving the view up.
+        shard: usize,
+        /// The user whose view moves.
+        view: NodeId,
+        /// Reply channel (wire-encoded tuples).
+        done: Sender<Bytes>,
+    },
+    /// Merge wire-encoded events into `view` on the shard — the recipient
+    /// half of a live migration. Merging (rather than replacing) keeps
+    /// events that already landed at the new home.
+    InstallView {
+        /// Shard adopting the view.
+        shard: usize,
+        /// The user whose view moves.
+        view: NodeId,
+        /// Wire-encoded tuples from [`ShardRequest::ExtractView`].
+        payload: Bytes,
+        /// Acknowledgement channel (empty reply).
+        done: Sender<Bytes>,
+    },
 }
 
 impl ShardRequest {
     /// The shard this request targets.
     pub fn shard(&self) -> usize {
         match self {
-            ShardRequest::Update { shard, .. } | ShardRequest::Query { shard, .. } => *shard,
+            ShardRequest::Update { shard, .. }
+            | ShardRequest::Query { shard, .. }
+            | ShardRequest::ExtractView { shard, .. }
+            | ShardRequest::InstallView { shard, .. } => *shard,
         }
     }
 }
@@ -76,13 +105,38 @@ pub fn handle_request(shards: &[Mutex<StoreServer>], req: ShardRequest) {
             done,
         } => {
             let out = shards[shard].lock().query(&views, k);
-            let mut buf = BytesMut::with_capacity(out.len() * TUPLE_BYTES);
-            for t in &out {
-                t.encode(&mut buf);
+            let _ = done.send(encode_tuples(&out));
+        }
+        ShardRequest::ExtractView { shard, view, done } => {
+            let taken = shards[shard].lock().remove_view(view);
+            let reply = match taken {
+                Some(v) => encode_tuples(v.events()),
+                None => Bytes::new(),
+            };
+            let _ = done.send(reply);
+        }
+        ShardRequest::InstallView {
+            shard,
+            view,
+            mut payload,
+            done,
+        } => {
+            let mut events = Vec::with_capacity(payload.len() / TUPLE_BYTES);
+            while let Some(t) = EventTuple::decode(&mut payload) {
+                events.push(t);
             }
-            let _ = done.send(buf.freeze());
+            shards[shard].lock().merge_view(view, &events);
+            let _ = done.send(Bytes::new());
         }
     }
+}
+
+fn encode_tuples(tuples: &[EventTuple]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(tuples.len() * TUPLE_BYTES);
+    for t in tuples {
+        t.encode(&mut buf);
+    }
+    buf.freeze()
 }
 
 /// Runs a shard worker until every request sender is dropped.
@@ -92,36 +146,47 @@ pub fn worker_loop(shards: &[Mutex<StoreServer>], rx: &Receiver<ShardRequest>) {
     }
 }
 
-/// Groups `targets` by shard, sends one request per shard via the worker
-/// channels (`shard % senders.len()` routing), and waits for every reply —
-/// a request completes when all per-server replies arrived (Algorithm 3's
-/// ack handling).
+/// Sends one request to `shard` through the worker channels
+/// (`shard % senders.len()` routing) without waiting; the returned
+/// receiver yields the reply. Lets a migration pipeline many requests
+/// instead of paying one round trip per view.
+pub fn send_to_shard_async(
+    senders: &[Sender<ShardRequest>],
+    make: impl FnOnce(Sender<Bytes>) -> ShardRequest,
+) -> Receiver<Bytes> {
+    let (done_tx, done_rx) = bounded(1);
+    let req = make(done_tx);
+    let worker = req.shard() % senders.len();
+    senders[worker].send(req).expect("worker channel closed");
+    done_rx
+}
+
+/// [`send_to_shard_async`], blocking for the reply.
+pub fn send_to_shard(
+    senders: &[Sender<ShardRequest>],
+    make: impl FnOnce(Sender<Bytes>) -> ShardRequest,
+) -> Bytes {
+    send_to_shard_async(senders, make)
+        .recv()
+        .expect("worker dropped reply")
+}
+
+/// Groups `targets` by home server under `topology`, sends one request per
+/// touched server via the worker channels (`shard % senders.len()`
+/// routing), and waits for every reply — a request completes when all
+/// per-server replies arrived (Algorithm 3's ack handling).
 pub fn dispatch(
-    placement: &RandomPlacement,
+    topology: &Topology,
     senders: &[Sender<ShardRequest>],
     targets: &[NodeId],
     make: impl Fn(usize, Vec<NodeId>, Sender<Bytes>) -> ShardRequest,
 ) -> Vec<Bytes> {
-    let mut tagged: Vec<(usize, NodeId)> = targets
-        .iter()
-        .map(|&v| (placement.server_of(v), v))
-        .collect();
-    tagged.sort_unstable();
     let mut pending = Vec::new();
-    let mut i = 0;
-    while i < tagged.len() {
-        let shard = tagged[i].0;
-        let start = i;
-        while i < tagged.len() && tagged[i].0 == shard {
-            i += 1;
-        }
-        let views: Vec<NodeId> = tagged[start..i].iter().map(|&(_, v)| v).collect();
-        let (done_tx, done_rx) = bounded(1);
-        let req = make(shard, views, done_tx);
-        let worker = req.shard() % senders.len();
-        senders[worker].send(req).expect("worker channel closed");
-        pending.push(done_rx);
-    }
+    topology.group_by_server(targets, |shard, views| {
+        pending.push(send_to_shard_async(senders, |done| {
+            make(shard, views.to_vec(), done)
+        }));
+    });
     pending
         .into_iter()
         .map(|rx| rx.recv().expect("worker dropped reply"))
@@ -139,14 +204,14 @@ mod tests {
             Mutex::new(StoreServer::new(0)),
             Mutex::new(StoreServer::new(0)),
         ];
-        let placement = RandomPlacement::new(2, 0);
+        let topology = Topology::hash(16, 2, 0);
         let (tx, rx) = unbounded::<ShardRequest>();
         std::thread::scope(|s| {
             let shards = &shards;
             s.spawn(move || worker_loop(shards, &rx));
             let senders = vec![tx.clone(), tx.clone()];
             let event = EventTuple::new(7, 1, 100);
-            let replies = dispatch(&placement, &senders, &[1, 2, 3], |shard, views, done| {
+            let replies = dispatch(&topology, &senders, &[1, 2, 3], |shard, views, done| {
                 ShardRequest::Update {
                     shard,
                     views,
@@ -155,7 +220,7 @@ mod tests {
                 }
             });
             assert!(!replies.is_empty());
-            let replies = dispatch(&placement, &senders, &[1, 2, 3], |shard, views, done| {
+            let replies = dispatch(&topology, &senders, &[1, 2, 3], |shard, views, done| {
                 ShardRequest::Query {
                     shard,
                     views,
@@ -172,7 +237,59 @@ mod tests {
                     seen += 1;
                 }
             }
-            assert_eq!(seen, placement.distinct_servers([1, 2, 3]));
+            assert_eq!(seen, topology.distinct_servers([1, 2, 3]));
+            drop(tx);
+        });
+    }
+
+    #[test]
+    fn extract_then_install_moves_a_view_between_shards() {
+        let shards = vec![
+            Mutex::new(StoreServer::new(0)),
+            Mutex::new(StoreServer::new(0)),
+        ];
+        let (tx, rx) = unbounded::<ShardRequest>();
+        std::thread::scope(|s| {
+            let shards = &shards;
+            s.spawn(move || worker_loop(shards, &rx));
+            let senders = vec![tx.clone()];
+            // Seed view 5 on shard 0 with two events; one event already
+            // lives at the destination (it must survive the merge).
+            let a = EventTuple::new(5, 1, 10);
+            let b = EventTuple::new(5, 2, 20);
+            let c = EventTuple::new(9, 3, 30);
+            shards[0].lock().update(&[5], a);
+            shards[0].lock().update(&[5], b);
+            shards[1].lock().update(&[5], c);
+            let payload = send_to_shard(&senders, |done| ShardRequest::ExtractView {
+                shard: 0,
+                view: 5,
+                done,
+            });
+            assert_eq!(payload.len(), 2 * TUPLE_BYTES);
+            assert!(
+                shards[0].lock().view(5).is_none(),
+                "donor must drop the view"
+            );
+            send_to_shard(&senders, |done| ShardRequest::InstallView {
+                shard: 1,
+                view: 5,
+                payload,
+                done,
+            });
+            let merged = shards[1].lock().query(&[5], 10);
+            assert_eq!(
+                merged,
+                vec![c, b, a],
+                "migrated + resident events, newest first"
+            );
+            // Extracting a never-materialized view replies empty.
+            let empty = send_to_shard(&senders, |done| ShardRequest::ExtractView {
+                shard: 0,
+                view: 42,
+                done,
+            });
+            assert!(empty.is_empty());
             drop(tx);
         });
     }

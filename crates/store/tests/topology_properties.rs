@@ -1,0 +1,173 @@
+//! Property tests for the topology subsystem: conservation of the
+//! server-aware cost accounting, and determinism of every partitioner.
+//!
+//! Seeded-RNG style (no proptest in the offline build): each property is
+//! exercised across a grid of graphs, schedules, server counts and seeds.
+
+use piggyback_core::baseline::{hybrid_schedule, push_all_schedule};
+use piggyback_core::cost::{schedule_cost, CostModel};
+use piggyback_core::parallelnosy::ParallelNosy;
+use piggyback_core::schedule::Schedule;
+use piggyback_graph::gen::{copying, erdos_renyi, CopyingConfig};
+use piggyback_graph::CsrGraph;
+use piggyback_store::topology::{partitioners, PartitionRequest, Topology};
+use piggyback_workload::Rates;
+
+fn instances() -> Vec<(&'static str, CsrGraph, Rates)> {
+    let mut out = Vec::new();
+    for seed in [3u64, 17] {
+        let g = copying(CopyingConfig {
+            nodes: 250,
+            follows_per_node: 5,
+            copy_prob: 0.75,
+            seed,
+        });
+        let r = Rates::log_degree(&g, 5.0);
+        out.push(("copying", g, r));
+        let g = erdos_renyi(200, 900, seed);
+        let r = Rates::log_degree(&g, 2.0);
+        out.push(("erdos-renyi", g, r));
+    }
+    out
+}
+
+fn schedules(g: &CsrGraph, r: &Rates) -> Vec<(&'static str, Schedule)> {
+    vec![
+        ("push-all", push_all_schedule(g)),
+        ("hybrid", hybrid_schedule(g, r)),
+        ("parallelnosy", ParallelNosy::default().run(g, r).schedule),
+    ]
+}
+
+/// Conservation: per-server ingress and egress each sum to the
+/// topology-free total message rate, which itself equals the flat §2.1
+/// schedule cost; intra + cross also reassemble it. Holds for every
+/// partitioner, schedule, and server count.
+#[test]
+fn ingress_and_egress_sums_equal_the_flat_total() {
+    for (gname, g, r) in &instances() {
+        for (sname, s) in &schedules(g, r) {
+            let flat = schedule_cost(g, r, s);
+            for servers in [1usize, 2, 7, 16, 64] {
+                for p in partitioners() {
+                    let t = p.partition(&PartitionRequest {
+                        graph: g,
+                        rates: r,
+                        schedule: Some(s),
+                        servers,
+                        seed: 11,
+                    });
+                    let acct =
+                        CostModel::with_topology(t.assignment(), servers).accounting(g, r, s);
+                    let ctx = format!("{gname}/{sname}/{} @{servers} servers", p.name());
+                    let ingress: f64 = acct.ingress.iter().sum();
+                    let egress: f64 = acct.egress.iter().sum();
+                    assert!(
+                        (ingress - flat).abs() < 1e-6,
+                        "{ctx}: Σingress {ingress} != flat {flat}"
+                    );
+                    assert!(
+                        (egress - flat).abs() < 1e-6,
+                        "{ctx}: Σegress {egress} != flat {flat}"
+                    );
+                    assert!(
+                        (acct.total - flat).abs() < 1e-6,
+                        "{ctx}: total {} != flat {flat}",
+                        acct.total
+                    );
+                    assert!(
+                        (acct.intra + acct.cross - flat).abs() < 1e-6,
+                        "{ctx}: intra {} + cross {} != flat {flat}",
+                        acct.intra,
+                        acct.cross
+                    );
+                    assert!(
+                        acct.intra >= 0.0 && acct.cross >= 0.0,
+                        "{ctx}: negative tally"
+                    );
+                    // One server: nothing can cross.
+                    if servers == 1 {
+                        assert_eq!(acct.cross, 0.0, "{ctx}: cross on one server");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Determinism: every partitioner is a pure function of its request — the
+/// same seed reproduces the identical topology, call after call.
+#[test]
+fn every_partitioner_is_stable_under_a_fixed_seed() {
+    for (gname, g, r) in &instances() {
+        let s = hybrid_schedule(g, r);
+        for seed in [0u64, 42, 9999] {
+            let req = PartitionRequest {
+                graph: g,
+                rates: r,
+                schedule: Some(&s),
+                servers: 12,
+                seed,
+            };
+            for p in partitioners() {
+                let a = p.partition(&req);
+                let b = p.partition(&req);
+                assert_eq!(
+                    a.assignment(),
+                    b.assignment(),
+                    "{gname}/{} not deterministic at seed {seed}",
+                    p.name()
+                );
+                assert_eq!(a.servers(), 12);
+                assert!(a.assignment().iter().all(|&sh| (sh as usize) < 12));
+            }
+        }
+    }
+}
+
+/// The schedule argument matters exactly as documented: dropping it flips
+/// the schedule-aware partitioner to hybrid weights (still deterministic),
+/// and the hash partitioner ignores it entirely.
+#[test]
+fn schedule_argument_only_affects_schedule_aware_weights() {
+    let (_, g, r) = &instances()[0];
+    let s = ParallelNosy::default().run(g, r).schedule;
+    let with = PartitionRequest {
+        graph: g,
+        rates: r,
+        schedule: Some(&s),
+        servers: 8,
+        seed: 5,
+    };
+    let without = PartitionRequest {
+        schedule: None,
+        ..with
+    };
+    for p in partitioners() {
+        let a = p.partition(&with);
+        let b = p.partition(&without);
+        if p.name() == "hash" || p.name() == "ldg" {
+            assert_eq!(
+                a.assignment(),
+                b.assignment(),
+                "{} must ignore the schedule",
+                p.name()
+            );
+        }
+    }
+}
+
+/// Migration bookkeeping: `moved_users` is symmetric in size, empty for
+/// identical topologies, and covers exactly the disagreeing users.
+#[test]
+fn moved_users_matches_assignment_diff() {
+    let a = Topology::hash(500, 16, 1);
+    let b = Topology::hash(500, 16, 2);
+    assert!(a.moved_users(&a).is_empty());
+    let moved = a.moved_users(&b);
+    assert_eq!(moved.len(), b.moved_users(&a).len());
+    for u in 0..500u32 {
+        let differs = a.server_of(u) != b.server_of(u);
+        assert_eq!(moved.contains(&u), differs, "user {u}");
+    }
+}

@@ -30,7 +30,7 @@ fn main() {
     println!("\nservers  hybrid msg-rate  piggyback msg-rate  savings");
     let mut crossover: Option<usize> = None;
     for servers in [1usize, 8, 32, 128, 512, 2048, 8192] {
-        let placement = RandomPlacement::new(servers, 1);
+        let placement = Topology::hash(graph.node_count(), servers, 1);
         let a = cost_ff.cost(&placement);
         let b = cost_pn.cost(&placement);
         if b < a && crossover.is_none() {
@@ -46,15 +46,15 @@ fn main() {
             "\npiggybacking starts paying off somewhere at or below {s} servers; \
              beyond it, the same fleet sustains up to {:.0}% more requests",
             100.0
-                * (cost_ff.cost(&RandomPlacement::new(8192, 1))
-                    / cost_pn.cost(&RandomPlacement::new(8192, 1))
+                * (cost_ff.cost(&Topology::hash(graph.node_count(), 8192, 1))
+                    / cost_pn.cost(&Topology::hash(graph.node_count(), 8192, 1))
                     - 1.0)
         ),
         None => println!("\nthis workload never crosses over — stay on hybrid"),
     }
 
     // Load balance check before signing off the plan (Figure 8).
-    let placement = RandomPlacement::new(512, 1);
+    let placement = Topology::hash(graph.node_count(), 512, 1);
     let (mean, var) = cost_pn.load_balance(&placement);
     println!(
         "load balance @512 servers: mean share {:.4}, σ {:.5}",

@@ -4,12 +4,14 @@
 //! computed out-of-band and shipped to the application servers).
 //!
 //! ```text
-//! piggyback generate --model flickr --nodes 4000 --seed 42 --out g.edges
-//! piggyback stats    --graph g.edges
-//! piggyback schedule --graph g.edges --algorithm parallelnosy --out s.sched
-//! piggyback evaluate --graph g.edges --schedule s.sched --servers 500
-//! piggyback compare  --preset flickr-like --nodes 2000
-//! piggyback serve    --model flickr --nodes 100000 --algorithm chitchat --duration 2s
+//! piggyback generate  --model flickr --nodes 4000 --seed 42 --out g.edges
+//! piggyback stats     --graph g.edges
+//! piggyback schedule  --graph g.edges --algorithm parallelnosy --out s.sched
+//! piggyback evaluate  --graph g.edges --schedule s.sched --servers 500
+//! piggyback partition --graph g.edges --schedule s.sched --servers 16 \
+//!                     --partitioner schedule-aware
+//! piggyback compare   --preset flickr-like --nodes 2000
+//! piggyback serve     --model flickr --nodes 100000 --algorithm chitchat --duration 2s
 //! ```
 //!
 //! `serve` is the *online* mode: it boots the `piggyback-serve` runtime
@@ -24,6 +26,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use social_piggybacking::core::cost::CostModel;
 use social_piggybacking::core::schedule_io::{load_schedule, save_schedule};
 use social_piggybacking::core::sharded_chitchat::ShardedChitChat;
 use social_piggybacking::core::validate::coverage_report;
@@ -31,6 +34,7 @@ use social_piggybacking::graph::io::{load_edge_list, save_edge_list};
 use social_piggybacking::graph::stats as gstats;
 use social_piggybacking::prelude::*;
 use social_piggybacking::store::placement::PlacementCost as Pc;
+use social_piggybacking::store::topology::edges_cut;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,18 +56,23 @@ const USAGE: &str = "usage:
   piggyback schedule --graph <file> --algorithm <name> \\
                      [--rw-ratio <r>] [--shards <k>] [--threads <t>] --out <file>
   piggyback evaluate --graph <file> --schedule <file> [--rw-ratio <r>] [--servers <n>]
+  piggyback partition --graph <file> [--schedule <file>] [--partitioner <name>] \\
+                     [--servers <n>] [--seed <s>] [--rw-ratio <r>]
   piggyback analyze  --graph <file> --schedule <file> [--rw-ratio <r>] [--top <k>]
   piggyback compare  [--preset <flickr-like|twitter-like>] [--graph <file>] \\
                      [--nodes <n>] [--seed <s>] [--rw-ratio <r>] [--shards <k>] \\
-                     [--threads <t>]
+                     [--threads <t>] [--servers <n>]
   piggyback serve    [--graph <file> | --model <m> --nodes <n>] [--algorithm <name>] \\
                      [--duration <2s|500ms>] [--clients <n>] [--servers <n>] \\
                      [--workers <n>] [--churn-ratio <f>] [--rate <ops/s>] \\
                      [--cache-ttl-ms <n>] [--reopt-threshold <f>] \\
+                     [--partitioner <name>] [--rebalance-threshold <f>] \\
                      [--rw-ratio <r>] [--seed <s>] [--threads <t>]
 
-<name> is any registered scheduler (see `compare` output), e.g. hybrid,
-chitchat, parallelnosy, parallelnosy-mr, sharded-chitchat, exact.";
+<name> under --algorithm is any registered scheduler (see `compare`
+output), e.g. hybrid, chitchat, parallelnosy, parallelnosy-mr,
+sharded-chitchat, exact; under --partitioner it is hash, ldg, or
+schedule-aware.";
 
 /// Parses `--key value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -112,6 +121,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&flags),
         "schedule" => cmd_schedule(&flags),
         "evaluate" => cmd_evaluate(&flags),
+        "partition" => cmd_partition(&flags),
         "analyze" => cmd_analyze(&flags),
         "compare" => cmd_compare(&flags),
         "serve" => cmd_serve(&flags),
@@ -279,10 +289,38 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
         g.edge_count()
     );
     let hybrid_cost = Hybrid.schedule(&inst).stats.cost;
-    println!(
-        "# {:<18} {:>12} {:>8} {:>12} {:>10} {:>10} {:>10}",
-        "algorithm", "cost", "vs_ff", "oracle", "iters", "hubs", "wall_ms"
-    );
+    // With --servers, re-price every schedule against a hash topology and
+    // append the intra/cross split (batching makes intra-server free).
+    let topology = match flags.get("servers") {
+        Some(v) => {
+            let servers: usize = v
+                .parse()
+                .map_err(|_| "invalid value for --servers".to_string())?;
+            if servers < 1 {
+                return Err("--servers must be at least 1".into());
+            }
+            Some(Topology::hash(g.node_count(), servers, seed))
+        }
+        None => None,
+    };
+    match &topology {
+        Some(t) => println!(
+            "# {:<18} {:>12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            "algorithm",
+            "cost",
+            "vs_ff",
+            "oracle",
+            "iters",
+            "hubs",
+            "wall_ms",
+            "intra",
+            format!("cross@{}", t.servers())
+        ),
+        None => println!(
+            "# {:<18} {:>12} {:>8} {:>12} {:>10} {:>10} {:>10}",
+            "algorithm", "cost", "vs_ff", "oracle", "iters", "hubs", "wall_ms"
+        ),
+    }
     let schedulers: Vec<Box<dyn Scheduler>> = scheduler::registry()
         .into_iter()
         .map(|s| configure_scheduler(flags, s))
@@ -292,11 +330,19 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
             println!("  {:<18} (skipped: instance unsupported)", s.name());
             continue;
         }
-        let out = s.schedule(&inst);
+        let mut out = s.schedule(&inst);
         validate_bounded_staleness(&g, &out.schedule)
             .map_err(|e| format!("{}: infeasible schedule: {e}", s.name()))?;
+        if let Some(t) = &topology {
+            CostModel::with_topology(t.assignment(), t.servers()).annotate(
+                &g,
+                &rates,
+                &out.schedule,
+                &mut out.stats,
+            );
+        }
         let st = &out.stats;
-        println!(
+        print!(
             "  {:<18} {:>12.1} {:>7.3}x {:>12} {:>10} {:>10} {:>10.1}",
             s.name(),
             st.cost,
@@ -310,6 +356,10 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
             st.hubs_applied,
             st.wall_time.as_secs_f64() * 1e3
         );
+        if topology.is_some() {
+            print!(" {:>12.1} {:>12.1}", st.intra_cost, st.cross_cost);
+        }
+        println!();
     }
     Ok(())
 }
@@ -336,7 +386,7 @@ fn cmd_evaluate(flags: &HashMap<String, String>) -> Result<(), String> {
         let servers: usize = servers
             .parse()
             .map_err(|_| "invalid value for --servers".to_string())?;
-        let placement = RandomPlacement::new(servers, 1);
+        let placement = Topology::hash(g.node_count(), servers, 1);
         let pc = Pc::new(&g, &rates, &schedule);
         let pc_ff = Pc::new(&g, &rates, &ff);
         println!(
@@ -396,11 +446,20 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let outcome = scheduler.schedule(&inst);
     validate_bounded_staleness(&g, &outcome.schedule)
         .map_err(|e| format!("internal error — infeasible schedule: {e}"))?;
+    let partition_name = flags
+        .get("partitioner")
+        .map(String::as_str)
+        .unwrap_or("hash");
+    let partition = PartitionStrategy::parse(partition_name)
+        .ok_or_else(|| format!("unknown partitioner {partition_name:?}"))?;
     let serve_config = ServeConfig {
         shards: parsed(flags, "servers", 64)?,
         workers: parsed(flags, "workers", 4)?,
         pull_cache_ttl: std::time::Duration::from_millis(parsed(flags, "cache-ttl-ms", 0)?),
         reopt_threshold: parsed(flags, "reopt-threshold", 0.2)?,
+        partition,
+        rebalance_threshold: parsed(flags, "rebalance-threshold", f64::INFINITY)?,
+        placement_seed: seed,
         ..Default::default()
     };
     let churn_ratio: f64 = parsed(flags, "churn-ratio", 0.02)?;
@@ -462,6 +521,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         churn.reopts
     );
     println!(
+        "topology:    {} partitioner, {} rebalances, {} views migrated",
+        partition.name(),
+        churn.rebalances,
+        churn.users_migrated
+    );
+    println!(
         "cost:        base {:.1} -> final {:.1} ({:+.2}%)",
         churn.base_cost,
         churn.final_cost,
@@ -483,6 +548,77 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     match &churn.staleness_violation {
         None => println!("staleness:   OK (zero violations, validated post-run)"),
         Some(v) => return Err(format!("staleness violated after online churn: {v}")),
+    }
+    Ok(())
+}
+
+/// Partitions a graph with any registered partitioner and prints
+/// per-shard statistics: users, edge cut, intra/cross message estimate.
+fn cmd_partition(flags: &HashMap<String, String>) -> Result<(), String> {
+    let g = load_edge_list(required(flags, "graph")?).map_err(|e| e.to_string())?;
+    let ratio: f64 = parsed(flags, "rw-ratio", 5.0)?;
+    let servers: usize = parsed(flags, "servers", 16)?;
+    if servers < 1 {
+        return Err("--servers must be at least 1".into());
+    }
+    let seed: u64 = parsed(flags, "seed", 42)?;
+    let rates = Rates::log_degree(&g, ratio);
+    // Without --schedule the hybrid baseline prices the traffic; with one,
+    // the schedule-aware partitioner exploits its hub structure.
+    let schedule = match flags.get("schedule") {
+        Some(path) => load_schedule(path, g.edge_count()).map_err(|e| e.to_string())?,
+        None => hybrid_schedule(&g, &rates),
+    };
+    let name = flags
+        .get("partitioner")
+        .map(String::as_str)
+        .unwrap_or("schedule-aware");
+    let partitioner =
+        partitioner_by_name(name).ok_or_else(|| format!("unknown partitioner {name:?}"))?;
+    let topology = partitioner.partition(&PartitionRequest {
+        graph: &g,
+        rates: &rates,
+        schedule: Some(&schedule),
+        servers,
+        seed,
+    });
+    let acct =
+        CostModel::with_topology(topology.assignment(), servers).accounting(&g, &rates, &schedule);
+    println!(
+        "# partitioner {name}: {} users, {} servers, {} of {} edges cut",
+        topology.users(),
+        servers,
+        edges_cut(&g, &topology),
+        g.edge_count()
+    );
+    println!(
+        "# message rate: total {:.1} = intra {:.1} + cross {:.1} ({:.1}% crosses servers)",
+        acct.total,
+        acct.intra,
+        acct.cross,
+        100.0 * acct.cross_fraction()
+    );
+    println!(
+        "# {:>5} {:>8} {:>12} {:>12} {:>14} {:>14}",
+        "shard", "users", "edges_in", "edges_cut", "ingress_rate", "egress_rate"
+    );
+    let sizes = topology.shard_sizes();
+    let mut edges_within = vec![0usize; servers];
+    let mut edges_crossing = vec![0usize; servers];
+    for (_, u, v) in g.edges() {
+        let (su, sv) = (topology.server_of(u), topology.server_of(v));
+        if su == sv {
+            edges_within[su] += 1;
+        } else {
+            edges_crossing[su] += 1;
+            edges_crossing[sv] += 1;
+        }
+    }
+    for s in 0..servers {
+        println!(
+            "  {:>5} {:>8} {:>12} {:>12} {:>14.1} {:>14.1}",
+            s, sizes[s], edges_within[s], edges_crossing[s], acct.ingress[s], acct.egress[s]
+        );
     }
     Ok(())
 }
@@ -610,6 +746,27 @@ mod tests {
             "120",
         ]))
         .unwrap();
+        // Topology-aware columns: cost re-priced against a hash topology.
+        run(&s(&[
+            "compare",
+            "--preset",
+            "flickr-like",
+            "--nodes",
+            "120",
+            "--servers",
+            "32",
+        ]))
+        .unwrap();
+        assert!(run(&s(&[
+            "compare",
+            "--preset",
+            "flickr-like",
+            "--nodes",
+            "120",
+            "--servers",
+            "0",
+        ]))
+        .is_err());
         assert!(run(&s(&["compare", "--preset", "weird"])).is_err());
         // Generation flags are dead when --graph fixes the instance.
         let err = run(&s(&[
@@ -717,6 +874,81 @@ mod tests {
         ]))
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partition_subcommand_reports_all_partitioners() {
+        let dir = std::env::temp_dir().join("piggyback-cli-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph = dir.join("g.edges").to_string_lossy().into_owned();
+        let sched = dir.join("s.sched").to_string_lossy().into_owned();
+        run(&s(&[
+            "generate", "--model", "flickr", "--nodes", "300", "--seed", "4", "--out", &graph,
+        ]))
+        .unwrap();
+        // Schedule-free: hybrid traffic prices the partition.
+        run(&s(&["partition", "--graph", &graph, "--servers", "4"])).unwrap();
+        // With an optimized schedule, for every registered partitioner.
+        run(&s(&[
+            "schedule",
+            "--graph",
+            &graph,
+            "--algorithm",
+            "parallelnosy",
+            "--out",
+            &sched,
+        ]))
+        .unwrap();
+        for p in ["hash", "ldg", "schedule-aware"] {
+            run(&s(&[
+                "partition",
+                "--graph",
+                &graph,
+                "--schedule",
+                &sched,
+                "--servers",
+                "8",
+                "--partitioner",
+                p,
+            ]))
+            .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+        let err = run(&s(&[
+            "partition",
+            "--graph",
+            &graph,
+            "--partitioner",
+            "round-robin",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown partitioner"), "{err}");
+        assert!(run(&s(&["partition", "--graph", &graph, "--servers", "0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_accepts_partitioner_and_rebalance_flags() {
+        run(&s(&[
+            "serve",
+            "--model",
+            "flickr",
+            "--nodes",
+            "300",
+            "--duration",
+            "150ms",
+            "--clients",
+            "2",
+            "--servers",
+            "8",
+            "--partitioner",
+            "schedule-aware",
+            "--rebalance-threshold",
+            "0.0001",
+            "--churn-ratio",
+            "0.2",
+        ]))
+        .unwrap();
+        assert!(run(&s(&["serve", "--partitioner", "bogus"])).is_err());
     }
 
     #[test]

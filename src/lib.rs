@@ -87,8 +87,11 @@ pub mod prelude {
     };
     pub use piggyback_store::cluster::{Cluster, ClusterConfig};
     pub use piggyback_store::latency::LatencyHistogram;
-    pub use piggyback_store::partition::RandomPlacement;
     pub use piggyback_store::placement::PlacementCost;
+    pub use piggyback_store::topology::{
+        partitioner_by_name, partitioners, PartitionRequest, PartitionStrategy, Partitioner,
+        Topology,
+    };
     pub use piggyback_workload::{
         zipf_rates, Op, OpTrace, Rates, RequestKind, RequestTrace, ZipfConfig,
     };

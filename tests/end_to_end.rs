@@ -153,7 +153,7 @@ fn placement_model_matches_simulated_messages() {
     let pn = ParallelNosy::default().run(&g, &r).schedule;
     let servers = 32;
     let pc = PlacementCost::new(&g, &r, &pn);
-    let placement = RandomPlacement::new(servers, 0);
+    let placement = Topology::hash(g.node_count(), servers, 0);
     let analytic_msgs_per_request = {
         let total_rate: f64 = (0..g.node_count())
             .map(|u| r.rp(u as u32) + r.rc(u as u32))
