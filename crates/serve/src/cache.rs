@@ -13,6 +13,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 use piggyback_graph::fx::FxHashMap;
 use piggyback_graph::NodeId;
@@ -21,7 +23,9 @@ use piggyback_store::EventTuple;
 struct Entry {
     at: Instant,
     epoch: u64,
-    events: Vec<EventTuple>,
+    /// Shared snapshot: the insert and every hit hand out the same
+    /// allocation (an `Arc` bump instead of cloning the event list).
+    events: Arc<[EventTuple]>,
 }
 
 /// A sharded, TTL-bounded cache of per-user query results.
@@ -57,15 +61,16 @@ impl PullCache {
     }
 
     /// A cached stream for `u`, if one exists that is younger than the TTL
-    /// and was computed under schedule `epoch`.
-    pub fn get(&self, u: NodeId, epoch: u64) -> Option<Vec<EventTuple>> {
+    /// and was computed under schedule `epoch`. Hits are O(1): the shared
+    /// snapshot is handed out by bumping its refcount.
+    pub fn get(&self, u: NodeId, epoch: u64) -> Option<Arc<[EventTuple]>> {
         if !self.enabled() {
             return None;
         }
         let slot = self.slot(u).lock();
         match slot.get(&u) {
             Some(e) if e.epoch == epoch && e.at.elapsed() <= self.ttl => {
-                let events = e.events.clone();
+                let events = Arc::clone(&e.events);
                 drop(slot);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(events)
@@ -79,7 +84,7 @@ impl PullCache {
     }
 
     /// Stores a freshly computed stream for `u` under schedule `epoch`.
-    pub fn put(&self, u: NodeId, epoch: u64, events: Vec<EventTuple>) {
+    pub fn put(&self, u: NodeId, epoch: u64, events: Arc<[EventTuple]>) {
         if !self.enabled() {
             return;
         }
@@ -110,11 +115,15 @@ mod tests {
         EventTuple::new(1, id, id)
     }
 
+    fn snap(events: &[EventTuple]) -> Arc<[EventTuple]> {
+        Arc::from(events)
+    }
+
     #[test]
     fn zero_ttl_disables() {
         let c = PullCache::new(Duration::ZERO, 4);
         assert!(!c.enabled());
-        c.put(1, 0, vec![ev(1)]);
+        c.put(1, 0, snap(&[ev(1)]));
         assert!(c.get(1, 0).is_none());
         // Disabled caches count nothing.
         assert_eq!(c.stats(), (0, 0));
@@ -124,7 +133,7 @@ mod tests {
     fn hit_within_ttl_and_epoch() {
         let c = PullCache::new(Duration::from_secs(60), 4);
         assert!(c.get(7, 3).is_none());
-        c.put(7, 3, vec![ev(1), ev(2)]);
+        c.put(7, 3, snap(&[ev(1), ev(2)]));
         assert_eq!(c.get(7, 3).unwrap().len(), 2);
         assert_eq!(c.stats(), (1, 1));
     }
@@ -132,15 +141,26 @@ mod tests {
     #[test]
     fn epoch_swap_invalidates() {
         let c = PullCache::new(Duration::from_secs(60), 4);
-        c.put(7, 3, vec![ev(1)]);
+        c.put(7, 3, snap(&[ev(1)]));
         assert!(c.get(7, 4).is_none(), "new epoch must miss");
         assert!(c.get(7, 3).is_some(), "old epoch entry intact");
     }
 
     #[test]
+    fn hits_share_the_inserted_allocation() {
+        let c = PullCache::new(Duration::from_secs(60), 4);
+        let stored = snap(&[ev(1), ev(2)]);
+        c.put(3, 0, Arc::clone(&stored));
+        let a = c.get(3, 0).unwrap();
+        let b = c.get(3, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &stored), "hit must not copy the events");
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
     fn ttl_expiry_invalidates() {
         let c = PullCache::new(Duration::from_millis(10), 1);
-        c.put(9, 0, vec![ev(1)]);
+        c.put(9, 0, snap(&[ev(1)]));
         std::thread::sleep(Duration::from_millis(25));
         assert!(c.get(9, 0).is_none(), "entry older than the TTL must miss");
     }

@@ -3,6 +3,49 @@
 use piggyback_store::topology::PartitionStrategy;
 use std::time::Duration;
 
+/// Which shard-RPC plane the serving clients speak.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RpcMode {
+    /// The coalesced plane over the shard-worker pool: one
+    /// [`ShardBatch`](piggyback_store::worker::ShardBatch) per touched
+    /// shard per operation, pooled reply channel and buffers, bounded
+    /// k-way reply merge, all batches of an op on one worker. The default.
+    #[default]
+    Batched,
+    /// The coalesced plane executed caller-side
+    /// ([`Transport::Direct`](piggyback_store::worker::Transport)): the
+    /// same batches, wire format and message accounting, with shard work
+    /// running inline on the issuing thread instead of hopping to a
+    /// worker — the embedded-deployment mode, and the fastest one when
+    /// clients outnumber cores.
+    Direct,
+    /// The pre-coalescing plane: one fresh rendezvous channel per shard
+    /// request, fresh view lists and reply buffers, flat sort-merge.
+    /// Exists for the serve benchmark's before/after mode.
+    Legacy,
+}
+
+impl RpcMode {
+    /// Parses `"batched"` / `"direct"` / `"legacy"`.
+    pub fn parse(s: &str) -> Option<RpcMode> {
+        match s {
+            "batched" => Some(RpcMode::Batched),
+            "direct" => Some(RpcMode::Direct),
+            "legacy" => Some(RpcMode::Legacy),
+            _ => None,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RpcMode::Batched => "batched",
+            RpcMode::Direct => "direct",
+            RpcMode::Legacy => "legacy",
+        }
+    }
+}
+
 /// Configuration of the online serving runtime.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
@@ -33,6 +76,9 @@ pub struct ServeConfig {
     pub rebalance_threshold: f64,
     /// Bound on the operation front-end channels (back-pressure depth).
     pub queue_depth: usize,
+    /// Which shard-RPC plane clients speak (benchmarking knob; production
+    /// is [`RpcMode::Batched`]).
+    pub rpc: RpcMode,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +94,7 @@ impl Default for ServeConfig {
             reopt_threshold: 0.2,
             rebalance_threshold: f64::INFINITY,
             queue_depth: 1024,
+            rpc: RpcMode::Batched,
         }
     }
 }
@@ -66,5 +113,16 @@ mod tests {
         // no live rebalancing.
         assert_eq!(c.partition, PartitionStrategy::Hash);
         assert!(c.rebalance_threshold.is_infinite());
+        // Production serves over the coalesced plane.
+        assert_eq!(c.rpc, RpcMode::Batched);
+    }
+
+    #[test]
+    fn rpc_mode_parses() {
+        assert_eq!(RpcMode::parse("batched"), Some(RpcMode::Batched));
+        assert_eq!(RpcMode::parse("direct"), Some(RpcMode::Direct));
+        assert_eq!(RpcMode::parse("legacy"), Some(RpcMode::Legacy));
+        assert_eq!(RpcMode::parse("bogus"), None);
+        assert_eq!(RpcMode::Legacy.name(), "legacy");
     }
 }

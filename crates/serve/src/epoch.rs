@@ -13,6 +13,11 @@
 //! Churn publishes cheap *overrides* on top of the compiled base — only
 //! the users whose serving sets a follow/unfollow touched — while a full
 //! re-optimization replaces the base wholesale and clears the overrides.
+//! Overrides are layered to keep the per-publish copy small: a tiny
+//! `delta` map (the last few publishes) is deep-cloned per epoch, while
+//! the flattened older overrides ride behind an `Arc` and cost a refcount
+//! bump; once the delta outgrows [`DELTA_LIMIT`] it is folded into a new
+//! flattened layer, amortizing the large copy over many publishes.
 //!
 //! The snapshot also carries the cluster [`Topology`]: a live rebalance
 //! publishes a new topology through the same swap, so a request can never
@@ -44,12 +49,34 @@ pub struct UserOverride {
     pull: Option<Vec<NodeId>>,
 }
 
+impl UserOverride {
+    /// Folds `other` over `self` side-by-side (newer wins where set).
+    fn absorb(&mut self, other: UserOverride) {
+        if other.push.is_some() {
+            self.push = other.push;
+        }
+        if other.pull.is_some() {
+            self.pull = other.pull;
+        }
+    }
+}
+
+/// Delta entries folded into the shared flattened layer once exceeded.
+/// Bounds the per-publish deep copy: a publish clones at most this many
+/// override entries, and the flattened layer is copied once per
+/// `DELTA_LIMIT` publishes instead of on every one.
+const DELTA_LIMIT: usize = 32;
+
 /// One immutable epoch of the serving schedule.
 #[derive(Clone, Debug)]
 pub struct ServingSchedule {
     epoch: u64,
     base: Arc<CompiledSets>,
-    overrides: FxHashMap<NodeId, UserOverride>,
+    /// Flattened older overrides; shared across epochs (Arc bump).
+    merged: Arc<FxHashMap<NodeId, UserOverride>>,
+    /// Overrides from the most recent publishes; deep-cloned per epoch,
+    /// kept under [`DELTA_LIMIT`] entries. Shadows `merged` per side.
+    delta: FxHashMap<NodeId, UserOverride>,
     topology: Arc<Topology>,
 }
 
@@ -75,7 +102,8 @@ impl ServingSchedule {
         ServingSchedule {
             epoch,
             base: Arc::new(sets),
-            overrides: FxHashMap::default(),
+            merged: Arc::new(FxHashMap::default()),
+            delta: FxHashMap::default(),
             topology,
         }
     }
@@ -86,7 +114,8 @@ impl ServingSchedule {
         ServingSchedule {
             epoch,
             base: Arc::new(sets),
-            overrides: FxHashMap::default(),
+            merged: Arc::new(FxHashMap::default()),
+            delta: FxHashMap::default(),
             topology,
         }
     }
@@ -104,7 +133,8 @@ impl ServingSchedule {
         ServingSchedule {
             epoch: self.epoch + 1,
             base: Arc::clone(&self.base),
-            overrides: self.overrides.clone(),
+            merged: Arc::clone(&self.merged),
+            delta: self.delta.clone(),
             topology,
         }
     }
@@ -119,49 +149,83 @@ impl ServingSchedule {
         self.base.push.len()
     }
 
-    /// Number of users with an active churn override.
+    /// Number of active churn override entries (counting a user once per
+    /// layer it appears in — an upper bound used by the compaction
+    /// trigger).
     pub fn override_count(&self) -> usize {
-        self.overrides.len()
+        self.merged.len() + self.delta.len()
     }
 
     /// The views to update when `u` shares an event (not counting `u`).
     pub fn push_targets(&self, u: NodeId) -> &[NodeId] {
-        if let Some(o) = self.overrides.get(&u) {
-            if let Some(p) = &o.push {
-                return p;
-            }
+        if let Some(p) = self.delta.get(&u).and_then(|o| o.push.as_deref()) {
+            return p;
+        }
+        if let Some(p) = self.merged.get(&u).and_then(|o| o.push.as_deref()) {
+            return p;
         }
         self.base.push.get(u as usize).map_or(&[], Vec::as_slice)
     }
 
     /// The views to query when `v` reads its stream (not counting `v`).
     pub fn pull_sources(&self, v: NodeId) -> &[NodeId] {
-        if let Some(o) = self.overrides.get(&v) {
-            if let Some(p) = &o.pull {
-                return p;
-            }
+        if let Some(p) = self.delta.get(&v).and_then(|o| o.pull.as_deref()) {
+            return p;
+        }
+        if let Some(p) = self.merged.get(&v).and_then(|o| o.pull.as_deref()) {
+            return p;
         }
         self.base.pull.get(v as usize).map_or(&[], Vec::as_slice)
     }
 
+    /// Fills `out` with the update targets of one share from `u`: the push
+    /// set plus `u`'s own view. The hot path's scratch-buffer counterpart
+    /// of [`push_targets`](ServingSchedule::push_targets) — no per-request
+    /// `Vec` once the caller's buffer is warm.
+    pub fn collect_push_targets(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.push_targets(u));
+        out.push(u);
+    }
+
+    /// Fills `out` with the query targets of one stream read from `v`: the
+    /// pull set plus `v`'s own view.
+    pub fn collect_pull_sources(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.pull_sources(v));
+        out.push(v);
+    }
+
     /// The next epoch: same base, with the given users' sets replaced.
     /// The churn manager (single writer) builds this and swaps it in.
+    /// Cost per publish: a deep clone of the (≤ [`DELTA_LIMIT`]-entry)
+    /// delta plus an Arc bump of the flattened layer; the flatten itself
+    /// runs once per `DELTA_LIMIT` publishes.
     pub fn with_updates(
         &self,
         push_updates: impl IntoIterator<Item = (NodeId, Vec<NodeId>)>,
         pull_updates: impl IntoIterator<Item = (NodeId, Vec<NodeId>)>,
     ) -> Self {
-        let mut overrides = self.overrides.clone();
+        let mut merged = Arc::clone(&self.merged);
+        let mut delta = self.delta.clone();
         for (u, set) in push_updates {
-            overrides.entry(u).or_default().push = Some(set);
+            delta.entry(u).or_default().push = Some(set);
         }
         for (v, set) in pull_updates {
-            overrides.entry(v).or_default().pull = Some(set);
+            delta.entry(v).or_default().pull = Some(set);
+        }
+        if delta.len() > DELTA_LIMIT {
+            let mut flat = (*merged).clone();
+            for (u, o) in delta.drain() {
+                flat.entry(u).or_default().absorb(o);
+            }
+            merged = Arc::new(flat);
         }
         ServingSchedule {
             epoch: self.epoch + 1,
             base: Arc::clone(&self.base),
-            overrides,
+            merged,
+            delta,
             topology: Arc::clone(&self.topology),
         }
     }
@@ -234,6 +298,20 @@ mod tests {
     }
 
     #[test]
+    fn collect_targets_append_self_and_reuse_the_buffer() {
+        let sets = CompiledSets {
+            push: vec![vec![1, 2], vec![]],
+            pull: vec![vec![], vec![0]],
+        };
+        let s = ServingSchedule::from_sets(sets, Arc::new(Topology::single_server(2)), 0);
+        let mut buf = vec![9, 9, 9];
+        s.collect_push_targets(0, &mut buf);
+        assert_eq!(buf, vec![1, 2, 0]);
+        s.collect_pull_sources(1, &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+    }
+
+    #[test]
     fn unknown_users_have_empty_sets() {
         let compiled = ServingSchedule::from_sets(
             CompiledSets::default(),
@@ -260,6 +338,31 @@ mod tests {
         // The old epoch is unchanged (immutability).
         assert_eq!(s0.push_targets(0), &[1]);
         assert_eq!(s0.epoch(), 0);
+    }
+
+    #[test]
+    fn overrides_survive_delta_flattening() {
+        // Push enough single-user publishes through one chain of epochs to
+        // trigger several delta → merged flattens; every override must
+        // stay visible and the newest one must win.
+        let n = 200usize;
+        let sets = CompiledSets {
+            push: vec![vec![]; n],
+            pull: vec![vec![]; n],
+        };
+        let mut s = ServingSchedule::from_sets(sets, Arc::new(Topology::single_server(n)), 0);
+        for u in 0..n as NodeId {
+            s = s.with_updates([(u, vec![u + 1])], [(u, vec![u + 2])]);
+        }
+        // Overwrite a user that has certainly been flattened by now.
+        s = s.with_updates([(0, vec![77])], []);
+        assert_eq!(s.epoch(), n as u64 + 1);
+        assert_eq!(s.push_targets(0), &[77], "newest layer must win");
+        assert_eq!(s.pull_sources(0), &[2], "older side must survive");
+        for u in 1..n as NodeId {
+            assert_eq!(s.push_targets(u), &[u + 1]);
+            assert_eq!(s.pull_sources(u), &[u + 2]);
+        }
     }
 
     #[test]

@@ -14,7 +14,6 @@
 
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use piggyback_core::schedule::Schedule;
 use piggyback_core::scheduler::Scheduler;
 use piggyback_graph::CsrGraph;
@@ -116,61 +115,63 @@ pub fn run_harness(
 ) -> HarnessReport {
     assert!(load.clients >= 1, "need at least one client");
     let runtime = ServeRuntime::start(graph.clone(), rates.clone(), schedule, reopt, serve_config);
-    let slots: Vec<Mutex<ClientTally>> = (0..load.clients)
-        .map(|_| Mutex::new(ClientTally::default()))
-        .collect();
     let start = Instant::now();
     let deadline = start + load.duration;
+    // Every tally (counters + latency histogram) is thread-local and comes
+    // back through the join handle — the load generators share no lock, so
+    // recording a sample never serializes clients against each other.
+    let mut total = ClientTally::default();
     std::thread::scope(|s| {
-        for (i, slot) in slots.iter().enumerate() {
-            let mut client = runtime.client();
-            let mut trace = OpTrace::new(rates, load.churn_ratio, load.seed + i as u64);
-            let mut rng = StdRng::seed_from_u64(load.seed ^ (0xC0FFEE + i as u64));
-            let arrival = load.arrival;
-            let clients = load.clients;
-            s.spawn(move || {
-                let mut tally = ClientTally::default();
-                match arrival {
-                    Arrival::Closed => {
-                        while Instant::now() < deadline {
-                            let op = trace.next_op();
-                            let t0 = Instant::now();
-                            tally.count(op, client.apply_op(op));
-                            tally.latency.record(t0.elapsed());
+        let handles: Vec<_> = (0..load.clients)
+            .map(|i| {
+                let mut client = runtime.client();
+                let mut trace = OpTrace::new(rates, load.churn_ratio, load.seed + i as u64);
+                let mut rng = StdRng::seed_from_u64(load.seed ^ (0xC0FFEE + i as u64));
+                let arrival = load.arrival;
+                let clients = load.clients;
+                s.spawn(move || {
+                    let mut tally = ClientTally::default();
+                    match arrival {
+                        Arrival::Closed => {
+                            while Instant::now() < deadline {
+                                let op = trace.next_op();
+                                let t0 = Instant::now();
+                                tally.count(op, client.apply_op(op));
+                                tally.latency.record(t0.elapsed());
+                            }
+                        }
+                        Arrival::Open { ops_per_sec } => {
+                            let per_client = (ops_per_sec / clients as f64).max(1e-9);
+                            let mut next = start;
+                            loop {
+                                // Exponential inter-arrival: Poisson process.
+                                let u: f64 = rng.random_range(f64::EPSILON..1.0);
+                                next += Duration::from_secs_f64(-u.ln() / per_client);
+                                if next >= deadline {
+                                    break;
+                                }
+                                let now = Instant::now();
+                                if now < next {
+                                    std::thread::sleep(next - now);
+                                }
+                                let op = trace.next_op();
+                                tally.count(op, client.apply_op(op));
+                                // Latency from the *scheduled* arrival: queueing
+                                // under saturation is part of the number.
+                                tally.latency.record(Instant::now() - next);
+                            }
                         }
                     }
-                    Arrival::Open { ops_per_sec } => {
-                        let per_client = (ops_per_sec / clients as f64).max(1e-9);
-                        let mut next = start;
-                        loop {
-                            // Exponential inter-arrival: Poisson process.
-                            let u: f64 = rng.random_range(f64::EPSILON..1.0);
-                            next += Duration::from_secs_f64(-u.ln() / per_client);
-                            if next >= deadline {
-                                break;
-                            }
-                            let now = Instant::now();
-                            if now < next {
-                                std::thread::sleep(next - now);
-                            }
-                            let op = trace.next_op();
-                            tally.count(op, client.apply_op(op));
-                            // Latency from the *scheduled* arrival: queueing
-                            // under saturation is part of the number.
-                            tally.latency.record(Instant::now() - next);
-                        }
-                    }
-                }
-                *slot.lock() = tally;
-            });
+                    tally
+                })
+            })
+            .collect();
+        for h in handles {
+            total.merge(&h.join().expect("load client panicked"));
         }
     });
     let elapsed = start.elapsed().as_secs_f64();
     let serve = runtime.shutdown();
-    let mut total = ClientTally::default();
-    for slot in &slots {
-        total.merge(&slot.lock());
-    }
     HarnessReport {
         ops: total.ops,
         shares: total.shares,

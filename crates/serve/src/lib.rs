@@ -40,7 +40,7 @@ pub mod ops;
 pub mod runtime;
 
 pub use cache::PullCache;
-pub use config::ServeConfig;
+pub use config::{RpcMode, ServeConfig};
 pub use epoch::{EpochHandle, ServingSchedule};
 pub use harness::{run_harness, Arrival, HarnessConfig, HarnessReport};
 pub use ops::{ChurnReport, ServeReport};

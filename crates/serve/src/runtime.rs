@@ -6,7 +6,10 @@
 //! * **Shard workers** (`config.workers` threads) own the
 //!   [`StoreServer`] shards behind channels — the same wire-format
 //!   [`worker`](piggyback_store::worker) protocol the batch prototype
-//!   uses, now long-running.
+//!   uses, now long-running. Under [`RpcMode::Direct`] no workers are
+//!   spawned at all: clients (and the churn manager's migrations) execute
+//!   the same coalesced batches inline against the shard mutexes —
+//!   identical protocol and message accounting, no scheduler round trip.
 //! * **Clients** ([`ServeClient`]) execute `Share`/`Query` against the
 //!   current [`ServingSchedule`] snapshot (one [`EpochHandle::load`] per
 //!   operation) and forward `Follow`/`Unfollow` to the churn manager.
@@ -36,14 +39,18 @@ use piggyback_core::incremental::{ChurnEffect, IncrementalScheduler};
 use piggyback_core::schedule::Schedule;
 use piggyback_core::scheduler::{Instance, Scheduler};
 use piggyback_graph::{CsrGraph, NodeId};
+use piggyback_store::merge::sort_merge;
+use piggyback_store::server::QueryScratch;
 use piggyback_store::server::StoreServer;
 use piggyback_store::topology::{PartitionRequest, PartitionStrategy};
-use piggyback_store::worker::{dispatch, send_to_shard_async, worker_loop, ShardRequest};
+use piggyback_store::worker::{
+    dispatch, worker_loop, BufferPool, ShardClient, ShardRequest, Transport,
+};
 use piggyback_store::EventTuple;
 use piggyback_workload::{Op, Rates};
 
 use crate::cache::PullCache;
-use crate::config::ServeConfig;
+use crate::config::{RpcMode, ServeConfig};
 use crate::epoch::{CompiledSets, EpochHandle, ServingSchedule};
 use crate::ops::{ChurnMsg, ChurnReport, ReoptResult, ServeReport};
 
@@ -55,10 +62,13 @@ use crate::ops::{ChurnMsg, ChurnReport, ReoptResult, ServeReport};
 pub struct ServeRuntime {
     handle: Arc<EpochHandle>,
     senders: Arc<Vec<Sender<ShardRequest>>>,
+    transport: Transport,
+    pool: Arc<BufferPool>,
     churn_tx: Sender<ChurnMsg>,
     cache: Arc<PullCache>,
     clock: Arc<AtomicU64>,
     top_k: usize,
+    rpc: RpcMode,
     client_counter: AtomicU64,
     worker_handles: Vec<JoinHandle<()>>,
     churn_handle: Option<JoinHandle<()>>,
@@ -104,16 +114,25 @@ impl ServeRuntime {
                 .map(|_| Mutex::new(StoreServer::new(config.view_capacity)))
                 .collect(),
         );
-        let mut senders = Vec::with_capacity(config.workers);
-        let mut worker_handles = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let (tx, rx) = bounded::<ShardRequest>(config.queue_depth);
-            let shards = Arc::clone(&shards);
-            worker_handles.push(std::thread::spawn(move || worker_loop(&shards, &rx)));
-            senders.push(tx);
+        let pool = Arc::new(BufferPool::new());
+        let mut senders = Vec::new();
+        let mut worker_handles = Vec::new();
+        if config.rpc != RpcMode::Direct {
+            for _ in 0..config.workers {
+                let (tx, rx) = bounded::<ShardRequest>(config.queue_depth);
+                let shards = Arc::clone(&shards);
+                let pool = Arc::clone(&pool);
+                worker_handles.push(std::thread::spawn(move || worker_loop(&shards, &pool, &rx)));
+                senders.push(tx);
+            }
         }
         let (churn_tx, churn_rx) = bounded::<ChurnMsg>(config.queue_depth);
         let senders = Arc::new(senders);
+        let transport = if config.rpc == RpcMode::Direct {
+            Transport::Direct(Arc::clone(&shards))
+        } else {
+            Transport::Workers(Arc::clone(&senders))
+        };
         let manager = ChurnManager {
             inc: IncrementalScheduler::new(graph, rates.clone(), schedule),
             rates,
@@ -123,7 +142,9 @@ impl ServeRuntime {
             partition: config.partition,
             rebalance_threshold: config.rebalance_threshold,
             placement_seed: config.placement_seed,
-            senders: Arc::clone(&senders),
+            transport: transport.clone(),
+            pool: Arc::clone(&pool),
+            migrate_scratch: QueryScratch::new(),
             rx: churn_rx,
             self_tx: churn_tx.clone(),
             reopt_in_flight: false,
@@ -141,10 +162,13 @@ impl ServeRuntime {
         ServeRuntime {
             handle,
             senders,
+            transport,
+            pool,
             churn_tx,
             cache: Arc::new(PullCache::new(config.pull_cache_ttl, 64)),
             clock: Arc::new(AtomicU64::new(1)),
             top_k: config.top_k,
+            rpc: config.rpc,
             client_counter: AtomicU64::new(0),
             worker_handles,
             churn_handle: Some(churn_handle),
@@ -157,11 +181,15 @@ impl ServeRuntime {
         ServeClient {
             handle: Arc::clone(&self.handle),
             senders: Arc::clone(&self.senders),
+            shard: ShardClient::new(self.transport.clone(), Arc::clone(&self.pool)),
             churn_tx: self.churn_tx.clone(),
             cache: Arc::clone(&self.cache),
             clock: Arc::clone(&self.clock),
             top_k: self.top_k,
+            rpc: self.rpc,
             next_event: id << 40,
+            targets: Vec::new(),
+            merged: Vec::new(),
         }
     }
 
@@ -192,8 +220,13 @@ impl ServeRuntime {
             h.join().expect("churn manager panicked");
         }
         drop(self.churn_tx);
-        // Workers exit once every request sender is gone. If a client still
-        // holds the sender Arc, leave the workers serving; they die with it.
+        // Workers exit once every request sender is gone. The runtime's own
+        // transport holds one clone of the sender Arc (the churn manager's
+        // died with its thread above) — release it, or the unwrap below
+        // could never succeed and a panicked worker would go unjoined.
+        self.transport = Transport::Workers(Arc::new(Vec::new()));
+        // If a client still holds the sender Arc, leave the workers
+        // serving; they die with it.
         if let Ok(senders) = Arc::try_unwrap(self.senders) {
             drop(senders);
             for h in self.worker_handles.drain(..) {
@@ -214,15 +247,25 @@ impl ServeRuntime {
 ///
 /// Every operation loads the schedule snapshot exactly once and uses it
 /// end-to-end, so a concurrent epoch swap can never split one request
-/// across two schedules.
+/// across two schedules. In the default [`RpcMode::Batched`] plane the
+/// client owns every per-operation buffer (targets, merge output, the
+/// [`ShardClient`]'s grouping/reply scratch), so a warmed-up client
+/// sends shares with one payload allocation and assembles streams with
+/// one shared snapshot allocation.
 pub struct ServeClient {
     handle: Arc<EpochHandle>,
     senders: Arc<Vec<Sender<ShardRequest>>>,
+    shard: ShardClient,
     churn_tx: Sender<ChurnMsg>,
     cache: Arc<PullCache>,
     clock: Arc<AtomicU64>,
     top_k: usize,
+    rpc: RpcMode,
     next_event: u64,
+    /// Reused target-view buffer (push/pull set plus self).
+    targets: Vec<NodeId>,
+    /// Reused merge output buffer.
+    merged: Vec<EventTuple>,
 }
 
 impl ServeClient {
@@ -238,60 +281,77 @@ impl ServeClient {
         self.next_event += 1;
         let ts = self.clock.fetch_add(1, Ordering::Relaxed);
         let event = EventTuple::new(u, self.next_event, ts);
-        let payload = event.to_bytes();
-        let mut targets = snap.push_targets(u).to_vec();
-        targets.push(u);
-        dispatch(
-            snap.topology(),
-            &self.senders,
-            &targets,
-            |shard, views, done| ShardRequest::Update {
-                shard,
-                views,
-                payload: payload.clone(),
-                done,
-            },
-        )
-        .len() as u64
+        match self.rpc {
+            RpcMode::Batched | RpcMode::Direct => {
+                snap.collect_push_targets(u, &mut self.targets);
+                self.shard
+                    .update(snap.topology(), &self.targets, event.to_wire())
+            }
+            RpcMode::Legacy => {
+                let payload = event.to_bytes();
+                let mut targets = snap.push_targets(u).to_vec();
+                targets.push(u);
+                dispatch(
+                    snap.topology(),
+                    &self.senders,
+                    &targets,
+                    |shard, views, done| ShardRequest::Update {
+                        shard,
+                        views,
+                        payload: payload.clone(),
+                        done,
+                    },
+                )
+                .len() as u64
+            }
+        }
     }
 
     /// Assembles `u`'s event stream (Algorithm 3 lines 8–16), possibly
     /// from the staleness-bounded cache. Returns `(events, messages)`;
-    /// a cache hit costs zero messages.
-    pub fn query(&mut self, u: NodeId) -> (Vec<EventTuple>, u64) {
+    /// a cache hit costs zero messages and shares the cached allocation.
+    pub fn query(&mut self, u: NodeId) -> (Arc<[EventTuple]>, u64) {
         let snap = self.handle.load();
         if u as usize >= snap.topology().users() {
-            return (Vec::new(), 0);
+            return (Arc::from(&[][..]), 0);
         }
         if let Some(events) = self.cache.get(u, snap.epoch()) {
             return (events, 0);
         }
-        let mut targets = snap.pull_sources(u).to_vec();
-        targets.push(u);
         let k = self.top_k;
-        let replies = dispatch(
-            snap.topology(),
-            &self.senders,
-            &targets,
-            |shard, views, done| ShardRequest::Query {
-                shard,
-                views,
-                k,
-                done,
-            },
-        );
-        let messages = replies.len() as u64;
-        let mut merged: Vec<EventTuple> = Vec::new();
-        for mut reply in replies {
-            while let Some(t) = EventTuple::decode(&mut reply) {
-                merged.push(t);
+        let messages = match self.rpc {
+            RpcMode::Batched | RpcMode::Direct => {
+                snap.collect_pull_sources(u, &mut self.targets);
+                self.shard
+                    .query(snap.topology(), &self.targets, k, &mut self.merged)
             }
-        }
-        merged.sort_unstable_by(|a, b| b.cmp(a));
-        merged.dedup();
-        merged.truncate(k);
-        self.cache.put(u, snap.epoch(), merged.clone());
-        (merged, messages)
+            RpcMode::Legacy => {
+                let mut targets = snap.pull_sources(u).to_vec();
+                targets.push(u);
+                let replies = dispatch(
+                    snap.topology(),
+                    &self.senders,
+                    &targets,
+                    |shard, views, done| ShardRequest::Query {
+                        shard,
+                        views,
+                        k,
+                        done,
+                    },
+                );
+                let messages = replies.len() as u64;
+                self.merged.clear();
+                for mut reply in replies {
+                    EventTuple::decode_all(&mut reply, &mut self.merged);
+                }
+                sort_merge(&mut self.merged, k);
+                messages
+            }
+        };
+        // One allocation shared between the caller and the pull cache.
+        let events: Arc<[EventTuple]> = Arc::from(&self.merged[..]);
+        self.cache.put(u, snap.epoch(), Arc::clone(&events));
+        (events, messages)
     }
 
     /// `v` starts following `u`. Blocks until the churn manager has
@@ -350,8 +410,12 @@ struct ChurnManager {
     /// the optimized base cost (infinite = disabled).
     rebalance_threshold: f64,
     placement_seed: u64,
-    /// Worker channels, for shard-to-shard view migration.
-    senders: Arc<Vec<Sender<ShardRequest>>>,
+    /// Shard transport, for shard-to-shard view migration.
+    transport: Transport,
+    /// Buffer pool shared with the serving plane (migration replies).
+    pool: Arc<BufferPool>,
+    /// Scratch for caller-runs migration requests.
+    migrate_scratch: QueryScratch,
     rx: Receiver<ChurnMsg>,
     self_tx: Sender<ChurnMsg>,
     reopt_in_flight: bool,
@@ -527,10 +591,11 @@ impl ChurnManager {
             self.cross_churned = 0.0;
             return;
         }
+        let (transport, pool, scratch) = (&self.transport, &self.pool, &mut self.migrate_scratch);
         let extracts: Vec<_> = moved
             .iter()
             .map(|&u| {
-                send_to_shard_async(&self.senders, |done| ShardRequest::ExtractView {
+                transport.request_async(pool, scratch, |done| ShardRequest::ExtractView {
                     shard: old.server_of(u),
                     view: u,
                     done,
@@ -541,7 +606,7 @@ impl ChurnManager {
         for (&u, rx) in moved.iter().zip(extracts) {
             let payload = rx.recv().expect("worker dropped extract reply");
             if !payload.is_empty() {
-                installs.push(send_to_shard_async(&self.senders, |done| {
+                installs.push(transport.request_async(pool, scratch, |done| {
                     ShardRequest::InstallView {
                         shard: new.server_of(u),
                         view: u,
@@ -746,7 +811,7 @@ mod tests {
         );
         // Unfollow: later shares stop flowing (old events may remain).
         assert!(c.unfollow(2, 0));
-        let before: Vec<_> = c.query(0).0;
+        let before = c.query(0).0;
         c.share(2);
         let (after, _) = c.query(0);
         assert_eq!(before, after, "no new event may arrive after unfollow");

@@ -13,8 +13,10 @@
 //!   messages each request generates (the quantity that drives the paper's
 //!   throughput trends) while exercising the real views.
 //! * [`Cluster::run_concurrent`] — real threads: shard workers behind
-//!   channels and client threads issuing requests back-to-back, returning
-//!   wall-clock requests/second, the paper's *actual throughput*.
+//!   channels and client threads issuing requests back-to-back over the
+//!   coalesced [`ShardClient`] plane (pooled reply channels and buffers),
+//!   returning wall-clock requests/second, the paper's *actual
+//!   throughput*.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,10 +28,11 @@ use piggyback_core::schedule::Schedule;
 use piggyback_graph::{CsrGraph, NodeId};
 use piggyback_workload::{Rates, RequestKind, RequestTrace};
 
-use crate::server::StoreServer;
+use crate::merge::sort_merge;
+use crate::server::{QueryScratch, StoreServer};
 use crate::topology::Topology;
 use crate::tuple::EventTuple;
-use crate::worker::{dispatch, worker_loop, ShardRequest};
+use crate::worker::{worker_loop, BufferPool, ShardClient, ShardRequest, Transport};
 
 /// Prototype configuration.
 #[derive(Clone, Copy, Debug)]
@@ -115,6 +118,8 @@ pub struct Cluster {
     config: ClusterConfig,
     shards: Vec<StoreServer>,
     clock: AtomicU64,
+    /// Query merge scratch for the single-threaded mode.
+    scratch: QueryScratch,
 }
 
 impl Cluster {
@@ -162,6 +167,7 @@ impl Cluster {
             config,
             shards,
             clock: AtomicU64::new(1),
+            scratch: QueryScratch::new(),
         }
     }
 
@@ -200,17 +206,15 @@ impl Cluster {
         let mut targets = self.pull_sets[u as usize].clone();
         targets.push(u);
         let k = self.config.top_k;
-        let (topology, shards) = (&self.topology, &mut self.shards);
+        let (topology, shards, scratch) = (&self.topology, &mut self.shards, &mut self.scratch);
         let mut merged: Vec<EventTuple> = Vec::with_capacity(k.saturating_mul(2).min(1024));
         let mut messages = 0u64;
         topology.group_by_server(&targets, |server, views| {
             // filter(n, r[u]) of Algorithm 3: merge and keep the k latest.
-            merged.extend(shards[server].query(views, k));
+            merged.extend_from_slice(shards[server].query_with(views, k, scratch));
             messages += 1;
         });
-        merged.sort_unstable_by(|a, b| b.cmp(a));
-        merged.dedup();
-        merged.truncate(k);
+        sort_merge(&mut merged, k);
         (merged, messages)
     }
 
@@ -244,7 +248,10 @@ impl Cluster {
     /// Shards are sharded across `workers` OS threads (shard `s` is owned by
     /// worker `s % workers`), so thousands of logical servers multiplex onto
     /// a bounded thread pool — how the experiments scale to the paper's
-    /// 1000-server sweeps on one machine.
+    /// 1000-server sweeps on one machine. Clients speak the coalesced
+    /// [`ShardClient`] plane, and every per-client tally (messages +
+    /// latency histogram) is thread-local, returned through the join
+    /// handle and merged once at the end — no shared lock on the hot path.
     pub fn run_concurrent(
         self,
         g: &CsrGraph,
@@ -263,6 +270,7 @@ impl Cluster {
             config,
             shards,
             clock,
+            scratch: _,
         } = self;
         let topology = Arc::new(topology);
         let push_sets = Arc::new(push_sets);
@@ -271,6 +279,7 @@ impl Cluster {
             shards: shards.into_iter().map(Mutex::new).collect(),
             clock,
         });
+        let pool = Arc::new(BufferPool::new());
 
         // Worker channels: one per worker thread; shard s -> worker s % W.
         let mut senders: Vec<Sender<ShardRequest>> = Vec::with_capacity(workers);
@@ -282,88 +291,74 @@ impl Cluster {
         }
         let senders = Arc::new(senders);
 
-        let total_messages = Arc::new(AtomicU64::new(0));
-        let latencies: Vec<parking_lot::Mutex<crate::latency::LatencyHistogram>> = (0..clients)
-            .map(|_| parking_lot::Mutex::new(crate::latency::LatencyHistogram::new()))
-            .collect();
         let start = Instant::now();
-        crossbeam::scope(|s| {
+        let (total_messages, latency) = crossbeam::scope(|s| {
             // Shard workers: the shared wire-format worker loop (see
             // [`crate::worker`]).
             for rx in receivers {
                 let shared = Arc::clone(&shared);
-                s.spawn(move |_| worker_loop(&shared.shards, &rx));
+                let pool = Arc::clone(&pool);
+                s.spawn(move |_| worker_loop(&shared.shards, &pool, &rx));
             }
-            // Clients.
-            for (c, latency_slot) in latencies.iter().enumerate() {
-                let push_sets = Arc::clone(&push_sets);
-                let pull_sets = Arc::clone(&pull_sets);
-                let topology = Arc::clone(&topology);
-                let senders = Arc::clone(&senders);
-                let shared = Arc::clone(&shared);
-                let total_messages = Arc::clone(&total_messages);
-                let mut trace = RequestTrace::new(rates, seed.wrapping_add(c as u64));
-                s.spawn(move |_| {
-                    let mut event_id = (c as u64) << 40;
-                    let mut msgs = 0u64;
-                    let mut hist = crate::latency::LatencyHistogram::new();
-                    for _ in 0..requests_per_client {
-                        let req_start = Instant::now();
-                        match trace.next_request() {
-                            RequestKind::Share(u) => {
-                                event_id += 1;
-                                let ts = shared.clock.fetch_add(1, Ordering::Relaxed);
-                                let event = EventTuple::new(u, event_id, ts);
-                                let payload = event.to_bytes();
-                                let mut targets = push_sets[u as usize].clone();
-                                targets.push(u);
-                                msgs +=
-                                    dispatch(&topology, &senders, &targets, |shard, views, done| {
-                                        ShardRequest::Update {
-                                            shard,
-                                            views,
-                                            payload: payload.clone(),
-                                            done,
-                                        }
-                                    })
-                                    .len() as u64;
-                            }
-                            RequestKind::Query(u) => {
-                                let mut targets = pull_sets[u as usize].clone();
-                                targets.push(u);
-                                let k = config.top_k;
-                                let replies = dispatch(
-                                    &topology,
-                                    &senders,
-                                    &targets,
-                                    |shard, views, done| ShardRequest::Query {
-                                        shard,
-                                        views,
-                                        k,
-                                        done,
-                                    },
-                                );
-                                msgs += replies.len() as u64;
-                                // Decode each server's wire reply and merge
-                                // (the filter(n, r[u]) step of Algorithm 3).
-                                let mut merged: Vec<EventTuple> = Vec::new();
-                                for mut reply in replies {
-                                    while let Some(t) = EventTuple::decode(&mut reply) {
-                                        merged.push(t);
-                                    }
+            // Clients, each returning its thread-local tally on join.
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let push_sets = Arc::clone(&push_sets);
+                    let pull_sets = Arc::clone(&pull_sets);
+                    let topology = Arc::clone(&topology);
+                    let shared = Arc::clone(&shared);
+                    let mut shard_client = ShardClient::new(
+                        Transport::Workers(Arc::clone(&senders)),
+                        Arc::clone(&pool),
+                    );
+                    let mut trace = RequestTrace::new(rates, seed.wrapping_add(c as u64));
+                    s.spawn(move |_| {
+                        let mut event_id = (c as u64) << 40;
+                        let mut msgs = 0u64;
+                        let mut hist = crate::latency::LatencyHistogram::new();
+                        let mut targets: Vec<NodeId> = Vec::new();
+                        let mut merged: Vec<EventTuple> = Vec::new();
+                        for _ in 0..requests_per_client {
+                            let req_start = Instant::now();
+                            match trace.next_request() {
+                                RequestKind::Share(u) => {
+                                    event_id += 1;
+                                    let ts = shared.clock.fetch_add(1, Ordering::Relaxed);
+                                    let event = EventTuple::new(u, event_id, ts);
+                                    targets.clear();
+                                    targets.extend_from_slice(&push_sets[u as usize]);
+                                    targets.push(u);
+                                    msgs +=
+                                        shard_client.update(&topology, &targets, event.to_wire());
                                 }
-                                merged.sort_unstable_by(|a, b| b.cmp(a));
-                                merged.truncate(k);
+                                RequestKind::Query(u) => {
+                                    targets.clear();
+                                    targets.extend_from_slice(&pull_sets[u as usize]);
+                                    targets.push(u);
+                                    msgs += shard_client.query(
+                                        &topology,
+                                        &targets,
+                                        config.top_k,
+                                        &mut merged,
+                                    );
+                                }
                             }
+                            hist.record(req_start.elapsed());
                         }
-                        hist.record(req_start.elapsed());
-                    }
-                    total_messages.fetch_add(msgs, Ordering::Relaxed);
-                    *latency_slot.lock() = hist;
-                });
+                        (msgs, hist)
+                    })
+                })
+                .collect();
+            let mut total = 0u64;
+            let mut latency = crate::latency::LatencyHistogram::new();
+            for h in handles {
+                let (msgs, hist) = h.join().expect("client thread panicked");
+                total += msgs;
+                latency.merge(&hist);
             }
             // Dropping our sender clones when clients finish closes workers.
             drop(senders);
+            (total, latency)
         })
         .expect("cluster thread panicked");
         let elapsed = start.elapsed().as_secs_f64();
@@ -376,16 +371,13 @@ impl Cluster {
             config,
             shards: shared.shards.into_iter().map(Mutex::into_inner).collect(),
             clock: shared.clock,
+            scratch: QueryScratch::new(),
         };
-        let mut latency = crate::latency::LatencyHistogram::new();
-        for slot in &latencies {
-            latency.merge(&slot.lock());
-        }
         (
             ActualStats {
                 requests: (clients * requests_per_client) as u64,
                 elapsed_secs: elapsed,
-                messages: total_messages.load(Ordering::Relaxed),
+                messages: total_messages,
                 latency,
             },
             cluster,

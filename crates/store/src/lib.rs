@@ -16,9 +16,17 @@
 //!   baseline, streaming LDG, schedule-aware greedy).
 //! * [`server`] — a data-store shard: batched update/query with server-side
 //!   filtering (the "thin layer on top of memcached") and view migration.
+//!   Queries run a bounded k-way tournament merge over the views' ring
+//!   buffers through a reusable [`QueryScratch`] arena.
+//! * [`merge`] — the shared top-k reply merge: the flat sort-merge
+//!   reference and the allocation-free k-way [`ReplyMerger`] the clients
+//!   use on per-shard wire replies.
 //! * [`worker`] — the wire-format shard-worker protocol shared by every
 //!   execution harness (batch replay and the online serve runtime),
-//!   including the extract/install requests of live rebalancing.
+//!   including the extract/install requests of live rebalancing. The hot
+//!   path is the coalesced [`ShardBatch`] plane: pooled view lists and
+//!   reply buffers ([`BufferPool`]) and one pooled reply channel per
+//!   client ([`ShardClient`]).
 //! * [`cluster`] — Algorithm 3's application servers driving the shards,
 //!   with a deterministic single-threaded mode (message accounting) and a
 //!   concurrent mode (real threads, wall-clock throughput).
@@ -28,6 +36,7 @@
 
 pub mod cluster;
 pub mod latency;
+pub mod merge;
 pub mod placement;
 pub mod server;
 pub mod topology;
@@ -36,10 +45,13 @@ pub mod view;
 pub mod worker;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use merge::ReplyMerger;
 pub use placement::PlacementCost;
+pub use server::QueryScratch;
 pub use topology::{
-    HashPartitioner, LdgPartitioner, PartitionRequest, PartitionStrategy, Partitioner,
-    ScheduleAwarePartitioner, Topology,
+    GroupScratch, HashPartitioner, LdgPartitioner, PartitionRequest, PartitionStrategy,
+    Partitioner, ScheduleAwarePartitioner, Topology,
 };
 pub use tuple::EventTuple;
 pub use view::View;
+pub use worker::{BufferPool, ShardClient};

@@ -4,8 +4,52 @@
 use piggyback_graph::fx::FxHashMap;
 use piggyback_graph::NodeId;
 
+use crate::merge::sort_merge;
 use crate::tuple::EventTuple;
 use crate::view::View;
+
+/// Reusable per-worker scratch for [`StoreServer::query_with`].
+///
+/// Holds the tournament heap, the per-view cursors and the output buffer.
+/// All three retain their capacity across requests, so a warmed-up worker
+/// serves queries with **zero heap allocation** (asserted by
+/// `tests/query_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Max-heap of `(head tuple, cursor index)` — the tuple orders first,
+    /// so pops are globally newest first and ties break deterministically.
+    heap: std::collections::BinaryHeap<(EventTuple, u32)>,
+    cursors: Vec<Cursor>,
+    out: Vec<EventTuple>,
+}
+
+/// One view's merge cursor: position is a logical newest-first index, so
+/// advancing never touches the ring's internals.
+#[derive(Clone, Copy, Debug)]
+struct Cursor {
+    view: NodeId,
+    /// Next newest-first index to emit.
+    next: u32,
+    /// One past the last index this view contributes (`min(len, k)`).
+    limit: u32,
+}
+
+impl QueryScratch {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        QueryScratch::default()
+    }
+
+    /// `(heap, cursors, out)` capacities — lets tests assert steady-state
+    /// reuse.
+    pub fn capacities(&self) -> (usize, usize, usize) {
+        (
+            self.heap.capacity(),
+            self.cursors.capacity(),
+            self.out.capacity(),
+        )
+    }
+}
 
 /// One data-store server holding a subset of user views.
 ///
@@ -46,25 +90,79 @@ impl StoreServer {
 
     /// Answers a batched query: the `k` most recent events across the
     /// listed views, newest first (the server-side filter).
+    ///
+    /// A bounded k-way tournament merge over the views' ring buffers: each
+    /// listed view contributes at most `min(k, len)` events through a
+    /// cursor, and a small max-heap of one head per view pops the global
+    /// newest until `k` distinct events are emitted — O((k + f) log f) for
+    /// `f` views instead of copying and fully sorting every candidate.
+    /// All state lives in `scratch`; a warmed-up caller allocates nothing.
+    pub fn query_with<'s>(
+        &mut self,
+        views: &[NodeId],
+        k: usize,
+        scratch: &'s mut QueryScratch,
+    ) -> &'s [EventTuple] {
+        self.queries_processed += 1;
+        scratch.out.clear();
+        scratch.heap.clear();
+        scratch.cursors.clear();
+        if k == 0 {
+            return &scratch.out;
+        }
+        for &v in views {
+            if let Some(view) = self.views.get(&v) {
+                if !view.is_empty() {
+                    let idx = scratch.cursors.len() as u32;
+                    scratch.cursors.push(Cursor {
+                        view: v,
+                        next: 1,
+                        limit: view.len().min(k) as u32,
+                    });
+                    scratch.heap.push((view.nth_newest(0), idx));
+                }
+            }
+        }
+        while let Some((t, i)) = scratch.heap.pop() {
+            if scratch.out.last() != Some(&t) {
+                if scratch.out.len() == k {
+                    break;
+                }
+                scratch.out.push(t);
+            }
+            let cur = &mut scratch.cursors[i as usize];
+            if cur.next < cur.limit {
+                let view = &self.views[&cur.view];
+                scratch.heap.push((view.nth_newest(cur.next as usize), i));
+                cur.next += 1;
+            }
+        }
+        &scratch.out
+    }
+
+    /// [`query_with`](StoreServer::query_with) into a fresh `Vec`
+    /// (tests and single-shot callers; allocates a scratch per call).
     pub fn query(&mut self, views: &[NodeId], k: usize) -> Vec<EventTuple> {
+        let mut scratch = QueryScratch::new();
+        self.query_with(views, k, &mut scratch).to_vec()
+    }
+
+    /// The pre-ring-buffer query path: copy every candidate, full-sort,
+    /// dedup, truncate. Kept as the differential-testing oracle for
+    /// [`query_with`](StoreServer::query_with) (`tests/query_differential.rs`)
+    /// and as the legacy half of the serve benchmark's before/after mode.
+    pub fn query_reference(&mut self, views: &[NodeId], k: usize) -> Vec<EventTuple> {
         self.queries_processed += 1;
         if k == 0 {
             return Vec::new();
         }
-        // Each listed view contributes at most min(k, its length) events, so
-        // the exact pre-reservation is one cheap pass over the view slices.
-        let slices: Vec<&[EventTuple]> = views
-            .iter()
-            .filter_map(|v| self.views.get(v))
-            .map(|view| view.latest(k))
-            .collect();
-        let mut out: Vec<EventTuple> = Vec::with_capacity(slices.iter().map(|s| s.len()).sum());
-        for s in slices {
-            out.extend_from_slice(s);
+        let mut out: Vec<EventTuple> = Vec::new();
+        for &v in views {
+            if let Some(view) = self.views.get(&v) {
+                out.extend(view.iter_newest().take(k));
+            }
         }
-        out.sort_unstable_by(|a, b| b.cmp(a));
-        out.dedup();
-        out.truncate(k);
+        sort_merge(&mut out, k);
         out
     }
 
@@ -97,8 +195,8 @@ impl StoreServer {
 
     /// Merges `events` into `user`'s view (creating it if absent) — the
     /// recipient side of a live migration. Insertion keeps recency order
-    /// and drops duplicates, so events that already landed at the new home
-    /// survive alongside the migrated ones.
+    /// and drops recent duplicates, so events that already landed at the
+    /// new home survive alongside the migrated ones.
     pub fn merge_view(&mut self, user: NodeId, events: &[EventTuple]) {
         let view = self
             .views
@@ -164,7 +262,7 @@ mod tests {
     fn duplicates_interleaved_across_many_views_deduped() {
         let mut s = StoreServer::new(0);
         // The same three events land in four views each; distinct events in
-        // between make the duplicates non-adjacent before the sort.
+        // between make the duplicates non-adjacent before the merge.
         for i in 0..3u64 {
             s.update(&[1, 2, 3, 4], ev(9, i, 10 + i));
             s.update(&[2], ev(8, 100 + i, 20 + i));
@@ -194,6 +292,41 @@ mod tests {
     }
 
     #[test]
+    fn query_matches_reference_on_a_mixed_workload() {
+        let mut a = StoreServer::new(4);
+        let mut b = StoreServer::new(4);
+        for i in 0..40u64 {
+            let e = ev((i % 5) as u32, i, (i * 7) % 50);
+            let views: Vec<NodeId> = (0..(i % 4 + 1) as u32).collect();
+            a.update(&views, e);
+            b.update(&views, e);
+        }
+        for k in [0, 1, 3, 10, 100] {
+            assert_eq!(
+                a.query(&[0, 1, 2, 3], k),
+                b.query_reference(&[0, 1, 2, 3], k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_across_queries() {
+        let mut s = StoreServer::new(0);
+        for i in 0..50 {
+            s.update(&[1, 2, 3], ev(1, i, i));
+        }
+        let mut scratch = QueryScratch::new();
+        s.query_with(&[1, 2, 3], 10, &mut scratch);
+        let caps = scratch.capacities();
+        for _ in 0..100 {
+            let r = s.query_with(&[1, 2, 3], 10, &mut scratch);
+            assert_eq!(r.len(), 10);
+        }
+        assert_eq!(scratch.capacities(), caps, "scratch must not reallocate");
+    }
+
+    #[test]
     fn remove_then_merge_preserves_events_and_dedups() {
         let mut a = StoreServer::new(0);
         let mut b = StoreServer::new(0);
@@ -203,7 +336,7 @@ mod tests {
         b.update(&[1], ev(7, 2, 20)); // duplicate of a migrated event
         let view = a.remove_view(1).expect("view existed");
         assert!(a.view(1).is_none());
-        b.merge_view(1, view.events());
+        b.merge_view(1, &view.to_vec_newest());
         let merged = b.query(&[1], 10);
         assert_eq!(merged, vec![ev(8, 9, 30), ev(7, 2, 20), ev(7, 1, 10)]);
         assert!(a.remove_view(42).is_none());

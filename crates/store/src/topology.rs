@@ -45,6 +45,16 @@ pub struct Topology {
     replication: usize,
 }
 
+/// Reusable buffers for [`Topology::group_by_server_with`]: the tagged
+/// `(server, view)` list and the per-server view batch. Owned by hot-path
+/// callers (one per client/worker) so per-operation grouping never
+/// allocates once warmed up.
+#[derive(Debug, Default)]
+pub struct GroupScratch {
+    tagged: Vec<(usize, NodeId)>,
+    views: Vec<NodeId>,
+}
+
 /// The paper's hash placement: `FxHash(seed, user) mod servers`.
 #[inline]
 pub(crate) fn hash_server_of(user: NodeId, servers: usize, seed: u64) -> usize {
@@ -147,11 +157,24 @@ impl Topology {
     /// per touched server — the one batched message per server of
     /// Algorithm 3. The single shard-ownership derivation every execution
     /// path (batch cluster, wire dispatch, serve runtime) shares.
-    pub fn group_by_server(&self, targets: &[NodeId], mut f: impl FnMut(usize, &[NodeId])) {
-        let mut tagged: Vec<(usize, NodeId)> =
-            targets.iter().map(|&v| (self.server_of(v), v)).collect();
+    pub fn group_by_server(&self, targets: &[NodeId], f: impl FnMut(usize, &[NodeId])) {
+        self.group_by_server_with(targets, &mut GroupScratch::default(), f);
+    }
+
+    /// [`group_by_server`](Topology::group_by_server) with caller-owned
+    /// scratch: the hot serving path calls this once per operation, and a
+    /// warmed-up scratch makes the grouping allocation-free.
+    pub fn group_by_server_with(
+        &self,
+        targets: &[NodeId],
+        scratch: &mut GroupScratch,
+        mut f: impl FnMut(usize, &[NodeId]),
+    ) {
+        let tagged = &mut scratch.tagged;
+        tagged.clear();
+        tagged.extend(targets.iter().map(|&v| (self.server_of(v), v)));
         tagged.sort_unstable();
-        let mut views: Vec<NodeId> = Vec::new();
+        let views = &mut scratch.views;
         let mut i = 0;
         while i < tagged.len() {
             let server = tagged[i].0;
@@ -160,7 +183,7 @@ impl Topology {
                 views.push(tagged[i].1);
                 i += 1;
             }
-            f(server, &views);
+            f(server, views);
         }
     }
 

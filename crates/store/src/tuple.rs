@@ -46,6 +46,32 @@ impl EventTuple {
         b.freeze()
     }
 
+    /// Encodes into a stack array — the allocation-free wire form the
+    /// batched update plane ships (same layout as [`encode`](Self::encode)).
+    pub fn to_wire(&self) -> [u8; TUPLE_BYTES] {
+        let mut out = [0u8; TUPLE_BYTES];
+        out[0..8].copy_from_slice(&(self.user as u64).to_le_bytes());
+        out[8..16].copy_from_slice(&self.event_id.to_le_bytes());
+        out[16..24].copy_from_slice(&self.timestamp.to_le_bytes());
+        out
+    }
+
+    /// Encodes a run of tuples into `buf` (the batched reply format: a
+    /// plain concatenation of 24-byte records).
+    pub fn encode_all(tuples: &[EventTuple], buf: &mut BytesMut) {
+        buf.reserve(tuples.len() * TUPLE_BYTES);
+        for t in tuples {
+            t.encode(buf);
+        }
+    }
+
+    /// Decodes every tuple remaining in `buf`, appending to `out`.
+    pub fn decode_all(buf: &mut impl Buf, out: &mut Vec<EventTuple>) {
+        while let Some(t) = EventTuple::decode(buf) {
+            out.push(t);
+        }
+    }
+
     /// Decodes a tuple; returns `None` if fewer than 24 bytes remain.
     pub fn decode(buf: &mut impl Buf) -> Option<Self> {
         if buf.remaining() < TUPLE_BYTES {
@@ -77,6 +103,15 @@ mod tests {
         let t = EventTuple::new(123, u64::MAX, 55);
         let mut bytes = t.to_bytes();
         assert_eq!(EventTuple::decode(&mut bytes), Some(t));
+    }
+
+    #[test]
+    fn wire_array_matches_heap_encoding() {
+        let t = EventTuple::new(77, 42, 9000);
+        let wire = t.to_wire();
+        assert_eq!(&wire[..], &t.to_bytes()[..]);
+        let mut cursor: &[u8] = &wire;
+        assert_eq!(EventTuple::decode(&mut cursor), Some(t));
     }
 
     #[test]

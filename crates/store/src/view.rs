@@ -4,16 +4,87 @@
 //! from (Definition 1). The prototype keeps views bounded: when a view
 //! exceeds its capacity the oldest events are trimmed away ("we added a
 //! thin layer ... to trim views when they contain too many events").
+//!
+//! Storage is a power-of-two **ring buffer** ordered oldest → newest from
+//! the head. The dominant insert — a fresh event carrying the newest
+//! timestamp — is a single write at the tail, and trimming a full view is
+//! a head-pointer bump; neither ever shifts memory. Out-of-order arrivals
+//! (piggybacked redeliveries, migration merges) binary-search their slot
+//! and shift the shorter side of the ring, bounded by the view capacity.
+//!
+//! Duplicate suppression is a small direct-mapped **recent-id filter**
+//! over `(producer, event id)` keys instead of the previous per-insert
+//! linear scan: an exact match on one of the [`FILTER_SLOTS`] most recent
+//! distinct keys drops the redelivery in O(1). A duplicate that has aged
+//! out of the filter may re-enter the ring. For the redeliveries the
+//! system actually produces — piggyback fan-out and migration merges
+//! re-send the *bit-identical* tuple — the query path's merge dedup is
+//! the backstop, so at most some slack capacity is spent. A redelivery
+//! that re-stamps an old `(producer, event id)` with a *different*
+//! timestamp (a misbehaving producer; no in-repo path emits one) is only
+//! suppressed while its key is in the filter window — the old exhaustive
+//! scan suppressed it for as long as the event stayed in the view. The
+//! semantics are deterministic and are property-tested against a
+//! reference model in `tests/view_properties.rs`.
 
 use crate::tuple::EventTuple;
 
-/// A bounded, recency-ordered materialized view.
+/// Slots in the per-view recent-id filter (direct-mapped, power of two).
+pub const FILTER_SLOTS: usize = 32;
+
+/// Direct-mapped filter of recently inserted `(user, event_id)` keys.
+#[derive(Clone, Debug)]
+struct RecentFilter {
+    keys: [(u32, u64); FILTER_SLOTS],
+    occupied: u32,
+}
+
+impl Default for RecentFilter {
+    fn default() -> Self {
+        RecentFilter {
+            keys: [(0, 0); FILTER_SLOTS],
+            occupied: 0,
+        }
+    }
+}
+
+impl RecentFilter {
+    #[inline]
+    fn slot(user: u32, event_id: u64) -> usize {
+        // Fibonacci-style mix of both key halves; low bits index the table.
+        let h = (user as u64 ^ event_id.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (FILTER_SLOTS - 1)
+    }
+
+    /// Exact-match membership among the retained recent keys.
+    #[inline]
+    fn contains(&self, user: u32, event_id: u64) -> bool {
+        let s = Self::slot(user, event_id);
+        self.occupied & (1 << s) != 0 && self.keys[s] == (user, event_id)
+    }
+
+    /// Records a key, evicting whatever shared its slot.
+    #[inline]
+    fn record(&mut self, user: u32, event_id: u64) {
+        let s = Self::slot(user, event_id);
+        self.keys[s] = (user, event_id);
+        self.occupied |= 1 << s;
+    }
+}
+
+/// A bounded, recency-ordered materialized view (ring buffer).
 #[derive(Clone, Debug, Default)]
 pub struct View {
-    /// Events, newest first. Kept sorted descending by timestamp.
-    events: Vec<EventTuple>,
+    /// Physical ring storage; length is zero or a power of two. Events are
+    /// logically ascending by [`EventTuple`] order from `head`.
+    buf: Vec<EventTuple>,
+    /// Physical index of the oldest event.
+    head: usize,
+    /// Live events in the ring.
+    len: usize,
     /// Maximum events retained (0 = unbounded).
     capacity: usize,
+    filter: RecentFilter,
 }
 
 impl View {
@@ -25,52 +96,142 @@ impl View {
     /// View trimmed to at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
         View {
-            events: Vec::new(),
             capacity,
+            ..View::default()
         }
     }
 
     /// Number of events currently held.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.len
     }
 
     /// Whether the view holds no events.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len == 0
+    }
+
+    /// The trim capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.buf.len() - 1
+    }
+
+    /// Physical index of logical position `i` (0 = oldest).
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        (self.head + i) & self.mask()
+    }
+
+    /// The `j`-th newest event (0 = newest). O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= len()`.
+    #[inline]
+    pub fn nth_newest(&self, j: usize) -> EventTuple {
+        debug_assert!(j < self.len);
+        self.buf[self.phys(self.len - 1 - j)]
+    }
+
+    /// Iterates events newest first.
+    pub fn iter_newest(&self) -> impl Iterator<Item = EventTuple> + '_ {
+        (0..self.len).map(|j| self.nth_newest(j))
+    }
+
+    /// Collects all events into a `Vec`, newest first (tests/migration).
+    pub fn to_vec_newest(&self) -> Vec<EventTuple> {
+        self.iter_newest().collect()
+    }
+
+    /// Grows the physical ring to `target` slots (next power of two),
+    /// re-linearizing so the oldest event lands at index 0.
+    fn grow(&mut self, target: usize) {
+        let new_size = target.next_power_of_two().max(8);
+        let mut next = Vec::with_capacity(new_size);
+        for i in 0..self.len {
+            next.push(self.buf[self.phys(i)]);
+        }
+        next.resize(new_size, EventTuple::new(0, 0, 0));
+        self.buf = next;
+        self.head = 0;
     }
 
     /// Inserts an event reference, keeping recency order and trimming to
-    /// capacity. Duplicate (producer, event id) pairs are ignored.
+    /// capacity. A redelivery whose `(producer, event id)` key is still in
+    /// the recent-id filter is dropped.
     pub fn insert(&mut self, t: EventTuple) {
-        // Most inserts are the newest event: check the head fast path.
-        let pos = self.events.partition_point(|e| {
-            e.timestamp > t.timestamp || (*e > t && e.timestamp == t.timestamp)
-        });
-        if self.events.get(pos) == Some(&t) {
-            return; // idempotent redelivery
+        if self.filter.contains(t.user, t.event_id) {
+            return; // idempotent redelivery (recent)
         }
-        if self
-            .events
-            .iter()
-            .any(|e| e.user == t.user && e.event_id == t.event_id)
-        {
-            return;
+        // Logical position among ascending events: everything before `pos`
+        // is older than `t`.
+        let pos = self.partition_point(&t);
+        if self.capacity > 0 && self.len == self.capacity {
+            if pos == 0 {
+                // Older than everything in a full view: it would be the
+                // first event trimmed — never admit it.
+                return;
+            }
+            // Trim the oldest via a head bump, then insert one slot lower.
+            self.head = self.phys(1);
+            self.len -= 1;
+            self.insert_at(pos - 1, t);
+        } else {
+            if self.len == self.buf.len() {
+                self.grow(self.len + 1);
+            }
+            self.insert_at(pos, t);
         }
-        self.events.insert(pos, t);
-        if self.capacity > 0 && self.events.len() > self.capacity {
-            self.events.truncate(self.capacity);
-        }
+        self.filter.record(t.user, t.event_id);
     }
 
-    /// The `k` most recent events, newest first.
-    pub fn latest(&self, k: usize) -> &[EventTuple] {
-        &self.events[..k.min(self.events.len())]
+    /// Number of live events strictly older than `t` (binary search over
+    /// the logical order).
+    fn partition_point(&self, t: &EventTuple) -> usize {
+        let (mut lo, mut hi) = (0, self.len);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.buf[self.phys(mid)] < *t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
     }
 
-    /// All events, newest first.
-    pub fn events(&self) -> &[EventTuple] {
-        &self.events
+    /// Inserts `t` at logical position `pos`, shifting the shorter side of
+    /// the ring. `pos == len` (the newest-timestamp fast path) writes one
+    /// slot and moves nothing.
+    fn insert_at(&mut self, pos: usize, t: EventTuple) {
+        debug_assert!(self.len < self.buf.len());
+        let mask = self.mask();
+        if pos >= self.len / 2 {
+            // Shift (pos..len) one slot toward the tail.
+            let mut i = self.len;
+            while i > pos {
+                let dst = (self.head + i) & mask;
+                let src = (self.head + i - 1) & mask;
+                self.buf[dst] = self.buf[src];
+                i -= 1;
+            }
+        } else {
+            // Shift (0..pos) one slot toward the head.
+            self.head = (self.head + mask) & mask; // head - 1 mod size
+            for i in 0..pos {
+                let dst = (self.head + i) & mask;
+                let src = (self.head + i + 1) & mask;
+                self.buf[dst] = self.buf[src];
+            }
+        }
+        let slot = (self.head + pos) & mask;
+        self.buf[slot] = t;
+        self.len += 1;
     }
 }
 
@@ -82,14 +243,17 @@ mod tests {
         EventTuple::new(user, id, ts)
     }
 
+    fn timestamps(v: &View) -> Vec<u64> {
+        v.iter_newest().map(|e| e.timestamp).collect()
+    }
+
     #[test]
     fn keeps_recency_order() {
         let mut v = View::new();
         v.insert(t(1, 1, 10));
         v.insert(t(2, 1, 30));
         v.insert(t(3, 1, 20));
-        let ts: Vec<u64> = v.events().iter().map(|e| e.timestamp).collect();
-        assert_eq!(ts, vec![30, 20, 10]);
+        assert_eq!(timestamps(&v), vec![30, 20, 10]);
     }
 
     #[test]
@@ -100,19 +264,18 @@ mod tests {
         }
         assert_eq!(v.len(), 3);
         // The newest three survive.
-        let ts: Vec<u64> = v.events().iter().map(|e| e.timestamp).collect();
-        assert_eq!(ts, vec![9, 8, 7]);
+        assert_eq!(timestamps(&v), vec![9, 8, 7]);
     }
 
     #[test]
-    fn latest_k() {
+    fn nth_newest_indexes_from_the_top() {
         let mut v = View::new();
         for i in 0..5 {
             v.insert(t(1, i, i));
         }
-        assert_eq!(v.latest(2).len(), 2);
-        assert_eq!(v.latest(2)[0].timestamp, 4);
-        assert_eq!(v.latest(100).len(), 5);
+        assert_eq!(v.nth_newest(0).timestamp, 4);
+        assert_eq!(v.nth_newest(4).timestamp, 0);
+        assert_eq!(v.iter_newest().count(), 5);
     }
 
     #[test]
@@ -122,7 +285,7 @@ mod tests {
         v.insert(t(1, 7, 10));
         assert_eq!(v.len(), 1);
         // Same event redelivered with a different timestamp is also dropped
-        // (same producer + event id).
+        // (same producer + event id, still in the recent-id filter).
         v.insert(t(1, 7, 99));
         assert_eq!(v.len(), 1);
     }
@@ -134,5 +297,67 @@ mod tests {
             v.insert(t(1, i, i));
         }
         assert_eq!(v.len(), 1000);
+    }
+
+    #[test]
+    fn out_of_order_inserts_land_sorted() {
+        let mut v = View::new();
+        // Alternate ends plus middles to exercise both shift directions
+        // across wraps.
+        for ts in [50u64, 10, 90, 30, 70, 20, 80, 40, 60, 5, 95, 55] {
+            v.insert(t(1, ts, ts));
+        }
+        let got = timestamps(&v);
+        let mut want = got.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(got, want);
+        assert_eq!(v.len(), 12);
+    }
+
+    #[test]
+    fn full_view_rejects_events_older_than_everything() {
+        let mut v = View::with_capacity(4);
+        for i in 10..14 {
+            v.insert(t(1, i, i));
+        }
+        v.insert(t(1, 1, 1)); // older than the whole window
+        assert_eq!(timestamps(&v), vec![13, 12, 11, 10]);
+        // A middle insert still lands and evicts the oldest.
+        v.insert(t(2, 100, 12)); // tie on ts 12, distinct producer
+        assert_eq!(v.len(), 4);
+        assert!(!timestamps(&v).contains(&10));
+    }
+
+    #[test]
+    fn wrapped_ring_stays_sorted_under_churn() {
+        let mut v = View::with_capacity(8);
+        for i in 0..100u64 {
+            v.insert(t(1, i, i * 2));
+            // Interleave a slightly older event so the middle path runs
+            // while the ring is wrapped.
+            if i > 3 {
+                v.insert(t(2, i, i * 2 - 3));
+            }
+        }
+        let got = timestamps(&v);
+        let mut want = got.clone();
+        want.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(got, want);
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn filter_is_a_window_not_a_set() {
+        let mut v = View::new();
+        v.insert(t(1, 1, 1));
+        // Push enough distinct keys to cycle the direct-mapped filter.
+        for i in 2..200u64 {
+            v.insert(t(1, i, i));
+        }
+        // The first key has been evicted from the filter, so an exact
+        // redelivery re-enters the ring; the query-side dedup owns that
+        // case (documented slack).
+        v.insert(t(1, 1, 1));
+        assert_eq!(v.len(), 200);
     }
 }

@@ -10,22 +10,163 @@
 //!
 //! Requests and replies cross the channel in the 24-byte wire format, so
 //! every message pays realistic (de)serialization work — as a memcached
-//! round trip would (§4.3). View migration (live rebalancing onto a new
-//! [`Topology`]) speaks the same format: a view is extracted as its wire
-//! encoding and installed by replaying the tuples.
+//! round trip would (§4.3).
+//!
+//! Two request planes coexist:
+//!
+//! * **Batched** ([`ShardBatch`] via [`ShardClient`]) — the hot path. One
+//!   operation's shard fan-out is packed into one message per touched
+//!   shard, every message answers into the *same* pooled per-client reply
+//!   channel, view lists and reply payloads ride pooled buffers
+//!   ([`BufferPool`]), and the client merges per-shard replies with a
+//!   bounded k-way merge. Steady state sends no fresh channel, `Vec`, or
+//!   reply buffer per operation.
+//! * **Legacy** (the free-standing [`ShardRequest::Update`] /
+//!   [`ShardRequest::Query`] variants plus [`dispatch`]) — the pre-PR
+//!   protocol: one fresh rendezvous channel per request and a fresh
+//!   allocation per view list and reply. Kept verbatim as the *before*
+//!   half of the serve benchmark's before/after mode, and as the shape of
+//!   the migration plane.
+//!
+//! View migration (live rebalancing onto a new [`Topology`]) speaks the
+//! same wire format over [`ShardRequest::ExtractView`] /
+//! [`ShardRequest::InstallView`]: a view is extracted as its wire encoding
+//! and installed by replaying the tuples.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use piggyback_graph::NodeId;
 
-use crate::server::StoreServer;
-use crate::topology::Topology;
+use crate::merge::ReplyMerger;
+use crate::server::{QueryScratch, StoreServer};
+use crate::topology::{GroupScratch, Topology};
 use crate::tuple::{EventTuple, TUPLE_BYTES};
 
-/// One batched message to a data-store shard.
+/// Lock stripes in a [`BufferPool`].
+const POOL_STRIPES: usize = 8;
+/// Buffers retained per stripe; returns beyond this are dropped, bounding
+/// pool memory on bursts.
+const STRIPE_CAP: usize = 64;
+
+/// A striped free-list of reply buffers and view-list vectors, shared by
+/// clients and shard workers. Clients draw view lists, workers draw reply
+/// buffers; each side returns what the other produced, so a steady-state
+/// operation recirculates warmed allocations instead of minting new ones.
+#[derive(Debug)]
+pub struct BufferPool {
+    bufs: Vec<Mutex<Vec<BytesMut>>>,
+    vecs: Vec<Mutex<Vec<Vec<NodeId>>>>,
+    next_buf: AtomicUsize,
+    next_vec: AtomicUsize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool {
+            bufs: (0..POOL_STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+            vecs: (0..POOL_STRIPES).map(|_| Mutex::new(Vec::new())).collect(),
+            next_buf: AtomicUsize::new(0),
+            next_vec: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl BufferPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// A cleared reply buffer (pooled if available).
+    pub fn get_buf(&self) -> BytesMut {
+        let s = self.next_buf.fetch_add(1, Ordering::Relaxed) % POOL_STRIPES;
+        self.bufs[s].lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a reply buffer to the pool. Zero-capacity buffers (empty
+    /// acks) carry no allocation worth keeping and are dropped.
+    pub fn put_buf(&self, mut buf: BytesMut) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let s = self.next_buf.fetch_add(1, Ordering::Relaxed) % POOL_STRIPES;
+        let mut stripe = self.bufs[s].lock();
+        if stripe.len() < STRIPE_CAP {
+            stripe.push(buf);
+        }
+    }
+
+    /// A cleared view-list vector (pooled if available).
+    pub fn get_vec(&self) -> Vec<NodeId> {
+        let s = self.next_vec.fetch_add(1, Ordering::Relaxed) % POOL_STRIPES;
+        self.vecs[s].lock().pop().unwrap_or_default()
+    }
+
+    /// Returns a view-list vector to the pool.
+    pub fn put_vec(&self, mut v: Vec<NodeId>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        v.clear();
+        let s = self.next_vec.fetch_add(1, Ordering::Relaxed) % POOL_STRIPES;
+        let mut stripe = self.vecs[s].lock();
+        if stripe.len() < STRIPE_CAP {
+            stripe.push(v);
+        }
+    }
+
+    /// Buffers currently parked in the pool (tests/diagnostics).
+    pub fn pooled_counts(&self) -> (usize, usize) {
+        (
+            self.bufs.iter().map(|s| s.lock().len()).sum(),
+            self.vecs.iter().map(|s| s.lock().len()).sum(),
+        )
+    }
+}
+
+/// What a [`ShardBatch`] asks the shard to do.
+pub enum BatchOp {
+    /// Insert a wire-encoded event into every listed view; the reply is an
+    /// empty ack.
+    Update {
+        /// Wire-encoded [`EventTuple`] — a stack array, so fanning one
+        /// share across shards copies 24 bytes per batch and allocates
+        /// nothing.
+        payload: [u8; TUPLE_BYTES],
+    },
+    /// Read the `k` latest events across the listed views; the reply is
+    /// the merged, newest-first wire encoding.
+    Query {
+        /// Server-side filter width.
+        k: usize,
+    },
+}
+
+/// One coalesced message to a data-store shard: every view one operation
+/// touches on that shard, plus the client's pooled reply channel.
+pub struct ShardBatch {
+    /// Target shard index.
+    pub shard: usize,
+    /// Views on that shard (drawn from the [`BufferPool`]; the worker
+    /// returns it after processing).
+    pub views: Vec<NodeId>,
+    /// The operation.
+    pub op: BatchOp,
+    /// The issuing client's reply channel; one buffer comes back per
+    /// batch.
+    pub reply: Sender<BytesMut>,
+}
+
+/// One message to a data-store shard.
 pub enum ShardRequest {
-    /// Insert a wire-encoded event into every listed view.
+    /// The coalesced hot path (see [`ShardClient`]).
+    Batch(ShardBatch),
+    /// Legacy update: insert a wire-encoded event into every listed view.
     Update {
         /// Target shard index.
         shard: usize,
@@ -36,7 +177,7 @@ pub enum ShardRequest {
         /// Acknowledgement channel (empty reply).
         done: Sender<Bytes>,
     },
-    /// Read the `k` latest events across the listed views.
+    /// Legacy query: read the `k` latest events across the listed views.
     Query {
         /// Target shard index.
         shard: usize,
@@ -77,6 +218,7 @@ impl ShardRequest {
     /// The shard this request targets.
     pub fn shard(&self) -> usize {
         match self {
+            ShardRequest::Batch(b) => b.shard,
             ShardRequest::Update { shard, .. }
             | ShardRequest::Query { shard, .. }
             | ShardRequest::ExtractView { shard, .. }
@@ -86,8 +228,38 @@ impl ShardRequest {
 }
 
 /// Serves one request against the shard array.
-pub fn handle_request(shards: &[Mutex<StoreServer>], req: ShardRequest) {
+pub fn handle_request(
+    shards: &[Mutex<StoreServer>],
+    pool: &BufferPool,
+    scratch: &mut QueryScratch,
+    req: ShardRequest,
+) {
     match req {
+        ShardRequest::Batch(ShardBatch {
+            shard,
+            views,
+            op,
+            reply,
+        }) => {
+            let out = match op {
+                BatchOp::Update { payload } => {
+                    let mut cursor: &[u8] = &payload;
+                    let event = EventTuple::decode(&mut cursor).expect("malformed update payload");
+                    shards[shard].lock().update(&views, event);
+                    BytesMut::new() // empty ack, no allocation
+                }
+                BatchOp::Query { k } => {
+                    // The merged slice borrows only the scratch, so the
+                    // shard lock is dropped before encoding the reply.
+                    let merged = shards[shard].lock().query_with(&views, k, scratch);
+                    let mut buf = pool.get_buf();
+                    EventTuple::encode_all(merged, &mut buf);
+                    buf
+                }
+            };
+            pool.put_vec(views);
+            let _ = reply.send(out);
+        }
         ShardRequest::Update {
             shard,
             views,
@@ -104,13 +276,13 @@ pub fn handle_request(shards: &[Mutex<StoreServer>], req: ShardRequest) {
             k,
             done,
         } => {
-            let out = shards[shard].lock().query(&views, k);
+            let out = shards[shard].lock().query_reference(&views, k);
             let _ = done.send(encode_tuples(&out));
         }
         ShardRequest::ExtractView { shard, view, done } => {
             let taken = shards[shard].lock().remove_view(view);
             let reply = match taken {
-                Some(v) => encode_tuples(v.events()),
+                Some(v) => encode_tuples(&v.to_vec_newest()),
                 None => Bytes::new(),
             };
             let _ = done.send(reply);
@@ -122,9 +294,7 @@ pub fn handle_request(shards: &[Mutex<StoreServer>], req: ShardRequest) {
             done,
         } => {
             let mut events = Vec::with_capacity(payload.len() / TUPLE_BYTES);
-            while let Some(t) = EventTuple::decode(&mut payload) {
-                events.push(t);
-            }
+            EventTuple::decode_all(&mut payload, &mut events);
             shards[shard].lock().merge_view(view, &events);
             let _ = done.send(Bytes::new());
         }
@@ -133,16 +303,200 @@ pub fn handle_request(shards: &[Mutex<StoreServer>], req: ShardRequest) {
 
 fn encode_tuples(tuples: &[EventTuple]) -> Bytes {
     let mut buf = BytesMut::with_capacity(tuples.len() * TUPLE_BYTES);
-    for t in tuples {
-        t.encode(&mut buf);
-    }
+    EventTuple::encode_all(tuples, &mut buf);
     buf.freeze()
 }
 
-/// Runs a shard worker until every request sender is dropped.
-pub fn worker_loop(shards: &[Mutex<StoreServer>], rx: &Receiver<ShardRequest>) {
+/// Runs a shard worker until every request sender is dropped. The worker
+/// owns one [`QueryScratch`], so its steady-state query handling is
+/// allocation-free.
+pub fn worker_loop(shards: &[Mutex<StoreServer>], pool: &BufferPool, rx: &Receiver<ShardRequest>) {
+    let mut scratch = QueryScratch::new();
     while let Ok(req) = rx.recv() {
-        handle_request(shards, req);
+        handle_request(shards, pool, &mut scratch, req);
+    }
+}
+
+/// How shard requests reach the shard array.
+#[derive(Clone)]
+pub enum Transport {
+    /// Channels to the shard-worker pool: batches execute on worker
+    /// threads, the distributed-store simulation every earlier harness
+    /// uses (and the only choice when store work must overlap the
+    /// caller's).
+    Workers(Arc<Vec<Sender<ShardRequest>>>),
+    /// Caller-runs: the issuing thread executes each batch inline against
+    /// the shard mutexes. The protocol is bit-identical — the same
+    /// [`ShardBatch`] messages, the same wire (de)serialization, the same
+    /// one-message-per-touched-server accounting, replies through the
+    /// same pooled channel — only the thread hop is gone, which is
+    /// exactly the right trade when clients outnumber cores (an embedded
+    /// single-process deployment): no scheduler round trip per
+    /// operation.
+    Direct(Arc<Vec<Mutex<StoreServer>>>),
+}
+
+impl Transport {
+    /// Executes `make`'s request asynchronously: through the worker pool
+    /// (`shard % workers` routing) or inline on the calling thread. The
+    /// returned receiver yields the reply; under [`Transport::Direct`]
+    /// it is already resolved.
+    pub fn request_async(
+        &self,
+        pool: &BufferPool,
+        scratch: &mut QueryScratch,
+        make: impl FnOnce(Sender<Bytes>) -> ShardRequest,
+    ) -> Receiver<Bytes> {
+        match self {
+            Transport::Workers(senders) => send_to_shard_async(senders, make),
+            Transport::Direct(shards) => {
+                let (done_tx, done_rx) = bounded(1);
+                handle_request(shards, pool, scratch, make(done_tx));
+                done_rx
+            }
+        }
+    }
+}
+
+/// A per-client handle onto the batched request plane.
+///
+/// Owns the one pooled reply channel all of the client's batches answer
+/// into, plus the grouping and merge scratch. One operation = one
+/// [`update`](ShardClient::update) or [`query`](ShardClient::query) call;
+/// both group the target views by home server, send one [`ShardBatch`]
+/// per touched shard, and collect exactly that many replies before
+/// returning, so replies can never leak across operations.
+pub struct ShardClient {
+    transport: Transport,
+    pool: Arc<BufferPool>,
+    reply_tx: Sender<BytesMut>,
+    reply_rx: Receiver<BytesMut>,
+    group: GroupScratch,
+    replies: Vec<BytesMut>,
+    merger: ReplyMerger,
+    /// Worker-side merge scratch, used when the transport is caller-runs.
+    scratch: QueryScratch,
+    /// Round-robin op counter for worker affinity.
+    next_op: usize,
+}
+
+impl ShardClient {
+    /// A client speaking over `transport` through `pool`.
+    pub fn new(transport: Transport, pool: Arc<BufferPool>) -> Self {
+        let (reply_tx, reply_rx) = unbounded();
+        ShardClient {
+            transport,
+            pool,
+            reply_tx,
+            reply_rx,
+            group: GroupScratch::default(),
+            replies: Vec::new(),
+            merger: ReplyMerger::new(),
+            scratch: QueryScratch::new(),
+            next_op: 0,
+        }
+    }
+
+    /// The worker that serves this operation. Unlike the legacy plane's
+    /// per-shard `shard % workers` routing, the batched plane gives one
+    /// operation's whole fan-out to a single worker (round-robin across
+    /// ops): shard state is owned by the mutex, not the thread, so any
+    /// worker may serve any shard, and landing all of an op's batches on
+    /// one queue means one worker wake-up per operation instead of one
+    /// per touched worker — the scheduler cost that dominates once the
+    /// per-message allocations are gone. Ops are the unit of parallelism
+    /// (many concurrent clients), so worker utilization stays balanced.
+    fn op_worker(next_op: &mut usize, senders: &[Sender<ShardRequest>]) -> usize {
+        *next_op = next_op.wrapping_add(1);
+        *next_op % senders.len()
+    }
+
+    /// Sends one batched update per server holding a view in `targets`
+    /// and waits for every ack. Returns the number of store messages.
+    pub fn update(
+        &mut self,
+        topology: &Topology,
+        targets: &[NodeId],
+        payload: [u8; TUPLE_BYTES],
+    ) -> u64 {
+        let sent = self.fan_out(topology, targets, |_| BatchOp::Update { payload });
+        for _ in 0..sent {
+            let ack = self.reply_rx.recv().expect("worker dropped reply");
+            self.pool.put_buf(ack);
+        }
+        sent
+    }
+
+    /// Sends one batched query per server holding a view in `targets`,
+    /// k-way merges the replies into `out` (newest first, deduped,
+    /// truncated to `k`), and returns the number of store messages.
+    pub fn query(
+        &mut self,
+        topology: &Topology,
+        targets: &[NodeId],
+        k: usize,
+        out: &mut Vec<EventTuple>,
+    ) -> u64 {
+        let sent = self.fan_out(topology, targets, |_| BatchOp::Query { k });
+        self.replies.clear();
+        for _ in 0..sent {
+            self.replies
+                .push(self.reply_rx.recv().expect("worker dropped reply"));
+        }
+        self.merger.merge_into(&mut self.replies, k, out);
+        for buf in self.replies.drain(..) {
+            self.pool.put_buf(buf);
+        }
+        sent
+    }
+
+    /// Groups `targets` by home server and issues one [`ShardBatch`] per
+    /// touched server over the transport. Returns the number of messages.
+    fn fan_out(
+        &mut self,
+        topology: &Topology,
+        targets: &[NodeId],
+        op_of: impl Fn(usize) -> BatchOp,
+    ) -> u64 {
+        let mut sent = 0u64;
+        let (pool, reply_tx, scratch) = (&self.pool, &self.reply_tx, &mut self.scratch);
+        match &self.transport {
+            Transport::Workers(senders) => {
+                let worker = Self::op_worker(&mut self.next_op, senders);
+                topology.group_by_server_with(targets, &mut self.group, |shard, views| {
+                    let mut list = pool.get_vec();
+                    list.extend_from_slice(views);
+                    senders[worker]
+                        .send(ShardRequest::Batch(ShardBatch {
+                            shard,
+                            views: list,
+                            op: op_of(shard),
+                            reply: reply_tx.clone(),
+                        }))
+                        .expect("worker channel closed");
+                    sent += 1;
+                });
+            }
+            Transport::Direct(shards) => {
+                topology.group_by_server_with(targets, &mut self.group, |shard, views| {
+                    let mut list = pool.get_vec();
+                    list.extend_from_slice(views);
+                    handle_request(
+                        shards,
+                        pool,
+                        scratch,
+                        ShardRequest::Batch(ShardBatch {
+                            shard,
+                            views: list,
+                            op: op_of(shard),
+                            reply: reply_tx.clone(),
+                        }),
+                    );
+                    sent += 1;
+                });
+            }
+        }
+        sent
     }
 }
 
@@ -175,6 +529,11 @@ pub fn send_to_shard(
 /// touched server via the worker channels (`shard % senders.len()`
 /// routing), and waits for every reply — a request completes when all
 /// per-server replies arrived (Algorithm 3's ack handling).
+///
+/// This is the **legacy** request plane: every request mints a fresh
+/// rendezvous channel and a fresh view list. The batched plane
+/// ([`ShardClient`]) replaces it on the serving hot path; this survives as
+/// the before/after baseline and for one-shot callers.
 pub fn dispatch(
     topology: &Topology,
     senders: &[Sender<ShardRequest>],
@@ -198,17 +557,24 @@ mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
 
+    fn boot_two_shards() -> (Vec<Mutex<StoreServer>>, Arc<BufferPool>) {
+        (
+            vec![
+                Mutex::new(StoreServer::new(0)),
+                Mutex::new(StoreServer::new(0)),
+            ],
+            Arc::new(BufferPool::new()),
+        )
+    }
+
     #[test]
-    fn worker_serves_update_then_query() {
-        let shards = vec![
-            Mutex::new(StoreServer::new(0)),
-            Mutex::new(StoreServer::new(0)),
-        ];
+    fn worker_serves_legacy_update_then_query() {
+        let (shards, pool) = boot_two_shards();
         let topology = Topology::hash(16, 2, 0);
         let (tx, rx) = unbounded::<ShardRequest>();
         std::thread::scope(|s| {
-            let shards = &shards;
-            s.spawn(move || worker_loop(shards, &rx));
+            let (shards, pool) = (&shards, &pool);
+            s.spawn(move || worker_loop(shards, pool, &rx));
             let senders = vec![tx.clone(), tx.clone()];
             let event = EventTuple::new(7, 1, 100);
             let replies = dispatch(&topology, &senders, &[1, 2, 3], |shard, views, done| {
@@ -243,15 +609,58 @@ mod tests {
     }
 
     #[test]
-    fn extract_then_install_moves_a_view_between_shards() {
-        let shards = vec![
-            Mutex::new(StoreServer::new(0)),
-            Mutex::new(StoreServer::new(0)),
-        ];
+    fn batched_client_round_trips_and_recycles_buffers() {
+        let (shards, pool) = boot_two_shards();
+        let topology = Topology::hash(64, 2, 0);
         let (tx, rx) = unbounded::<ShardRequest>();
         std::thread::scope(|s| {
-            let shards = &shards;
-            s.spawn(move || worker_loop(shards, &rx));
+            let (shards, pool_ref) = (&shards, Arc::clone(&pool));
+            s.spawn(move || worker_loop(shards, &pool_ref, &rx));
+            let senders = Arc::new(vec![tx.clone(), tx.clone()]);
+            let mut client =
+                ShardClient::new(Transport::Workers(Arc::clone(&senders)), Arc::clone(&pool));
+            let mut out = Vec::new();
+            let mut targets: Vec<NodeId> = (0..32).collect();
+            for round in 0..50u64 {
+                let event = EventTuple::new(5, round, round + 1);
+                let msgs = client.update(&topology, &targets, event.to_wire());
+                assert_eq!(msgs as usize, topology.distinct_servers(targets.clone()));
+                let msgs = client.query(&topology, &targets, 10, &mut out);
+                assert_eq!(msgs as usize, topology.distinct_servers(targets.clone()));
+                assert_eq!(out.len(), 10.min(round as usize + 1));
+                assert!(out.windows(2).all(|w| w[0] > w[1]), "newest first");
+                assert_eq!(out[0], event);
+            }
+            // Same answer as the legacy plane.
+            targets.sort_unstable();
+            let legacy = dispatch(&topology, &senders, &targets, |shard, views, done| {
+                ShardRequest::Query {
+                    shard,
+                    views,
+                    k: 10,
+                    done,
+                }
+            });
+            let mut flat = Vec::new();
+            for mut reply in legacy {
+                EventTuple::decode_all(&mut reply, &mut flat);
+            }
+            crate::merge::sort_merge(&mut flat, 10);
+            assert_eq!(out, flat);
+            drop(tx);
+        });
+        let (bufs, vecs) = pool.pooled_counts();
+        assert!(bufs > 0, "reply buffers must recirculate through the pool");
+        assert!(vecs > 0, "view lists must recirculate through the pool");
+    }
+
+    #[test]
+    fn extract_then_install_moves_a_view_between_shards() {
+        let (shards, pool) = boot_two_shards();
+        let (tx, rx) = unbounded::<ShardRequest>();
+        std::thread::scope(|s| {
+            let (shards, pool) = (&shards, &pool);
+            s.spawn(move || worker_loop(shards, pool, &rx));
             let senders = vec![tx.clone()];
             // Seed view 5 on shard 0 with two events; one event already
             // lives at the destination (it must survive the merge).

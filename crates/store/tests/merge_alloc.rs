@@ -1,0 +1,82 @@
+//! Steady-state allocation audit for the client-side reply merge.
+//!
+//! The counting allocator tallies per thread, so only the measuring
+//! thread's own allocations land in the audit window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use bytes::BytesMut;
+use piggyback_store::merge::ReplyMerger;
+use piggyback_store::EventTuple;
+
+struct CountingAlloc;
+
+thread_local! {
+    /// Per-thread count: the harness's other threads (libtest's main
+    /// thread in particular) allocate at unpredictable moments, so the
+    /// audit only counts what the measuring thread itself does. Const
+    /// initialization keeps the TLS access itself allocation-free.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn steady_state_reply_merge_does_not_allocate() {
+    // Three pre-sized reply buffers refilled in place each round — the
+    // worker-side encode into pooled buffers plus the client-side k-way
+    // merge, with the channel hop elided.
+    let shard_replies: Vec<Vec<EventTuple>> = (0..3)
+        .map(|s| {
+            (0..20u64)
+                .map(|i| EventTuple::new(s as u32, i, 1000 - i * 3 - s))
+                .collect()
+        })
+        .collect();
+    let mut buffers: Vec<BytesMut> = (0..3).map(|_| BytesMut::with_capacity(1024)).collect();
+    let mut merger = ReplyMerger::new();
+    let mut out = Vec::with_capacity(16);
+    let round = |buffers: &mut Vec<BytesMut>, merger: &mut ReplyMerger, out: &mut Vec<_>| {
+        for (buf, reply) in buffers.iter_mut().zip(&shard_replies) {
+            buf.clear();
+            EventTuple::encode_all(reply, buf);
+        }
+        merger.merge_into(buffers, 10, out);
+    };
+    for _ in 0..5 {
+        round(&mut buffers, &mut merger, &mut out);
+    }
+    let before = allocations();
+    for _ in 0..1000 {
+        round(&mut buffers, &mut merger, &mut out);
+    }
+    let after = allocations();
+    assert_eq!(out.len(), 10);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state encode + k-way merge must not allocate"
+    );
+}

@@ -1,0 +1,74 @@
+//! Steady-state allocation audit for the server-side query hot path.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! pass, serving queries through [`StoreServer::query_with`] must perform
+//! **zero** heap allocations — the scratch arena, the cursors and the
+//! tournament heap are all reused. The counter is per-thread, so the
+//! harness's own threads cannot pollute the window; the client-side
+//! reply merge has its own audit in `merge_alloc.rs`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use piggyback_store::server::{QueryScratch, StoreServer};
+use piggyback_store::EventTuple;
+
+struct CountingAlloc;
+
+thread_local! {
+    /// Per-thread count: the harness's other threads (libtest's main
+    /// thread in particular) allocate at unpredictable moments, so the
+    /// audit only counts what the measuring thread itself does. Const
+    /// initialization keeps the TLS access itself allocation-free.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+#[test]
+fn steady_state_query_path_does_not_allocate() {
+    let mut server = StoreServer::new(128);
+    for i in 0..300u64 {
+        let e = EventTuple::new((i % 7) as u32, i, i);
+        server.update(&[(i % 5) as u32, ((i + 1) % 5) as u32], e);
+    }
+    let views = [0u32, 1, 2, 3, 4, 9];
+    let mut scratch = QueryScratch::new();
+    // Warm up: first calls size the heap, cursor list and output buffer.
+    for _ in 0..5 {
+        server.query_with(&views, 10, &mut scratch);
+    }
+    let before = allocations();
+    let mut total = 0usize;
+    for _ in 0..1000 {
+        total += server.query_with(&views, 10, &mut scratch).len();
+    }
+    let after = allocations();
+    assert_eq!(total, 10_000, "queries must keep answering");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state query_with must not allocate"
+    );
+}

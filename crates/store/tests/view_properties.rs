@@ -1,0 +1,180 @@
+//! Property tests: the ring-buffer [`View`] against a flat `Vec`-based
+//! reference model.
+//!
+//! The model reimplements the view contract independently — a sorted
+//! `Vec` with explicit trim plus its own copy of the direct-mapped
+//! recent-id filter — and random insert/trim/migrate-merge sequences with
+//! fixed seeds must leave both sides with identical contents. If the
+//! ring's wrap/shift/trim arithmetic or the filter semantics drift, these
+//! diverge immediately.
+
+use piggyback_store::view::{View, FILTER_SLOTS};
+use piggyback_store::EventTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Independent reimplementation of the view semantics: ascending sorted
+/// `Vec`, oldest-first trim, and the same recent-id filter contract.
+#[derive(Default)]
+struct ModelView {
+    /// Ascending by `EventTuple` order (oldest first).
+    events: Vec<EventTuple>,
+    capacity: usize,
+    filter: [(u32, u64); FILTER_SLOTS],
+    occupied: u32,
+}
+
+impl ModelView {
+    fn with_capacity(capacity: usize) -> Self {
+        ModelView {
+            capacity,
+            ..ModelView::default()
+        }
+    }
+
+    /// Mirror of the view's direct-mapped slot function (kept in sync by
+    /// these very tests: a drift shows up as a contents mismatch).
+    fn slot(user: u32, event_id: u64) -> usize {
+        let h = (user as u64 ^ event_id.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (FILTER_SLOTS - 1)
+    }
+
+    fn insert(&mut self, t: EventTuple) {
+        let s = Self::slot(t.user, t.event_id);
+        if self.occupied & (1 << s) != 0 && self.filter[s] == (t.user, t.event_id) {
+            return;
+        }
+        let pos = self.events.partition_point(|e| *e < t);
+        if self.capacity > 0 && self.events.len() == self.capacity {
+            if pos == 0 {
+                return; // older than the whole full window
+            }
+            self.events.remove(0);
+            self.events.insert(pos - 1, t);
+        } else {
+            self.events.insert(pos, t);
+        }
+        self.filter[s] = (t.user, t.event_id);
+        self.occupied |= 1 << s;
+    }
+
+    /// Newest first, like `View::to_vec_newest`.
+    fn newest_first(&self) -> Vec<EventTuple> {
+        self.events.iter().rev().copied().collect()
+    }
+}
+
+fn random_event(rng: &mut StdRng, users: u32, ids: u64, ts_range: u64) -> EventTuple {
+    EventTuple::new(
+        rng.random_range(0..users),
+        rng.random_range(0..ids),
+        rng.random_range(0..ts_range),
+    )
+}
+
+fn assert_same(view: &View, model: &ModelView, ctx: &str) {
+    assert_eq!(view.len(), model.events.len(), "length diverged: {ctx}");
+    assert_eq!(
+        view.to_vec_newest(),
+        model.newest_first(),
+        "contents diverged: {ctx}"
+    );
+}
+
+#[test]
+fn random_inserts_match_the_model() {
+    for seed in 0..8u64 {
+        for capacity in [0usize, 1, 2, 7, 16, 100] {
+            let mut rng = StdRng::seed_from_u64(seed * 1000 + capacity as u64);
+            let mut view = View::with_capacity(capacity);
+            let mut model = ModelView::with_capacity(capacity);
+            for step in 0..600 {
+                // Skewed toward fresh timestamps so the monotonic-append
+                // fast path and the shift paths both run; narrow id space
+                // forces plenty of exact duplicates through the filter.
+                let t = if rng.random_range(0..4) == 0 {
+                    random_event(&mut rng, 5, 40, 1000)
+                } else {
+                    EventTuple::new(
+                        rng.random_range(0..5),
+                        rng.random_range(0..200),
+                        600 + step as u64,
+                    )
+                };
+                view.insert(t);
+                model.insert(t);
+            }
+            assert_same(
+                &view,
+                &model,
+                &format!("seed {seed}, capacity {capacity}, inserts"),
+            );
+        }
+    }
+}
+
+#[test]
+fn monotonic_append_stream_matches_the_model() {
+    for capacity in [0usize, 3, 64] {
+        let mut view = View::with_capacity(capacity);
+        let mut model = ModelView::with_capacity(capacity);
+        for i in 0..5000u64 {
+            let t = EventTuple::new((i % 17) as u32, i, i);
+            view.insert(t);
+            model.insert(t);
+        }
+        assert_same(&view, &model, &format!("monotonic, capacity {capacity}"));
+    }
+}
+
+#[test]
+fn migrate_merge_sequences_match_the_model() {
+    // A fleet of views exchanging contents through remove + merge — the
+    // live-rebalancing pattern — interleaved with fresh traffic.
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xFEED ^ seed);
+        let capacity = [0usize, 8, 32][(seed % 3) as usize];
+        let mut views: Vec<View> = (0..4).map(|_| View::with_capacity(capacity)).collect();
+        let mut models: Vec<ModelView> =
+            (0..4).map(|_| ModelView::with_capacity(capacity)).collect();
+        let mut ts = 0u64;
+        for _ in 0..400 {
+            match rng.random_range(0..10) {
+                // Migrate-merge: replay one view's events (newest first,
+                // the wire order) into another.
+                0 => {
+                    let from = rng.random_range(0..4usize);
+                    let to = (from + 1 + rng.random_range(0..3usize)) % 4;
+                    let payload = views[from].to_vec_newest();
+                    for &e in &payload {
+                        views[to].insert(e);
+                        models[to].insert(e);
+                    }
+                }
+                // Duplicate redelivery of a recent event.
+                1 => {
+                    let v = rng.random_range(0..4usize);
+                    let newest = views[v].iter_newest().next();
+                    if let Some(e) = newest {
+                        views[v].insert(e);
+                        models[v].insert(e);
+                    }
+                }
+                // Fresh share fanning into a random subset.
+                _ => {
+                    ts += 1;
+                    let t = EventTuple::new(rng.random_range(0..6), ts, ts);
+                    for v in 0..4usize {
+                        if rng.random_range(0..2) == 0 {
+                            views[v].insert(t);
+                            models[v].insert(t);
+                        }
+                    }
+                }
+            }
+        }
+        for (v, m) in views.iter().zip(&models) {
+            assert_same(v, m, &format!("migrate-merge, seed {seed}"));
+        }
+    }
+}

@@ -38,13 +38,17 @@ impl RequestKind {
 /// A reproducible stream of requests distributed according to a [`Rates`]
 /// workload.
 ///
-/// Sampling uses the alias-free cumulative-weights method: O(log n) per
-/// request, deterministic for a fixed seed.
+/// Sampling uses Walker's alias method: O(1) per request — two table reads
+/// instead of a binary search over a multi-megabyte cumulative array whose
+/// cache misses would otherwise tax every operation of a load-generating
+/// client. Deterministic for a fixed seed.
 #[derive(Clone, Debug)]
 pub struct RequestTrace {
-    /// Cumulative weights over the 2n outcomes: first all shares, then all
-    /// queries.
-    cumulative: Vec<f64>,
+    /// Alias table over the 2n outcomes: first all shares, then all
+    /// queries. Entry `i` holds the probability of keeping outcome `i`
+    /// (scaled to [0, 1]) and the alias taken otherwise.
+    keep: Vec<f64>,
+    alias: Vec<u32>,
     n: usize,
     rng: StdRng,
 }
@@ -53,29 +57,74 @@ impl RequestTrace {
     /// Builds a trace sampler for the workload. Panics if every rate is zero.
     pub fn new(rates: &Rates, seed: u64) -> Self {
         let n = rates.len();
-        let mut cumulative = Vec::with_capacity(2 * n);
-        let mut acc = 0.0;
+        let mut weights = Vec::with_capacity(2 * n);
         for u in 0..n {
-            acc += rates.rp(u as NodeId);
-            cumulative.push(acc);
+            weights.push(rates.rp(u as NodeId));
         }
         for u in 0..n {
-            acc += rates.rc(u as NodeId);
-            cumulative.push(acc);
+            weights.push(rates.rc(u as NodeId));
         }
-        assert!(acc > 0.0, "workload has zero total rate");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "workload has zero total rate");
+        // Walker's construction: split outcomes into under- and over-full
+        // relative to the uniform share, pair each under-full cell with an
+        // over-full alias.
+        let m = weights.len();
+        let mut keep: Vec<f64> = weights.iter().map(|w| w * m as f64 / total).collect();
+        let mut alias: Vec<u32> = (0..m as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &k) in keep.iter().enumerate() {
+            if k < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            keep[l as usize] -= 1.0 - keep[s as usize];
+            if keep[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically ~1.0 and keep themselves — except a
+        // zero-weight cell stranded by float drift, which must stay
+        // unreachable: give it no keep mass and alias it to the heaviest
+        // outcome so even the alias branch emits a legal request.
+        let heaviest = (0..m)
+            .max_by(|&a, &b| weights[a].total_cmp(&weights[b]))
+            .expect("non-empty weights") as u32;
+        for i in small.into_iter().chain(large) {
+            if weights[i as usize] > 0.0 {
+                keep[i as usize] = 1.0;
+            } else {
+                keep[i as usize] = 0.0;
+                alias[i as usize] = heaviest;
+            }
+        }
         RequestTrace {
-            cumulative,
+            keep,
+            alias,
             n,
             rng: StdRng::seed_from_u64(seed),
         }
     }
 
-    /// Samples the next request.
+    /// Samples the next request — O(1): one uniform draw picks a cell, a
+    /// second decides between the cell and its alias.
     pub fn next_request(&mut self) -> RequestKind {
-        let total = *self.cumulative.last().expect("non-empty");
-        let x: f64 = self.rng.random_range(0.0..total);
-        let idx = self.cumulative.partition_point(|&c| c <= x);
+        let m = self.keep.len();
+        let x: f64 = self.rng.random_range(0.0..m as f64);
+        let cell = (x as usize).min(m - 1);
+        let frac = x - cell as f64;
+        let idx = if frac < self.keep[cell] {
+            cell
+        } else {
+            self.alias[cell] as usize
+        };
         if idx < self.n {
             RequestKind::Share(idx as NodeId)
         } else {

@@ -67,7 +67,8 @@ const USAGE: &str = "usage:
                      [--workers <n>] [--churn-ratio <f>] [--rate <ops/s>] \\
                      [--cache-ttl-ms <n>] [--reopt-threshold <f>] \\
                      [--partitioner <name>] [--rebalance-threshold <f>] \\
-                     [--rw-ratio <r>] [--seed <s>] [--threads <t>]
+                     [--rw-ratio <r>] [--seed <s>] [--threads <t>] \\
+                     [--rpc <batched|direct|legacy>]
 
 <name> under --algorithm is any registered scheduler (see `compare`
 output), e.g. hybrid, chitchat, parallelnosy, parallelnosy-mr,
@@ -452,8 +453,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or("hash");
     let partition = PartitionStrategy::parse(partition_name)
         .ok_or_else(|| format!("unknown partitioner {partition_name:?}"))?;
+    let rpc_name = flags.get("rpc").map(String::as_str).unwrap_or("batched");
+    let rpc = piggyback_serve::RpcMode::parse(rpc_name)
+        .ok_or_else(|| format!("unknown rpc mode {rpc_name:?} (batched|direct|legacy)"))?;
     let serve_config = ServeConfig {
         shards: parsed(flags, "servers", 64)?,
+        rpc,
         workers: parsed(flags, "workers", 4)?,
         pull_cache_ttl: std::time::Duration::from_millis(parsed(flags, "cache-ttl-ms", 0)?),
         reopt_threshold: parsed(flags, "reopt-threshold", 0.2)?,

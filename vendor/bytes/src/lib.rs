@@ -120,6 +120,24 @@ impl BytesMut {
             Bytes::from(self.data[self.cursor..].to_vec())
         }
     }
+
+    /// Drops all content (consumed and unconsumed) and rewinds the read
+    /// cursor, keeping the allocation — the reuse primitive for pooled
+    /// reply buffers.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.cursor = 0;
+    }
+
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
 }
 
 /// Read cursor over a byte source (little-endian accessors only — the wire
@@ -178,6 +196,19 @@ impl Buf for BytesMut {
         let start = self.cursor;
         self.cursor += n;
         &self.data[start..start + n]
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_and_advance(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underrun");
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
     }
 }
 
@@ -240,5 +271,28 @@ mod tests {
         b.put_u32_le(9);
         assert_eq!(b.get_u32_le(), 9);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn slice_buf_reads_in_place() {
+        let raw = 7u64.to_le_bytes();
+        let mut cursor: &[u8] = &raw;
+        assert_eq!(cursor.get_u64_le(), 7);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_rewinds_cursor() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u64_le(1);
+        b.put_u64_le(2);
+        assert_eq!(b.get_u64_le(), 1);
+        let cap = b.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "clear must keep the allocation");
+        // The buffer is fully reusable after a partial read + clear.
+        b.put_u32_le(7);
+        assert_eq!(b.get_u32_le(), 7);
     }
 }

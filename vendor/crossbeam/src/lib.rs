@@ -56,24 +56,63 @@ where
 }
 
 pub mod channel {
-    //! Multi-producer channels with the crossbeam surface, over
-    //! `std::sync::mpsc`.
+    //! Multi-producer channels with the crossbeam surface.
+    //!
+    //! Implemented directly over a `Mutex<VecDeque>` + condvar pair rather
+    //! than `std::sync::mpsc`: the std channel heap-allocates a queue node
+    //! per `send`, which on the store's serving hot path means several
+    //! allocations per operation just to move requests between threads.
+    //! The ring buffer reuses its allocation — a warmed-up channel sends
+    //! and receives with zero heap traffic — and wake-ups are skipped
+    //! entirely when no thread is parked on the other side.
 
-    use std::sync::mpsc;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+        recv_waiting: usize,
+        send_waiting: usize,
+        /// Rendezvous (cap 0) only: ticket of the value currently queued
+        /// for hand-off, 0 when none. Lets the owning sender distinguish
+        /// "my value was taken" from "another sender queued a new value",
+        /// so success/failure is never misattributed between senders.
+        handoff: u64,
+        next_ticket: u64,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+    }
 
     /// Sending half; clonable and usable from many threads.
-    pub enum Sender<T> {
-        /// From [`unbounded`].
-        Unbounded(mpsc::Sender<T>),
-        /// From [`bounded`].
-        Bounded(mpsc::SyncSender<T>),
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            match self {
-                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
-                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            let wake = inner.senders == 0 && inner.recv_waiting > 0;
+            drop(inner);
+            if wake {
+                self.shared.not_empty.notify_all();
             }
         }
     }
@@ -92,41 +131,243 @@ pub mod channel {
     pub struct RecvError;
 
     impl<T> Sender<T> {
-        /// Sends a value, blocking on a full bounded channel.
+        /// Sends a value, blocking on a full bounded channel. A capacity of
+        /// zero is a rendezvous: `send` returns only once a receiver has
+        /// taken the value.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            match self {
-                Sender::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
-                Sender::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            let mut inner = self.shared.inner.lock().unwrap();
+            if let Some(cap) = self.shared.cap {
+                // Rendezvous admits one in-flight value at a time.
+                let slots = cap.max(1);
+                while inner.queue.len() >= slots && inner.receiver_alive {
+                    inner.send_waiting += 1;
+                    inner = self.shared.not_full.wait(inner).unwrap();
+                    inner.send_waiting -= 1;
+                }
             }
+            if !inner.receiver_alive {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            if self.shared.cap == Some(0) {
+                // Hand-off: wait until a receiver has taken *this* value
+                // (tracked by ticket — the queue may already hold a later
+                // sender's value by the time this sender wakes up).
+                inner.next_ticket += 1;
+                let ticket = inner.next_ticket;
+                inner.handoff = ticket;
+                if inner.recv_waiting > 0 {
+                    self.shared.not_empty.notify_one();
+                }
+                while inner.handoff == ticket && inner.receiver_alive {
+                    inner.send_waiting += 1;
+                    inner = self.shared.not_full.wait(inner).unwrap();
+                    inner.send_waiting -= 1;
+                }
+                if inner.handoff == ticket {
+                    // Receiver died with this value still queued.
+                    inner.handoff = 0;
+                    let unclaimed = inner.queue.pop_back().expect("hand-off value present");
+                    return Err(SendError(unclaimed));
+                }
+            } else {
+                let wake = inner.recv_waiting > 0;
+                drop(inner);
+                if wake {
+                    self.shared.not_empty.notify_one();
+                }
+            }
+            Ok(())
         }
     }
 
     /// Receiving half.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.receiver_alive = false;
+            let wake = inner.send_waiting > 0;
+            drop(inner);
+            if wake {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
 
     impl<T> Receiver<T> {
         /// Blocks for the next value; `Err` once the channel is closed and
         /// drained.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    inner.handoff = 0; // rendezvous hand-off complete
+                    let wake = inner.send_waiting > 0;
+                    drop(inner);
+                    if wake {
+                        if self.shared.cap == Some(0) {
+                            // Rendezvous: both admission-waiting and
+                            // hand-off-waiting senders park on not_full; a
+                            // single wake could reach the wrong one and
+                            // strand the hand-off waiter forever.
+                            self.shared.not_full.notify_all();
+                        } else {
+                            self.shared.not_full.notify_one();
+                        }
+                    }
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner.recv_waiting += 1;
+                inner = self.shared.not_empty.wait(inner).unwrap();
+                inner.recv_waiting -= 1;
+            }
         }
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                // Bounded queues pre-size to capacity; unbounded ones grow
+                // to their high-water mark and then stay allocation-free.
+                queue: cap.map_or_else(VecDeque::new, VecDeque::with_capacity),
+                senders: 1,
+                receiver_alive: true,
+                recv_waiting: 0,
+                send_waiting: 0,
+                handoff: 0,
+                next_ticket: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
     }
 
     /// Channel with unlimited buffering.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender::Unbounded(tx), Receiver(rx))
+        with_cap(None)
     }
 
-    /// Channel holding at most `cap` in-flight values.
+    /// Channel holding at most `cap` in-flight values; `cap == 0` is a
+    /// rendezvous channel (every `send` blocks for its hand-off).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender::Bounded(tx), Receiver(rx))
+        with_cap(Some(cap))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::channel::{bounded, unbounded};
+
+    #[test]
+    fn channel_roundtrip_multi_producer() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for i in 100..200 {
+                    tx2.send(i).unwrap();
+                }
+            });
+        });
+        let mut got: Vec<u32> = (0..200).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+        // All senders gone and the queue drained: recv reports closure.
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        std::thread::scope(|s| {
+            let t = s.spawn(move || {
+                tx.send(3).unwrap(); // blocks until the receiver drains
+                drop(tx);
+            });
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn rendezvous_hands_off() {
+        let (tx, rx) = bounded::<u32>(0);
+        std::thread::scope(|s| {
+            let t = s.spawn(move || {
+                tx.send(7).unwrap(); // blocks until the recv below
+                tx.send(8).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert_eq!(rx.recv().unwrap(), 8);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn rendezvous_with_competing_senders_never_strands_one() {
+        // Two producers hammer one rendezvous channel; a wrong-waiter wake
+        // (admission vs hand-off) would strand a sender and hang the test.
+        let (tx, rx) = bounded::<u32>(0);
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..500 {
+                    tx.send(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for i in 500..1000 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let mut got: Vec<u32> = (0..1000).map(|_| rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn send_fails_once_receiver_is_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
+    }
+
+    #[test]
+    fn dropping_receiver_unblocks_full_senders() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let t = s.spawn(move || tx.send(2)); // parked on the full queue
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(t.join().unwrap().is_err(), "send must fail, not hang");
+        });
+    }
+
     #[test]
     fn scope_joins_and_collects() {
         let data = [1u64, 2, 3, 4];
