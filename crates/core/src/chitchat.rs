@@ -32,14 +32,25 @@
 //!
 //! [`ChitChat::run`] is built for large graphs:
 //!
-//! * the initial oracle pass over every hub fans out over a work-queue of
-//!   scoped threads (the pattern `parallelnosy` uses), each worker owning
-//!   its own [`PeelScratch`] arena;
+//! * the priority queue is seeded with *closed-form lower bounds* instead
+//!   of one oracle call per node: at seed time nothing is covered or paid,
+//!   so `(min rp · |X| + min rc · |Y|) / (|X| + |Y| + min(b, Σ deg))` (and
+//!   its one-sided corners) provably under-estimates every hub's best
+//!   cost-per-element. The n up-front peels of the old seeding pass are
+//!   paid lazily — only for hubs whose bound ever surfaces below the
+//!   singleton threshold — and in parallel batches rather than one
+//!   serial-equivalent sweep;
 //! * lazy re-validation recomputes hubs in geometrically growing batches
-//!   (1, 2, 4, … up to [`ORACLE_BATCH`]), in parallel when a batch is big
-//!   enough to pay for the fan-out. Batch results carry a *verified* mark:
-//!   within one selection the schedule is frozen, so a recomputed entry at
-//!   the top of the queue is accepted without another oracle call;
+//!   (1, 2, 4, … up to [`ORACLE_BATCH`]); batches big enough to pay for
+//!   dispatch fan out over a **persistent** work-stealing worker pool
+//!   ([`crate::fanout::FanoutPool`]) spawned once per run — the
+//!   per-batch thread-spawn round-trips that serialized the old fan-out
+//!   are gone, and each worker keeps its own [`PeelScratch`] arena warm
+//!   across every batch of the run. Batch results carry a *verified*
+//!   mark: within one selection the schedule is frozen, so a recomputed
+//!   entry at the top of the queue is accepted without another oracle
+//!   call. Workers read the frozen `(schedule, Z)` state through an
+//!   `RwLock` the coordinator writes only between fan-outs;
 //! * a singleton's strict recomputation is *skipped* when the weight
 //!   zeroing is provably invisible — the paid leg just left `Z`, so the
 //!   producer matters only through uncovered cross edges, whose absence a
@@ -61,19 +72,20 @@
 //! `chitchat_parallel` integration test locks this in).
 //!
 //! [`ChitChat::run_reference`] preserves the pre-optimization execution —
-//! serial, eager recomputation after every selection, allocating heap-peel
-//! oracle, per-probe singleton costs — as the baseline `opt_bench` measures
-//! speedups against and a differential-testing oracle. Both drive the same
-//! argmin greedy, but exact ties between equally-priced candidates can
-//! resolve differently (the eager path's refreshed keys carry
-//! last-ulp float noise that the skip-path's older bounds do not), so
+//! serial, eager recomputation after every selection, exact oracle seeding,
+//! allocating heap-peel oracle, per-probe singleton costs — as the baseline
+//! `opt_bench` measures speedups against and a differential-testing oracle.
+//! Both drive the same argmin greedy, but exact ties between equally-priced
+//! candidates can resolve differently (the eager path's refreshed keys
+//! carry last-ulp float noise that the skip-path's older bounds do not), so
 //! their costs agree to tie-breaking noise (~1e-5 relative at scale)
 //! rather than bit-for-bit.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
+use parking_lot::RwLock;
 use piggyback_graph::fx::FxHashMap;
 use piggyback_graph::{CsrGraph, EdgeId, NodeId};
 use piggyback_workload::{EdgeCosts, Rates};
@@ -84,15 +96,13 @@ use crate::densest::{
     densest_hub_graph, densest_hub_graph_key_scratch, densest_hub_graph_scratch, HubSelection,
     OrdF64, PeelScratch, UncoveredDegrees,
 };
+use crate::fanout::{chunk_len, FanoutPool, FanoutTelemetry};
 use crate::schedule::Schedule;
 
 /// Largest lazy re-validation batch (and the growth cap): bounds how far a
 /// selection can over-recompute past the sequential pop sequence while
 /// still exposing enough independent oracle calls to parallelize.
 pub const ORACLE_BATCH: usize = 64;
-
-/// Seeding work-queue granularity (nodes claimed per atomic fetch).
-const SEED_CHUNK: usize = 256;
 
 /// Cap on the uncovered-edge scan that proves a singleton's weight-zeroing
 /// inert (cannot change the affected hub's candidate). Above the cap the
@@ -101,9 +111,10 @@ const SEED_CHUNK: usize = 256;
 /// the full scan — and each success saves a whole oracle call.
 const INERT_SCAN_CAP: u32 = 1024;
 
-/// Minimum batch size worth spawning worker threads for; smaller batches
-/// run inline on the coordinating thread.
-const PAR_THRESHOLD: usize = 8;
+/// Minimum batch size worth dispatching to the worker pool; smaller
+/// batches run inline on the coordinating thread. With persistent workers
+/// a dispatch costs two channel operations per chunk, so the bar is low.
+const PAR_THRESHOLD: usize = 4;
 
 /// Configuration for the CHITCHAT algorithm.
 #[derive(Clone, Copy, Debug)]
@@ -111,10 +122,9 @@ pub struct ChitChat {
     /// Upper bound on materialized cross edges per hub-graph (§3.2's `b`;
     /// the paper uses 100 000 on the Twitter graph).
     pub cross_cap: usize,
-    /// Worker threads for the oracle fan-out (seeding pass and lazy
-    /// re-validation batches). `0` means one per available core. The
-    /// schedule is identical for every value — threads only change wall
-    /// time.
+    /// Worker threads for the oracle fan-out (lazy re-validation batches).
+    /// `0` means one per available core. The schedule is identical for
+    /// every value — threads only change wall time.
     pub threads: usize,
 }
 
@@ -151,29 +161,140 @@ pub struct ChitChatResult {
     pub singleton_selections: usize,
     /// Number of densest-subgraph oracle invocations.
     pub oracle_calls: usize,
+    /// Per-thread busy-time accounting for the oracle fan-out sections.
+    pub telemetry: FanoutTelemetry,
 }
 
-/// Mutable algorithm state shared by the selection helpers.
-struct State<'a> {
-    g: &'a CsrGraph,
-    rates: &'a Rates,
+/// The covering state workers read while the coordinator is fanned out:
+/// schedule, uncovered set `Z` (both orientations) and per-node uncovered
+/// degrees, always mutated together.
+struct Cover {
     sched: Schedule,
     z: BitSet,
-    /// Per-node uncovered-degree counts, kept in lockstep with `z` so the
-    /// oracle can skip roles with nothing left to cover.
-    zdeg: UncoveredDegrees,
     /// `Z` in reverse orientation: one bit per *in-slot* (see
     /// [`CsrGraph::in_slot_range`]), so a node's uncovered in-edges scan at
     /// word speed — the pull-side mirror of scanning `z` over
     /// [`CsrGraph::out_edge_id_range`].
     z_in: BitSet,
+    /// Per-node uncovered-degree counts, kept in lockstep with `z` so the
+    /// oracle can skip roles with nothing left to cover.
+    zdeg: UncoveredDegrees,
+}
+
+impl Cover {
+    /// Removes edge `e = u → v` from `Z`, keeping the degree counts and the
+    /// reverse-orientation bitset in lockstep.
+    fn uncover(&mut self, g: &CsrGraph, e: EdgeId, u: NodeId, v: NodeId) {
+        if self.z.remove(e) {
+            self.zdeg.remove_edge(u, v);
+            let slot = g.in_slot(u, v).expect("edge has an in-slot");
+            self.z_in.remove(slot);
+        }
+    }
+
+    /// Whether paying the push `u → v` (zeroing `g(u)` in hub `v`'s graph)
+    /// provably cannot change `v`'s candidate: `u`'s leg just left `Z`, so
+    /// `u` matters only through uncovered cross edges `u → t` with
+    /// `t ∈ Y(v)` — if none can exist, the zeroed weight is invisible to
+    /// the peel and the strict recomputation is skipped bit-exactly.
+    /// (`has_edge` over-approximates `t ∈ Y(v)`; a `false` only costs an
+    /// oracle call.)
+    fn push_zeroing_is_inert(&self, g: &CsrGraph, u: NodeId, v: NodeId) -> bool {
+        let remaining = self.zdeg.out_deg(u);
+        if remaining == 0 {
+            return true;
+        }
+        if remaining > INERT_SCAN_CAP {
+            return false;
+        }
+        let (lo, hi) = g.out_edge_id_range(u);
+        for e in self.z.iter_range(lo, hi) {
+            let t = g.edge_target(e);
+            if t == v {
+                continue;
+            }
+            let leg = g.edge_id(v, t);
+            if leg != piggyback_graph::INVALID_EDGE && !self.sched.is_covered(leg) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Specular check for a paid pull `u → v` (zeroing `g(v)` in hub `u`'s
+    /// graph): `v` matters only through uncovered cross edges `x → v` with
+    /// `x ∈ X(u)`.
+    fn pull_zeroing_is_inert(&self, g: &CsrGraph, u: NodeId, v: NodeId) -> bool {
+        let remaining = self.zdeg.in_deg(v);
+        if remaining == 0 {
+            return true;
+        }
+        if remaining > INERT_SCAN_CAP {
+            return false;
+        }
+        let (lo, hi) = g.in_slot_range(v);
+        for slot in self.z_in.iter_range(lo, hi) {
+            let x = g.in_source_at_slot(slot);
+            if x == u {
+                continue;
+            }
+            let leg = g.edge_id(x, u);
+            if leg != piggyback_graph::INVALID_EDGE && !self.sched.is_covered(leg) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Read-mostly run context: graph, rates and the lock-guarded [`Cover`].
+/// This is everything the pool workers see; the coordinator takes the
+/// write lock only between fan-outs, so reads never contend.
+struct Shared<'a> {
+    g: &'a CsrGraph,
+    rates: &'a Rates,
+    cross_cap: usize,
+    cover: RwLock<Cover>,
+}
+
+impl Shared<'_> {
+    /// Applies a hub-graph selection: pushes from all selected producers,
+    /// pulls to all selected consumers, cross edges covered through the hub.
+    fn apply_hub(&self, sel: &HubSelection) {
+        let w = sel.hub;
+        let mut c = self.cover.write();
+        for &(x, e) in &sel.xs {
+            c.sched.set_push(e);
+            c.uncover(self.g, e, x, w);
+        }
+        for &(y, e) in &sel.ys {
+            c.sched.set_pull(e);
+            c.uncover(self.g, e, w, y);
+        }
+        for &e in &sel.cross {
+            c.sched.set_covered(e, w);
+            let (u, v) = self.g.edge_endpoints(e);
+            c.uncover(self.g, e, u, v);
+        }
+    }
+}
+
+/// A chunk of hubs to recompute, and the results keyed by hub. Chunks are
+/// indexed so reassembly is deterministic regardless of arrival order.
+type OracleJob = (usize, Vec<NodeId>);
+type OracleOut = (usize, Vec<(NodeId, Option<HubSelection>)>);
+type OraclePool = FanoutPool<OracleJob, OracleOut>;
+
+/// Coordinator-private search state: the priority queue and its
+/// bookkeeping. Only the coordinating thread touches this.
+struct Search {
     /// Valid-entry stamp per hub; heap entries with older stamps are dead.
     stamp: Vec<u32>,
     heap: BinaryHeap<Reverse<(OrdF64, NodeId, u32)>>,
     /// Key of each hub's live heap entry; `INFINITY` iff the hub has no
-    /// live entry, which (invariant) happens exactly when its last oracle
-    /// call found no countable edges — `Z` only shrinks, so such hubs are
-    /// permanently out.
+    /// live entry, which (invariant) happens exactly when the hub can have
+    /// no countable edges — `Z` only shrinks, so such hubs are permanently
+    /// out.
     current_key: Vec<f64>,
     /// Selection round in which each hub's heap key was last recomputed
     /// against the frozen state (`round` matches ⇒ the key is exact, not
@@ -186,28 +307,29 @@ struct State<'a> {
     cache: FxHashMap<NodeId, HubSelection>,
     scratch: PeelScratch,
     oracle_calls: usize,
-    cross_cap: usize,
     threads: usize,
     /// Use the allocating reference oracle instead of the scratch path
     /// (the two produce identical selections; see [`crate::densest`]).
     reference: bool,
+    telemetry: FanoutTelemetry,
 }
 
-impl State<'_> {
+impl Search {
     /// One full oracle call for hub `w` against the current state, through
     /// whichever implementation this run is configured for.
-    fn oracle(&mut self, w: NodeId) -> Option<HubSelection> {
+    fn oracle(&mut self, sh: &Shared, w: NodeId) -> Option<HubSelection> {
+        let c = sh.cover.read();
         if self.reference {
-            densest_hub_graph(self.g, self.rates, w, &self.sched, &self.z, self.cross_cap)
+            densest_hub_graph(sh.g, sh.rates, w, &c.sched, &c.z, sh.cross_cap)
         } else {
             densest_hub_graph_scratch(
-                self.g,
-                self.rates,
+                sh.g,
+                sh.rates,
                 w,
-                &self.sched,
-                &self.z,
-                &self.zdeg,
-                self.cross_cap,
+                &c.sched,
+                &c.z,
+                &c.zdeg,
+                sh.cross_cap,
                 &mut self.scratch,
             )
         }
@@ -218,86 +340,23 @@ impl State<'_> {
     /// maintenance uses — the full selection is materialized once per
     /// accepted hub. (The reference path materializes and discards, which
     /// is exactly what the pre-optimization implementation did.)
-    fn oracle_key(&mut self, w: NodeId) -> Option<f64> {
+    fn oracle_key(&mut self, sh: &Shared, w: NodeId) -> Option<f64> {
+        let c = sh.cover.read();
         if self.reference {
-            densest_hub_graph(self.g, self.rates, w, &self.sched, &self.z, self.cross_cap)
+            densest_hub_graph(sh.g, sh.rates, w, &c.sched, &c.z, sh.cross_cap)
                 .map(|sel| sel.cost_per_element())
         } else {
             densest_hub_graph_key_scratch(
-                self.g,
-                self.rates,
+                sh.g,
+                sh.rates,
                 w,
-                &self.sched,
-                &self.z,
-                &self.zdeg,
-                self.cross_cap,
+                &c.sched,
+                &c.z,
+                &c.zdeg,
+                sh.cross_cap,
                 &mut self.scratch,
             )
         }
-    }
-
-    /// Removes edge `e = u → v` from `Z`, keeping the degree counts and the
-    /// reverse-orientation bitset in lockstep.
-    fn uncover(&mut self, e: EdgeId, u: NodeId, v: NodeId) {
-        if self.z.remove(e) {
-            self.zdeg.remove_edge(u, v);
-            let slot = self.g.in_slot(u, v).expect("edge has an in-slot");
-            self.z_in.remove(slot);
-        }
-    }
-
-    /// Whether paying the push `u → v` (zeroing `g(u)` in hub `v`'s graph)
-    /// provably cannot change `v`'s candidate: `u`'s leg just left `Z`, so
-    /// `u` matters only through uncovered cross edges `u → t` with
-    /// `t ∈ Y(v)` — if none can exist, the zeroed weight is invisible to
-    /// the peel and the strict recomputation is skipped bit-exactly.
-    /// (`has_edge` over-approximates `t ∈ Y(v)`; a `false` only costs an
-    /// oracle call.)
-    fn push_zeroing_is_inert(&self, u: NodeId, v: NodeId) -> bool {
-        let remaining = self.zdeg.out_deg(u);
-        if remaining == 0 {
-            return true;
-        }
-        if remaining > INERT_SCAN_CAP {
-            return false;
-        }
-        let (lo, hi) = self.g.out_edge_id_range(u);
-        for e in self.z.iter_range(lo, hi) {
-            let t = self.g.edge_target(e);
-            if t == v {
-                continue;
-            }
-            let leg = self.g.edge_id(v, t);
-            if leg != piggyback_graph::INVALID_EDGE && !self.sched.is_covered(leg) {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Specular check for a paid pull `u → v` (zeroing `g(v)` in hub `u`'s
-    /// graph): `v` matters only through uncovered cross edges `x → v` with
-    /// `x ∈ X(u)`.
-    fn pull_zeroing_is_inert(&self, u: NodeId, v: NodeId) -> bool {
-        let remaining = self.zdeg.in_deg(v);
-        if remaining == 0 {
-            return true;
-        }
-        if remaining > INERT_SCAN_CAP {
-            return false;
-        }
-        let (lo, hi) = self.g.in_slot_range(v);
-        for slot in self.z_in.iter_range(lo, hi) {
-            let x = self.g.in_source_at_slot(slot);
-            if x == u {
-                continue;
-            }
-            let leg = self.g.edge_id(x, u);
-            if leg != piggyback_graph::INVALID_EDGE && !self.sched.is_covered(leg) {
-                return false;
-            }
-        }
-        true
     }
 
     /// Deferred strict recompute: lowers hub `w`'s queued key to the
@@ -309,12 +368,12 @@ impl State<'_> {
     /// if `w` ever surfaces. Hubs far above the singleton threshold —
     /// exactly the popular ones whose recomputation is expensive — absorb
     /// many zeroings per eventual call.
-    fn lower_bound_after_zeroing(&mut self, w: NodeId, delta: f64) {
+    fn lower_bound_after_zeroing(&mut self, sh: &Shared, w: NodeId, delta: f64) {
         let ck = self.current_key[w as usize];
         if !ck.is_finite() {
             // No live entry means no countable edges (and a non-inert
             // zeroing implies there are some) — recompute defensively.
-            self.strict_recompute(w);
+            self.strict_recompute(sh, w);
             return;
         }
         if delta <= 0.0 {
@@ -328,10 +387,10 @@ impl State<'_> {
     }
 
     /// Recomputes hub `w` strictly, invalidating any queued entry.
-    fn strict_recompute(&mut self, w: NodeId) {
+    fn strict_recompute(&mut self, sh: &Shared, w: NodeId) {
         self.stamp[w as usize] += 1;
         self.oracle_calls += 1;
-        match self.oracle_key(w) {
+        match self.oracle_key(sh, w) {
             Some(key) => {
                 self.current_key[w as usize] = key;
                 self.heap
@@ -346,18 +405,23 @@ impl State<'_> {
     ///
     /// The schedule is frozen for the duration of the call, so oracle
     /// recomputation is pure; batches of stale entries are recomputed
-    /// together (in parallel when large enough) and marked *verified* for
-    /// the round. A verified entry at the top of the heap is exact — its
-    /// key is at or below every other key, and every unverified key is a
-    /// lower bound — so it is the global minimum and can be accepted
-    /// without further calls.
+    /// together (through the worker pool when large enough) and marked
+    /// *verified* for the round. A verified entry at the top of the heap
+    /// is exact — its key is at or below every other key, and every
+    /// unverified key is a lower bound — so it is the global minimum and
+    /// can be accepted without further calls.
     ///
     /// The accepted hub is therefore the argmin of `(true cost-per-element,
     /// node id)` over all live candidates: every entry whose optimistic key
     /// is at or below the winning value gets verified before the accept, so
     /// the result does not depend on batch boundaries, thread count, or
     /// which oracle implementation produced the keys.
-    fn select_hub(&mut self, single_cpe: f64) -> Option<HubSelection> {
+    fn select_hub(
+        &mut self,
+        sh: &Shared,
+        pool: Option<&OraclePool>,
+        single_cpe: f64,
+    ) -> Option<HubSelection> {
         self.round += 1;
         self.cache.clear();
         let mut batch: Vec<NodeId> = Vec::with_capacity(ORACLE_BATCH);
@@ -398,7 +462,7 @@ impl State<'_> {
                 return None;
             }
             self.oracle_calls += batch.len();
-            let results = self.recompute_batch(&batch);
+            let results = self.recompute_batch(sh, pool, &batch);
             for (w, sel) in results {
                 let Some(sel) = sel else {
                     self.current_key[w as usize] = f64::INFINITY;
@@ -417,148 +481,103 @@ impl State<'_> {
 
     /// Recomputes every hub in `batch` against the frozen state. Purely
     /// functional, so the fan-out is free to split the batch arbitrarily;
-    /// results come back keyed by hub.
-    fn recompute_batch(&mut self, batch: &[NodeId]) -> Vec<(NodeId, Option<HubSelection>)> {
-        if self.reference || self.threads <= 1 || batch.len() < PAR_THRESHOLD {
-            return batch.iter().map(|&w| (w, self.oracle(w))).collect();
+    /// results come back keyed by hub, reassembled in chunk order.
+    fn recompute_batch(
+        &mut self,
+        sh: &Shared,
+        pool: Option<&OraclePool>,
+        batch: &[NodeId],
+    ) -> Vec<(NodeId, Option<HubSelection>)> {
+        match pool {
+            Some(pool) if batch.len() >= PAR_THRESHOLD => {
+                let chunk = chunk_len(batch.len(), pool.workers());
+                let mut parts = pool.run_recorded(
+                    batch
+                        .chunks(chunk)
+                        .enumerate()
+                        .map(|(i, c)| (i, c.to_vec())),
+                    &mut self.telemetry,
+                );
+                parts.sort_unstable_by_key(|&(i, _)| i);
+                parts.into_iter().flat_map(|(_, r)| r).collect()
+            }
+            _ => {
+                let start = Instant::now();
+                let out = batch.iter().map(|&w| (w, self.oracle(sh, w))).collect();
+                if !self.reference {
+                    self.telemetry
+                        .record_inline(start.elapsed().as_nanos() as u64);
+                }
+                out
+            }
         }
-        let State {
-            g,
-            rates,
-            sched,
-            z,
-            zdeg,
-            cross_cap,
-            threads,
-            ..
-        } = self;
-        let (g, rates, sched, z, zdeg, cross_cap) = (*g, *rates, &*sched, &*z, &*zdeg, *cross_cap);
-        let nt = (*threads).min(batch.len());
-        let chunk = batch.len().div_ceil(nt);
-        crossbeam::scope(|s| {
-            let handles: Vec<_> = batch
-                .chunks(chunk)
-                .map(|part| {
-                    s.spawn(move |_| {
-                        let mut scratch = PeelScratch::new();
-                        part.iter()
-                            .map(|&w| {
-                                (
-                                    w,
-                                    densest_hub_graph_scratch(
-                                        g,
-                                        rates,
-                                        w,
-                                        sched,
-                                        z,
-                                        zdeg,
-                                        cross_cap,
-                                        &mut scratch,
-                                    ),
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("oracle worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed")
     }
 
-    /// Seeds the priority queue with one oracle call per node, fanned out
-    /// over a work-queue of scoped threads. Heap keys are unique per node,
-    /// so insertion order — the only thing scheduling can vary — does not
-    /// affect any later pop.
-    fn seed(&mut self) {
-        let n = self.g.node_count();
-        self.oracle_calls += n;
-        if self.reference || self.threads <= 1 || n < 2 * SEED_CHUNK {
+    /// Seeds the priority queue. The reference execution performs the
+    /// pre-optimization pass — one exact oracle call per node. The
+    /// optimized path seeds *sound lower bounds* computed in closed form:
+    /// at seed time no leg is paid and `Z` is full, so for any candidate
+    /// subgraph with `s ≤ |X|` producers and `t ≤ |Y|` consumers,
+    /// `weight ≥ s·min rp + t·min rc` and
+    /// `elements ≤ s + t + min(cross_cap, Σ_x (deg(x)−1))`; the ratio is
+    /// monotone in `s` and `t` for fixed cap, so its minimum over the box
+    /// is attained at a corner. Each hub's exact key is then paid lazily
+    /// (and in parallel) only if its bound ever surfaces below the
+    /// singleton threshold — the up-front `n`-peel sweep disappears.
+    fn seed(&mut self, sh: &Shared) {
+        let n = sh.g.node_count();
+        if self.reference {
+            self.oracle_calls += n;
             for w in 0..n as NodeId {
-                if let Some(key) = self.oracle_key(w) {
+                if let Some(key) = self.oracle_key(sh, w) {
                     self.current_key[w as usize] = key;
                     self.heap.push(Reverse((OrdF64(key), w, 0)));
                 }
             }
             return;
         }
-        let State {
-            g,
-            rates,
-            sched,
-            z,
-            zdeg,
-            cross_cap,
-            threads,
-            ..
-        } = self;
-        let (g, rates, sched, z, zdeg, cross_cap) = (*g, *rates, &*sched, &*z, &*zdeg, *cross_cap);
-        let counter = AtomicUsize::new(0);
-        let seeded: Vec<(f64, NodeId)> = crossbeam::scope(|s| {
-            let handles: Vec<_> = (0..*threads)
-                .map(|_| {
-                    let counter = &counter;
-                    s.spawn(move |_| {
-                        let mut scratch = PeelScratch::new();
-                        let mut local: Vec<(f64, NodeId)> = Vec::new();
-                        loop {
-                            let start = counter.fetch_add(SEED_CHUNK, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            for w in start..(start + SEED_CHUNK).min(n) {
-                                let w = w as NodeId;
-                                if let Some(key) = densest_hub_graph_key_scratch(
-                                    g,
-                                    rates,
-                                    w,
-                                    sched,
-                                    z,
-                                    zdeg,
-                                    cross_cap,
-                                    &mut scratch,
-                                ) {
-                                    local.push((key, w));
-                                }
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("seed worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope failed");
-        for (cpe, w) in seeded {
-            self.current_key[w as usize] = cpe;
-            self.heap.push(Reverse((OrdF64(cpe), w, 0)));
+        for w in 0..n as NodeId {
+            if let Some(key) = seed_lower_bound(sh.g, sh.rates, w, sh.cross_cap) {
+                self.current_key[w as usize] = key;
+                self.heap.push(Reverse((OrdF64(key), w, 0)));
+            }
         }
     }
+}
 
-    /// Applies a hub-graph selection: pushes from all selected producers,
-    /// pulls to all selected consumers, cross edges covered through the hub.
-    fn apply_hub(&mut self, sel: &HubSelection) {
-        let w = sel.hub;
-        for &(x, e) in &sel.xs {
-            self.sched.set_push(e);
-            self.uncover(e, x, w);
-        }
-        for &(y, e) in &sel.ys {
-            self.sched.set_pull(e);
-            self.uncover(e, w, y);
-        }
-        for &e in &sel.cross {
-            self.sched.set_covered(e, w);
-            let (u, v) = self.g.edge_endpoints(e);
-            self.uncover(e, u, v);
-        }
+/// Closed-form lower bound on hub `w`'s best seed-time cost-per-element,
+/// or `None` when `w` can never center a hub-graph (no neighbors — no
+/// countable edges, now or ever). See [`Search::seed`] for the derivation.
+fn seed_lower_bound(g: &CsrGraph, rates: &Rates, w: NodeId, cross_cap: usize) -> Option<f64> {
+    let xs = g.in_neighbors(w);
+    let ys = g.out_neighbors(w);
+    if xs.is_empty() && ys.is_empty() {
+        return None;
     }
+    let mut min_rp = f64::INFINITY;
+    let mut cross_max = 0usize;
+    for &x in xs {
+        min_rp = min_rp.min(rates.rp(x));
+        // Cross edges from x go to Y ∌ w, so the leg never counts twice.
+        cross_max += g.out_degree(x).saturating_sub(1);
+    }
+    let mut min_rc = f64::INFINITY;
+    for &y in ys {
+        min_rc = min_rc.min(rates.rc(y));
+    }
+    let cap = cross_max.min(cross_cap) as f64;
+    let (nx, ny) = (xs.len() as f64, ys.len() as f64);
+    let mut bound = f64::INFINITY;
+    if nx > 0.0 {
+        bound = bound.min(min_rp * nx / (nx + cap));
+    }
+    if ny > 0.0 {
+        bound = bound.min(min_rc * ny / (ny + cap));
+    }
+    if nx > 0.0 && ny > 0.0 {
+        bound = bound.min((min_rp * nx + min_rc * ny) / (nx + ny + cap));
+    }
+    Some(bound.max(0.0))
 }
 
 /// All-ones bitset of the given capacity.
@@ -570,21 +589,117 @@ fn full_bitset(m: usize) -> BitSet {
     b
 }
 
+/// The greedy SETCOVER loop shared by both executions; `pool` is `Some`
+/// only for the optimized multi-threaded path.
+fn drive(
+    sh: &Shared,
+    search: &mut Search,
+    pool: Option<&OraclePool>,
+    single_cost: &impl Fn(EdgeId) -> f64,
+) -> (usize, usize) {
+    search.seed(sh);
+
+    // Singleton candidates, cheapest hybrid cost first.
+    let m = sh.g.edge_count();
+    let mut singles: Vec<EdgeId> = (0..m as EdgeId).collect();
+    singles.sort_unstable_by_key(|&e| OrdF64(single_cost(e)));
+    let mut single_ptr = 0usize;
+
+    let mut hub_selections = 0usize;
+    let mut singleton_selections = 0usize;
+
+    loop {
+        let single_cpe = {
+            let c = sh.cover.read();
+            if c.z.is_empty() {
+                break;
+            }
+            while single_ptr < singles.len() && !c.z.contains(singles[single_ptr]) {
+                single_ptr += 1;
+            }
+            if single_ptr < singles.len() {
+                single_cost(singles[single_ptr])
+            } else {
+                f64::INFINITY
+            }
+        };
+
+        match search.select_hub(sh, pool, single_cpe) {
+            Some(sel) => {
+                sh.apply_hub(&sel);
+                hub_selections += 1;
+                // Paying the legs zeroed weights in this hub's graph
+                // only — the single strict recomputation needed.
+                search.strict_recompute(sh, sel.hub);
+            }
+            None => {
+                let e = singles[single_ptr];
+                let (u, v) = sh.g.edge_endpoints(e);
+                let push = sh.rates.rp(u) <= sh.rates.rc(v);
+                // The reference keeps the pre-optimization call pattern
+                // (recompute unconditionally); the fast path first tries
+                // to prove the zeroing invisible. When the proof fires,
+                // later greedy steps see a still-valid lower bound instead
+                // of a refreshed exact key — the selections stay
+                // argmin-optimal, and only exact ties between
+                // equally-priced candidates can resolve differently (see
+                // `matches_reference_implementation`).
+                let inert = {
+                    let mut c = sh.cover.write();
+                    c.uncover(sh.g, e, u, v);
+                    if push {
+                        c.sched.set_push(e);
+                        !search.reference && c.push_zeroing_is_inert(sh.g, u, v)
+                    } else {
+                        c.sched.set_pull(e);
+                        !search.reference && c.pull_zeroing_is_inert(sh.g, u, v)
+                    }
+                };
+                singleton_selections += 1;
+                // Paying the edge zeroed g(u) in v's hub-graph (push) or
+                // g(v) in u's (pull).
+                let (hub, delta) = if push {
+                    (v, sh.rates.rp(u))
+                } else {
+                    (u, sh.rates.rc(v))
+                };
+                if search.reference {
+                    search.strict_recompute(sh, hub);
+                } else if !inert {
+                    search.lower_bound_after_zeroing(sh, hub, delta);
+                }
+            }
+        }
+    }
+
+    (hub_selections, singleton_selections)
+}
+
 impl ChitChat {
-    fn fresh_state<'a>(&self, g: &'a CsrGraph, rates: &'a Rates, reference: bool) -> State<'a> {
+    fn fresh_state<'a>(
+        &self,
+        g: &'a CsrGraph,
+        rates: &'a Rates,
+        reference: bool,
+    ) -> (Shared<'a>, Search) {
         assert!(
             rates.len() >= g.node_count(),
             "rates do not cover the graph"
         );
         let m = g.edge_count();
         let n = g.node_count();
-        let mut st = State {
+        let shared = Shared {
             g,
             rates,
-            sched: Schedule::for_graph(g),
-            z: BitSet::new(m),
-            z_in: full_bitset(m),
-            zdeg: UncoveredDegrees::full(g),
+            cross_cap: self.cross_cap,
+            cover: RwLock::new(Cover {
+                sched: Schedule::for_graph(g),
+                z: full_bitset(m),
+                z_in: full_bitset(m),
+                zdeg: UncoveredDegrees::full(g),
+            }),
+        };
+        let search = Search {
             current_key: vec![f64::INFINITY; n],
             stamp: vec![0; n],
             heap: BinaryHeap::new(),
@@ -593,14 +708,11 @@ impl ChitChat {
             cache: FxHashMap::default(),
             scratch: PeelScratch::new(),
             oracle_calls: 0,
-            cross_cap: self.cross_cap,
             threads: self.effective_threads(),
             reference,
+            telemetry: FanoutTelemetry::default(),
         };
-        for e in 0..m as EdgeId {
-            st.z.insert(e);
-        }
-        st
+        (shared, search)
     }
 
     /// Runs CHITCHAT on `g` under the workload `rates` and returns a
@@ -616,8 +728,9 @@ impl ChitChat {
         self.run_impl(g, rates, false, |e| costs.hybrid_cost(e))
     }
 
-    /// The pre-optimization execution: serial seeding and re-validation,
-    /// allocating `BinaryHeap` oracle, per-probe singleton costs.
+    /// The pre-optimization execution: serial exact seeding and
+    /// re-validation, allocating `BinaryHeap` oracle, per-probe singleton
+    /// costs.
     ///
     /// Kept as (a) the baseline `opt_bench` measures the optimized path
     /// against and (b) a differential-testing oracle — `run` drives the
@@ -631,7 +744,6 @@ impl ChitChat {
         })
     }
 
-    /// The greedy SETCOVER driver shared by both executions.
     fn run_impl(
         &self,
         g: &CsrGraph,
@@ -639,77 +751,52 @@ impl ChitChat {
         reference: bool,
         single_cost: impl Fn(EdgeId) -> f64,
     ) -> ChitChatResult {
-        let mut st = self.fresh_state(g, rates, reference);
-        let m = g.edge_count();
-
-        // Initial oracle pass over every hub.
-        st.seed();
-
-        // Singleton candidates, cheapest hybrid cost first.
-        let mut singles: Vec<EdgeId> = (0..m as EdgeId).collect();
-        singles.sort_unstable_by_key(|&e| OrdF64(single_cost(e)));
-        let mut single_ptr = 0usize;
-
-        let mut hub_selections = 0usize;
-        let mut singleton_selections = 0usize;
-
-        while !st.z.is_empty() {
-            while single_ptr < singles.len() && !st.z.contains(singles[single_ptr]) {
-                single_ptr += 1;
-            }
-            let single_cpe = if single_ptr < singles.len() {
-                single_cost(singles[single_ptr])
-            } else {
-                f64::INFINITY
-            };
-
-            match st.select_hub(single_cpe) {
-                Some(sel) => {
-                    st.apply_hub(&sel);
-                    hub_selections += 1;
-                    // Paying the legs zeroed weights in this hub's graph
-                    // only — the single strict recomputation needed.
-                    st.strict_recompute(sel.hub);
-                }
-                None => {
-                    let e = singles[single_ptr];
-                    let (u, v) = g.edge_endpoints(e);
-                    st.uncover(e, u, v);
-                    singleton_selections += 1;
-                    // The reference keeps the pre-optimization call
-                    // pattern (recompute unconditionally); the fast path
-                    // first tries to prove the zeroing invisible. When the
-                    // proof fires, later greedy steps see a still-valid
-                    // lower bound instead of a refreshed exact key — the
-                    // selections stay argmin-optimal, and only exact ties
-                    // between equally-priced candidates can resolve
-                    // differently (see `matches_reference_implementation`).
-                    if rates.rp(u) <= rates.rc(v) {
-                        st.sched.set_push(e);
-                        // g(u) becomes 0 in v's hub-graph.
-                        if reference {
-                            st.strict_recompute(v);
-                        } else if !st.push_zeroing_is_inert(u, v) {
-                            st.lower_bound_after_zeroing(v, rates.rp(u));
-                        }
-                    } else {
-                        st.sched.set_pull(e);
-                        // g(v) becomes 0 in u's hub-graph.
-                        if reference {
-                            st.strict_recompute(u);
-                        } else if !st.pull_zeroing_is_inert(u, v) {
-                            st.lower_bound_after_zeroing(u, rates.rc(v));
-                        }
+        let (shared, mut search) = self.fresh_state(g, rates, reference);
+        let nt = search.threads;
+        let (hub_selections, singleton_selections) = if !reference && nt > 1 && g.edge_count() > 0 {
+            // The whole greedy runs inside one scope: workers are spawned
+            // once, park on the job channel, and survive every
+            // re-validation batch of the run.
+            crossbeam::scope(|s| {
+                let sh = &shared;
+                let pool: OraclePool = FanoutPool::new(s, nt, |_| {
+                    let mut scratch = PeelScratch::new();
+                    move |(idx, hubs): OracleJob| {
+                        let c = sh.cover.read();
+                        let out = hubs
+                            .iter()
+                            .map(|&w| {
+                                (
+                                    w,
+                                    densest_hub_graph_scratch(
+                                        sh.g,
+                                        sh.rates,
+                                        w,
+                                        &c.sched,
+                                        &c.z,
+                                        &c.zdeg,
+                                        sh.cross_cap,
+                                        &mut scratch,
+                                    ),
+                                )
+                            })
+                            .collect();
+                        (idx, out)
                     }
-                }
-            }
-        }
+                });
+                drive(sh, &mut search, Some(&pool), &single_cost)
+            })
+            .expect("crossbeam scope failed")
+        } else {
+            drive(&shared, &mut search, None, &single_cost)
+        };
 
         ChitChatResult {
-            schedule: st.sched,
+            schedule: shared.cover.into_inner().sched,
             hub_selections,
             singleton_selections,
-            oracle_calls: st.oracle_calls,
+            oracle_calls: search.oracle_calls,
+            telemetry: search.telemetry,
         }
     }
 }
@@ -851,6 +938,45 @@ mod tests {
     }
 
     #[test]
+    fn seed_bounds_are_sound() {
+        // The closed-form seed bound must under-estimate the exact oracle
+        // key for every hub — that is what keeps lazy re-validation
+        // admissible (a bound above the truth could starve the true argmin).
+        for (g, r) in [
+            fig2(),
+            {
+                let g = erdos_renyi(100, 500, 3);
+                let r = Rates::log_degree(&g, 5.0);
+                (g, r)
+            },
+            {
+                let g = copying(CopyingConfig {
+                    nodes: 250,
+                    follows_per_node: 5,
+                    copy_prob: 0.9,
+                    seed: 9,
+                });
+                let r = Rates::log_degree(&g, 5.0);
+                (g, r)
+            },
+        ] {
+            let cc = ChitChat::default();
+            let (shared, mut search) = cc.fresh_state(&g, &r, false);
+            for w in g.nodes() {
+                let bound = seed_lower_bound(&g, &r, w, cc.cross_cap);
+                let exact = search.oracle_key(&shared, w);
+                match (bound, exact) {
+                    (Some(b), Some(k)) => {
+                        assert!(b <= k + 1e-9, "hub {w}: bound {b} above exact key {k}")
+                    }
+                    (None, Some(k)) => panic!("hub {w}: no bound but exact key {k}"),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
     fn matches_reference_implementation() {
         // The optimized path must reproduce the pre-optimization greedy:
         // same cost, same selection counts, on every graph family.
@@ -886,7 +1012,7 @@ mod tests {
                 (cf - cr).abs() <= 1e-2 * cr.max(1.0),
                 "world {i}: fast cost {cf} vs reference cost {cr}"
             );
-            // The skip only ever *saves* oracle calls.
+            // Bound seeding and the inert-skip only ever *save* calls.
             assert!(
                 fast.oracle_calls <= reference.oracle_calls,
                 "world {i}: fast made more oracle calls ({} > {})",

@@ -1,0 +1,246 @@
+//! Persistent worker pool for oracle fan-outs.
+//!
+//! The pre-optimization schedulers spawned a fresh set of scoped threads
+//! for *every* parallel batch. For CHITCHAT that meant one `thread::spawn`
+//! round-trip per lazy re-validation batch — thousands per run, each batch
+//! only tens of oracle calls — and the spawn/join overhead alone was enough
+//! to flatten the thread-scaling curve (`BENCH_opt.json`: 8 threads no
+//! faster than 1 at 100k nodes). [`FanoutPool`] fixes the shape: workers
+//! are spawned **once** per run inside the caller's `crossbeam::scope`,
+//! park on an MPMC job channel, and chunks of work are stolen off the
+//! shared receiver as workers free up. Dispatching a batch costs two
+//! channel operations per chunk instead of a thread spawn.
+//!
+//! Determinism contract: the pool runs *pure* jobs (the caller freezes all
+//! shared state for the duration of [`FanoutPool::run`]) and returns their
+//! results; callers key results by job index or payload, never by arrival
+//! order. Chunk sizes may depend on the thread count — results are
+//! reassembled deterministically — but anything the algorithm *counts*
+//! (oracle calls, candidate order) must not.
+//!
+//! The pool also keeps the per-thread busy-time telemetry the benchmark
+//! rows report: each worker accumulates wall time spent *inside* jobs into
+//! a shared counter, and [`FanoutTelemetry`] relates it to the capacity
+//! (section wall time × workers) of every parallel section. A busy
+//! fraction near 1.0 means the fan-out kept all workers fed; flat scaling
+//! with a high busy fraction points at the serial remainder instead
+//! (Amdahl), and a low fraction points at dispatch/imbalance — diagnosable
+//! straight from the committed JSON.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::Scope;
+
+/// Busy-time accounting across the parallel and inline fan-out sections of
+/// one scheduler run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FanoutTelemetry {
+    /// Nanoseconds workers (or the coordinator, for inline sections) spent
+    /// executing jobs.
+    pub busy_ns: u64,
+    /// Nanoseconds of capacity: section wall time × workers participating
+    /// in that section (1 for inline sections).
+    pub capacity_ns: u64,
+}
+
+impl FanoutTelemetry {
+    /// Fraction of the fan-out capacity spent doing work, in `[0, 1]`.
+    /// `1.0` when no fan-out sections ran at all.
+    pub fn busy_fraction(&self) -> f64 {
+        if self.capacity_ns == 0 {
+            1.0
+        } else {
+            (self.busy_ns as f64 / self.capacity_ns as f64).min(1.0)
+        }
+    }
+
+    /// Records a parallel section: `busy_ns` summed across workers,
+    /// section wall time, worker count.
+    pub fn record_parallel(&mut self, busy_ns: u64, wall_ns: u64, workers: usize) {
+        self.busy_ns += busy_ns;
+        self.capacity_ns += wall_ns.saturating_mul(workers as u64);
+    }
+
+    /// Records an inline section (coordinator did the work itself).
+    pub fn record_inline(&mut self, wall_ns: u64) {
+        self.busy_ns += wall_ns;
+        self.capacity_ns += wall_ns;
+    }
+
+    /// Merges another run's counters (used by sharded drivers).
+    pub fn merge(&mut self, other: &FanoutTelemetry) {
+        self.busy_ns += other.busy_ns;
+        self.capacity_ns += other.capacity_ns;
+    }
+}
+
+/// A fixed set of scoped workers draining jobs from a shared channel.
+///
+/// `J` is one chunk of work, `R` its result. Workers are built by a
+/// factory closure so each can own private scratch arenas (allocation
+/// reuse across every batch of the run — the other half of the spawn-per-
+/// batch fix).
+pub struct FanoutPool<J, R> {
+    jobs: Sender<J>,
+    results: Receiver<R>,
+    busy_ns: Arc<AtomicU64>,
+    workers: usize,
+}
+
+impl<J, R> FanoutPool<J, R> {
+    /// Spawns `workers` threads on `scope`. `make_worker(i)` builds worker
+    /// `i`'s job closure (owning its scratch state); the closure must be
+    /// pure with respect to everything the coordinator mutates between
+    /// [`FanoutPool::run`] calls.
+    pub fn new<'scope, 'env, W, MkW>(
+        scope: &Scope<'scope, 'env>,
+        workers: usize,
+        make_worker: MkW,
+    ) -> Self
+    where
+        J: Send + 'scope,
+        R: Send + 'scope,
+        W: FnMut(J) -> R + Send + 'scope,
+        MkW: Fn(usize) -> W,
+    {
+        assert!(workers >= 1, "pool needs at least one worker");
+        let (jobs, job_rx) = unbounded::<J>();
+        let (result_tx, results) = unbounded::<R>();
+        let job_rx = Arc::new(job_rx);
+        let busy_ns = Arc::new(AtomicU64::new(0));
+        for i in 0..workers {
+            let rx = Arc::clone(&job_rx);
+            let tx = result_tx.clone();
+            let busy = Arc::clone(&busy_ns);
+            let mut work = make_worker(i);
+            scope.spawn(move |_| {
+                // `recv` errs once the pool (the only job sender) is
+                // dropped — the workers' shutdown signal.
+                while let Ok(job) = rx.recv() {
+                    let start = Instant::now();
+                    let out = work(job);
+                    busy.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if tx.send(out).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        FanoutPool {
+            jobs,
+            results,
+            busy_ns,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total nanoseconds workers have spent inside jobs so far.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns.load(Ordering::Relaxed)
+    }
+
+    /// Dispatches a batch of jobs and collects exactly as many results,
+    /// in arrival (non-deterministic) order. Blocks until all complete.
+    pub fn run(&self, batch: impl IntoIterator<Item = J>) -> Vec<R> {
+        let mut sent = 0usize;
+        for job in batch {
+            self.jobs.send(job).expect("fan-out worker exited early");
+            sent += 1;
+        }
+        (0..sent)
+            .map(|_| self.results.recv().expect("fan-out worker panicked"))
+            .collect()
+    }
+
+    /// Like [`FanoutPool::run`], recording the section into `telemetry`.
+    pub fn run_recorded(
+        &self,
+        batch: impl IntoIterator<Item = J>,
+        telemetry: &mut FanoutTelemetry,
+    ) -> Vec<R> {
+        let busy_before = self.busy_ns();
+        let start = Instant::now();
+        let out = self.run(batch);
+        telemetry.record_parallel(
+            self.busy_ns() - busy_before,
+            start.elapsed().as_nanos() as u64,
+            self.workers,
+        );
+        out
+    }
+}
+
+/// Splits `len` items into chunks sized for `workers` threads: enough
+/// chunks that work-stealing evens out imbalance (about four per worker),
+/// never empty.
+pub fn chunk_len(len: usize, workers: usize) -> usize {
+    len.div_ceil(4 * workers.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_all_jobs_with_scratch_reuse() {
+        let results: Vec<u64> = crossbeam::scope(|s| {
+            let pool: FanoutPool<u64, u64> = FanoutPool::new(s, 3, |_| {
+                let mut calls = 0u64; // per-worker scratch
+                move |x: u64| {
+                    calls += 1;
+                    x * 2 + calls.min(1) - 1
+                }
+            });
+            let mut out = pool.run(0..100u64);
+            out.sort_unstable();
+            out
+        })
+        .unwrap();
+        assert_eq!(results, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_multiple_batches_and_telemetry() {
+        crossbeam::scope(|s| {
+            let pool: FanoutPool<u32, u32> = FanoutPool::new(s, 2, |_| |x: u32| x + 1);
+            let mut tel = FanoutTelemetry::default();
+            for round in 0..5u32 {
+                let got = pool.run_recorded((0..10).map(|i| round * 10 + i), &mut tel);
+                assert_eq!(got.len(), 10);
+            }
+            assert!(tel.capacity_ns > 0);
+            assert!(tel.busy_fraction() <= 1.0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        crossbeam::scope(|s| {
+            let pool: FanoutPool<u32, u32> = FanoutPool::new(s, 2, |_| |x: u32| x);
+            assert!(pool.run(std::iter::empty()).is_empty());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn chunking_never_empty_and_covers() {
+        assert_eq!(chunk_len(0, 8), 1);
+        assert_eq!(chunk_len(1, 8), 1);
+        assert!(chunk_len(64, 8) >= 2);
+        assert!(chunk_len(1000, 1) >= 250);
+    }
+
+    #[test]
+    fn telemetry_fraction_defaults_to_one() {
+        assert_eq!(FanoutTelemetry::default().busy_fraction(), 1.0);
+    }
+}

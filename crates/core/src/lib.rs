@@ -33,6 +33,7 @@ pub mod bitset;
 pub mod chitchat;
 pub mod cost;
 pub mod densest;
+pub mod fanout;
 pub mod incremental;
 pub mod optimal;
 pub mod parallelnosy;

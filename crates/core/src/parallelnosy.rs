@@ -22,12 +22,24 @@
 //! one ([`ParallelNosy::run`]) and one expressed as MapReduce jobs on
 //! [`piggyback_mapreduce::MapReduce`] ([`ParallelNosy::run_on_mapreduce`]),
 //! mirroring the paper's Hadoop implementation.
+//!
+//! The threaded execution runs phase 1 on a persistent
+//! [`FanoutPool`](crate::fanout::FanoutPool): workers are spawned once per
+//! run and survive every iteration (the pre-optimization code paid a full
+//! thread spawn/join round-trip per iteration). Edge-range chunks are
+//! reassembled in ascending chunk order, so the candidate list — and with
+//! it every lock decision and the whole `cost_history` — is identical for
+//! any thread count and any chunking.
 
+use std::time::Instant;
+
+use parking_lot::RwLock;
 use piggyback_graph::{intersect_sorted, CsrGraph, EdgeId, NodeId, INVALID_EDGE};
 use piggyback_mapreduce::MapReduce;
 use piggyback_workload::{EdgeCosts, Rates};
 
 use crate::cost::hybrid_edge_cost;
+use crate::fanout::{chunk_len, FanoutPool, FanoutTelemetry};
 use crate::schedule::Schedule;
 
 /// Configuration for PARALLELNOSY.
@@ -74,6 +86,8 @@ pub struct ParallelNosyResult {
     pub cost_history: Vec<f64>,
     /// Total hub-graphs applied across all iterations.
     pub hubs_applied: usize,
+    /// Per-thread busy-time accounting for the candidate-selection fan-out.
+    pub telemetry: FanoutTelemetry,
 }
 
 /// A candidate hub-graph `G(X, w, y)` for one edge `w → y`.
@@ -353,12 +367,74 @@ fn finalize(g: &CsrGraph, rates: &Rates, sched: &mut Schedule) {
 }
 
 impl ParallelNosy {
-    /// Runs PARALLELNOSY with crossbeam-threaded candidate selection.
+    /// Runs PARALLELNOSY with pooled candidate selection (phase 1 fans out
+    /// over persistent workers; phases 2–3 are cheap and stay on the
+    /// coordinator). Deterministic for any [`ParallelNosy::threads`] value.
     pub fn run(&self, g: &CsrGraph, rates: &Rates) -> ParallelNosyResult {
         let costs = EdgeCosts::hybrid(g, rates);
-        self.run_impl(g, rates, &costs, |sched| {
-            self.candidates_threaded(g, rates, &costs, sched)
-        })
+        let m = g.edge_count();
+        let nt = self.threads.clamp(1, m.max(1));
+        let cross_cap = self.cross_cap;
+        let sched_lock = RwLock::new(Schedule::for_graph(g));
+        let mut telemetry = FanoutTelemetry::default();
+
+        let (iterations, cost_history, hubs_applied) = if nt > 1 && m > 0 {
+            crossbeam::scope(|s| {
+                let sl = &sched_lock;
+                let costs = &costs;
+                // One pool for the whole run: each worker re-reads the
+                // frozen schedule through the lock at the start of its
+                // chunk; the coordinator writes only between fan-outs.
+                let pool: FanoutPool<(usize, std::ops::Range<EdgeId>), (usize, Vec<Candidate>)> =
+                    FanoutPool::new(s, nt, |_| {
+                        move |(idx, range): (usize, std::ops::Range<EdgeId>)| {
+                            let sched = sl.read();
+                            let mut local = Vec::new();
+                            for e in range {
+                                if let Some(c) =
+                                    build_candidate(g, rates, costs, &sched, e, cross_cap)
+                                {
+                                    local.push(c);
+                                }
+                            }
+                            (idx, local)
+                        }
+                    });
+                self.run_impl(g, rates, costs, sl, || {
+                    let cl = chunk_len(m, nt);
+                    let jobs = (0..m)
+                        .step_by(cl)
+                        .enumerate()
+                        .map(|(i, lo)| (i, lo as EdgeId..(lo + cl).min(m) as EdgeId));
+                    let mut parts = pool.run_recorded(jobs, &mut telemetry);
+                    // Ascending chunk index = ascending edge ranges: the
+                    // candidate list comes out in edge order no matter
+                    // which worker produced which chunk.
+                    parts.sort_unstable_by_key(|&(i, _)| i);
+                    parts.into_iter().flat_map(|(_, v)| v).collect()
+                })
+            })
+            .expect("crossbeam scope failed")
+        } else {
+            self.run_impl(g, rates, &costs, &sched_lock, || {
+                let start = Instant::now();
+                let sched = sched_lock.read();
+                let out = (0..m as EdgeId)
+                    .filter_map(|e| build_candidate(g, rates, &costs, &sched, e, cross_cap))
+                    .collect();
+                drop(sched);
+                telemetry.record_inline(start.elapsed().as_nanos() as u64);
+                out
+            })
+        };
+
+        ParallelNosyResult {
+            schedule: sched_lock.into_inner(),
+            iterations,
+            cost_history,
+            hubs_applied,
+            telemetry,
+        }
     }
 
     /// Runs PARALLELNOSY as MapReduce jobs on `engine`, mirroring the
@@ -443,103 +519,69 @@ impl ParallelNosy {
             iterations,
             cost_history: history,
             hubs_applied,
+            telemetry: FanoutTelemetry::default(),
         }
     }
 
+    /// The iteration loop, shared by the pooled and serial executions.
+    /// `candidates` runs phase 1 against the schedule currently in
+    /// `sched_lock` (no guard is held while it runs — the pooled path's
+    /// workers take their own read locks); phases 2–3 and the apply run
+    /// under the coordinator's write lock. Returns
+    /// `(iterations, cost_history, hubs_applied)`.
     fn run_impl<F>(
         &self,
         g: &CsrGraph,
         rates: &Rates,
         costs: &EdgeCosts,
+        sched_lock: &RwLock<Schedule>,
         mut candidates: F,
-    ) -> ParallelNosyResult
+    ) -> (usize, Vec<f64>, usize)
     where
-        F: FnMut(&Schedule) -> Vec<Candidate>,
+        F: FnMut() -> Vec<Candidate>,
     {
         let m = g.edge_count();
-        let mut sched = Schedule::for_graph(g);
-        let mut history = vec![partial_cost_cached(g, rates, costs, &sched)];
+        let mut history = vec![partial_cost_cached(g, rates, costs, &sched_lock.read())];
         let mut hubs_applied = 0usize;
         let mut iterations = 0usize;
 
         for _ in 0..self.max_iterations {
-            // Phase 1: candidate selection (parallel).
-            let cands = candidates(&sched);
+            // Phase 1: candidate selection (fanned out).
+            let cands = candidates();
 
-            // Phase 2: lock arbitration.
-            let mut locks = LockTable::new(m);
-            for c in &cands {
-                for e in c.lock_edges(&sched, self.conservative_locks) {
-                    locks.request(e, c.gain, c.hub_edge);
+            let applied = {
+                let mut sched = sched_lock.write();
+
+                // Phase 2: lock arbitration.
+                let mut locks = LockTable::new(m);
+                for c in &cands {
+                    for e in c.lock_edges(&sched, self.conservative_locks) {
+                        locks.request(e, c.gain, c.hub_edge);
+                    }
                 }
-            }
 
-            // Phase 3: scheduling decisions.
-            let decisions: Vec<Decision> = cands
-                .iter()
-                .filter_map(|c| {
-                    decide(g, rates, costs, &sched, c, self.conservative_locks, |e| {
-                        locks.granted_to(e, c.hub_edge)
+                // Phase 3: scheduling decisions.
+                let decisions: Vec<Decision> = cands
+                    .iter()
+                    .filter_map(|c| {
+                        decide(g, rates, costs, &sched, c, self.conservative_locks, |e| {
+                            locks.granted_to(e, c.hub_edge)
+                        })
                     })
-                })
-                .collect();
+                    .collect();
 
-            let applied = apply_decisions(&mut sched, &decisions);
+                apply_decisions(&mut sched, &decisions)
+            };
             iterations += 1;
             hubs_applied += applied;
-            history.push(partial_cost_cached(g, rates, costs, &sched));
+            history.push(partial_cost_cached(g, rates, costs, &sched_lock.read()));
             if applied == 0 {
                 break;
             }
         }
 
-        finalize(g, rates, &mut sched);
-        ParallelNosyResult {
-            schedule: sched,
-            iterations,
-            cost_history: history,
-            hubs_applied,
-        }
-    }
-
-    /// Phase 1 over all edges, chunked across threads.
-    fn candidates_threaded(
-        &self,
-        g: &CsrGraph,
-        rates: &Rates,
-        costs: &EdgeCosts,
-        sched: &Schedule,
-    ) -> Vec<Candidate> {
-        let m = g.edge_count();
-        if m == 0 {
-            return Vec::new();
-        }
-        let threads = self.threads.clamp(1, m);
-        let chunk = m.div_ceil(threads);
-        let mut results: Vec<Vec<Candidate>> = Vec::with_capacity(threads);
-        crossbeam::scope(|s| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(m);
-                handles.push(s.spawn(move |_| {
-                    let mut local = Vec::new();
-                    for e in lo..hi {
-                        if let Some(c) =
-                            build_candidate(g, rates, costs, sched, e as EdgeId, self.cross_cap)
-                        {
-                            local.push(c);
-                        }
-                    }
-                    local
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("candidate worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
-        results.into_iter().flatten().collect()
+        finalize(g, rates, &mut sched_lock.write());
+        (iterations, history, hubs_applied)
     }
 }
 

@@ -36,6 +36,10 @@ pub struct Schedule {
     h: BitSet,
     l: BitSet,
     c: BitSet,
+    /// Hub per covered edge; allocated lazily on the first cover so that
+    /// schedules that never cover anything (push-all, pull-all, hybrid,
+    /// and every intermediate PARALLELNOSY iterate) cost 3 bits instead of
+    /// 4 bytes + 3 bits per edge.
     cover_hub: Vec<NodeId>,
 }
 
@@ -46,7 +50,7 @@ impl Schedule {
             h: BitSet::new(edge_count),
             l: BitSet::new(edge_count),
             c: BitSet::new(edge_count),
-            cover_hub: vec![NO_HUB; edge_count],
+            cover_hub: Vec::new(),
         }
     }
 
@@ -87,7 +91,7 @@ impl Schedule {
     /// The hub recorded for covered edge `e`, or [`NO_HUB`].
     #[inline]
     pub fn hub_of(&self, e: EdgeId) -> NodeId {
-        self.cover_hub[e as usize]
+        self.cover_hub.get(e as usize).copied().unwrap_or(NO_HUB)
     }
 
     /// Adds `e` to the push set. Returns `true` if newly added.
@@ -129,6 +133,9 @@ impl Schedule {
             "edge {e} is already served directly; refusing to cover it"
         );
         let newly = self.c.insert(e);
+        if self.cover_hub.is_empty() {
+            self.cover_hub = vec![NO_HUB; self.edge_count()];
+        }
         self.cover_hub[e as usize] = hub;
         newly
     }
@@ -138,7 +145,9 @@ impl Schedule {
         self.h.remove(e);
         self.l.remove(e);
         self.c.remove(e);
-        self.cover_hub[e as usize] = NO_HUB;
+        if let Some(slot) = self.cover_hub.get_mut(e as usize) {
+            *slot = NO_HUB;
+        }
     }
 
     /// The assignment of edge `e`.
@@ -147,7 +156,7 @@ impl Schedule {
             (true, true, _) => EdgeAssignment::PushAndPull,
             (true, false, _) => EdgeAssignment::Push,
             (false, true, _) => EdgeAssignment::Pull,
-            (false, false, true) => EdgeAssignment::Covered(self.cover_hub[e as usize]),
+            (false, false, true) => EdgeAssignment::Covered(self.hub_of(e)),
             (false, false, false) => EdgeAssignment::Unassigned,
         }
     }
@@ -281,6 +290,19 @@ mod tests {
         assert_eq!(s.pull_set_of(&g, 2), vec![1]);
         assert!(s.push_set_of(&g, 1).is_empty());
         assert!(s.pull_set_of(&g, 1).is_empty());
+    }
+
+    #[test]
+    fn hub_array_is_lazy() {
+        let g = triangle();
+        let mut s = Schedule::for_graph(&g);
+        // No covers yet: every edge reports NO_HUB without an allocation.
+        assert_eq!(s.hub_of(0), NO_HUB);
+        s.set_push(0);
+        s.unassign(0); // must not require the hub array either
+        s.set_covered(1, 1);
+        assert_eq!(s.hub_of(1), 1);
+        assert_eq!(s.hub_of(2), NO_HUB);
     }
 
     #[test]

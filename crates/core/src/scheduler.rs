@@ -100,6 +100,14 @@ pub struct ScheduleStats {
     /// [`intra_cost`](ScheduleStats::intra_cost); `intra_cost +
     /// cross_cost = cost` once filled).
     pub cross_cost: f64,
+    /// Milliseconds of work executed inside the algorithm's fan-out
+    /// sections, summed over workers (zero for algorithms without one).
+    /// See [`FanoutTelemetry`](crate::fanout::FanoutTelemetry).
+    pub fanout_busy_ms: f64,
+    /// Milliseconds of fan-out capacity (section wall time × workers);
+    /// `fanout_busy_ms / fanout_capacity_ms` is the busy fraction the
+    /// benchmark rows gate on.
+    pub fanout_capacity_ms: f64,
 }
 
 /// A schedule plus the uniform statistics of the run that produced it.
@@ -145,6 +153,11 @@ fn timed(inst: &Instance, f: impl FnOnce() -> (Schedule, ScheduleStats)) -> Sche
     stats.wall_time = start.elapsed();
     stats.cost = schedule_cost(inst.graph, inst.rates, &schedule);
     ScheduleOutcome { schedule, stats }
+}
+
+/// `(busy_ms, capacity_ms)` from a fan-out telemetry record.
+fn telemetry_ms(t: &crate::fanout::FanoutTelemetry) -> (f64, f64) {
+    (t.busy_ns as f64 / 1e6, t.capacity_ns as f64 / 1e6)
 }
 
 /// Push-all baseline (§1): every edge is a push.
@@ -207,9 +220,12 @@ impl Scheduler for ChitChat {
     fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
         timed(inst, || {
             let res = self.run(inst.graph, inst.rates);
+            let (fanout_busy_ms, fanout_capacity_ms) = telemetry_ms(&res.telemetry);
             let stats = ScheduleStats {
                 oracle_calls: res.oracle_calls,
                 hubs_applied: res.hub_selections,
+                fanout_busy_ms,
+                fanout_capacity_ms,
                 ..Default::default()
             };
             (res.schedule, stats)
@@ -225,9 +241,12 @@ impl Scheduler for ParallelNosy {
     fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
         timed(inst, || {
             let res = self.run(inst.graph, inst.rates);
+            let (fanout_busy_ms, fanout_capacity_ms) = telemetry_ms(&res.telemetry);
             let stats = ScheduleStats {
                 iterations: res.iterations,
                 hubs_applied: res.hubs_applied,
+                fanout_busy_ms,
+                fanout_capacity_ms,
                 ..Default::default()
             };
             (res.schedule, stats)
@@ -273,12 +292,15 @@ impl Scheduler for ShardedChitChat {
     fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
         timed(inst, || {
             let res = self.run(inst.graph, inst.rates);
+            let (fanout_busy_ms, fanout_capacity_ms) = telemetry_ms(&res.telemetry);
             let stats = ScheduleStats {
                 oracle_calls: res.oracle_calls,
                 // One full CHITCHAT per shard; expose shard count where the
                 // iteration counter lives for the other algorithms.
                 iterations: res.shards,
                 hubs_applied: res.hub_selections,
+                fanout_busy_ms,
+                fanout_capacity_ms,
                 ..Default::default()
             };
             (res.schedule, stats)

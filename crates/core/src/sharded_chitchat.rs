@@ -28,6 +28,7 @@ use piggyback_graph::{CsrGraph, NodeId};
 use piggyback_workload::Rates;
 
 use crate::chitchat::ChitChat;
+use crate::fanout::FanoutTelemetry;
 use crate::schedule::{EdgeAssignment, Schedule};
 
 /// How nodes are grouped into shards.
@@ -85,6 +86,8 @@ pub struct ShardedChitChatResult {
     pub hub_selections: usize,
     /// Densest-subgraph oracle invocations summed across all shards.
     pub oracle_calls: usize,
+    /// Oracle fan-out busy-time accounting merged across all shards.
+    pub telemetry: FanoutTelemetry,
 }
 
 impl ShardedChitChat {
@@ -177,6 +180,10 @@ impl ShardedChitChat {
 
         let hub_selections = shard_results.iter().map(|(_, r)| r.hub_selections).sum();
         let oracle_calls = shard_results.iter().map(|(_, r)| r.oracle_calls).sum();
+        let mut telemetry = FanoutTelemetry::default();
+        for (_, r) in &shard_results {
+            telemetry.merge(&r.telemetry);
+        }
 
         // Translate shard schedules back to global edge ids.
         let mut schedule = Schedule::for_graph(g);
@@ -227,6 +234,7 @@ impl ShardedChitChat {
             cross_shard_edges: cross,
             hub_selections,
             oracle_calls,
+            telemetry,
         }
     }
 }

@@ -22,17 +22,22 @@ pub type EdgeId = u32;
 /// Sentinel returned by lookups for non-existent edges.
 pub const INVALID_EDGE: EdgeId = u32::MAX;
 
-/// Immutable CSR digraph. Construct via [`crate::GraphBuilder`].
+/// Immutable CSR digraph. Construct via [`crate::GraphBuilder`] or the
+/// two-pass [`crate::StreamingBuilder`].
 ///
 /// An edge `u → v` means *v subscribes to u* (u produces, v consumes).
+///
+/// Offsets are stored as `u32`, which is valid because edge ids are `u32`:
+/// at 10M nodes the five adjacency arrays cost `8n + 12m` bytes instead of
+/// the `24n + 12m` a `usize`-offset layout would need.
 #[derive(Clone, Debug)]
 pub struct CsrGraph {
     /// `out_offsets[u]..out_offsets[u+1]` indexes `out_targets` / edge ids.
-    out_offsets: Vec<usize>,
+    out_offsets: Vec<u32>,
     /// Destination of each edge, grouped by source, sorted within a group.
     out_targets: Vec<NodeId>,
     /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources`.
-    in_offsets: Vec<usize>,
+    in_offsets: Vec<u32>,
     /// Source of each in-edge, grouped by destination, sorted within a group.
     in_sources: Vec<NodeId>,
     /// Forward edge id of each reverse-adjacency slot.
@@ -46,8 +51,12 @@ impl CsrGraph {
     /// no self-loops; `n` must exceed every node id. [`crate::GraphBuilder`]
     /// guarantees all of this.
     pub(crate) fn from_sorted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        let m = edges.len();
-        let mut out_offsets = vec![0usize; n + 1];
+        assert!(
+            edges.len() < u32::MAX as usize,
+            "edge count {} overflows u32 edge ids",
+            edges.len()
+        );
+        let mut out_offsets = vec![0u32; n + 1];
         for &(u, _) in edges {
             out_offsets[u as usize + 1] += 1;
         }
@@ -55,10 +64,25 @@ impl CsrGraph {
             out_offsets[i + 1] += out_offsets[i];
         }
         let out_targets: Vec<NodeId> = edges.iter().map(|&(_, v)| v).collect();
+        Self::from_out_adjacency(out_offsets, out_targets)
+    }
 
-        // Reverse adjacency: counting sort by destination.
-        let mut in_offsets = vec![0usize; n + 1];
-        for &(_, v) in edges {
+    /// Builds the reverse adjacency for an already-frozen forward CSR.
+    ///
+    /// `out_offsets` must be a prefix-sum array of length `n + 1` with
+    /// `out_offsets[n] == out_targets.len()`, and every group must be
+    /// sorted, duplicate-free and self-loop-free ([`crate::GraphBuilder`]
+    /// and [`crate::StreamingBuilder`] both guarantee this).
+    pub(crate) fn from_out_adjacency(out_offsets: Vec<u32>, out_targets: Vec<NodeId>) -> Self {
+        let n = out_offsets.len() - 1;
+        let m = out_targets.len();
+        debug_assert_eq!(out_offsets[n] as usize, m);
+
+        // Reverse adjacency: counting sort by destination. Because sources
+        // are visited in ascending order and the sort is stable, each
+        // in_sources group comes out sorted by source already.
+        let mut in_offsets = vec![0u32; n + 1];
+        for &v in &out_targets {
             in_offsets[v as usize + 1] += 1;
         }
         for i in 0..n {
@@ -67,14 +91,15 @@ impl CsrGraph {
         let mut cursor = in_offsets.clone();
         let mut in_sources = vec![0 as NodeId; m];
         let mut in_edge_ids = vec![0 as EdgeId; m];
-        for (eid, &(u, v)) in edges.iter().enumerate() {
-            let slot = cursor[v as usize];
-            in_sources[slot] = u;
-            in_edge_ids[slot] = eid as EdgeId;
-            cursor[v as usize] += 1;
+        for u in 0..n {
+            let (lo, hi) = (out_offsets[u] as usize, out_offsets[u + 1] as usize);
+            for (eid, &v) in (lo..).zip(&out_targets[lo..hi]) {
+                let slot = cursor[v as usize] as usize;
+                in_sources[slot] = u as NodeId;
+                in_edge_ids[slot] = eid as EdgeId;
+                cursor[v as usize] += 1;
+            }
         }
-        // Because forward edges are sorted by (src, dst) and the counting
-        // sort is stable, each in_sources group is sorted by source already.
         CsrGraph {
             out_offsets,
             out_targets,
@@ -105,37 +130,39 @@ impl CsrGraph {
     /// Out-neighbors of `u`: the consumers subscribed to `u`, ascending.
     #[inline]
     pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.out_targets[self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]]
+        &self.out_targets
+            [self.out_offsets[u as usize] as usize..self.out_offsets[u as usize + 1] as usize]
     }
 
     /// In-neighbors of `v`: the producers `v` subscribes to, ascending.
     #[inline]
     pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.in_sources[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+        &self.in_sources
+            [self.in_offsets[v as usize] as usize..self.in_offsets[v as usize + 1] as usize]
     }
 
     /// Out-degree of `u` (number of consumers).
     #[inline]
     pub fn out_degree(&self, u: NodeId) -> usize {
-        self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]
+        (self.out_offsets[u as usize + 1] - self.out_offsets[u as usize]) as usize
     }
 
     /// In-degree of `v` (number of producers it follows).
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as usize
     }
 
     /// Edge ids of the out-edges of `u`, parallel to [`Self::out_neighbors`].
     #[inline]
     pub fn out_edge_ids(&self, u: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
-        (self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]).map(|i| i as EdgeId)
+        self.out_offsets[u as usize]..self.out_offsets[u as usize + 1]
     }
 
     /// `(in-neighbor, edge id)` pairs for the in-edges of `v`.
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
-        let range = self.in_offsets[v as usize]..self.in_offsets[v as usize + 1];
+        let range = self.in_offsets[v as usize] as usize..self.in_offsets[v as usize + 1] as usize;
         range.map(move |i| (self.in_sources[i], self.in_edge_ids[i]))
     }
 
@@ -143,7 +170,7 @@ impl CsrGraph {
     #[inline]
     pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         let range = self.out_offsets[u as usize]..self.out_offsets[u as usize + 1];
-        range.map(move |i| (self.out_targets[i], i as EdgeId))
+        range.map(move |i| (self.out_targets[i as usize], i))
     }
 
     /// Edge id of the `idx`-th out-edge of `u` (position in the sorted
@@ -153,7 +180,7 @@ impl CsrGraph {
     #[inline]
     pub fn out_edge_id_at(&self, u: NodeId, idx: usize) -> EdgeId {
         debug_assert!(idx < self.out_degree(u));
-        (self.out_offsets[u as usize] + idx) as EdgeId
+        self.out_offsets[u as usize] + idx as EdgeId
     }
 
     /// Forward edge id of the `idx`-th in-edge of `v` (position in the
@@ -161,7 +188,7 @@ impl CsrGraph {
     #[inline]
     pub fn in_edge_id_at(&self, v: NodeId, idx: usize) -> EdgeId {
         debug_assert!(idx < self.in_degree(v));
-        self.in_edge_ids[self.in_offsets[v as usize] + idx]
+        self.in_edge_ids[self.in_offsets[v as usize] as usize + idx]
     }
 
     /// Half-open range of edge ids owned by `u`'s out-adjacency. Edge ids
@@ -171,8 +198,8 @@ impl CsrGraph {
     #[inline]
     pub fn out_edge_id_range(&self, u: NodeId) -> (EdgeId, EdgeId) {
         (
-            self.out_offsets[u as usize] as EdgeId,
-            self.out_offsets[u as usize + 1] as EdgeId,
+            self.out_offsets[u as usize],
+            self.out_offsets[u as usize + 1],
         )
     }
 
@@ -182,10 +209,7 @@ impl CsrGraph {
     /// per-in-edge state in a bitset keyed by slot scans at word speed.
     #[inline]
     pub fn in_slot_range(&self, v: NodeId) -> (u32, u32) {
-        (
-            self.in_offsets[v as usize] as u32,
-            self.in_offsets[v as usize + 1] as u32,
-        )
+        (self.in_offsets[v as usize], self.in_offsets[v as usize + 1])
     }
 
     /// Source node of the in-edge stored at `slot` (see
@@ -202,7 +226,7 @@ impl CsrGraph {
         self.in_neighbors(v)
             .binary_search(&u)
             .ok()
-            .map(|pos| (base + pos) as u32)
+            .map(|pos| base + pos as u32)
     }
 
     /// Destination of edge `e`. O(1) (forward-array load).
@@ -218,7 +242,7 @@ impl CsrGraph {
     pub fn edge_id(&self, u: NodeId, v: NodeId) -> EdgeId {
         let base = self.out_offsets[u as usize];
         match self.out_neighbors(u).binary_search(&v) {
-            Ok(pos) => (base + pos) as EdgeId,
+            Ok(pos) => base + pos as EdgeId,
             Err(_) => INVALID_EDGE,
         }
     }
@@ -238,7 +262,7 @@ impl CsrGraph {
         debug_assert!(idx < self.edge_count());
         // partition_point returns the first u with out_offsets[u] > idx, so
         // the source is that minus one.
-        let u = self.out_offsets.partition_point(|&off| off <= idx) - 1;
+        let u = self.out_offsets.partition_point(|&off| off as usize <= idx) - 1;
         (u as NodeId, self.out_targets[idx])
     }
 
@@ -260,8 +284,8 @@ impl CsrGraph {
 
     /// Memory footprint of the adjacency arrays in bytes (diagnostics).
     pub fn memory_bytes(&self) -> usize {
-        self.out_offsets.len() * std::mem::size_of::<usize>()
-            + self.in_offsets.len() * std::mem::size_of::<usize>()
+        self.out_offsets.len() * std::mem::size_of::<u32>()
+            + self.in_offsets.len() * std::mem::size_of::<u32>()
             + self.out_targets.len() * std::mem::size_of::<NodeId>()
             + self.in_sources.len() * std::mem::size_of::<NodeId>()
             + self.in_edge_ids.len() * std::mem::size_of::<EdgeId>()
@@ -308,7 +332,7 @@ impl Iterator for EdgeIter<'_> {
             return None;
         }
         // Advance src until idx falls inside its out-range.
-        while self.graph.out_offsets[self.src + 1] <= self.idx {
+        while (self.graph.out_offsets[self.src + 1] as usize) <= self.idx {
             self.src += 1;
         }
         let item = (

@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::csr::NodeId;
 use crate::CsrGraph;
-use crate::GraphBuilder;
+use crate::StreamingBuilder;
 
 /// Parameters for the [`copying`] generator.
 #[derive(Clone, Copy, Debug)]
@@ -45,8 +45,6 @@ pub fn copying(cfg: CopyingConfig) -> CsrGraph {
         "copy_prob must be a probability, got {copy_prob}"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_capacity(n.saturating_mul(k));
-    b.reserve_nodes(n);
     // producers[v] = list of nodes v subscribes to (v's in-neighbors).
     let mut producers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
     for v in 1..n {
@@ -65,12 +63,26 @@ pub fn copying(cfg: CopyingConfig) -> CsrGraph {
                 chosen.push(candidate);
             }
         }
-        for &u in &chosen {
-            b.add_edge(u, v as NodeId);
-        }
         producers[v] = chosen;
     }
-    b.build()
+    // The producer lists *are* the graph (in-adjacency), so the CSR can be
+    // streamed out of them in two counting passes — no `Vec<(u, v)>` edge
+    // buffer, no sort. Iterating v in ascending order fills each source's
+    // target group already sorted.
+    let mut sb = StreamingBuilder::new();
+    sb.reserve_nodes(n);
+    for (v, ps) in producers.iter().enumerate() {
+        for &u in ps {
+            sb.count_edge(u, v as NodeId);
+        }
+    }
+    let mut fill = sb.into_fill();
+    for (v, ps) in producers.iter().enumerate() {
+        for &u in ps {
+            fill.fill_edge(u, v as NodeId);
+        }
+    }
+    fill.finish()
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::CsrGraph;
-use crate::GraphBuilder;
+use crate::StreamingBuilder;
 
 /// Returns a copy of `g` where, for every edge `u → v` whose reverse is
 /// absent, the reverse edge `v → u` is added with probability `p`.
@@ -15,16 +15,27 @@ use crate::GraphBuilder;
 /// which the densest-subgraph oracle handles via role splitting.
 pub fn add_reciprocity(g: &CsrGraph, p: f64, seed: u64) -> CsrGraph {
     assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    // Two streaming passes replaying the same seeded coin flips: count the
+    // kept/reversed edges, then fill them straight into CSR slots. Avoids
+    // buffering a 2m-entry edge list at benchmark scale.
+    let mut sb = StreamingBuilder::new();
+    sb.reserve_nodes(g.node_count());
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_capacity(g.edge_count() * 2);
-    b.reserve_nodes(g.node_count());
     for (_, u, v) in g.edges() {
-        b.add_edge(u, v);
+        sb.count_edge(u, v);
         if !g.has_edge(v, u) && rng.random_bool(p) {
-            b.add_edge(v, u);
+            sb.count_edge(v, u);
         }
     }
-    b.build()
+    let mut fill = sb.into_fill();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (_, u, v) in g.edges() {
+        fill.fill_edge(u, v);
+        if !g.has_edge(v, u) && rng.random_bool(p) {
+            fill.fill_edge(v, u);
+        }
+    }
+    fill.finish()
 }
 
 #[cfg(test)]

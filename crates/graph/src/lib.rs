@@ -52,7 +52,7 @@ pub mod io;
 pub mod sample;
 pub mod stats;
 
-pub use builder::GraphBuilder;
+pub use builder::{GraphBuilder, StreamingBuilder, StreamingFill};
 pub use csr::{intersect_sorted, CsrGraph, EdgeId, NodeId, INVALID_EDGE};
 pub use dynamic::DynamicGraph;
 
