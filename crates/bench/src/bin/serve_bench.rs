@@ -11,8 +11,14 @@
 //! ```text
 //! cargo run --release -p piggyback-bench --bin serve_bench -- [--smoke] \
 //!     [--nodes <n>] [--servers <n>] [--duration-ms <n>] [--out <file>] \
-//!     [--both] [--min-ops <ops/s>]
+//!     [--both] [--min-ops <ops/s>] [--metrics on|off] [--stats-out <file>]
 //! ```
+//!
+//! `--metrics off` boots the runtimes without the observability layer —
+//! CI runs the smoke twice and gates the metrics-on throughput at ≥ 95%
+//! of metrics-off. `--stats-out` writes every run's final metrics
+//! snapshot (instruments + per-shard wire scrape) as one JSON document;
+//! with metrics on, each `results` row also embeds it under `"obs"`.
 //!
 //! `--smoke` shrinks everything for CI (a few hundred ms per schedule);
 //! the default configuration runs a 100k-node graph at 1000 servers.
@@ -62,6 +68,8 @@ struct Args {
     both: bool,
     min_ops: Option<f64>,
     pre_pr: Option<String>,
+    metrics: bool,
+    stats_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -72,6 +80,8 @@ fn parse_args() -> Args {
     let mut out = None;
     let mut min_ops = None;
     let mut pre_pr = None;
+    let mut metrics = true;
+    let mut stats_out = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -82,6 +92,18 @@ fn parse_args() -> Args {
             "--both" => {
                 both = true;
                 i += 1;
+            }
+            "--metrics" => {
+                metrics = match argv[i + 1].as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--metrics takes on|off, got {other:?}"),
+                };
+                i += 2;
+            }
+            "--stats-out" => {
+                stats_out = Some(argv[i + 1].clone());
+                i += 2;
             }
             "--nodes" => {
                 nodes = Some(argv[i + 1].parse().expect("--nodes"));
@@ -120,6 +142,8 @@ fn parse_args() -> Args {
         both,
         min_ops,
         pre_pr,
+        metrics,
+        stats_out,
     }
 }
 
@@ -250,13 +274,20 @@ fn store_microbench(iters: u64) -> MicroResult {
 fn json_result(name: &str, rpc: RpcMode, cost: f64, r: &HarnessReport) -> String {
     let churn = &r.serve.churn;
     let cache_total = r.serve.cache_hits + r.serve.cache_misses;
+    // The embedded metrics snapshot (registry + wire scrape), or null when
+    // the run had metrics off (the overhead-gate comparison arm).
+    let obs = r
+        .serve
+        .metrics
+        .as_ref()
+        .map_or_else(|| "null".to_string(), piggyback_obs::Snapshot::to_json);
     format!(
         concat!(
             "    {{\"schedule\": \"{}\", \"rpc\": \"{}\", \"cost\": {:.1}, \"ops\": {}, ",
             "\"throughput_ops_per_sec\": {:.1}, \"messages_per_op\": {:.3}, ",
             "\"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}, ",
             "\"follows_applied\": {}, \"unfollows_applied\": {}, \"reopts\": {}, ",
-            "\"epochs\": {}, \"cache_hit_rate\": {:.4}, \"staleness_ok\": {}}}"
+            "\"epochs\": {}, \"cache_hit_rate\": {:.4}, \"staleness_ok\": {}, \"obs\": {}}}"
         ),
         name,
         rpc.name(),
@@ -277,7 +308,8 @@ fn json_result(name: &str, rpc: RpcMode, cost: f64, r: &HarnessReport) -> String
         } else {
             0.0
         },
-        churn.zero_violations()
+        churn.zero_violations(),
+        obs
     )
 }
 
@@ -307,6 +339,7 @@ fn main() {
     let rates = Rates::log_degree(&g, REFERENCE_RW_RATIO);
     let inst = Instance::new(&g, &rates);
     let mut rows = Vec::new();
+    let mut stats_rows = Vec::new();
     let mut summary = Vec::new();
     let mut speedups = Vec::new();
     let mut best_batched = 0.0f64;
@@ -331,6 +364,7 @@ fn main() {
                     workers: 4,
                     reopt_threshold: 0.25,
                     rpc,
+                    metrics: args.metrics,
                     ..Default::default()
                 },
                 &HarnessConfig {
@@ -339,6 +373,7 @@ fn main() {
                     churn_ratio,
                     arrival: Arrival::Closed,
                     seed: 7,
+                    stats_interval: None,
                 },
             );
             assert!(
@@ -363,6 +398,9 @@ fn main() {
                 best_batched = best_batched.max(report.throughput());
             }
             per_mode.push((rpc, report.throughput()));
+            if let Some(snap) = &report.serve.metrics {
+                stats_rows.push(format!("  \"{}_{}\": {}", name, rpc.name(), snap.to_json()));
+            }
             rows.push(json_result(name, rpc, cost, &report));
         }
         if args.both {
@@ -453,6 +491,11 @@ fn main() {
     println!("{json}");
     if let Some(path) = &args.out {
         std::fs::write(path, format!("{json}\n")).expect("write --out file");
+        eprintln!("# wrote {path}");
+    }
+    if let Some(path) = &args.stats_out {
+        let stats = format!("{{\n{}\n}}\n", stats_rows.join(",\n"));
+        std::fs::write(path, stats).expect("write --stats-out file");
         eprintln!("# wrote {path}");
     }
     // The paper's ordering is a trend, not a per-run guarantee (placement

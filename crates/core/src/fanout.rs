@@ -19,63 +19,30 @@
 //! (oracle calls, candidate order) must not.
 //!
 //! The pool also keeps the per-thread busy-time telemetry the benchmark
-//! rows report: each worker accumulates wall time spent *inside* jobs into
-//! a shared counter, and [`FanoutTelemetry`] relates it to the capacity
-//! (section wall time × workers) of every parallel section. A busy
-//! fraction near 1.0 means the fan-out kept all workers fed; flat scaling
-//! with a high busy fraction points at the serial remainder instead
-//! (Amdahl), and a low fraction points at dispatch/imbalance — diagnosable
-//! straight from the committed JSON.
+//! rows report, now on the shared `piggyback-obs` instruments: each worker
+//! accumulates wall time spent *inside* jobs into an [`obs::Counter`], and
+//! [`FanoutTelemetry`] (re-exported from `piggyback-obs`) relates it to
+//! the capacity (section wall time × workers) of every parallel section.
+//! A busy fraction near 1.0 means the fan-out kept all workers fed; flat
+//! scaling with a high busy fraction points at the serial remainder
+//! instead (Amdahl), and a low fraction points at dispatch/imbalance —
+//! diagnosable straight from the committed JSON.
+//!
+//! When an ambient [`EventLog`](piggyback_obs::EventLog) is installed on
+//! the constructing thread ([`piggyback_obs::set_ambient_events`]), every
+//! recorded batch dispatch also lands in the event ring — this is how a
+//! background re-optimization inside the serving runtime traces its
+//! oracle fan-outs without any `Scheduler`-trait plumbing.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use crossbeam::Scope;
+use piggyback_obs as obs;
+use piggyback_obs::EventKind;
 
-/// Busy-time accounting across the parallel and inline fan-out sections of
-/// one scheduler run.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FanoutTelemetry {
-    /// Nanoseconds workers (or the coordinator, for inline sections) spent
-    /// executing jobs.
-    pub busy_ns: u64,
-    /// Nanoseconds of capacity: section wall time × workers participating
-    /// in that section (1 for inline sections).
-    pub capacity_ns: u64,
-}
-
-impl FanoutTelemetry {
-    /// Fraction of the fan-out capacity spent doing work, in `[0, 1]`.
-    /// `1.0` when no fan-out sections ran at all.
-    pub fn busy_fraction(&self) -> f64 {
-        if self.capacity_ns == 0 {
-            1.0
-        } else {
-            (self.busy_ns as f64 / self.capacity_ns as f64).min(1.0)
-        }
-    }
-
-    /// Records a parallel section: `busy_ns` summed across workers,
-    /// section wall time, worker count.
-    pub fn record_parallel(&mut self, busy_ns: u64, wall_ns: u64, workers: usize) {
-        self.busy_ns += busy_ns;
-        self.capacity_ns += wall_ns.saturating_mul(workers as u64);
-    }
-
-    /// Records an inline section (coordinator did the work itself).
-    pub fn record_inline(&mut self, wall_ns: u64) {
-        self.busy_ns += wall_ns;
-        self.capacity_ns += wall_ns;
-    }
-
-    /// Merges another run's counters (used by sharded drivers).
-    pub fn merge(&mut self, other: &FanoutTelemetry) {
-        self.busy_ns += other.busy_ns;
-        self.capacity_ns += other.capacity_ns;
-    }
-}
+pub use piggyback_obs::FanoutTelemetry;
 
 /// A fixed set of scoped workers draining jobs from a shared channel.
 ///
@@ -86,7 +53,8 @@ impl FanoutTelemetry {
 pub struct FanoutPool<J, R> {
     jobs: Sender<J>,
     results: Receiver<R>,
-    busy_ns: Arc<AtomicU64>,
+    busy_ns: obs::Counter,
+    events: Option<obs::EventLog>,
     workers: usize,
 }
 
@@ -110,11 +78,14 @@ impl<J, R> FanoutPool<J, R> {
         let (jobs, job_rx) = unbounded::<J>();
         let (result_tx, results) = unbounded::<R>();
         let job_rx = Arc::new(job_rx);
-        let busy_ns = Arc::new(AtomicU64::new(0));
+        let busy_ns = obs::Counter::new();
         for i in 0..workers {
             let rx = Arc::clone(&job_rx);
             let tx = result_tx.clone();
-            let busy = Arc::clone(&busy_ns);
+            // Each worker clones onto its own counter stripe — the same
+            // contention-free accumulation the bespoke atomic gave, minus
+            // the bespoke atomic.
+            let busy = busy_ns.clone();
             let mut work = make_worker(i);
             scope.spawn(move |_| {
                 // `recv` errs once the pool (the only job sender) is
@@ -122,7 +93,7 @@ impl<J, R> FanoutPool<J, R> {
                 while let Ok(job) = rx.recv() {
                     let start = Instant::now();
                     let out = work(job);
-                    busy.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    busy.add(start.elapsed().as_nanos() as u64);
                     if tx.send(out).is_err() {
                         break;
                     }
@@ -133,6 +104,7 @@ impl<J, R> FanoutPool<J, R> {
             jobs,
             results,
             busy_ns,
+            events: obs::ambient_events(),
             workers,
         }
     }
@@ -144,7 +116,7 @@ impl<J, R> FanoutPool<J, R> {
 
     /// Total nanoseconds workers have spent inside jobs so far.
     pub fn busy_ns(&self) -> u64 {
-        self.busy_ns.load(Ordering::Relaxed)
+        self.busy_ns.get()
     }
 
     /// Dispatches a batch of jobs and collects exactly as many results,
@@ -160,7 +132,9 @@ impl<J, R> FanoutPool<J, R> {
             .collect()
     }
 
-    /// Like [`FanoutPool::run`], recording the section into `telemetry`.
+    /// Like [`FanoutPool::run`], recording the section into `telemetry`
+    /// (and into the ambient event ring, when one was installed at pool
+    /// construction).
     pub fn run_recorded(
         &self,
         batch: impl IntoIterator<Item = J>,
@@ -169,11 +143,16 @@ impl<J, R> FanoutPool<J, R> {
         let busy_before = self.busy_ns();
         let start = Instant::now();
         let out = self.run(batch);
-        telemetry.record_parallel(
-            self.busy_ns() - busy_before,
-            start.elapsed().as_nanos() as u64,
-            self.workers,
-        );
+        let busy = self.busy_ns() - busy_before;
+        let wall = start.elapsed().as_nanos() as u64;
+        telemetry.record_parallel(busy, wall, self.workers);
+        if let Some(events) = &self.events {
+            events.record(EventKind::FanoutBatch {
+                jobs: out.len(),
+                busy_ns: busy,
+                wall_ns: wall,
+            });
+        }
         out
     }
 }
@@ -242,5 +221,66 @@ mod tests {
     #[test]
     fn telemetry_fraction_defaults_to_one() {
         assert_eq!(FanoutTelemetry::default().busy_fraction(), 1.0);
+    }
+
+    /// Differential guard for the obs migration: the pool's telemetry
+    /// arithmetic must match the pre-PR accumulation (busy summed, wall ×
+    /// workers capacity) when fed the identical section sequence.
+    #[test]
+    fn telemetry_matches_pre_migration_accumulation() {
+        // (busy_ns, wall_ns, workers) sections as the pre-PR code consumed
+        // them; the mirror below is the old field arithmetic verbatim.
+        let sections = [
+            (300u64, 120u64, 4usize),
+            (0, 50, 2),
+            (1u64 << 40, 1u64 << 41, 3),
+            (7, 7, 1),
+        ];
+        let mut migrated = FanoutTelemetry::default();
+        let (mut old_busy, mut old_capacity) = (0u64, 0u64);
+        for &(busy, wall, workers) in &sections {
+            migrated.record_parallel(busy, wall, workers);
+            old_busy += busy;
+            old_capacity += wall.saturating_mul(workers as u64);
+        }
+        migrated.record_inline(42);
+        old_busy += 42;
+        old_capacity += 42;
+        assert_eq!(migrated.busy_ns, old_busy);
+        assert_eq!(migrated.capacity_ns, old_capacity);
+    }
+
+    #[test]
+    fn ambient_event_log_traces_batches() {
+        let log = piggyback_obs::EventLog::new(16);
+        crossbeam::scope(|s| {
+            let _guard = piggyback_obs::set_ambient_events(&log);
+            let pool: FanoutPool<u32, u32> = FanoutPool::new(s, 2, |_| |x: u32| x + 1);
+            let mut tel = FanoutTelemetry::default();
+            pool.run_recorded(0..8u32, &mut tel);
+            pool.run_recorded(0..3u32, &mut tel);
+        })
+        .unwrap();
+        assert_eq!(log.total_recorded(), 2);
+        let jobs: Vec<usize> = log
+            .recent(2)
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::FanoutBatch { jobs, .. } => jobs,
+                _ => panic!("unexpected event {e}"),
+            })
+            .collect();
+        assert_eq!(jobs, vec![8, 3]);
+    }
+
+    #[test]
+    fn no_ambient_log_means_no_tracing() {
+        crossbeam::scope(|s| {
+            let pool: FanoutPool<u32, u32> = FanoutPool::new(s, 1, |_| |x: u32| x);
+            let mut tel = FanoutTelemetry::default();
+            pool.run_recorded(0..4u32, &mut tel);
+            assert!(pool.events.is_none());
+        })
+        .unwrap();
     }
 }

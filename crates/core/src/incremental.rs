@@ -340,6 +340,19 @@ impl IncrementalScheduler {
             .collect()
     }
 
+    /// Whether the live edge `u → v` is served *directly* — `v` in `u`'s
+    /// push set or `u` in `v`'s pull set — without materializing either
+    /// set. This is the allocation-free membership probe behind the churn
+    /// manager's live staleness check: every edge a mutation reserves for
+    /// direct serving ([`ChurnEffect::reserved_direct`]) must satisfy it
+    /// the moment the mutation returns.
+    pub fn serves_edge_directly(&self, u: NodeId, v: NodeId) -> bool {
+        match self.base_edge_id(u, v) {
+            Some(e) => self.schedule.is_push(e) || self.schedule.is_pull(e),
+            None => self.overlay.contains_key(&(u, v)),
+        }
+    }
+
     /// Base-graph edge id of `(u, v)`, if `(u, v)` is a base edge.
     fn base_edge_id(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         let base = self.graph.base();
@@ -533,6 +546,30 @@ mod tests {
         let effect = inc.remove_edge_detailed(3, 4);
         assert!(effect.reserved_direct.is_empty());
         inc.validate().unwrap();
+    }
+
+    #[test]
+    fn serves_edge_directly_matches_materialized_sets() {
+        let (g, r) = hub_world();
+        let s = optimized(&g, &r);
+        let mut inc = IncrementalScheduler::new(g.clone(), r, s);
+        inc.add_edge(3, 4); // overlay edge, direct by construction
+        inc.remove_edge(1, 2); // orphans 0 -> 2, re-served directly
+        let n = g.node_count() as NodeId;
+        for u in 0..n {
+            let push = inc.push_targets(u);
+            for v in 0..n {
+                let expected = push.contains(&v) || inc.pull_sources(v).contains(&u);
+                assert_eq!(
+                    inc.serves_edge_directly(u, v),
+                    expected,
+                    "probe disagrees with materialized sets on {u} -> {v}"
+                );
+            }
+        }
+        // The covered edge 0 -> 2 became direct when its pull leg vanished.
+        assert!(inc.serves_edge_directly(0, 2));
+        assert!(inc.serves_edge_directly(3, 4));
     }
 
     #[test]

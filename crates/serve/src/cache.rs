@@ -9,6 +9,13 @@
 //! Entries are tagged with the schedule epoch they were computed under; an
 //! epoch swap (churn or re-optimization) invalidates them implicitly, so a
 //! cached result never outlives the schedule that produced it.
+//!
+//! Observability: the cache distinguishes *expired* lookups (an entry for
+//! the right epoch existed but outlived the TTL) from plain misses, tracks
+//! the age of the oldest result it ever served (the max observed staleness
+//! — by construction ≤ the TTL budget), and supports an explicit
+//! [`sweep_expired`](PullCache::sweep_expired) pass so a background tick
+//! can bound memory on read-cold keys.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -34,6 +41,12 @@ pub struct PullCache {
     slots: Vec<Mutex<FxHashMap<NodeId, Entry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Lookups that found a current-epoch entry older than the TTL
+    /// (a subset of `misses`).
+    expired: AtomicU64,
+    /// Oldest age (ns) of any result actually served from the cache — the
+    /// max staleness a client observed. Always ≤ the TTL budget.
+    max_hit_age_ns: AtomicU64,
 }
 
 impl PullCache {
@@ -48,6 +61,8 @@ impl PullCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            max_hit_age_ns: AtomicU64::new(0),
         }
     }
 
@@ -69,11 +84,23 @@ impl PullCache {
         }
         let slot = self.slot(u).lock();
         match slot.get(&u) {
-            Some(e) if e.epoch == epoch && e.at.elapsed() <= self.ttl => {
-                let events = Arc::clone(&e.events);
-                drop(slot);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(events)
+            Some(e) if e.epoch == epoch => {
+                let age = e.at.elapsed();
+                if age <= self.ttl {
+                    let events = Arc::clone(&e.events);
+                    drop(slot);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.max_hit_age_ns.fetch_max(
+                        age.as_nanos().min(u128::from(u64::MAX)) as u64,
+                        Ordering::Relaxed,
+                    );
+                    Some(events)
+                } else {
+                    drop(slot);
+                    self.expired.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
             }
             _ => {
                 drop(slot);
@@ -98,12 +125,48 @@ impl PullCache {
         );
     }
 
-    /// `(hits, misses)` since construction.
+    /// Drops every entry older than the TTL, returning
+    /// `(entries scanned, entries dropped)`. Read paths already treat such
+    /// entries as misses; the sweep reclaims their memory for keys that
+    /// stopped being queried.
+    pub fn sweep_expired(&self) -> (usize, usize) {
+        if !self.enabled() {
+            return (0, 0);
+        }
+        let mut scanned = 0usize;
+        let mut dropped = 0usize;
+        for slot in &self.slots {
+            let mut map = slot.lock();
+            scanned += map.len();
+            let before = map.len();
+            map.retain(|_, e| e.at.elapsed() <= self.ttl);
+            dropped += before - map.len();
+        }
+        (scanned, dropped)
+    }
+
+    /// `(hits, misses)` since construction (misses include expirations).
     pub fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Lookups that found a current-epoch entry past its TTL.
+    pub fn expired(&self) -> u64 {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Age of the oldest result ever served from the cache — the max
+    /// staleness any client observed. Zero with no hits.
+    pub fn max_served_staleness(&self) -> Duration {
+        Duration::from_nanos(self.max_hit_age_ns.load(Ordering::Relaxed))
+    }
+
+    /// Entries currently resident across all slots.
+    pub fn resident(&self) -> usize {
+        self.slots.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -125,8 +188,9 @@ mod tests {
         assert!(!c.enabled());
         c.put(1, 0, snap(&[ev(1)]));
         assert!(c.get(1, 0).is_none());
-        // Disabled caches count nothing.
+        // Disabled caches count nothing and sweep nothing.
         assert_eq!(c.stats(), (0, 0));
+        assert_eq!(c.sweep_expired(), (0, 0));
     }
 
     #[test]
@@ -136,6 +200,10 @@ mod tests {
         c.put(7, 3, snap(&[ev(1), ev(2)]));
         assert_eq!(c.get(7, 3).unwrap().len(), 2);
         assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.expired(), 0);
+        // A hit's age registers as observed staleness (tiny but nonzero
+        // timing is platform-dependent; it must never exceed the TTL).
+        assert!(c.max_served_staleness() <= Duration::from_secs(60));
     }
 
     #[test]
@@ -144,6 +212,7 @@ mod tests {
         c.put(7, 3, snap(&[ev(1)]));
         assert!(c.get(7, 4).is_none(), "new epoch must miss");
         assert!(c.get(7, 3).is_some(), "old epoch entry intact");
+        assert_eq!(c.expired(), 0, "epoch mismatch is a miss, not an expiry");
     }
 
     #[test]
@@ -158,10 +227,39 @@ mod tests {
     }
 
     #[test]
-    fn ttl_expiry_invalidates() {
+    fn ttl_expiry_invalidates_and_counts() {
         let c = PullCache::new(Duration::from_millis(10), 1);
         c.put(9, 0, snap(&[ev(1)]));
         std::thread::sleep(Duration::from_millis(25));
         assert!(c.get(9, 0).is_none(), "entry older than the TTL must miss");
+        assert_eq!(c.expired(), 1, "TTL-stale lookup counts as expired");
+        assert_eq!(c.stats().1, 1, "…and as a miss");
+    }
+
+    #[test]
+    fn sweep_drops_only_expired_entries() {
+        let c = PullCache::new(Duration::from_millis(20), 2);
+        c.put(1, 0, snap(&[ev(1)]));
+        std::thread::sleep(Duration::from_millis(35));
+        c.put(2, 0, snap(&[ev(2)]));
+        assert_eq!(c.resident(), 2);
+        let (scanned, dropped) = c.sweep_expired();
+        assert_eq!(scanned, 2);
+        assert_eq!(dropped, 1, "only the stale entry goes");
+        assert_eq!(c.resident(), 1);
+        assert!(c.get(2, 0).is_some(), "fresh entry survives the sweep");
+    }
+
+    #[test]
+    fn max_served_staleness_tracks_oldest_hit() {
+        let c = PullCache::new(Duration::from_secs(1), 1);
+        c.put(5, 0, snap(&[ev(1)]));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(c.get(5, 0).is_some());
+        let observed = c.max_served_staleness();
+        assert!(
+            observed >= Duration::from_millis(10),
+            "hit age must register: {observed:?}"
+        );
     }
 }

@@ -79,6 +79,11 @@ pub struct ServeConfig {
     /// Which shard-RPC plane clients speak (benchmarking knob; production
     /// is [`RpcMode::Batched`]).
     pub rpc: RpcMode,
+    /// Whether the runtime carries live metrics + event tracing
+    /// ([`ServeMetrics`](crate::metrics::ServeMetrics)). On by default —
+    /// the instruments are cheap enough to leave on (CI gates the serving
+    /// overhead at ≤ 5%); `false` exists for that overhead measurement.
+    pub metrics: bool,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +100,7 @@ impl Default for ServeConfig {
             rebalance_threshold: f64::INFINITY,
             queue_depth: 1024,
             rpc: RpcMode::Batched,
+            metrics: true,
         }
     }
 }
@@ -113,8 +119,9 @@ mod tests {
         // no live rebalancing.
         assert_eq!(c.partition, PartitionStrategy::Hash);
         assert!(c.rebalance_threshold.is_infinite());
-        // Production serves over the coalesced plane.
+        // Production serves over the coalesced plane, with metrics on.
         assert_eq!(c.rpc, RpcMode::Batched);
+        assert!(c.metrics);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct HarnessConfig {
     pub arrival: Arrival,
     /// Trace seed (client `i` uses `seed + i`).
     pub seed: u64,
+    /// Dump a live stats delta (instruments + wire scrape + recent events)
+    /// to stderr every interval, and sweep the pull cache. `None` (the
+    /// default) disables the dumper thread entirely.
+    pub stats_interval: Option<Duration>,
 }
 
 impl Default for HarnessConfig {
@@ -61,6 +65,7 @@ impl Default for HarnessConfig {
             churn_ratio: 0.02,
             arrival: Arrival::Closed,
             seed: 42,
+            stats_interval: None,
         }
     }
 }
@@ -122,6 +127,40 @@ pub fn run_harness(
     // recording a sample never serializes clients against each other.
     let mut total = ClientTally::default();
     std::thread::scope(|s| {
+        if let Some(interval) = load.stats_interval {
+            // Periodic observer: snapshot → delta → stderr, plus a cache
+            // expiry sweep. Borrows the runtime immutably alongside the
+            // clients; exits at the deadline like they do.
+            let rt = &runtime;
+            s.spawn(move || {
+                let mut prev = rt.stats_snapshot();
+                let mut next = start + interval;
+                while next < deadline {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(next - now);
+                    }
+                    let snap = rt.stats_snapshot();
+                    eprintln!(
+                        "--- stats @ {:6.1}s (delta over {:.1}s) ---",
+                        start.elapsed().as_secs_f64(),
+                        interval.as_secs_f64()
+                    );
+                    eprint!(
+                        "{}",
+                        snap.delta_since(&prev).render(Some(interval.as_secs_f64()))
+                    );
+                    if let Some(m) = rt.metrics() {
+                        for e in m.events().recent(5) {
+                            eprintln!("  {e}");
+                        }
+                    }
+                    rt.sweep_cache();
+                    prev = snap;
+                    next += interval;
+                }
+            });
+        }
         let handles: Vec<_> = (0..load.clients)
             .map(|i| {
                 let mut client = runtime.client();
@@ -257,6 +296,7 @@ mod tests {
                 churn_ratio: 0.05,
                 arrival: Arrival::Closed,
                 seed: 7,
+                stats_interval: None,
             },
         );
         assert!(report.ops > 0, "no operations completed");
@@ -290,6 +330,7 @@ mod tests {
                 churn_ratio: 0.0,
                 arrival: Arrival::Open { ops_per_sec: 400.0 },
                 seed: 11,
+                stats_interval: None,
             },
         );
         // An uncontended in-process runtime easily sustains 400 op/s, so

@@ -31,11 +31,18 @@
 //! * [`harness`] — the load harness: closed-loop and open-loop (fixed
 //!   arrival rate) generators reporting throughput plus p50/p95/p99
 //!   latency via the [`piggyback_store::latency`] histogram.
+//! * [`metrics`] — the runtime's live instrument bundle
+//!   ([`piggyback_obs`]): per-operation latency histograms and counters,
+//!   churn gauges, and the control-plane event ring. On by default
+//!   ([`ServeConfig::metrics`]); scraped over the wire via
+//!   [`ServeRuntime::stats_snapshot`] or dumped periodically by the
+//!   harness (`stats_interval`).
 
 pub mod cache;
 pub mod config;
 pub mod epoch;
 pub mod harness;
+pub mod metrics;
 pub mod ops;
 pub mod runtime;
 
@@ -43,5 +50,6 @@ pub use cache::PullCache;
 pub use config::{RpcMode, ServeConfig};
 pub use epoch::{EpochHandle, ServingSchedule};
 pub use harness::{run_harness, Arrival, HarnessConfig, HarnessReport};
+pub use metrics::ServeMetrics;
 pub use ops::{ChurnReport, ServeReport};
 pub use runtime::{ServeClient, ServeRuntime};

@@ -62,9 +62,15 @@ pub struct ChurnReport {
     pub base_cost: f64,
     /// Running incremental cost at shutdown.
     pub final_cost: f64,
-    /// First bounded-staleness violation found by the post-run validation,
-    /// if any. `None` is the paper's invariant: every current edge is
-    /// served by push, pull, or an intact hub pair.
+    /// Bounded-staleness violations caught *live* by the churn manager:
+    /// after every applied mutation, each edge the mutation switched to
+    /// direct serving must already be in the serving sets. Also exported
+    /// as the `churn.staleness_violations` counter while running.
+    pub live_staleness_violations: u64,
+    /// First bounded-staleness violation found — live (per-mutation check)
+    /// or by the post-run validation, whichever fired first. `None` is the
+    /// paper's invariant: every current edge is served by push, pull, or
+    /// an intact hub pair.
     pub staleness_violation: Option<String>,
 }
 
@@ -88,4 +94,8 @@ pub struct ServeReport {
     pub cache_misses: u64,
     /// Epoch of the final published schedule snapshot (number of swaps).
     pub final_epoch: u64,
+    /// Final metrics capture (registry + per-shard scrape + cache/queue
+    /// gauges), taken just before teardown. `None` when the runtime ran
+    /// with [`ServeConfig::metrics`](crate::ServeConfig) off.
+    pub metrics: Option<piggyback_obs::Snapshot>,
 }

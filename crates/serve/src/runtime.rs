@@ -32,6 +32,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -39,9 +40,9 @@ use piggyback_core::incremental::{ChurnEffect, IncrementalScheduler};
 use piggyback_core::schedule::Schedule;
 use piggyback_core::scheduler::{Instance, Scheduler};
 use piggyback_graph::{CsrGraph, NodeId};
+use piggyback_obs::{set_ambient_events, EventKind, Snapshot};
 use piggyback_store::merge::sort_merge;
-use piggyback_store::server::QueryScratch;
-use piggyback_store::server::StoreServer;
+use piggyback_store::server::{QueryScratch, ShardStats, StoreServer};
 use piggyback_store::topology::{PartitionRequest, PartitionStrategy};
 use piggyback_store::worker::{
     dispatch, worker_loop, BufferPool, ShardClient, ShardRequest, Transport,
@@ -52,6 +53,7 @@ use piggyback_workload::{Op, Rates};
 use crate::cache::PullCache;
 use crate::config::{RpcMode, ServeConfig};
 use crate::epoch::{CompiledSets, EpochHandle, ServingSchedule};
+use crate::metrics::{OpRecorder, ServeMetrics};
 use crate::ops::{ChurnMsg, ChurnReport, ReoptResult, ServeReport};
 
 /// The long-running serving system.
@@ -69,6 +71,8 @@ pub struct ServeRuntime {
     clock: Arc<AtomicU64>,
     top_k: usize,
     rpc: RpcMode,
+    shards_n: usize,
+    metrics: Option<Arc<ServeMetrics>>,
     client_counter: AtomicU64,
     worker_handles: Vec<JoinHandle<()>>,
     churn_handle: Option<JoinHandle<()>>,
@@ -133,6 +137,7 @@ impl ServeRuntime {
         } else {
             Transport::Workers(Arc::clone(&senders))
         };
+        let metrics = config.metrics.then(|| Arc::new(ServeMetrics::new()));
         let manager = ChurnManager {
             inc: IncrementalScheduler::new(graph, rates.clone(), schedule),
             rates,
@@ -147,8 +152,10 @@ impl ServeRuntime {
             migrate_scratch: QueryScratch::new(),
             rx: churn_rx,
             self_tx: churn_tx.clone(),
+            metrics: metrics.clone(),
             reopt_in_flight: false,
             reopt_unsupported: false,
+            reopt_started: Instant::now(),
             replay_log: Vec::new(),
             follows: 0,
             unfollows: 0,
@@ -157,6 +164,8 @@ impl ServeRuntime {
             rebalances: 0,
             users_migrated: 0,
             cross_churned: 0.0,
+            live_violations: 0,
+            first_violation: None,
         };
         let churn_handle = std::thread::spawn(move || manager.run());
         ServeRuntime {
@@ -169,6 +178,8 @@ impl ServeRuntime {
             clock: Arc::new(AtomicU64::new(1)),
             top_k: config.top_k,
             rpc: config.rpc,
+            shards_n: config.shards,
+            metrics,
             client_counter: AtomicU64::new(0),
             worker_handles,
             churn_handle: Some(churn_handle),
@@ -187,10 +198,97 @@ impl ServeRuntime {
             clock: Arc::clone(&self.clock),
             top_k: self.top_k,
             rpc: self.rpc,
+            obs: self.metrics.as_deref().map(ServeMetrics::recorder),
             next_event: id << 40,
             targets: Vec::new(),
             merged: Vec::new(),
         }
+    }
+
+    /// The runtime's metrics bundle, when enabled.
+    pub fn metrics(&self) -> Option<&Arc<ServeMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// Scrapes every shard's operation counters **over the wire**: one
+    /// [`ShardRequest::Stats`] per shard through the same transport data
+    /// ops use, pipelined (all requests in flight before the first reply
+    /// is awaited). Works identically under the worker pool and the
+    /// caller-runs transport — both route through the single
+    /// `handle_request`, which is what guarantees the differential test's
+    /// counter identity.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let mut scratch = QueryScratch::new();
+        let pending: Vec<_> = (0..self.shards_n)
+            .map(|shard| {
+                self.transport
+                    .request_async(&self.pool, &mut scratch, |done| ShardRequest::Stats {
+                        shard,
+                        done,
+                    })
+            })
+            .collect();
+        pending
+            .into_iter()
+            .map(|rx| {
+                let mut reply = rx.recv().expect("worker dropped stats reply");
+                ShardStats::decode(&mut reply).expect("malformed stats reply")
+            })
+            .collect()
+    }
+
+    /// One point-in-time capture of everything observable: the registry's
+    /// instruments (when metrics are on), the per-shard wire scrape folded
+    /// into `store.*` counters, pull-cache counters, and queue/pool
+    /// occupancy gauges. Safe to call while serving; periodic dumps diff
+    /// successive snapshots with [`Snapshot::delta_since`].
+    pub fn stats_snapshot(&self) -> Snapshot {
+        let mut snap = match &self.metrics {
+            Some(m) => m.snapshot(),
+            None => Snapshot::new(),
+        };
+        let mut total = ShardStats::default();
+        for s in self.shard_stats() {
+            total.merge(&s);
+        }
+        snap.set_counter("store.updates", total.updates);
+        snap.set_counter("store.queries", total.queries);
+        snap.set_counter("store.events_inserted", total.events_inserted);
+        snap.set_counter("store.events_returned", total.events_returned);
+        snap.set_counter("store.batches", total.batches);
+        snap.set_counter("store.batch_ops", total.batch_ops);
+        snap.set_counter("store.views_extracted", total.views_extracted);
+        snap.set_counter("store.views_installed", total.views_installed);
+        snap.set_gauge("store.avg_batch_ops", total.avg_batch_ops());
+        let depth: usize = self.senders.iter().map(Sender::len).sum();
+        snap.set_gauge("store.queue_depth", depth as f64);
+        let (bufs, vecs) = self.pool.pooled_counts();
+        snap.set_gauge("store.pool_bufs", bufs as f64);
+        snap.set_gauge("store.pool_vecs", vecs as f64);
+        let (hits, misses) = self.cache.stats();
+        snap.set_counter("cache.hits", hits);
+        snap.set_counter("cache.misses", misses);
+        snap.set_counter("cache.expired", self.cache.expired());
+        snap.set_gauge("cache.resident", self.cache.resident() as f64);
+        snap.set_gauge(
+            "cache.max_served_staleness_s",
+            self.cache.max_served_staleness().as_secs_f64(),
+        );
+        snap
+    }
+
+    /// Sweeps TTL-expired pull-cache entries (memory reclamation for
+    /// read-cold keys), recording a [`EventKind::CacheSweep`] event.
+    /// Returns `(entries scanned, entries dropped)`.
+    pub fn sweep_cache(&self) -> (usize, usize) {
+        let (scanned, expired) = self.cache.sweep_expired();
+        if let Some(m) = &self.metrics {
+            if scanned > 0 {
+                m.events()
+                    .record(EventKind::CacheSweep { scanned, expired });
+            }
+        }
+        (scanned, expired)
     }
 
     /// Epoch of the currently published schedule snapshot.
@@ -216,6 +314,8 @@ impl ServeRuntime {
             .send(ChurnMsg::Shutdown { done: tx })
             .expect("churn manager gone before shutdown");
         let churn = rx.recv().expect("churn manager dropped its report");
+        // Final capture while the workers can still answer the wire scrape.
+        let metrics = self.metrics.is_some().then(|| self.stats_snapshot());
         if let Some(h) = self.churn_handle.take() {
             h.join().expect("churn manager panicked");
         }
@@ -239,6 +339,7 @@ impl ServeRuntime {
             cache_hits,
             cache_misses,
             final_epoch: self.handle.epoch(),
+            metrics,
         }
     }
 }
@@ -261,6 +362,9 @@ pub struct ServeClient {
     clock: Arc<AtomicU64>,
     top_k: usize,
     rpc: RpcMode,
+    /// Per-client instrument handles (`None` when metrics are off; the
+    /// metrics-off hot path then pays no `Instant::now` either).
+    obs: Option<OpRecorder>,
     next_event: u64,
     /// Reused target-view buffer (push/pull set plus self).
     targets: Vec<NodeId>,
@@ -274,6 +378,18 @@ impl ServeClient {
     /// Users outside the topology (no rates, no home shard) are rejected
     /// with zero messages, mirroring the churn path's rejection.
     pub fn share(&mut self, u: NodeId) -> u64 {
+        if self.obs.is_none() {
+            return self.share_inner(u);
+        }
+        let t0 = Instant::now();
+        let messages = self.share_inner(u);
+        if let Some(rec) = &self.obs {
+            rec.share(t0.elapsed(), messages);
+        }
+        messages
+    }
+
+    fn share_inner(&mut self, u: NodeId) -> u64 {
         let snap = self.handle.load();
         if u as usize >= snap.topology().users() {
             return 0;
@@ -311,6 +427,18 @@ impl ServeClient {
     /// from the staleness-bounded cache. Returns `(events, messages)`;
     /// a cache hit costs zero messages and shares the cached allocation.
     pub fn query(&mut self, u: NodeId) -> (Arc<[EventTuple]>, u64) {
+        if self.obs.is_none() {
+            return self.query_inner(u);
+        }
+        let t0 = Instant::now();
+        let out = self.query_inner(u);
+        if let Some(rec) = &self.obs {
+            rec.query(t0.elapsed(), out.1);
+        }
+        out
+    }
+
+    fn query_inner(&mut self, u: NodeId) -> (Arc<[EventTuple]>, u64) {
         let snap = self.handle.load();
         if u as usize >= snap.topology().users() {
             return (Arc::from(&[][..]), 0);
@@ -367,6 +495,23 @@ impl ServeClient {
     }
 
     fn churn(&self, add: bool, u: NodeId, v: NodeId) -> bool {
+        if self.obs.is_none() {
+            return self.churn_inner(add, u, v);
+        }
+        let t0 = Instant::now();
+        let applied = self.churn_inner(add, u, v);
+        if let Some(rec) = &self.obs {
+            // Latency covers the full round trip (queue + apply + publish);
+            // the follow/unfollow counters count *applied* mutations only,
+            // matching the churn report.
+            if applied {
+                rec.churn(t0.elapsed(), add);
+            }
+        }
+        applied
+    }
+
+    fn churn_inner(&self, add: bool, u: NodeId, v: NodeId) -> bool {
         let (done, ack) = bounded(1);
         let msg = if add {
             ChurnMsg::Follow { u, v, done }
@@ -418,10 +563,15 @@ struct ChurnManager {
     migrate_scratch: QueryScratch,
     rx: Receiver<ChurnMsg>,
     self_tx: Sender<ChurnMsg>,
+    /// Shared instrument bundle (`None` when metrics are off).
+    metrics: Option<Arc<ServeMetrics>>,
     reopt_in_flight: bool,
     /// Set once the optimizer declines the instance (`supports() == false`)
     /// so the freeze-and-check is not repeated on every later churn op.
     reopt_unsupported: bool,
+    /// When the in-flight re-optimization was fired (for the
+    /// [`EventKind::ReoptEnd`] wall time).
+    reopt_started: Instant,
     /// Mutations applied while a re-optimization is in flight; replayed
     /// onto the fresh schedule before it is swapped in.
     replay_log: Vec<(bool, NodeId, NodeId)>,
@@ -433,6 +583,10 @@ struct ChurnManager {
     users_migrated: u64,
     /// Cross-server message rate added by churn since the last rebalance.
     cross_churned: f64,
+    /// Live bounded-staleness violations (per-mutation serving-set check).
+    live_violations: u64,
+    /// First live violation, verbatim, for the final report.
+    first_violation: Option<String>,
 }
 
 /// Churn overrides above this count are compacted into a fresh compiled
@@ -500,6 +654,25 @@ impl ChurnManager {
         if self.reopt_in_flight {
             self.replay_log.push((add, u, v));
         }
+        // Live bounded-staleness check: every edge this mutation reserved
+        // for direct serving must be in the serving sets *now* — the same
+        // invariant the post-run validation sweeps, caught at the moment it
+        // would break. `serves_edge_directly` is an allocation-free probe.
+        for &(x, y) in &effect.reserved_direct {
+            if !self.inc.serves_edge_directly(x, y) {
+                self.live_violations += 1;
+                if let Some(m) = &self.metrics {
+                    m.staleness_violations.inc();
+                }
+                if self.first_violation.is_none() {
+                    self.first_violation = Some(format!(
+                        "live: edge {x} -> {y} reserved direct but absent from serving sets \
+                         after {} mutation ({u} -> {v})",
+                        if add { "follow" } else { "unfollow" },
+                    ));
+                }
+            }
+        }
         // Every edge this mutation switched to direct serving — the added
         // follow itself, or the piggybacked edges an unfollow orphaned —
         // adds its hybrid cost to the wire when its endpoints live on
@@ -517,6 +690,10 @@ impl ChurnManager {
                     self.cross_churned += self.rates.rp(x).min(self.rates.rc(y));
                 }
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.cost_delta.set(self.inc.overlay_cost_delta());
+            m.cross_cost.set(self.cross_churned);
         }
         self.publish(&effect);
         self.maybe_rebalance();
@@ -569,6 +746,7 @@ impl ChurnManager {
     /// `BENCH_placement.json` wall times). Size `rebalance_threshold` so
     /// this stays rare.
     fn rebalance(&mut self) {
+        let started = Instant::now();
         let snap = self.handle.load();
         let old = Arc::clone(snap.topology());
         // Re-partition the *current* graph under the schedule actually
@@ -623,6 +801,12 @@ impl ChurnManager {
         self.rebalances += 1;
         self.cross_churned = 0.0;
         self.handle.swap(snap.with_topology(Arc::new(new)));
+        if let Some(m) = &self.metrics {
+            m.events().record(EventKind::Rebalance {
+                moved: moved.len(),
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            });
+        }
     }
 
     /// Publishes a new epoch overriding exactly the users the mutation
@@ -648,6 +832,13 @@ impl ChurnManager {
             .collect();
         self.handle
             .swap(snap.with_updates(push_updates, pull_updates));
+        if let Some(m) = &self.metrics {
+            let now = self.handle.load();
+            m.events().record(EventKind::EpochSwap {
+                epoch: now.epoch(),
+                overrides: now.override_count(),
+            });
+        }
     }
 
     /// Publishes a freshly compiled base (no overrides) reflecting the
@@ -670,6 +861,12 @@ impl ChurnManager {
             Arc::clone(snap.topology()),
             epoch,
         ));
+        if let Some(m) = &self.metrics {
+            m.events().record(EventKind::EpochSwap {
+                epoch,
+                overrides: 0,
+            });
+        }
     }
 
     /// Fires a background re-optimization when degradation crosses the
@@ -693,7 +890,19 @@ impl ChurnManager {
         let scheduler = Arc::clone(&self.scheduler);
         let tx = self.self_tx.clone();
         self.reopt_in_flight = true;
+        self.reopt_started = Instant::now();
+        let events = self.metrics.as_ref().map(|m| {
+            m.events().record(EventKind::ReoptStart {
+                cost_before: self.inc.cost(),
+                trigger_delta: self.inc.overlay_cost_delta(),
+            });
+            m.events().clone()
+        });
         std::thread::spawn(move || {
+            // Install the event ring as this thread's ambient log so the
+            // optimizer's fan-out pool records its batch dispatches into
+            // the runtime's trace.
+            let _guard = events.as_ref().map(set_ambient_events);
             let out = scheduler.schedule(&Instance::new(&frozen, &rates));
             // The manager may have shut down meanwhile; that drop is fine.
             let _ = tx.send(ChurnMsg::ReoptDone(Box::new(ReoptResult {
@@ -718,6 +927,13 @@ impl ChurnManager {
         self.inc = fresh;
         self.reopt_in_flight = false;
         self.reopts += 1;
+        if let Some(m) = &self.metrics {
+            m.events().record(EventKind::ReoptEnd {
+                cost_after: self.inc.cost(),
+                wall_ms: self.reopt_started.elapsed().as_secs_f64() * 1e3,
+                installed: true,
+            });
+        }
         // The fresh schedule re-piggybacks the direct-served churn edges,
         // so the cross-server degradation the accumulator priced is gone;
         // a rebalance justified by it would migrate for nothing.
@@ -736,7 +952,13 @@ impl ChurnManager {
             cross_cost_churned: self.cross_churned,
             base_cost: self.inc.base_cost(),
             final_cost: self.inc.cost(),
-            staleness_violation: self.inc.validate().err().map(|e| e.to_string()),
+            live_staleness_violations: self.live_violations,
+            // The live per-mutation check fires first; the post-run sweep
+            // over the whole dynamic graph backs it up.
+            staleness_violation: self
+                .first_violation
+                .clone()
+                .or_else(|| self.inc.validate().err().map(|e| e.to_string())),
         }
     }
 }
@@ -893,6 +1115,69 @@ mod tests {
         drop(c);
         let report = rt.shutdown();
         assert_eq!(report.churn.churn_rejected, 1);
+    }
+
+    #[test]
+    fn metrics_capture_spans_serve_and_store() {
+        let rt = boot(ServeConfig {
+            shards: 2,
+            workers: 1,
+            ..Default::default()
+        });
+        let mut c = rt.client();
+        c.share(0);
+        let _ = c.query(2);
+        assert!(c.follow(2, 0));
+        let snap = rt.stats_snapshot();
+        assert_eq!(snap.counter("serve.ops.shares"), 1);
+        assert_eq!(snap.counter("serve.ops.queries"), 1);
+        assert_eq!(snap.counter("serve.ops.follows"), 1);
+        assert_eq!(snap.histogram("serve.latency.share").unwrap().count(), 1);
+        assert!(snap.counter("store.updates") >= 1, "share hit the store");
+        assert!(snap.counter("store.queries") >= 1, "query hit the store");
+        assert!(snap.counter("store.events_inserted") >= 1);
+        // TTL zero disables the cache; the counters still fold in as zero.
+        assert!(snap.get("cache.misses").is_some());
+        assert_eq!(snap.counter("cache.hits"), 0);
+        // The follow published an epoch; the event ring saw the swap.
+        let events = rt.metrics().unwrap().events().recent(16);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::EpochSwap { epoch: 1, .. })),
+            "missing epoch-swap event: {events:?}"
+        );
+        drop(c);
+        let report = rt.shutdown();
+        let fin = report.metrics.expect("metrics are on by default");
+        assert_eq!(fin.counter("serve.ops.shares"), 1);
+        assert_eq!(fin.counter("serve.ops.follows"), 1);
+        assert_eq!(report.churn.live_staleness_violations, 0);
+        assert_eq!(fin.counter("churn.staleness_violations"), 0);
+    }
+
+    #[test]
+    fn metrics_off_serves_and_reports_none() {
+        let rt = boot(ServeConfig {
+            shards: 2,
+            workers: 1,
+            metrics: false,
+            ..Default::default()
+        });
+        assert!(rt.metrics().is_none());
+        let mut c = rt.client();
+        c.share(0);
+        let (events, _) = c.query(2);
+        assert!(events.iter().any(|e| e.user == 0));
+        // Even with metrics off the wire scrape works (the shard counters
+        // are part of the store, not the registry).
+        let snap = rt.stats_snapshot();
+        assert!(snap.counter("store.updates") >= 1);
+        assert!(snap.get("serve.ops.shares").is_none(), "no registry");
+        drop(c);
+        let report = rt.shutdown();
+        assert!(report.metrics.is_none());
+        assert!(report.churn.zero_violations());
     }
 
     #[test]

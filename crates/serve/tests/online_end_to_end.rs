@@ -102,6 +102,7 @@ fn harness_sustains_concurrent_churn_with_cache() {
             churn_ratio: 0.1,
             arrival: Arrival::Closed,
             seed: 21,
+            stats_interval: Some(Duration::from_millis(100)),
         },
     );
     assert!(report.ops > 0);
@@ -113,6 +114,21 @@ fn harness_sustains_concurrent_churn_with_cache() {
     );
     // The cache saw traffic (hits are load-dependent, misses are certain).
     assert!(report.serve.cache_hits + report.serve.cache_misses > 0);
+    // The live metrics capture agrees with the harness's own tallies:
+    // shares/queries count issued ops, follows count *applied* mutations.
+    let snap = report
+        .serve
+        .metrics
+        .as_ref()
+        .expect("metrics on by default");
+    assert_eq!(snap.counter("serve.ops.shares"), report.shares);
+    assert_eq!(snap.counter("serve.ops.queries"), report.queries);
+    assert_eq!(
+        snap.counter("serve.ops.follows"),
+        report.serve.churn.follows_applied
+    );
+    assert_eq!(snap.counter("churn.staleness_violations"), 0);
+    assert!(snap.counter("store.updates") > 0, "wire scrape folded in");
     // Percentiles are well-formed.
     assert!(report.quantile_ms(0.5) <= report.quantile_ms(0.95));
     assert!(report.quantile_ms(0.95) <= report.quantile_ms(0.99));
@@ -140,6 +156,7 @@ fn piggybacking_reduces_online_messages() {
         churn_ratio: 0.0,
         arrival: Arrival::Closed,
         seed: 33,
+        stats_interval: None,
     };
     let run = |name: &str| run_harness(&g, &r, mk(name), by_name("hybrid").unwrap(), cfg, &load);
     let push_all = run("push-all");

@@ -1,0 +1,88 @@
+//! Differential test for the `Stats` wire request: an identical operation
+//! stream must produce **identical per-shard counters** whether the shard
+//! plane runs caller-side (`RpcMode::Direct`) or through the batched
+//! worker pool (`RpcMode::Batched`). Both planes route every request —
+//! including the stats scrape itself — through the store's single
+//! `handle_request`, so any divergence means one plane is doing different
+//! work, not just reporting differently.
+
+use piggyback_core::scheduler::{by_name, Instance};
+use piggyback_graph::gen::{copying, CopyingConfig};
+use piggyback_graph::CsrGraph;
+use piggyback_serve::{RpcMode, ServeConfig, ServeRuntime};
+use piggyback_store::server::ShardStats;
+use piggyback_workload::{OpTrace, Rates};
+
+fn world() -> (CsrGraph, Rates) {
+    let g = copying(CopyingConfig {
+        nodes: 200,
+        follows_per_node: 5,
+        copy_prob: 0.7,
+        seed: 3,
+    });
+    let r = Rates::log_degree(&g, 5.0);
+    (g, r)
+}
+
+fn drive(rpc: RpcMode) -> (Vec<ShardStats>, piggyback_obs::Snapshot) {
+    let (g, r) = world();
+    let schedule = by_name("hybrid")
+        .unwrap()
+        .schedule(&Instance::new(&g, &r))
+        .schedule;
+    let rt = ServeRuntime::start(
+        g,
+        r.clone(),
+        schedule,
+        by_name("hybrid").unwrap(),
+        ServeConfig {
+            shards: 4,
+            workers: 2,
+            rpc,
+            ..Default::default()
+        },
+    );
+    let mut c = rt.client();
+    // Deterministic share/query stream (no churn: the store counters must
+    // be a pure function of the ops, not of churn-thread interleaving).
+    let mut trace = OpTrace::new(&r, 0.0, 99);
+    for _ in 0..500 {
+        c.apply_op(trace.next_op());
+    }
+    let per_shard = rt.shard_stats();
+    drop(c);
+    let report = rt.shutdown();
+    (per_shard, report.metrics.expect("metrics on by default"))
+}
+
+#[test]
+fn stats_are_identical_across_direct_and_batched_planes() {
+    let (direct, direct_snap) = drive(RpcMode::Direct);
+    let (batched, batched_snap) = drive(RpcMode::Batched);
+    assert_eq!(direct.len(), 4);
+    assert_eq!(
+        direct, batched,
+        "per-shard Stats must match between the caller-runs and worker planes"
+    );
+    let touched: u64 = direct.iter().map(|s| s.updates + s.queries).sum();
+    assert!(touched > 0, "the op stream never reached the store");
+    // The end-of-run snapshots agree on every folded store counter, and on
+    // the serve-side op counters recorded independently on each plane.
+    for key in [
+        "store.updates",
+        "store.queries",
+        "store.events_inserted",
+        "store.events_returned",
+        "store.batches",
+        "store.batch_ops",
+        "serve.ops.shares",
+        "serve.ops.queries",
+        "serve.store_messages",
+    ] {
+        assert_eq!(
+            direct_snap.counter(key),
+            batched_snap.counter(key),
+            "{key} differs between planes"
+        );
+    }
+}

@@ -1,191 +1,9 @@
-//! Log-bucketed latency histogram for the concurrent prototype.
+//! Latency histogram re-export.
 //!
-//! The paper observes that "since queries involve only simple processing of
-//! in-memory data structures, the latency per request is very low unless
-//! the system becomes saturated" (§4.3). The histogram lets the harness
-//! verify exactly that: percentiles stay flat until the offered load
-//! approaches the message-throughput ceiling.
-//!
-//! Buckets grow geometrically (powers of √2 over nanoseconds), giving
-//! ≤ ~4% relative quantile error with a fixed 128-slot footprint that can
-//! be merged across client threads without locks.
+//! [`LatencyHistogram`] moved to `piggyback-obs` (together with its new
+//! lock-free sibling [`piggyback_obs::ConcurrentHistogram`]) so the
+//! serving runtime, the harness, and the store cluster all share one
+//! bucketing scheme. This module keeps the historical
+//! `piggyback_store::latency::LatencyHistogram` path working.
 
-/// Number of histogram buckets; covers ~1ns to ~100s.
-const BUCKETS: usize = 128;
-
-/// A mergeable, fixed-size latency histogram (nanosecond samples).
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    counts: [u64; BUCKETS],
-    total: u64,
-    max_ns: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: [0; BUCKETS],
-            total: 0,
-            max_ns: 0,
-        }
-    }
-
-    /// Bucket index for a sample: 2 buckets per power of two.
-    #[inline]
-    fn bucket(ns: u64) -> usize {
-        if ns == 0 {
-            return 0;
-        }
-        let log2 = 63 - ns.leading_zeros() as usize;
-        // Refine to half-powers: second half of the octave gets the odd slot.
-        let half = if ns >= (1u64 << log2) + (1u64 << log2) / 2 {
-            1
-        } else {
-            0
-        };
-        (2 * log2 + half).min(BUCKETS - 1)
-    }
-
-    /// Representative (upper-bound) value of a bucket.
-    fn bucket_value(idx: usize) -> u64 {
-        let log2 = idx / 2;
-        let base = 1u64 << log2.min(62);
-        if idx.is_multiple_of(2) {
-            base + base / 2
-        } else {
-            base * 2
-        }
-    }
-
-    /// Records one latency sample in nanoseconds.
-    #[inline]
-    pub fn record_ns(&mut self, ns: u64) {
-        self.counts[Self::bucket(ns)] += 1;
-        self.total += 1;
-        self.max_ns = self.max_ns.max(ns);
-    }
-
-    /// Records a [`std::time::Duration`].
-    #[inline]
-    pub fn record(&mut self, d: std::time::Duration) {
-        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Largest sample seen (exact, not bucketed).
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Approximate quantile `q ∈ [0, 1]` in nanoseconds (0 with no samples).
-    pub fn quantile_ns(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.total == 0 {
-            return 0;
-        }
-        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::bucket_value(idx).min(self.max_ns);
-            }
-        }
-        self.max_ns
-    }
-
-    /// Merges another histogram into this one (for per-thread collection).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile_ns(0.99), 0);
-    }
-
-    #[test]
-    fn single_sample() {
-        let mut h = LatencyHistogram::new();
-        h.record_ns(1000);
-        assert_eq!(h.count(), 1);
-        let p50 = h.quantile_ns(0.5);
-        assert!((500..=1000).contains(&p50), "p50 = {p50}");
-    }
-
-    #[test]
-    fn quantiles_are_monotone() {
-        let mut h = LatencyHistogram::new();
-        for i in 1..10_000u64 {
-            h.record_ns(i * 37);
-        }
-        let q = |x| h.quantile_ns(x);
-        assert!(q(0.5) <= q(0.9));
-        assert!(q(0.9) <= q(0.99));
-        assert!(q(0.99) <= q(1.0));
-        assert_eq!(q(1.0), h.max_ns());
-    }
-
-    #[test]
-    fn quantile_error_is_bounded() {
-        let mut h = LatencyHistogram::new();
-        for i in 0..100_000u64 {
-            h.record_ns(1_000 + i % 50_000);
-        }
-        // True p50 ≈ 26_000; buckets are half-octaves so allow ~50%.
-        let p50 = h.quantile_ns(0.5) as f64;
-        assert!(
-            (13_000.0..52_000.0).contains(&p50),
-            "p50 estimate too far: {p50}"
-        );
-    }
-
-    #[test]
-    fn merge_combines_counts() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        a.record_ns(100);
-        b.record_ns(1_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max_ns(), 1_000_000);
-    }
-
-    #[test]
-    fn zero_and_huge_samples_dont_panic() {
-        let mut h = LatencyHistogram::new();
-        h.record_ns(0);
-        h.record_ns(u64::MAX);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile_ns(1.0) > 0);
-    }
-
-    #[test]
-    fn duration_api() {
-        let mut h = LatencyHistogram::new();
-        h.record(std::time::Duration::from_micros(250));
-        assert_eq!(h.count(), 1);
-    }
-}
+pub use piggyback_obs::{LatencyHistogram, MAX_SAMPLE_NS};

@@ -1,12 +1,98 @@
 //! A data-store shard: user views plus the thin server-side layer that
 //! aggregates and filters query batches (§4.3).
 
+use bytes::{Buf, BufMut, BytesMut};
 use piggyback_graph::fx::FxHashMap;
 use piggyback_graph::NodeId;
 
 use crate::merge::sort_merge;
 use crate::tuple::EventTuple;
 use crate::view::View;
+
+/// Per-shard operation counters, kept as plain integers under the shard's
+/// existing lock (both transports route every request through the same
+/// `handle_request`, so the counts are identical whether the shard runs on
+/// a worker thread or caller-runs in `RpcMode::Direct`). Scraped over the
+/// wire via `ShardRequest::Stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Update requests applied.
+    pub updates: u64,
+    /// Query requests answered.
+    pub queries: u64,
+    /// View insertions performed by updates (one event × its views).
+    pub events_inserted: u64,
+    /// Event tuples returned by queries after the server-side filter.
+    pub events_returned: u64,
+    /// Coalesced `ShardBatch` messages received.
+    pub batches: u64,
+    /// View targets carried inside those batches (batch-size numerator).
+    pub batch_ops: u64,
+    /// Views extracted for migration (donor side).
+    pub views_extracted: u64,
+    /// Views installed by migration (recipient side).
+    pub views_installed: u64,
+}
+
+/// Wire size of an encoded [`ShardStats`] (8 × u64, little-endian).
+pub const SHARD_STATS_BYTES: usize = 64;
+
+impl ShardStats {
+    /// Encodes as fixed-width little-endian u64s.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.reserve(SHARD_STATS_BYTES);
+        for v in [
+            self.updates,
+            self.queries,
+            self.events_inserted,
+            self.events_returned,
+            self.batches,
+            self.batch_ops,
+            self.views_extracted,
+            self.views_installed,
+        ] {
+            buf.put_u64_le(v);
+        }
+    }
+
+    /// Decodes; `None` when fewer than [`SHARD_STATS_BYTES`] remain.
+    pub fn decode(buf: &mut impl Buf) -> Option<Self> {
+        if buf.remaining() < SHARD_STATS_BYTES {
+            return None;
+        }
+        Some(ShardStats {
+            updates: buf.get_u64_le(),
+            queries: buf.get_u64_le(),
+            events_inserted: buf.get_u64_le(),
+            events_returned: buf.get_u64_le(),
+            batches: buf.get_u64_le(),
+            batch_ops: buf.get_u64_le(),
+            views_extracted: buf.get_u64_le(),
+            views_installed: buf.get_u64_le(),
+        })
+    }
+
+    /// Element-wise sum (folding per-shard scrapes into a cluster total).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.updates += other.updates;
+        self.queries += other.queries;
+        self.events_inserted += other.events_inserted;
+        self.events_returned += other.events_returned;
+        self.batches += other.batches;
+        self.batch_ops += other.batch_ops;
+        self.views_extracted += other.views_extracted;
+        self.views_installed += other.views_installed;
+    }
+
+    /// Mean operations per coalesced batch (0 with no batches).
+    pub fn avg_batch_ops(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_ops as f64 / self.batches as f64
+        }
+    }
+}
 
 /// Reusable per-worker scratch for [`StoreServer::query_with`].
 ///
@@ -61,8 +147,7 @@ impl QueryScratch {
 pub struct StoreServer {
     views: FxHashMap<NodeId, View>,
     view_capacity: usize,
-    updates_processed: u64,
-    queries_processed: u64,
+    stats: ShardStats,
 }
 
 impl StoreServer {
@@ -72,8 +157,7 @@ impl StoreServer {
         StoreServer {
             views: FxHashMap::default(),
             view_capacity,
-            updates_processed: 0,
-            queries_processed: 0,
+            stats: ShardStats::default(),
         }
     }
 
@@ -85,7 +169,8 @@ impl StoreServer {
                 .or_insert_with(|| View::with_capacity(self.view_capacity))
                 .insert(event);
         }
-        self.updates_processed += 1;
+        self.stats.updates += 1;
+        self.stats.events_inserted += views.len() as u64;
     }
 
     /// Answers a batched query: the `k` most recent events across the
@@ -103,7 +188,7 @@ impl StoreServer {
         k: usize,
         scratch: &'s mut QueryScratch,
     ) -> &'s [EventTuple] {
-        self.queries_processed += 1;
+        self.stats.queries += 1;
         scratch.out.clear();
         scratch.heap.clear();
         scratch.cursors.clear();
@@ -137,6 +222,7 @@ impl StoreServer {
                 cur.next += 1;
             }
         }
+        self.stats.events_returned += scratch.out.len() as u64;
         &scratch.out
     }
 
@@ -152,7 +238,7 @@ impl StoreServer {
     /// [`query_with`](StoreServer::query_with) (`tests/query_differential.rs`)
     /// and as the legacy half of the serve benchmark's before/after mode.
     pub fn query_reference(&mut self, views: &[NodeId], k: usize) -> Vec<EventTuple> {
-        self.queries_processed += 1;
+        self.stats.queries += 1;
         if k == 0 {
             return Vec::new();
         }
@@ -163,6 +249,7 @@ impl StoreServer {
             }
         }
         sort_merge(&mut out, k);
+        self.stats.events_returned += out.len() as u64;
         out
     }
 
@@ -173,7 +260,18 @@ impl StoreServer {
 
     /// `(updates, queries)` processed since construction.
     pub fn request_counts(&self) -> (u64, u64) {
-        (self.updates_processed, self.queries_processed)
+        (self.stats.updates, self.stats.queries)
+    }
+
+    /// Point-in-time copy of every per-shard counter.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Mutable counter access for the request-handling layer (batch and
+    /// migration accounting happens where those requests are decoded).
+    pub(crate) fn stats_mut(&mut self) -> &mut ShardStats {
+        &mut self.stats
     }
 
     /// Read-only access to a view (tests/diagnostics).
@@ -190,7 +288,11 @@ impl StoreServer {
     /// Removes `user`'s view and returns it — the donor side of a live
     /// migration to a new topology.
     pub fn remove_view(&mut self, user: NodeId) -> Option<View> {
-        self.views.remove(&user)
+        let removed = self.views.remove(&user);
+        if removed.is_some() {
+            self.stats.views_extracted += 1;
+        }
+        removed
     }
 
     /// Merges `events` into `user`'s view (creating it if absent) — the
@@ -205,6 +307,7 @@ impl StoreServer {
         for &e in events {
             view.insert(e);
         }
+        self.stats.views_installed += 1;
     }
 }
 
@@ -357,5 +460,61 @@ mod tests {
         s.query(&[1], 10);
         s.query(&[1], 10);
         assert_eq!(s.request_counts(), (1, 2));
+    }
+
+    #[test]
+    fn shard_stats_track_fanin_and_fanout() {
+        let mut s = StoreServer::new(0);
+        s.update(&[1, 2, 3], ev(9, 1, 100));
+        s.update(&[1], ev(9, 2, 200));
+        let r = s.query(&[1, 2], 10);
+        let st = s.stats();
+        assert_eq!(st.updates, 2);
+        assert_eq!(st.events_inserted, 4, "3 views + 1 view");
+        assert_eq!(st.queries, 1);
+        assert_eq!(st.events_returned, r.len() as u64);
+    }
+
+    #[test]
+    fn shard_stats_track_migration_sides() {
+        let mut a = StoreServer::new(0);
+        let mut b = StoreServer::new(0);
+        a.update(&[1], ev(7, 1, 10));
+        let view = a.remove_view(1).unwrap();
+        a.remove_view(42); // miss: not counted
+        b.merge_view(1, &view.to_vec_newest());
+        assert_eq!(a.stats().views_extracted, 1);
+        assert_eq!(b.stats().views_installed, 1);
+    }
+
+    #[test]
+    fn shard_stats_wire_roundtrip_and_merge() {
+        let mut st = ShardStats {
+            updates: 1,
+            queries: 2,
+            events_inserted: 3,
+            events_returned: 4,
+            batches: 5,
+            batch_ops: 6,
+            views_extracted: 7,
+            views_installed: u64::MAX,
+        };
+        let mut buf = BytesMut::new();
+        st.encode(&mut buf);
+        assert_eq!(buf.len(), SHARD_STATS_BYTES);
+        let wire = buf.freeze();
+        assert_eq!(ShardStats::decode(&mut wire.clone()), Some(st));
+
+        let mut short = wire.slice(0..10);
+        assert_eq!(ShardStats::decode(&mut short), None);
+
+        let other = ShardStats {
+            updates: 10,
+            ..Default::default()
+        };
+        st.merge(&other);
+        assert_eq!(st.updates, 11);
+        assert!((ShardStats::default().avg_batch_ops() - 0.0).abs() < 1e-12);
+        assert!((st.avg_batch_ops() - 6.0 / 5.0).abs() < 1e-12);
     }
 }

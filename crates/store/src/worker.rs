@@ -42,7 +42,7 @@ use parking_lot::Mutex;
 use piggyback_graph::NodeId;
 
 use crate::merge::ReplyMerger;
-use crate::server::{QueryScratch, StoreServer};
+use crate::server::{QueryScratch, ShardStats, StoreServer, SHARD_STATS_BYTES};
 use crate::topology::{GroupScratch, Topology};
 use crate::tuple::{EventTuple, TUPLE_BYTES};
 
@@ -212,6 +212,15 @@ pub enum ShardRequest {
         /// Acknowledgement channel (empty reply).
         done: Sender<Bytes>,
     },
+    /// Scrape the shard's operation counters. The reply is a wire-encoded
+    /// [`ShardStats`]; metrics travel the same protocol as data ops, so
+    /// both transports (worker pool and caller-runs) answer identically.
+    Stats {
+        /// Shard to scrape.
+        shard: usize,
+        /// Reply channel (wire-encoded [`ShardStats`]).
+        done: Sender<Bytes>,
+    },
 }
 
 impl ShardRequest {
@@ -222,7 +231,8 @@ impl ShardRequest {
             ShardRequest::Update { shard, .. }
             | ShardRequest::Query { shard, .. }
             | ShardRequest::ExtractView { shard, .. }
-            | ShardRequest::InstallView { shard, .. } => *shard,
+            | ShardRequest::InstallView { shard, .. }
+            | ShardRequest::Stats { shard, .. } => *shard,
         }
     }
 }
@@ -245,13 +255,19 @@ pub fn handle_request(
                 BatchOp::Update { payload } => {
                     let mut cursor: &[u8] = &payload;
                     let event = EventTuple::decode(&mut cursor).expect("malformed update payload");
-                    shards[shard].lock().update(&views, event);
+                    let mut srv = shards[shard].lock();
+                    record_batch(srv.stats_mut(), views.len());
+                    srv.update(&views, event);
                     BytesMut::new() // empty ack, no allocation
                 }
                 BatchOp::Query { k } => {
                     // The merged slice borrows only the scratch, so the
                     // shard lock is dropped before encoding the reply.
-                    let merged = shards[shard].lock().query_with(&views, k, scratch);
+                    let merged = {
+                        let mut srv = shards[shard].lock();
+                        record_batch(srv.stats_mut(), views.len());
+                        srv.query_with(&views, k, scratch)
+                    };
                     let mut buf = pool.get_buf();
                     EventTuple::encode_all(merged, &mut buf);
                     buf
@@ -298,7 +314,19 @@ pub fn handle_request(
             shards[shard].lock().merge_view(view, &events);
             let _ = done.send(Bytes::new());
         }
+        ShardRequest::Stats { shard, done } => {
+            let stats = shards[shard].lock().stats();
+            let mut buf = BytesMut::with_capacity(SHARD_STATS_BYTES);
+            stats.encode(&mut buf);
+            let _ = done.send(buf.freeze());
+        }
     }
+}
+
+/// Batch accounting, under the shard lock the caller already holds.
+fn record_batch(stats: &mut ShardStats, views: usize) {
+    stats.batches += 1;
+    stats.batch_ops += views as u64;
 }
 
 fn encode_tuples(tuples: &[EventTuple]) -> Bytes {
@@ -701,5 +729,51 @@ mod tests {
             assert!(empty.is_empty());
             drop(tx);
         });
+    }
+
+    #[test]
+    fn stats_request_scrapes_counters_over_the_wire() {
+        let (shards, pool) = boot_two_shards();
+        let (tx, rx) = unbounded::<ShardRequest>();
+        std::thread::scope(|s| {
+            let (shards, pool) = (&shards, &pool);
+            s.spawn(move || worker_loop(shards, pool, &rx));
+            let senders = vec![tx.clone()];
+            shards[0].lock().update(&[1, 2], EventTuple::new(7, 1, 10));
+            shards[0].lock().query(&[1], 5);
+            let mut reply = send_to_shard(&senders, |done| ShardRequest::Stats { shard: 0, done });
+            let stats = ShardStats::decode(&mut reply).expect("stats reply decodes");
+            assert_eq!(stats.updates, 1);
+            assert_eq!(stats.queries, 1);
+            assert_eq!(stats.events_inserted, 2);
+            assert_eq!(stats.events_returned, 1);
+            // The untouched shard scrapes clean through the same path.
+            let mut reply = send_to_shard(&senders, |done| ShardRequest::Stats { shard: 1, done });
+            assert_eq!(ShardStats::decode(&mut reply), Some(ShardStats::default()));
+            drop(tx);
+        });
+    }
+
+    #[test]
+    fn batched_plane_counts_batches_and_sizes() {
+        let (shards, pool) = boot_two_shards();
+        let topology = Topology::hash(64, 2, 0);
+        let mut client = ShardClient::new(Transport::Direct(Arc::new(shards)), Arc::clone(&pool));
+        let targets: Vec<NodeId> = (0..16).collect();
+        let event = EventTuple::new(5, 1, 1);
+        let mut out = Vec::new();
+        let msgs = client.update(&topology, &targets, event.to_wire());
+        let msgs2 = client.query(&topology, &targets, 10, &mut out);
+        let shards = match &client.transport {
+            Transport::Direct(s) => Arc::clone(s),
+            _ => unreachable!(),
+        };
+        let mut total = ShardStats::default();
+        for sh in shards.iter() {
+            total.merge(&sh.lock().stats());
+        }
+        assert_eq!(total.batches, msgs + msgs2);
+        assert_eq!(total.batch_ops, 2 * targets.len() as u64);
+        assert!(total.avg_batch_ops() > 0.0);
     }
 }

@@ -68,7 +68,7 @@ const USAGE: &str = "usage:
                      [--cache-ttl-ms <n>] [--reopt-threshold <f>] \\
                      [--partitioner <name>] [--rebalance-threshold <f>] \\
                      [--rw-ratio <r>] [--seed <s>] [--threads <t>] \\
-                     [--rpc <batched|direct|legacy>]
+                     [--rpc <batched|direct|legacy>] [--stats-interval <1s|500ms>]
 
 <name> under --algorithm is any registered scheduler (see `compare`
 output), e.g. hybrid, chitchat, parallelnosy, parallelnosy-mr,
@@ -482,6 +482,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             None => Arrival::Closed,
         },
         seed,
+        stats_interval: flags
+            .get("stats-interval")
+            .map(|v| parse_duration(v))
+            .transpose()?,
     };
     println!(
         "# online serve: {} nodes, {} edges, schedule {} (cost {:.1}), {} servers, {} clients, churn {:.1}%",
@@ -549,6 +553,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             100.0 * report.serve.cache_hits as f64
                 / (report.serve.cache_hits + report.serve.cache_misses) as f64
         );
+    }
+    if let Some(snap) = &report.serve.metrics {
+        println!(
+            "metrics:     {} instruments; final snapshot (rates over {:.2}s):",
+            snap.len(),
+            report.elapsed_secs
+        );
+        print!("{}", snap.render(Some(report.elapsed_secs)));
     }
     match &churn.staleness_violation {
         None => println!("staleness:   OK (zero violations, validated post-run)"),

@@ -179,6 +179,18 @@ pub mod channel {
             }
             Ok(())
         }
+
+        /// Messages currently queued (crossbeam's `Sender::len`). A
+        /// point-in-time reading — the observability layer samples it for
+        /// queue-depth gauges; never use it for flow-control decisions.
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     /// Receiving half.
@@ -228,6 +240,16 @@ pub mod channel {
                 inner = self.shared.not_empty.wait(inner).unwrap();
                 inner.recv_waiting -= 1;
             }
+        }
+
+        /// Messages currently queued (crossbeam's `Receiver::len`).
+        pub fn len(&self) -> usize {
+            self.shared.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -347,6 +369,19 @@ mod tests {
             got.sort_unstable();
             assert_eq!(got, (0..1000).collect::<Vec<_>>());
         });
+    }
+
+    #[test]
+    fn len_reports_queued_messages() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(tx.len(), 0);
+        assert!(tx.is_empty() && rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
     }
 
     #[test]
