@@ -23,6 +23,14 @@
 //! `--smoke` shrinks everything for CI (a few hundred ms per schedule);
 //! the default configuration runs a 100k-node graph at 1000 servers.
 //!
+//! `--chaos` switches to the fault-tolerance benchmark: a replicated
+//! runtime (`--replication`, default 2) with 5ms heartbeats serves the
+//! same storm while `--kill` shards (default 1) are killed halfway
+//! through; the run must detect the deaths, fail over to surviving
+//! replicas, and finish with zero bounded-staleness violations. The JSON
+//! gains a `recovery` section (failover count, unavailability window,
+//! max replica lag, throughput vs a faultless twin run).
+//!
 //! Every schedule family is optimized once and the harness runs over the
 //! two production planes — `batched` (coalesced `ShardBatch` messages to
 //! the shard-worker pool, pooled reply channel and buffers, bounded k-way
@@ -51,9 +59,11 @@ use std::time::{Duration, Instant};
 use piggyback_bench::REFERENCE_RW_RATIO;
 use piggyback_core::scheduler::{by_name, Instance};
 use piggyback_graph::gen;
-use piggyback_serve::{run_harness, Arrival, HarnessConfig, HarnessReport, RpcMode, ServeConfig};
+use piggyback_serve::{
+    run_harness, Arrival, ChaosSpec, HarnessConfig, HarnessReport, RpcMode, ServeConfig,
+};
 use piggyback_store::server::{QueryScratch, StoreServer};
-use piggyback_store::EventTuple;
+use piggyback_store::{EventTuple, FaultPlan};
 use piggyback_workload::Rates;
 
 /// The schedule families the acceptance ordering is stated over.
@@ -70,6 +80,9 @@ struct Args {
     pre_pr: Option<String>,
     metrics: bool,
     stats_out: Option<String>,
+    chaos: bool,
+    kill: usize,
+    replication: usize,
 }
 
 fn parse_args() -> Args {
@@ -82,6 +95,9 @@ fn parse_args() -> Args {
     let mut pre_pr = None;
     let mut metrics = true;
     let mut stats_out = None;
+    let mut chaos = false;
+    let mut kill = 1;
+    let mut replication = 2;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -92,6 +108,18 @@ fn parse_args() -> Args {
             "--both" => {
                 both = true;
                 i += 1;
+            }
+            "--chaos" => {
+                chaos = true;
+                i += 1;
+            }
+            "--kill" => {
+                kill = argv[i + 1].parse().expect("--kill");
+                i += 2;
+            }
+            "--replication" => {
+                replication = argv[i + 1].parse().expect("--replication");
+                i += 2;
             }
             "--metrics" => {
                 metrics = match argv[i + 1].as_str() {
@@ -133,17 +161,35 @@ fn parse_args() -> Args {
         }
     }
     // Explicit flags win over the smoke/full presets, regardless of order.
+    // Chaos mode has its own presets: fewer shards (each kill removes a
+    // meaningful slice of capacity) and enough wall time for kill →
+    // detect → failover → recover to play out inside the run.
     Args {
         smoke,
         nodes: nodes.unwrap_or(if smoke { 2000 } else { 100_000 }),
-        servers: servers.unwrap_or(if smoke { 256 } else { 1000 }),
-        duration: Duration::from_millis(duration_ms.unwrap_or(if smoke { 300 } else { 2000 })),
+        servers: servers.unwrap_or(if chaos {
+            16
+        } else if smoke {
+            256
+        } else {
+            1000
+        }),
+        duration: Duration::from_millis(duration_ms.unwrap_or(if chaos && smoke {
+            600
+        } else if smoke {
+            300
+        } else {
+            2000
+        })),
         out,
         both,
         min_ops,
         pre_pr,
         metrics,
         stats_out,
+        chaos,
+        kill,
+        replication,
     }
 }
 
@@ -287,7 +333,9 @@ fn json_result(name: &str, rpc: RpcMode, cost: f64, r: &HarnessReport) -> String
             "\"throughput_ops_per_sec\": {:.1}, \"messages_per_op\": {:.3}, ",
             "\"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"max_ms\": {:.4}, ",
             "\"follows_applied\": {}, \"unfollows_applied\": {}, \"reopts\": {}, ",
-            "\"epochs\": {}, \"cache_hit_rate\": {:.4}, \"staleness_ok\": {}, \"obs\": {}}}"
+            "\"epochs\": {}, \"cache_hit_rate\": {:.4}, \"staleness_ok\": {}, ",
+            "\"replication\": {}, \"failovers\": {}, \"unavailable_ms\": {:.1}, ",
+            "\"max_replica_lag_ms\": {:.2}, \"obs\": {}}}"
         ),
         name,
         rpc.name(),
@@ -309,12 +357,163 @@ fn json_result(name: &str, rpc: RpcMode, cost: f64, r: &HarnessReport) -> String
             0.0
         },
         churn.zero_violations(),
+        r.serve.replication,
+        r.serve.failovers,
+        r.serve.unavailable_ms,
+        r.serve.max_replica_lag_ms,
         obs
     )
 }
 
+/// Chaos mode: boot a replicated runtime with heartbeats on, kill shards
+/// mid-storm through the fault injector, and require the paper's bounded
+/// staleness guarantee to hold through detection and failover. A faultless
+/// twin run at the same replicated configuration is the recovery
+/// yardstick for "throughput restored".
+fn run_chaos(args: &Args) {
+    let clients = if args.smoke { 2 } else { 4 };
+    let churn_ratio = 0.02;
+    eprintln!(
+        "# serve_bench --chaos: {} nodes, {} shards, replication {}, kill {} @ 50%, {:?}{}",
+        args.nodes,
+        args.servers,
+        args.replication,
+        args.kill,
+        args.duration,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+    let g = gen::flickr_like(args.nodes, 42);
+    let rates = Rates::log_degree(&g, REFERENCE_RW_RATIO);
+    let inst = Instance::new(&g, &rates);
+    let opt = by_name("hybrid").expect("registered scheduler");
+    let outcome = opt.schedule(&inst);
+    let cost = outcome.stats.cost;
+    // Heartbeat every 5ms: with down_misses = 4 a dead shard is confirmed
+    // in ~20ms, well inside the 50ms pull-cache TTL that doubles as the
+    // Theorem-1 staleness budget a lagging replica may legally carry.
+    let config = ServeConfig {
+        shards: args.servers,
+        workers: 4,
+        replication: args.replication,
+        heartbeat_interval: Duration::from_millis(5),
+        pull_cache_ttl: Duration::from_millis(50),
+        reopt_threshold: 0.25,
+        metrics: args.metrics,
+        ..Default::default()
+    };
+    let load = HarnessConfig {
+        clients,
+        duration: args.duration,
+        churn_ratio,
+        arrival: Arrival::Closed,
+        seed: 7,
+        stats_interval: None,
+        chaos: None,
+    };
+    let baseline = run_harness(
+        &g,
+        &rates,
+        outcome.schedule.clone(),
+        by_name("hybrid").expect("hybrid registered"),
+        config,
+        &load,
+    );
+    eprintln!(
+        "#   faultless   {:>9.0} op/s  p99 {:.3}ms",
+        baseline.throughput(),
+        baseline.quantile_ms(0.99)
+    );
+    // The storm itself: duplicate-heavy delivery (5% of batches sent
+    // twice) exercises the idempotent write path without dropping any
+    // update — drops would make "no event lost" unfalsifiable.
+    let report = run_harness(
+        &g,
+        &rates,
+        outcome.schedule.clone(),
+        by_name("hybrid").expect("hybrid registered"),
+        ServeConfig {
+            faults: Some(FaultPlan {
+                seed: 7,
+                duplicate_per_mille: 50,
+                ..Default::default()
+            }),
+            ..config
+        },
+        &HarnessConfig {
+            chaos: Some(ChaosSpec {
+                kill_shards: args.kill,
+                kill_at_frac: 0.5,
+            }),
+            ..load
+        },
+    );
+    let churn = &report.serve.churn;
+    let recovered = report.throughput() / baseline.throughput().max(1e-9);
+    eprintln!(
+        "#   chaos       {:>9.0} op/s  p99 {:.3}ms  ({:.0}% of faultless)",
+        report.throughput(),
+        report.quantile_ms(0.99),
+        recovered * 100.0
+    );
+    eprintln!(
+        "#   failovers {} (moved {} users), unavailable {:.1}ms, max replica lag {:.2}ms, staleness_ok {}",
+        report.serve.failovers,
+        churn.users_failed_over,
+        report.serve.unavailable_ms,
+        report.serve.max_replica_lag_ms,
+        churn.zero_violations()
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"serve_chaos\",\n  \"smoke\": {},\n  \"nodes\": {},\n  \"edges\": {},\n  \
+         \"shards\": {},\n  \"replication\": {},\n  \"killed_shards\": {},\n  \"duration_ms\": {},\n  \
+         \"heartbeat_ms\": 5,\n  \"staleness_budget_ms\": 50,\n  \"results\": [\n{},\n{}\n  ],\n  \
+         \"recovery\": {{\"failovers\": {}, \"users_failed_over\": {}, \"unavailable_ms\": {:.1}, \
+         \"max_replica_lag_ms\": {:.2}, \"throughput_vs_faultless\": {:.3}, \"staleness_ok\": {}}}\n}}",
+        args.smoke,
+        g.node_count(),
+        g.edge_count(),
+        args.servers,
+        args.replication,
+        args.kill,
+        args.duration.as_millis(),
+        json_result("hybrid-faultless", RpcMode::Batched, cost, &baseline),
+        json_result("hybrid-chaos", RpcMode::Batched, cost, &report),
+        report.serve.failovers,
+        churn.users_failed_over,
+        report.serve.unavailable_ms,
+        report.serve.max_replica_lag_ms,
+        recovered,
+        churn.zero_violations()
+    );
+    println!("{json}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{json}\n")).expect("write --out file");
+        eprintln!("# wrote {path}");
+    }
+    assert!(
+        baseline.serve.churn.zero_violations(),
+        "faultless replicated run violated staleness: {:?}",
+        baseline.serve.churn.staleness_violation
+    );
+    assert!(
+        churn.zero_violations(),
+        "staleness violated under chaos: {:?}",
+        churn.staleness_violation
+    );
+    assert!(
+        report.serve.failovers >= args.kill as u64,
+        "expected >= {} failovers, saw {}",
+        args.kill,
+        report.serve.failovers
+    );
+}
+
 fn main() {
     let args = parse_args();
+    if args.chaos {
+        run_chaos(&args);
+        return;
+    }
     let clients = if args.smoke { 2 } else { 4 };
     let churn_ratio = 0.02;
     eprintln!(
@@ -374,6 +573,7 @@ fn main() {
                     arrival: Arrival::Closed,
                     seed: 7,
                     stats_interval: None,
+                    chaos: None,
                 },
             );
             assert!(

@@ -68,6 +68,32 @@ pub enum EventKind {
         /// Wall nanoseconds of the section.
         wall_ns: u64,
     },
+    /// A shard's heartbeat state machine advanced (Up→Suspect or
+    /// Suspect→Down); steady-state misses inside a state are not logged.
+    HeartbeatMiss {
+        /// The silent shard.
+        shard: usize,
+        /// Consecutive misses so far.
+        misses: u32,
+    },
+    /// The failover controller re-pointed a dead primary at surviving
+    /// replicas and published the new topology epoch.
+    Failover {
+        /// The shard declared dead.
+        shard: usize,
+        /// Users whose primary moved.
+        moved: usize,
+        /// Wall time from detection-confirmed to epoch published.
+        wall_ms: f64,
+    },
+    /// Anti-entropy finished copying views onto newly exposed replica
+    /// slots after a failover.
+    CatchUp {
+        /// Views installed.
+        views: usize,
+        /// Wall time of the copy.
+        wall_ms: f64,
+    },
 }
 
 impl std::fmt::Display for EventKind {
@@ -105,6 +131,20 @@ impl std::fmt::Display for EventKind {
                 f,
                 "fanout-batch jobs={jobs} busy={busy_ns}ns wall={wall_ns}ns"
             ),
+            EventKind::HeartbeatMiss { shard, misses } => {
+                write!(f, "heartbeat-miss shard={shard} misses={misses}")
+            }
+            EventKind::Failover {
+                shard,
+                moved,
+                wall_ms,
+            } => write!(
+                f,
+                "failover shard={shard} moved={moved} wall={wall_ms:.1}ms"
+            ),
+            EventKind::CatchUp { views, wall_ms } => {
+                write!(f, "catch-up views={views} wall={wall_ms:.1}ms")
+            }
         }
     }
 }

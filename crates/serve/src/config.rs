@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use piggyback_store::fault::FaultPlan;
 use piggyback_store::topology::PartitionStrategy;
 use std::time::Duration;
 
@@ -84,6 +85,18 @@ pub struct ServeConfig {
     /// the instruments are cheap enough to leave on (CI gates the serving
     /// overhead at ≤ 5%); `false` exists for that overhead measurement.
     pub metrics: bool,
+    /// Replica slots per view (1 = primary only, the pre-replication
+    /// plane byte for byte). Clamped to `shards` by the topology.
+    pub replication: usize,
+    /// Heartbeat cadence of the failure detector (ZERO = detection off;
+    /// a dead shard is then only noticed at the send seam).
+    pub heartbeat_interval: Duration,
+    /// Consecutive heartbeat misses before a shard turns `Suspect`.
+    pub suspect_misses: u32,
+    /// Consecutive misses before `Down` — the failover trigger.
+    pub down_misses: u32,
+    /// Chaos-mode fault injection on the transport (`None` = faultless).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +114,11 @@ impl Default for ServeConfig {
             queue_depth: 1024,
             rpc: RpcMode::Batched,
             metrics: true,
+            replication: 1,
+            heartbeat_interval: Duration::ZERO,
+            suspect_misses: 2,
+            down_misses: 4,
+            faults: None,
         }
     }
 }
@@ -122,6 +140,12 @@ mod tests {
         // Production serves over the coalesced plane, with metrics on.
         assert_eq!(c.rpc, RpcMode::Batched);
         assert!(c.metrics);
+        // Resilience is strictly opt-in: replication 1, no heartbeats, no
+        // faults means the pre-replication data plane, unchanged.
+        assert_eq!(c.replication, 1);
+        assert_eq!(c.heartbeat_interval, Duration::ZERO);
+        assert!(c.suspect_misses >= 1 && c.down_misses >= c.suspect_misses);
+        assert!(c.faults.is_none());
     }
 
     #[test]

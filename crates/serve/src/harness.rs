@@ -38,6 +38,18 @@ pub enum Arrival {
     },
 }
 
+/// Chaos injection riding on a harness run: kill shards mid-storm and let
+/// the failure detector + failover controller earn their keep while the
+/// load keeps arriving.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosSpec {
+    /// Distinct shards to kill (each pick is seeded-deterministic).
+    pub kill_shards: usize,
+    /// When to kill, as a fraction of the configured run duration
+    /// (`0.5` = mid-storm).
+    pub kill_at_frac: f64,
+}
+
 /// Load-generation configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct HarnessConfig {
@@ -55,6 +67,9 @@ pub struct HarnessConfig {
     /// to stderr every interval, and sweep the pull cache. `None` (the
     /// default) disables the dumper thread entirely.
     pub stats_interval: Option<Duration>,
+    /// Kill shards mid-run (`None` = no chaos). Requires a runtime booted
+    /// with replication ≥ 2 and heartbeats on for the load to survive.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for HarnessConfig {
@@ -66,6 +81,7 @@ impl Default for HarnessConfig {
             arrival: Arrival::Closed,
             seed: 42,
             stats_interval: None,
+            chaos: None,
         }
     }
 }
@@ -158,6 +174,34 @@ pub fn run_harness(
                     rt.sweep_cache();
                     prev = snap;
                     next += interval;
+                }
+            });
+        }
+        if let Some(chaos) = load.chaos {
+            // Chaos killer: sleep to the configured fraction of the run,
+            // then kill k distinct seeded-random shards. Kills go through
+            // the runtime's fault injector, so clients see connection
+            // refusal and the heartbeat prober sees silence — exactly a
+            // crashed store process.
+            let rt = &runtime;
+            let kill_at = start + load.duration.mul_f64(chaos.kill_at_frac.clamp(0.0, 1.0));
+            let seed = load.seed;
+            s.spawn(move || {
+                let now = Instant::now();
+                if now < kill_at {
+                    std::thread::sleep(kill_at - now);
+                }
+                let shards = rt.shards();
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_5EED);
+                let mut picked = Vec::new();
+                while picked.len() < chaos.kill_shards.min(shards.saturating_sub(1)) {
+                    let shard = rng.random_range(0..shards);
+                    if !picked.contains(&shard) {
+                        picked.push(shard);
+                    }
+                }
+                for shard in picked {
+                    rt.kill_shard(shard);
                 }
             });
         }
@@ -297,6 +341,7 @@ mod tests {
                 arrival: Arrival::Closed,
                 seed: 7,
                 stats_interval: None,
+                chaos: None,
             },
         );
         assert!(report.ops > 0, "no operations completed");
@@ -331,6 +376,7 @@ mod tests {
                 arrival: Arrival::Open { ops_per_sec: 400.0 },
                 seed: 11,
                 stats_interval: None,
+                chaos: None,
             },
         );
         // An uncontended in-process runtime easily sustains 400 op/s, so

@@ -37,6 +37,15 @@
 //!   ([`ServeConfig::metrics`]); scraped over the wire via
 //!   [`ServeRuntime::stats_snapshot`] or dumped periodically by the
 //!   harness (`stats_interval`).
+//! * Fault tolerance — with [`ServeConfig::replication`] ≥ 2 writes fan
+//!   out to every replica slot, reads route to the healthiest replica, a
+//!   heartbeat failure detector ([`piggyback_store::health`]) classifies
+//!   shards Up/Suspect/Down, and the churn manager doubles as a failover
+//!   controller: a dead primary is re-pointed at surviving replicas
+//!   through the same epoch-swap machinery after a non-destructive
+//!   catch-up copy. The [`harness`] can kill shards mid-run
+//!   ([`ChaosSpec`]) through the store's fault injector
+//!   ([`piggyback_store::fault`]).
 
 pub mod cache;
 pub mod config;
@@ -49,7 +58,7 @@ pub mod runtime;
 pub use cache::PullCache;
 pub use config::{RpcMode, ServeConfig};
 pub use epoch::{EpochHandle, ServingSchedule};
-pub use harness::{run_harness, Arrival, HarnessConfig, HarnessReport};
+pub use harness::{run_harness, Arrival, ChaosSpec, HarnessConfig, HarnessReport};
 pub use metrics::ServeMetrics;
 pub use ops::{ChurnReport, ServeReport};
 pub use runtime::{ServeClient, ServeRuntime};

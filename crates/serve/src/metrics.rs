@@ -44,6 +44,14 @@ pub struct ServeMetrics {
     pub(crate) cost_delta: Gauge,
     /// Cross-server message rate accumulated toward the rebalance trigger.
     pub(crate) cross_cost: Gauge,
+    /// Largest current heartbeat silence among shards still considered
+    /// readable — how far behind a legally-served replica could be.
+    pub(crate) replica_lag: Gauge,
+    /// Shards currently not `Up` in the failure detector.
+    pub(crate) health_suspect: Gauge,
+    /// Failovers executed (dead primary re-pointed at a surviving
+    /// replica).
+    pub(crate) failover_count: Counter,
 }
 
 impl Default for ServeMetrics {
@@ -70,6 +78,9 @@ impl ServeMetrics {
             staleness_violations: registry.counter("churn.staleness_violations"),
             cost_delta: registry.gauge("churn.cost_delta"),
             cross_cost: registry.gauge("churn.cross_cost"),
+            replica_lag: registry.gauge("replica.lag"),
+            health_suspect: registry.gauge("health.suspect"),
+            failover_count: registry.counter("failover.count"),
             events: EventLog::new(EVENT_CAPACITY),
             registry,
         }
@@ -183,6 +194,9 @@ mod tests {
             "churn.staleness_violations",
             "churn.cost_delta",
             "churn.cross_cost",
+            "replica.lag",
+            "health.suspect",
+            "failover.count",
         ] {
             assert!(snap.get(name).is_some(), "missing instrument {name}");
         }

@@ -67,6 +67,15 @@ pub struct ChurnReport {
     /// direct serving must already be in the serving sets. Also exported
     /// as the `churn.staleness_violations` counter while running.
     pub live_staleness_violations: u64,
+    /// Failovers executed: dead primaries re-pointed at surviving
+    /// replicas through an epoch swap.
+    pub failovers: u64,
+    /// Users whose primary moved across all failovers.
+    pub users_failed_over: u64,
+    /// Total unavailability the failovers closed: per dead shard, the
+    /// wall time from its first missed heartbeat (or kill) to the new
+    /// topology epoch being published.
+    pub failover_unavailable_ms: f64,
     /// First bounded-staleness violation found — live (per-mutation check)
     /// or by the post-run validation, whichever fired first. `None` is the
     /// paper's invariant: every current edge is served by push, pull, or
@@ -98,4 +107,13 @@ pub struct ServeReport {
     /// gauges), taken just before teardown. `None` when the runtime ran
     /// with [`ServeConfig::metrics`](crate::ServeConfig) off.
     pub metrics: Option<piggyback_obs::Snapshot>,
+    /// Replica slots per view the run served with (1 = no replication).
+    pub replication: usize,
+    /// Failovers executed over the run (mirrors the churn report).
+    pub failovers: u64,
+    /// Unavailability closed by failovers, in milliseconds.
+    pub unavailable_ms: f64,
+    /// High-water heartbeat silence among replicas that actually served
+    /// reads — the worst legal staleness any answer could have carried.
+    pub max_replica_lag_ms: f64,
 }

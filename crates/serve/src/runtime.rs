@@ -32,18 +32,20 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use piggyback_core::incremental::{ChurnEffect, IncrementalScheduler};
 use piggyback_core::schedule::Schedule;
 use piggyback_core::scheduler::{Instance, Scheduler};
 use piggyback_graph::{CsrGraph, NodeId};
 use piggyback_obs::{set_ambient_events, EventKind, Snapshot};
+use piggyback_store::fault::FaultInjector;
+use piggyback_store::health::{HealthTracker, ShardHealth};
 use piggyback_store::merge::sort_merge;
 use piggyback_store::server::{QueryScratch, ShardStats, StoreServer};
-use piggyback_store::topology::{PartitionRequest, PartitionStrategy};
+use piggyback_store::topology::{PartitionRequest, PartitionStrategy, Topology};
 use piggyback_store::worker::{
     dispatch, worker_loop, BufferPool, ShardClient, ShardRequest, Transport,
 };
@@ -72,7 +74,13 @@ pub struct ServeRuntime {
     top_k: usize,
     rpc: RpcMode,
     shards_n: usize,
+    replication: usize,
     metrics: Option<Arc<ServeMetrics>>,
+    /// Shared failure detector (present when replication or heartbeats
+    /// are configured).
+    health: Option<Arc<HealthTracker>>,
+    /// Chaos fault injector (present when a fault plan is configured).
+    faults: Option<Arc<FaultInjector>>,
     client_counter: AtomicU64,
     worker_handles: Vec<JoinHandle<()>>,
     churn_handle: Option<JoinHandle<()>>,
@@ -103,13 +111,20 @@ impl ServeRuntime {
             rates.len(),
             graph.node_count()
         );
-        let topology = Arc::new(config.partition.partitioner().partition(&PartitionRequest {
-            graph: &graph,
-            rates: &rates,
-            schedule: Some(&schedule),
-            servers: config.shards,
-            seed: config.placement_seed,
-        }));
+        let topology = Arc::new(
+            config
+                .partition
+                .partitioner()
+                .partition(&PartitionRequest {
+                    graph: &graph,
+                    rates: &rates,
+                    schedule: Some(&schedule),
+                    servers: config.shards,
+                    seed: config.placement_seed,
+                })
+                .with_replication(config.replication.max(1)),
+        );
+        let replication = topology.replication();
         let handle = Arc::new(EpochHandle::new(ServingSchedule::compile(
             &graph, &schedule, topology, 0,
         )));
@@ -138,6 +153,21 @@ impl ServeRuntime {
             Transport::Workers(Arc::clone(&senders))
         };
         let metrics = config.metrics.then(|| Arc::new(ServeMetrics::new()));
+        let faults = config
+            .faults
+            .map(|plan| Arc::new(FaultInjector::new(plan, config.shards)));
+        // The detector exists whenever replicas or heartbeats are in play;
+        // the pull-cache TTL doubles as the Theorem-1 staleness budget a
+        // Suspect replica may legally lag (reads are allowed to be that
+        // stale anyway).
+        let health = (replication > 1 || !config.heartbeat_interval.is_zero()).then(|| {
+            Arc::new(HealthTracker::new(
+                config.shards,
+                config.suspect_misses.max(1),
+                config.down_misses.max(config.suspect_misses.max(1)),
+                config.pull_cache_ttl,
+            ))
+        });
         let manager = ChurnManager {
             inc: IncrementalScheduler::new(graph, rates.clone(), schedule),
             rates,
@@ -166,6 +196,14 @@ impl ServeRuntime {
             cross_churned: 0.0,
             live_violations: 0,
             first_violation: None,
+            health: health.clone(),
+            faults: faults.clone(),
+            heartbeat: config.heartbeat_interval,
+            probes: (0..config.shards).map(|_| None).collect(),
+            failed_over: vec![false; config.shards],
+            failovers: 0,
+            users_failed_over: 0,
+            failover_unavailable_ms: 0.0,
         };
         let churn_handle = std::thread::spawn(move || manager.run());
         ServeRuntime {
@@ -179,7 +217,10 @@ impl ServeRuntime {
             top_k: config.top_k,
             rpc: config.rpc,
             shards_n: config.shards,
+            replication,
             metrics,
+            health,
+            faults,
             client_counter: AtomicU64::new(0),
             worker_handles,
             churn_handle: Some(churn_handle),
@@ -192,7 +233,8 @@ impl ServeRuntime {
         ServeClient {
             handle: Arc::clone(&self.handle),
             senders: Arc::clone(&self.senders),
-            shard: ShardClient::new(self.transport.clone(), Arc::clone(&self.pool)),
+            shard: ShardClient::new(self.transport.clone(), Arc::clone(&self.pool))
+                .with_resilience(self.health.clone(), self.faults.clone()),
             churn_tx: self.churn_tx.clone(),
             cache: Arc::clone(&self.cache),
             clock: Arc::clone(&self.clock),
@@ -219,22 +261,58 @@ impl ServeRuntime {
     /// counter identity.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         let mut scratch = QueryScratch::new();
-        let pending: Vec<_> = (0..self.shards_n)
+        // A chaos-killed shard refuses the scrape like any other request;
+        // it reports as zeros rather than hanging the snapshot.
+        let pending: Vec<Option<_>> = (0..self.shards_n)
             .map(|shard| {
-                self.transport
-                    .request_async(&self.pool, &mut scratch, |done| ShardRequest::Stats {
-                        shard,
-                        done,
-                    })
+                if self.faults.as_ref().is_some_and(|f| f.is_killed(shard)) {
+                    return None;
+                }
+                Some(
+                    self.transport
+                        .request_async(&self.pool, &mut scratch, |done| ShardRequest::Stats {
+                            shard,
+                            done,
+                        }),
+                )
             })
             .collect();
         pending
             .into_iter()
-            .map(|rx| {
-                let mut reply = rx.recv().expect("worker dropped stats reply");
-                ShardStats::decode(&mut reply).expect("malformed stats reply")
+            .map(|rx| match rx {
+                Some(rx) => {
+                    let mut reply = rx.recv().expect("worker dropped stats reply");
+                    ShardStats::decode(&mut reply).expect("malformed stats reply")
+                }
+                None => ShardStats::default(),
             })
             .collect()
+    }
+
+    /// Number of data-store shards.
+    pub fn shards(&self) -> usize {
+        self.shards_n
+    }
+
+    /// The shared failure detector, when the runtime carries one.
+    pub fn health(&self) -> Option<&Arc<HealthTracker>> {
+        self.health.as_ref()
+    }
+
+    /// The fault injector, when a chaos plan is configured.
+    pub fn faults(&self) -> Option<&Arc<FaultInjector>> {
+        self.faults.as_ref()
+    }
+
+    /// Chaos control: kills `shard` (it refuses every request from now
+    /// on). Returns `false` when no fault plan is configured — a runtime
+    /// without an injector has no kill switches. Detection and failover
+    /// proceed through the normal heartbeat path.
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        match &self.faults {
+            Some(f) => f.kill(shard),
+            None => false,
+        }
     }
 
     /// One point-in-time capture of everything observable: the registry's
@@ -335,11 +413,18 @@ impl ServeRuntime {
         }
         let (cache_hits, cache_misses) = self.cache.stats();
         ServeReport {
+            failovers: churn.failovers,
+            unavailable_ms: churn.failover_unavailable_ms,
             churn,
             cache_hits,
             cache_misses,
             final_epoch: self.handle.epoch(),
             metrics,
+            replication: self.replication,
+            max_replica_lag_ms: self
+                .health
+                .as_ref()
+                .map_or(0.0, |h| h.max_readable_lag().as_secs_f64() * 1e3),
         }
     }
 }
@@ -587,6 +672,21 @@ struct ChurnManager {
     live_violations: u64,
     /// First live violation, verbatim, for the final report.
     first_violation: Option<String>,
+    /// Shared failure detector; the churn thread is its prober.
+    health: Option<Arc<HealthTracker>>,
+    /// Fault injector (killed shards must not be probed over the wire).
+    faults: Option<Arc<FaultInjector>>,
+    /// Heartbeat cadence (ZERO = detection off).
+    heartbeat: Duration,
+    /// Outstanding heartbeat probes: per shard, the reply receiver and
+    /// when the current grace window opened (one probe in flight each).
+    probes: Vec<Option<(Receiver<bytes::Bytes>, Instant)>>,
+    /// Shards already failed over (terminal this run; never re-probed).
+    failed_over: Vec<bool>,
+    failovers: u64,
+    users_failed_over: u64,
+    /// Wall milliseconds of unavailability the failovers closed.
+    failover_unavailable_ms: f64,
 }
 
 /// Churn overrides above this count are compacted into a fresh compiled
@@ -597,34 +697,288 @@ const OVERRIDE_COMPACT_LIMIT: usize = 1024;
 
 impl ChurnManager {
     fn run(mut self) {
-        while let Ok(msg) = self.rx.recv() {
-            match msg {
-                ChurnMsg::Follow { u, v, done } => {
-                    let _ = done.send(self.apply(true, u, v));
-                }
-                ChurnMsg::Unfollow { u, v, done } => {
-                    let _ = done.send(self.apply(false, u, v));
-                }
-                ChurnMsg::ReoptDone(result) => self.install_reopt(*result),
-                ChurnMsg::Shutdown { done } => {
-                    // Let an in-flight re-optimization land so its thread
-                    // is not abandoned mid-swap; further churn is rejected.
-                    while self.reopt_in_flight {
-                        match self.rx.recv() {
-                            Ok(ChurnMsg::ReoptDone(result)) => {
-                                self.install_reopt(*result);
-                            }
-                            Ok(ChurnMsg::Follow { done, .. })
-                            | Ok(ChurnMsg::Unfollow { done, .. }) => {
-                                let _ = done.send(false);
-                            }
-                            Ok(ChurnMsg::Shutdown { .. }) | Err(_) => break,
-                        }
-                    }
-                    let _ = done.send(self.final_report());
+        if self.heartbeat.is_zero() || self.health.is_none() {
+            while let Ok(msg) = self.rx.recv() {
+                if self.handle_msg(msg) {
                     return;
                 }
             }
+            return;
+        }
+        // Failure-detection mode: the churn thread doubles as the prober,
+        // waking every heartbeat interval even while churn is idle. Under
+        // a busy churn stream the deadline check after each message keeps
+        // the cadence honest.
+        let tick = self.heartbeat;
+        let mut next_tick = Instant::now() + tick;
+        loop {
+            let wait = next_tick.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(wait) {
+                Ok(msg) => {
+                    if self.handle_msg(msg) {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            if Instant::now() >= next_tick {
+                self.health_tick();
+                next_tick = Instant::now() + tick;
+            }
+        }
+    }
+
+    /// Dispatches one message; `true` means shutdown completed.
+    fn handle_msg(&mut self, msg: ChurnMsg) -> bool {
+        match msg {
+            ChurnMsg::Follow { u, v, done } => {
+                let _ = done.send(self.apply(true, u, v));
+                false
+            }
+            ChurnMsg::Unfollow { u, v, done } => {
+                let _ = done.send(self.apply(false, u, v));
+                false
+            }
+            ChurnMsg::ReoptDone(result) => {
+                self.install_reopt(*result);
+                false
+            }
+            ChurnMsg::Shutdown { done } => {
+                // Let an in-flight re-optimization land so its thread
+                // is not abandoned mid-swap; further churn is rejected.
+                while self.reopt_in_flight {
+                    match self.rx.recv() {
+                        Ok(ChurnMsg::ReoptDone(result)) => {
+                            self.install_reopt(*result);
+                        }
+                        Ok(ChurnMsg::Follow { done, .. }) | Ok(ChurnMsg::Unfollow { done, .. }) => {
+                            let _ = done.send(false);
+                        }
+                        Ok(ChurnMsg::Shutdown { .. }) | Err(_) => break,
+                    }
+                }
+                let _ = done.send(self.final_report());
+                true
+            }
+        }
+    }
+
+    /// One heartbeat round. Probing is **asynchronous**: each live shard
+    /// has at most one probe in flight, polled with a zero-wait receive
+    /// on later ticks, so a slow data plane never stretches the tick
+    /// cadence. A live shard accrues a miss only when a full grace
+    /// window passes with its probe unanswered, and the window re-arms
+    /// after each miss — `down_misses` misses therefore mean the shard
+    /// answered *nothing* for `down_misses` consecutive windows. Killed
+    /// shards are never probed over the wire (the injector refuses the
+    /// connection) and accrue a miss every tick, so a real death is
+    /// confirmed in `down_misses` ticks regardless of the grace window.
+    /// Runs on the churn thread — the single writer — so failover's
+    /// migrate-then-swap inherits the same race-freedom as rebalancing.
+    fn health_tick(&mut self) {
+        let Some(health) = self.health.clone() else {
+            return;
+        };
+        // Heartbeats share the data-plane queues, so under closed-loop
+        // saturation a probe legitimately waits behind a deep batch
+        // backlog: give replies a generous window. This costs nothing on
+        // true-death detection (killed shards bypass the wire entirely),
+        // it only insulates live-but-busy shards from false positives.
+        let grace = (self.heartbeat * 2).max(Duration::from_millis(100));
+        let shards = health.shards();
+        for s in 0..shards {
+            if self.failed_over[s] {
+                self.probes[s] = None;
+                continue;
+            }
+            if self.faults.as_ref().is_some_and(|f| f.is_killed(s)) {
+                // Connection refused: no wire probe, direct miss.
+                self.probes[s] = None;
+                self.note_miss(&health, s);
+                continue;
+            }
+            if let Some((rx, since)) = self.probes[s].take() {
+                // Zero-deadline receive: pops an arrived reply, never waits.
+                match rx.recv_deadline(Instant::now()) {
+                    Ok(_) => health.record_ok(s),
+                    Err(RecvTimeoutError::Timeout) => {
+                        if since.elapsed() >= grace {
+                            self.note_miss(&health, s);
+                            // Re-arm the window but keep the same probe:
+                            // any late reply still proves liveness.
+                            self.probes[s] = Some((rx, Instant::now()));
+                        } else {
+                            self.probes[s] = Some((rx, since));
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Worker gone (teardown in progress).
+                        self.note_miss(&health, s);
+                        continue;
+                    }
+                }
+            }
+            let rx = self
+                .transport
+                .request_async(&self.pool, &mut self.migrate_scratch, |done| {
+                    ShardRequest::Heartbeat { shard: s, done }
+                });
+            self.probes[s] = Some((rx, Instant::now()));
+        }
+        if let Some(m) = &self.metrics {
+            m.health_suspect.set(health.not_up() as f64);
+            m.replica_lag
+                .set(health.max_live_silence().as_secs_f64() * 1e3);
+        }
+        let mut failed_any = false;
+        for s in 0..shards {
+            if !self.failed_over[s] && health.state(s) == ShardHealth::Down {
+                self.fail_over(s);
+                failed_any = true;
+            }
+        }
+        if failed_any {
+            // Failover amnesty: the catch-up copy just flooded the data
+            // plane, and heartbeat probes queue behind it, so every live
+            // shard now looks silent. Restart detection from a clean
+            // slate — recovery traffic must never be mistaken for more
+            // failures, or one real death cascades into failing over the
+            // whole fleet. Truly dead shards lose nothing: kills are
+            // detected without wire traffic, in `down_misses` ticks.
+            for s in 0..shards {
+                if !self.failed_over[s] && !self.faults.as_ref().is_some_and(|f| f.is_killed(s)) {
+                    health.record_ok(s);
+                    self.probes[s] = None;
+                }
+            }
+        }
+    }
+
+    /// Records a heartbeat miss, logging the state transition if any.
+    fn note_miss(&mut self, health: &HealthTracker, s: usize) {
+        let miss = health.record_miss(s);
+        if miss.transitioned {
+            if let Some(m) = &self.metrics {
+                m.events().record(EventKind::HeartbeatMiss {
+                    shard: s,
+                    misses: miss.misses,
+                });
+            }
+        }
+    }
+
+    /// Re-points every user whose primary is `dead` at its first
+    /// surviving replica slot, catches newly exposed replica slots up,
+    /// and publishes the new topology epoch. No-op (beyond marking the
+    /// shard terminal) with replication 1 — there is nowhere to go.
+    fn fail_over(&mut self, dead: usize) {
+        self.failed_over[dead] = true;
+        let started = Instant::now();
+        let snap = self.handle.load();
+        let old = Arc::clone(snap.topology());
+        let health = match &self.health {
+            Some(h) => Arc::clone(h),
+            None => return,
+        };
+        if old.replication() < 2 {
+            return;
+        }
+        let faults = self.faults.clone();
+        let dead_set: Vec<bool> = (0..old.servers())
+            .map(|s| {
+                self.failed_over[s]
+                    || health.state(s) == ShardHealth::Down
+                    || faults.as_ref().is_some_and(|f| f.is_killed(s))
+            })
+            .collect();
+        let mut assign = old.assignment().to_vec();
+        let mut moved: Vec<NodeId> = Vec::new();
+        for u in 0..assign.len() as NodeId {
+            if assign[u as usize] as usize != dead {
+                continue;
+            }
+            let Some(next) = old.replica_slots(u).find(|&r| !dead_set[r]) else {
+                // Every replica is gone too; the view is lost until an
+                // operator intervenes. Leave the assignment in place.
+                continue;
+            };
+            assign[u as usize] = next as u32;
+            moved.push(u);
+        }
+        let new_t =
+            Topology::from_assignment(assign, old.servers()).with_replication(old.replication());
+        // Anti-entropy *before* publish: re-pointing a primary exposes
+        // replica slots that never received writes (they were behind the
+        // dead shard in the slot ring). Copy the surviving view in via a
+        // non-destructive read + merge-install — deliberately NOT
+        // ExtractView, which would remove the donor view and open a
+        // window where concurrent queries see nothing.
+        let catch_started = Instant::now();
+        let mut catch_up = 0usize;
+        {
+            let (transport, pool, scratch) =
+                (&self.transport, &self.pool, &mut self.migrate_scratch);
+            let reads: Vec<_> = moved
+                .iter()
+                .map(|&u| {
+                    transport.request_async(pool, scratch, |done| ShardRequest::Query {
+                        shard: new_t.server_of(u),
+                        views: vec![u],
+                        k: usize::MAX,
+                        done,
+                    })
+                })
+                .collect();
+            let mut installs = Vec::new();
+            for (&u, rx) in moved.iter().zip(reads) {
+                let payload = rx.recv().expect("worker dropped catch-up reply");
+                if payload.is_empty() {
+                    continue;
+                }
+                for slot in new_t.replica_slots(u) {
+                    let had_it = old.replica_slots(u).any(|r| r == slot);
+                    if had_it || dead_set[slot] {
+                        continue;
+                    }
+                    catch_up += 1;
+                    installs.push(transport.request_async(pool, scratch, |done| {
+                        ShardRequest::InstallView {
+                            shard: slot,
+                            view: u,
+                            payload: payload.clone(),
+                            done,
+                        }
+                    }));
+                }
+            }
+            for rx in installs {
+                rx.recv().expect("worker dropped install reply");
+            }
+        }
+        self.handle.swap(snap.with_topology(Arc::new(new_t)));
+        self.failovers += 1;
+        self.users_failed_over += moved.len() as u64;
+        // The unavailability window runs from the first evidence of death
+        // (first missed heartbeat, or the kill instant if earlier
+        // evidence exists) to the epoch publish that routed around it.
+        let window = health
+            .first_miss_elapsed(dead)
+            .or_else(|| faults.as_ref().and_then(|f| f.killed_since(dead)))
+            .unwrap_or_else(|| started.elapsed());
+        self.failover_unavailable_ms += window.as_secs_f64() * 1e3;
+        if let Some(m) = &self.metrics {
+            m.failover_count.inc();
+            m.events().record(EventKind::Failover {
+                shard: dead,
+                moved: moved.len(),
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            });
+            m.events().record(EventKind::CatchUp {
+                views: catch_up,
+                wall_ms: catch_started.elapsed().as_secs_f64() * 1e3,
+            });
         }
     }
 
@@ -953,6 +1307,9 @@ impl ChurnManager {
             base_cost: self.inc.base_cost(),
             final_cost: self.inc.cost(),
             live_staleness_violations: self.live_violations,
+            failovers: self.failovers,
+            users_failed_over: self.users_failed_over,
+            failover_unavailable_ms: self.failover_unavailable_ms,
             // The live per-mutation check fires first; the post-run sweep
             // over the whole dynamic graph backs it up.
             staleness_violation: self

@@ -5,6 +5,13 @@
 //! including the stats scrape itself — through the store's single
 //! `handle_request`, so any divergence means one plane is doing different
 //! work, not just reporting differently.
+//!
+//! The same harness also pins down the replication layer's differential
+//! guarantees: heartbeat probes touch no store counters (a monitored run
+//! is byte-identical to an unmonitored one), and at replication 2 the two
+//! planes still agree with each other.
+
+use std::time::Duration;
 
 use piggyback_core::scheduler::{by_name, Instance};
 use piggyback_graph::gen::{copying, CopyingConfig};
@@ -24,7 +31,11 @@ fn world() -> (CsrGraph, Rates) {
     (g, r)
 }
 
-fn drive(rpc: RpcMode) -> (Vec<ShardStats>, piggyback_obs::Snapshot) {
+fn drive_with(
+    rpc: RpcMode,
+    replication: usize,
+    heartbeat: Duration,
+) -> (Vec<ShardStats>, piggyback_obs::Snapshot) {
     let (g, r) = world();
     let schedule = by_name("hybrid")
         .unwrap()
@@ -39,6 +50,8 @@ fn drive(rpc: RpcMode) -> (Vec<ShardStats>, piggyback_obs::Snapshot) {
             shards: 4,
             workers: 2,
             rpc,
+            replication,
+            heartbeat_interval: heartbeat,
             ..Default::default()
         },
     );
@@ -55,6 +68,24 @@ fn drive(rpc: RpcMode) -> (Vec<ShardStats>, piggyback_obs::Snapshot) {
     (per_shard, report.metrics.expect("metrics on by default"))
 }
 
+fn drive(rpc: RpcMode) -> (Vec<ShardStats>, piggyback_obs::Snapshot) {
+    drive_with(rpc, 1, Duration::ZERO)
+}
+
+/// The store counters both planes must agree on, plus the serve-side op
+/// counters recorded independently on each plane.
+const DIFFERENTIAL_KEYS: [&str; 9] = [
+    "store.updates",
+    "store.queries",
+    "store.events_inserted",
+    "store.events_returned",
+    "store.batches",
+    "store.batch_ops",
+    "serve.ops.shares",
+    "serve.ops.queries",
+    "serve.store_messages",
+];
+
 #[test]
 fn stats_are_identical_across_direct_and_batched_planes() {
     let (direct, direct_snap) = drive(RpcMode::Direct);
@@ -66,23 +97,78 @@ fn stats_are_identical_across_direct_and_batched_planes() {
     );
     let touched: u64 = direct.iter().map(|s| s.updates + s.queries).sum();
     assert!(touched > 0, "the op stream never reached the store");
-    // The end-of-run snapshots agree on every folded store counter, and on
-    // the serve-side op counters recorded independently on each plane.
-    for key in [
-        "store.updates",
-        "store.queries",
-        "store.events_inserted",
-        "store.events_returned",
-        "store.batches",
-        "store.batch_ops",
-        "serve.ops.shares",
-        "serve.ops.queries",
-        "serve.store_messages",
-    ] {
+    // The end-of-run snapshots agree on every folded store counter.
+    for key in DIFFERENTIAL_KEYS {
         assert_eq!(
             direct_snap.counter(key),
             batched_snap.counter(key),
             "{key} differs between planes"
         );
     }
+    // The resilience instruments ship in the default catalog and stay
+    // zero/empty on an unreplicated, unmonitored, faultless run.
+    for key in ["replica.lag", "health.suspect", "failover.count"] {
+        assert!(
+            direct_snap.get(key).is_some(),
+            "instrument {key} missing from the catalog"
+        );
+    }
+    assert_eq!(direct_snap.counter("failover.count"), 0);
+}
+
+#[test]
+fn heartbeats_leave_store_counters_untouched() {
+    // The replication-1 differential guarantee: turning the failure
+    // detector on adds Heartbeat wire requests, but those touch no shard
+    // state and no counters — the data plane is byte-identical to the
+    // pre-replication plane.
+    let (plain, plain_snap) = drive_with(RpcMode::Batched, 1, Duration::ZERO);
+    let (probed, probed_snap) = drive_with(RpcMode::Batched, 1, Duration::from_millis(2));
+    assert_eq!(
+        plain, probed,
+        "heartbeat probes must not perturb per-shard stats"
+    );
+    for key in DIFFERENTIAL_KEYS {
+        assert_eq!(
+            plain_snap.counter(key),
+            probed_snap.counter(key),
+            "{key} differs once heartbeats are on"
+        );
+    }
+    assert_eq!(
+        probed_snap.counter("failover.count"),
+        0,
+        "no shard died, nothing may fail over"
+    );
+}
+
+#[test]
+fn stats_are_identical_across_planes_at_replication_two() {
+    // With replicated writes the absolute counters change (each update
+    // fans out to every replica slot), but the two production planes must
+    // still agree with each other operation for operation.
+    let (direct, direct_snap) = drive_with(RpcMode::Direct, 2, Duration::ZERO);
+    let (batched, batched_snap) = drive_with(RpcMode::Batched, 2, Duration::ZERO);
+    assert_eq!(
+        direct, batched,
+        "per-shard Stats must match between planes at replication 2"
+    );
+    for key in DIFFERENTIAL_KEYS {
+        assert_eq!(
+            direct_snap.counter(key),
+            batched_snap.counter(key),
+            "{key} differs between planes at replication 2"
+        );
+    }
+    // Replication doubles the per-view write traffic vs a single-copy run
+    // of the same trace: every view appears on exactly two replica slots,
+    // so each update inserts its event twice. (`store.updates` counts
+    // per-server groups, which coalesce differently, so the exact ×2 law
+    // lives on the per-view counter.)
+    let (_, single_snap) = drive(RpcMode::Batched);
+    assert_eq!(
+        direct_snap.counter("store.events_inserted"),
+        2 * single_snap.counter("store.events_inserted"),
+        "every view insert must land on both replica slots"
+    );
 }

@@ -1,0 +1,243 @@
+//! Deterministic fault injection on the shard transport — the chaos
+//! harness's hand on the wire.
+//!
+//! A [`FaultInjector`] sits at the batch send seam (see
+//! [`ShardClient`](crate::worker::ShardClient)) and perturbs delivery the
+//! way a real network and a real dead machine would:
+//!
+//! * **Kill** — a killed shard refuses every request at the send point
+//!   (the connection-refused model): no message is delivered, no reply
+//!   arrives, and the refusal is visible to the health tracker
+//!   immediately. Kills are permanent for the run.
+//! * **Drop** — an update batch is lost on the wire after the transport
+//!   acked it (fire-and-forget write semantics): the sender proceeds, the
+//!   payload never reaches the shard. Queries are never dropped — a
+//!   fabricated empty reply would corrupt results rather than model loss.
+//! * **Duplicate** — the same batch is delivered twice back-to-back
+//!   (redelivery), exercising the view's recent-id filter: per-producer
+//!   monotonic event ids make the second application a no-op.
+//! * **Delay** — the batch is held for a fixed interval before delivery.
+//!
+//! Decisions are a pure function of `(seed, decision counter)` via a
+//! splitmix64 draw, so a chaos run with a fixed seed perturbs the same
+//! *n*-th message every time regardless of thread interleaving.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Probabilities (in per-mille) and parameters of the injected faults.
+/// Kills are not part of the plan — they are explicit
+/// [`FaultInjector::kill`] calls (the chaos harness kills shards at a
+/// scheduled instant).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Determinism seed for the per-message draws.
+    pub seed: u64,
+    /// Per-mille of update batches lost on the wire (post-ack).
+    pub drop_update_per_mille: u32,
+    /// Per-mille of batches delivered twice back-to-back.
+    pub duplicate_per_mille: u32,
+    /// Per-mille of batches held for [`FaultPlan::delay`] before delivery.
+    pub delay_per_mille: u32,
+    /// Hold time of a delayed batch.
+    pub delay: Duration,
+}
+
+/// What to do with one outgoing batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the update on the wire (writes only).
+    DropUpdate,
+    /// Deliver twice back-to-back.
+    Duplicate,
+    /// Sleep [`FaultPlan::delay`], then deliver.
+    Delay,
+}
+
+/// Shared fault state: the plan plus per-shard kill switches and
+/// observability counters. One per runtime, consulted by every client at
+/// the send point and by the failover controller.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    killed: Vec<AtomicBool>,
+    /// Nanoseconds since `origin` at kill time (0 = alive) — the honest
+    /// start of the unavailability window.
+    killed_at_ns: Vec<AtomicU64>,
+    origin: Instant,
+    counter: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+    refused: AtomicU64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultInjector {
+    /// Injector over `shards` shards executing `plan`.
+    pub fn new(plan: FaultPlan, shards: usize) -> Self {
+        FaultInjector {
+            plan,
+            killed: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            killed_at_ns: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            origin: Instant::now(),
+            counter: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Kills `shard` (permanently for the run). Returns whether this call
+    /// was the one that killed it.
+    pub fn kill(&self, shard: usize) -> bool {
+        let first = !self.killed[shard].swap(true, Ordering::Relaxed);
+        if first {
+            let ns = self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            self.killed_at_ns[shard].store(ns.max(1), Ordering::Relaxed);
+        }
+        first
+    }
+
+    /// Whether `shard` refuses requests.
+    #[inline]
+    pub fn is_killed(&self, shard: usize) -> bool {
+        self.killed[shard].load(Ordering::Relaxed)
+    }
+
+    /// How long `shard` has been dead, if it is.
+    pub fn killed_since(&self, shard: usize) -> Option<Duration> {
+        let at = self.killed_at_ns[shard].load(Ordering::Relaxed);
+        (at != 0).then(|| {
+            self.origin
+                .elapsed()
+                .saturating_sub(Duration::from_nanos(at))
+        })
+    }
+
+    /// Shards currently dead.
+    pub fn killed_count(&self) -> usize {
+        self.killed
+            .iter()
+            .filter(|k| k.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Deterministic per-message draw. `write` batches are eligible for
+    /// drops; reads only for duplicate/delay.
+    pub fn decide(&self, write: bool) -> FaultDecision {
+        let p = &self.plan;
+        if p.drop_update_per_mille == 0 && p.duplicate_per_mille == 0 && p.delay_per_mille == 0 {
+            return FaultDecision::Deliver;
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let draw = (splitmix64(p.seed ^ n) % 1000) as u32;
+        let mut edge = p.drop_update_per_mille;
+        if write && draw < edge {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return FaultDecision::DropUpdate;
+        }
+        edge = p.drop_update_per_mille + p.duplicate_per_mille;
+        if draw < edge {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            return FaultDecision::Duplicate;
+        }
+        if draw < edge + p.delay_per_mille {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            return FaultDecision::Delay;
+        }
+        FaultDecision::Deliver
+    }
+
+    /// Records one refused (killed-shard) send.
+    pub fn note_refused(&self) {
+        self.refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(dropped, duplicated, delayed, refused)` since construction.
+    pub fn counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.dropped.load(Ordering::Relaxed),
+            self.duplicated.load(Ordering::Relaxed),
+            self.delayed.load(Ordering::Relaxed),
+            self.refused.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_is_sticky_and_timed() {
+        let f = FaultInjector::new(FaultPlan::default(), 4);
+        assert!(!f.is_killed(2));
+        assert!(f.kill(2), "first kill reports the transition");
+        assert!(!f.kill(2), "second kill is a no-op");
+        assert!(f.is_killed(2));
+        assert_eq!(f.killed_count(), 1);
+        assert!(f.killed_since(2).is_some());
+        assert!(f.killed_since(0).is_none());
+    }
+
+    #[test]
+    fn zero_plan_always_delivers() {
+        let f = FaultInjector::new(FaultPlan::default(), 1);
+        for _ in 0..100 {
+            assert_eq!(f.decide(true), FaultDecision::Deliver);
+        }
+        assert_eq!(f.counts(), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn decisions_are_seed_deterministic_and_roughly_proportional() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_update_per_mille: 100,
+            duplicate_per_mille: 100,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+        };
+        let run = || {
+            let f = FaultInjector::new(plan, 1);
+            (0..2000).map(|_| f.decide(true)).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed, same decision stream");
+        let drops = a
+            .iter()
+            .filter(|d| **d == FaultDecision::DropUpdate)
+            .count();
+        let dups = a.iter().filter(|d| **d == FaultDecision::Duplicate).count();
+        assert!((100..300).contains(&drops), "~10% drops, got {drops}/2000");
+        assert!((100..300).contains(&dups), "~10% dups, got {dups}/2000");
+    }
+
+    #[test]
+    fn reads_are_never_dropped() {
+        let plan = FaultPlan {
+            seed: 3,
+            drop_update_per_mille: 1000,
+            ..FaultPlan::default()
+        };
+        let f = FaultInjector::new(plan, 1);
+        for _ in 0..100 {
+            assert_ne!(f.decide(false), FaultDecision::DropUpdate);
+        }
+    }
+}

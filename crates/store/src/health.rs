@@ -1,0 +1,299 @@
+//! Per-shard failure detection: `Up → Suspect → Down` driven by
+//! heartbeat outcomes, with a staleness-legal lag window for reads.
+//!
+//! The failover controller (in `piggyback-serve`) pings every shard over
+//! the normal [`Transport`](crate::worker::Transport) seam on a fixed
+//! cadence and feeds the outcome here. Consecutive misses walk the state
+//! machine forward (a phi-accrual detector collapsed to integer
+//! thresholds, which is all a fixed-cadence prober can resolve); one
+//! success snaps the shard back to `Up`.
+//!
+//! **Reads and the Theorem-1 laxity.** A replica is a *legal* read target
+//! while its lag stays inside the feed's staleness budget — the same TTL
+//! the pull cache is allowed to serve from (Theorem 1 bounds staleness by
+//! the schedule's pull period; anything already allowed to be `ttl` old
+//! may equally be served by a replica at most `ttl` behind). We measure
+//! lag as *silence*: time since the shard last answered a heartbeat. An
+//! `Up` shard is always readable; a `Suspect` shard stays readable while
+//! its silence is within the laxity; a `Down` shard never is, until
+//! failover's catch-up path restores it via `InstallView`.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+/// Liveness verdict for one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Answering heartbeats.
+    Up,
+    /// Missed a few heartbeats; still a legal read target within laxity.
+    Suspect,
+    /// Missed enough consecutive heartbeats to be declared dead.
+    Down,
+}
+
+const UP: u8 = 0;
+const SUSPECT: u8 = 1;
+const DOWN: u8 = 2;
+
+/// Outcome of recording one heartbeat miss.
+#[derive(Clone, Copy, Debug)]
+pub struct MissOutcome {
+    /// State after the miss.
+    pub state: ShardHealth,
+    /// Consecutive misses so far.
+    pub misses: u32,
+    /// Whether this miss moved the state machine (Up→Suspect or
+    /// Suspect→Down) — the interesting moments for event logs.
+    pub transitioned: bool,
+}
+
+struct ShardSlot {
+    state: AtomicU8,
+    misses: AtomicU32,
+    /// Nanoseconds since `origin` of the last successful heartbeat
+    /// (0 = "fresh at boot": an empty shard lags nothing).
+    last_ok_ns: AtomicU64,
+    /// Nanoseconds since `origin` of the first miss of the current bad
+    /// streak (0 = none) — the start of the unavailability window.
+    first_miss_ns: AtomicU64,
+}
+
+/// Lock-free per-shard health registry shared between the prober (writes)
+/// and every read-routing client (reads).
+pub struct HealthTracker {
+    origin: Instant,
+    laxity: Duration,
+    suspect_after: u32,
+    down_after: u32,
+    shards: Vec<ShardSlot>,
+    /// High-water of silence observed at routing time on shards we still
+    /// considered readable — the honest "how stale could an answer have
+    /// been" number for reports.
+    max_readable_lag_ns: AtomicU64,
+}
+
+impl HealthTracker {
+    /// Tracker over `shards` shards. `suspect_after`/`down_after` are
+    /// consecutive-miss thresholds; `laxity` is the staleness budget a
+    /// `Suspect` replica may lag and still serve reads.
+    pub fn new(shards: usize, suspect_after: u32, down_after: u32, laxity: Duration) -> Self {
+        assert!(suspect_after >= 1 && down_after >= suspect_after);
+        HealthTracker {
+            origin: Instant::now(),
+            laxity,
+            suspect_after,
+            down_after,
+            shards: (0..shards)
+                .map(|_| ShardSlot {
+                    state: AtomicU8::new(UP),
+                    misses: AtomicU32::new(0),
+                    last_ok_ns: AtomicU64::new(0),
+                    first_miss_ns: AtomicU64::new(0),
+                })
+                .collect(),
+            max_readable_lag_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The staleness budget used as the legal lag window.
+    pub fn laxity(&self) -> Duration {
+        self.laxity
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records a successful heartbeat: shard snaps back to `Up`.
+    pub fn record_ok(&self, shard: usize) {
+        let s = &self.shards[shard];
+        s.last_ok_ns.store(self.now_ns(), Ordering::Relaxed);
+        s.misses.store(0, Ordering::Relaxed);
+        s.first_miss_ns.store(0, Ordering::Relaxed);
+        s.state.store(UP, Ordering::Relaxed);
+    }
+
+    /// Records a missed heartbeat and advances the state machine.
+    pub fn record_miss(&self, shard: usize) -> MissOutcome {
+        let s = &self.shards[shard];
+        let misses = s.misses.fetch_add(1, Ordering::Relaxed) + 1;
+        if misses == 1 {
+            s.first_miss_ns
+                .store(self.now_ns().max(1), Ordering::Relaxed);
+        }
+        let next = if misses >= self.down_after {
+            DOWN
+        } else if misses >= self.suspect_after {
+            SUSPECT
+        } else {
+            UP
+        };
+        let prev = s.state.swap(next, Ordering::Relaxed);
+        MissOutcome {
+            state: decode(next),
+            misses,
+            transitioned: prev != next,
+        }
+    }
+
+    /// Declares a shard dead without waiting for misses to accrue (used
+    /// when the transport reports connection-refused outright).
+    pub fn mark_down(&self, shard: usize) {
+        let s = &self.shards[shard];
+        s.misses.fetch_max(self.down_after, Ordering::Relaxed);
+        if s.first_miss_ns.load(Ordering::Relaxed) == 0 {
+            s.first_miss_ns
+                .store(self.now_ns().max(1), Ordering::Relaxed);
+        }
+        s.state.store(DOWN, Ordering::Relaxed);
+    }
+
+    /// Current state of `shard`.
+    pub fn state(&self, shard: usize) -> ShardHealth {
+        decode(self.shards[shard].state.load(Ordering::Relaxed))
+    }
+
+    /// Time since `shard` last answered a heartbeat (since boot if never).
+    pub fn silence(&self, shard: usize) -> Duration {
+        let last = self.shards[shard].last_ok_ns.load(Ordering::Relaxed);
+        Duration::from_nanos(self.now_ns().saturating_sub(last))
+    }
+
+    /// Whether `shard` is a legal read target right now: `Up` always,
+    /// `Suspect` while its silence stays inside the laxity, `Down` never.
+    pub fn is_readable(&self, shard: usize) -> bool {
+        match self.state(shard) {
+            ShardHealth::Up => true,
+            ShardHealth::Suspect => self.silence(shard) <= self.laxity,
+            ShardHealth::Down => false,
+        }
+    }
+
+    /// Call when routing a read to `shard`: folds its current silence
+    /// into the run's high-water readable-lag figure.
+    pub fn note_read(&self, shard: usize) {
+        let lag = self.silence(shard).as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.max_readable_lag_ns.fetch_max(lag, Ordering::Relaxed);
+    }
+
+    /// High-water lag among shards that actually served reads.
+    pub fn max_readable_lag(&self) -> Duration {
+        Duration::from_nanos(self.max_readable_lag_ns.load(Ordering::Relaxed))
+    }
+
+    /// Shards currently not `Up` (the `health.suspect` gauge).
+    pub fn not_up(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.state.load(Ordering::Relaxed) != UP)
+            .count()
+    }
+
+    /// Largest current silence among shards still considered readable —
+    /// the live `replica.lag` gauge.
+    pub fn max_live_silence(&self) -> Duration {
+        (0..self.shards.len())
+            .filter(|&s| self.is_readable(s))
+            .map(|s| self.silence(s))
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// How long the current bad streak has lasted, if one is in progress
+    /// — the unavailability window failover closes.
+    pub fn first_miss_elapsed(&self, shard: usize) -> Option<Duration> {
+        let at = self.shards[shard].first_miss_ns.load(Ordering::Relaxed);
+        (at != 0).then(|| Duration::from_nanos(self.now_ns().saturating_sub(at)))
+    }
+}
+
+fn decode(raw: u8) -> ShardHealth {
+    match raw {
+        UP => ShardHealth::Up,
+        SUSPECT => ShardHealth::Suspect,
+        _ => ShardHealth::Down,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_walk_up_suspect_down_and_ok_resets() {
+        let h = HealthTracker::new(2, 2, 4, Duration::from_millis(50));
+        assert_eq!(h.state(0), ShardHealth::Up);
+
+        let m1 = h.record_miss(0);
+        assert_eq!(
+            (m1.state, m1.misses, m1.transitioned),
+            (ShardHealth::Up, 1, false)
+        );
+        let m2 = h.record_miss(0);
+        assert_eq!((m2.state, m2.transitioned), (ShardHealth::Suspect, true));
+        let m3 = h.record_miss(0);
+        assert!(!m3.transitioned, "Suspect -> Suspect is not a transition");
+        let m4 = h.record_miss(0);
+        assert_eq!(
+            (m4.state, m4.misses, m4.transitioned),
+            (ShardHealth::Down, 4, true)
+        );
+        assert!(h.first_miss_elapsed(0).is_some());
+        assert_eq!(h.not_up(), 1);
+
+        h.record_ok(0);
+        assert_eq!(h.state(0), ShardHealth::Up);
+        assert!(h.first_miss_elapsed(0).is_none());
+        assert_eq!(h.not_up(), 0);
+    }
+
+    #[test]
+    fn suspect_is_readable_within_laxity_down_never() {
+        let h = HealthTracker::new(1, 1, 3, Duration::from_secs(3600));
+        h.record_miss(0);
+        assert_eq!(h.state(0), ShardHealth::Suspect);
+        assert!(
+            h.is_readable(0),
+            "silence is microseconds, laxity an hour: legal read target"
+        );
+
+        let tight = HealthTracker::new(1, 1, 3, Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        tight.record_miss(0);
+        assert!(!tight.is_readable(0), "zero laxity excludes any silence");
+
+        h.mark_down(0);
+        assert_eq!(h.state(0), ShardHealth::Down);
+        assert!(!h.is_readable(0));
+    }
+
+    #[test]
+    fn readable_lag_high_water_tracks_note_read() {
+        let h = HealthTracker::new(1, 2, 4, Duration::from_secs(1));
+        assert_eq!(h.max_readable_lag(), Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        h.note_read(0);
+        assert!(h.max_readable_lag() >= Duration::from_millis(2));
+        let before = h.max_readable_lag();
+        h.record_ok(0);
+        h.note_read(0);
+        assert!(h.max_readable_lag() >= before, "high-water never regresses");
+    }
+
+    #[test]
+    fn mark_down_is_immediate() {
+        let h = HealthTracker::new(3, 2, 4, Duration::from_millis(10));
+        h.mark_down(1);
+        assert_eq!(h.state(1), ShardHealth::Down);
+        assert_eq!(h.not_up(), 1);
+        assert!(h.first_miss_elapsed(1).is_some());
+        // max_live_silence skips the dead shard but still covers live ones.
+        let _ = h.max_live_silence();
+    }
+}

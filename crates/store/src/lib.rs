@@ -33,8 +33,15 @@
 //! * [`placement`] — the placement-aware predicted cost of Figures 7–8:
 //!   batching makes co-located views free, so cost = distinct servers
 //!   touched per request, weighted by rates.
+//! * [`health`] — per-shard failure detection (`Up/Suspect/Down` from
+//!   heartbeat outcomes) with the Theorem-1 staleness budget reused as
+//!   the legal replica-lag window for read routing.
+//! * [`fault`] — deterministic chaos injection at the transport send seam
+//!   (kill / drop / duplicate / delay).
 
 pub mod cluster;
+pub mod fault;
+pub mod health;
 pub mod latency;
 pub mod merge;
 pub mod placement;
@@ -45,6 +52,8 @@ pub mod view;
 pub mod worker;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan};
+pub use health::{HealthTracker, ShardHealth};
 pub use merge::ReplyMerger;
 pub use placement::PlacementCost;
 pub use server::QueryScratch;

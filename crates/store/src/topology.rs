@@ -99,14 +99,14 @@ impl Topology {
         }
     }
 
-    /// Sets the replica-slot count (must be ≥ 1 and ≤ `servers`).
+    /// Sets the replica-slot count (≥ 1). A request beyond `servers` is
+    /// clamped: `replica_slots` assigns slots round-robin from the
+    /// primary, so more replicas than servers would wrap onto the same
+    /// shard — duplicate copies on one machine add cost but no fault
+    /// tolerance. Clamping keeps every slot a distinct server.
     pub fn with_replication(mut self, replication: usize) -> Self {
-        assert!(
-            replication >= 1 && replication <= self.servers,
-            "replication {replication} out of range for {} servers",
-            self.servers
-        );
-        self.replication = replication;
+        assert!(replication >= 1, "need at least one replica slot");
+        self.replication = replication.min(self.servers);
         self
     }
 
@@ -168,23 +168,49 @@ impl Topology {
         &self,
         targets: &[NodeId],
         scratch: &mut GroupScratch,
-        mut f: impl FnMut(usize, &[NodeId]),
+        f: impl FnMut(usize, &[NodeId]),
     ) {
-        let tagged = &mut scratch.tagged;
-        tagged.clear();
-        tagged.extend(targets.iter().map(|&v| (self.server_of(v), v)));
-        tagged.sort_unstable();
-        let views = &mut scratch.views;
-        let mut i = 0;
-        while i < tagged.len() {
-            let server = tagged[i].0;
-            views.clear();
-            while i < tagged.len() && tagged[i].0 == server {
-                views.push(tagged[i].1);
-                i += 1;
+        scratch.tagged.clear();
+        scratch
+            .tagged
+            .extend(targets.iter().map(|&v| (self.server_of(v), v)));
+        emit_grouped(scratch, f);
+    }
+
+    /// Replicated-write grouping: every target is tagged with *all* of its
+    /// replica slots, still one batch per touched shard. With
+    /// `replication == 1` this degenerates to exactly
+    /// [`group_by_server_with`](Topology::group_by_server_with) — same
+    /// batches, same order.
+    pub fn group_by_replica_server_with(
+        &self,
+        targets: &[NodeId],
+        scratch: &mut GroupScratch,
+        f: impl FnMut(usize, &[NodeId]),
+    ) {
+        scratch.tagged.clear();
+        for &v in targets {
+            for s in self.replica_slots(v) {
+                scratch.tagged.push((s, v));
             }
-            f(server, views);
         }
+        emit_grouped(scratch, f);
+    }
+
+    /// Read-routing grouping: each target goes to the single slot chosen
+    /// by `pick` (the healthiest readable replica), one batch per chosen
+    /// shard. When `pick` is the primary this is byte-identical to
+    /// [`group_by_server_with`](Topology::group_by_server_with).
+    pub fn group_by_picked_server_with(
+        &self,
+        targets: &[NodeId],
+        scratch: &mut GroupScratch,
+        mut pick: impl FnMut(NodeId) -> usize,
+        f: impl FnMut(usize, &[NodeId]),
+    ) {
+        scratch.tagged.clear();
+        scratch.tagged.extend(targets.iter().map(|&v| (pick(v), v)));
+        emit_grouped(scratch, f);
     }
 
     /// Users per shard.
@@ -207,6 +233,25 @@ impl Topology {
         (0..self.users() as NodeId)
             .filter(|&u| self.server_of(u) != next.server_of(u))
             .collect()
+    }
+}
+
+/// Sorts the pre-tagged `(server, view)` pairs in `scratch` and emits one
+/// `f(server, views)` run per server — the shared tail of every grouping
+/// flavor above.
+fn emit_grouped(scratch: &mut GroupScratch, mut f: impl FnMut(usize, &[NodeId])) {
+    let tagged = &mut scratch.tagged;
+    tagged.sort_unstable();
+    let views = &mut scratch.views;
+    let mut i = 0;
+    while i < tagged.len() {
+        let server = tagged[i].0;
+        views.clear();
+        while i < tagged.len() && tagged[i].0 == server {
+            views.push(tagged[i].1);
+            i += 1;
+        }
+        f(server, views);
     }
 }
 
@@ -929,9 +974,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn replication_beyond_servers_panics() {
-        let _ = Topology::hash(10, 2, 0).with_replication(3);
+    fn replication_beyond_servers_clamps_to_distinct_slots() {
+        // Regression: this used to panic; now it clamps to `servers` so
+        // every replica slot stays a distinct server.
+        let t = Topology::hash(10, 2, 0).with_replication(3);
+        assert_eq!(t.replication(), 2);
+        for u in 0..10u32 {
+            let mut slots: Vec<usize> = t.replica_slots(u).collect();
+            assert_eq!(slots[0], t.server_of(u));
+            slots.sort_unstable();
+            slots.dedup();
+            assert_eq!(slots.len(), 2, "clamped slots must still be distinct");
+        }
+    }
+
+    #[test]
+    fn replica_grouping_covers_all_slots_and_picked_routes_reads() {
+        let t = Topology::hash(60, 5, 3).with_replication(2);
+        let targets: Vec<NodeId> = (0..60).collect();
+
+        let mut per_server: Vec<Vec<NodeId>> = vec![Vec::new(); 5];
+        let mut batches = 0;
+        t.group_by_replica_server_with(&targets, &mut GroupScratch::default(), |s, views| {
+            batches += 1;
+            per_server[s].extend_from_slice(views);
+        });
+        assert!(batches <= 5, "one batch per touched replica shard");
+        let total: usize = per_server.iter().map(Vec::len).sum();
+        assert_eq!(total, 120, "every target lands on every replica slot");
+        for u in 0..60u32 {
+            for s in t.replica_slots(u) {
+                assert!(per_server[s].contains(&u), "user {u} missing on slot {s}");
+            }
+        }
+
+        // Picked grouping routes each read to exactly the chosen slot.
+        let pick = |u: NodeId| t.replica_slots(u).nth(1).unwrap();
+        let mut routed = 0;
+        t.group_by_picked_server_with(&targets, &mut GroupScratch::default(), pick, |s, views| {
+            routed += views.len();
+            assert!(views.iter().all(|&v| pick(v) == s));
+        });
+        assert_eq!(routed, 60);
     }
 
     #[test]

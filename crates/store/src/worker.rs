@@ -41,6 +41,8 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use piggyback_graph::NodeId;
 
+use crate::fault::{FaultDecision, FaultInjector};
+use crate::health::HealthTracker;
 use crate::merge::ReplyMerger;
 use crate::server::{QueryScratch, ShardStats, StoreServer, SHARD_STATS_BYTES};
 use crate::topology::{GroupScratch, Topology};
@@ -130,6 +132,7 @@ impl BufferPool {
 }
 
 /// What a [`ShardBatch`] asks the shard to do.
+#[derive(Clone, Copy)]
 pub enum BatchOp {
     /// Insert a wire-encoded event into every listed view; the reply is an
     /// empty ack.
@@ -221,6 +224,17 @@ pub enum ShardRequest {
         /// Reply channel (wire-encoded [`ShardStats`]).
         done: Sender<Bytes>,
     },
+    /// Liveness probe: the shard takes and releases its lock (proving the
+    /// worker drains its queue and the mutex is not wedged) and replies
+    /// with an empty ack. Deliberately touches **no** stats counters —
+    /// health probing must never perturb the operation accounting the
+    /// differential tests compare.
+    Heartbeat {
+        /// Shard to probe.
+        shard: usize,
+        /// Acknowledgement channel (empty reply).
+        done: Sender<Bytes>,
+    },
 }
 
 impl ShardRequest {
@@ -232,7 +246,8 @@ impl ShardRequest {
             | ShardRequest::Query { shard, .. }
             | ShardRequest::ExtractView { shard, .. }
             | ShardRequest::InstallView { shard, .. }
-            | ShardRequest::Stats { shard, .. } => *shard,
+            | ShardRequest::Stats { shard, .. }
+            | ShardRequest::Heartbeat { shard, .. } => *shard,
         }
     }
 }
@@ -320,6 +335,10 @@ pub fn handle_request(
             stats.encode(&mut buf);
             let _ = done.send(buf.freeze());
         }
+        ShardRequest::Heartbeat { shard, done } => {
+            drop(shards[shard].lock());
+            let _ = done.send(Bytes::new());
+        }
     }
 }
 
@@ -406,6 +425,11 @@ pub struct ShardClient {
     scratch: QueryScratch,
     /// Round-robin op counter for worker affinity.
     next_op: usize,
+    /// Shared failure detector: read routing consults it, refused sends
+    /// feed it. `None` = route reads to primaries unconditionally.
+    health: Option<Arc<HealthTracker>>,
+    /// Chaos-mode fault injection at the send seam. `None` = faultless.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl ShardClient {
@@ -422,7 +446,22 @@ impl ShardClient {
             merger: ReplyMerger::new(),
             scratch: QueryScratch::new(),
             next_op: 0,
+            health: None,
+            faults: None,
         }
+    }
+
+    /// Attaches the runtime's shared failure detector and fault injector.
+    /// With neither attached (and replication 1) every send takes the
+    /// original fan-out path byte for byte.
+    pub fn with_resilience(
+        mut self,
+        health: Option<Arc<HealthTracker>>,
+        faults: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        self.health = health;
+        self.faults = faults;
+        self
     }
 
     /// The worker that serves this operation. Unlike the legacy plane's
@@ -447,7 +486,7 @@ impl ShardClient {
         targets: &[NodeId],
         payload: [u8; TUPLE_BYTES],
     ) -> u64 {
-        let sent = self.fan_out(topology, targets, |_| BatchOp::Update { payload });
+        let sent = self.fan_out(topology, targets, true, |_| BatchOp::Update { payload });
         for _ in 0..sent {
             let ack = self.reply_rx.recv().expect("worker dropped reply");
             self.pool.put_buf(ack);
@@ -465,7 +504,7 @@ impl ShardClient {
         k: usize,
         out: &mut Vec<EventTuple>,
     ) -> u64 {
-        let sent = self.fan_out(topology, targets, |_| BatchOp::Query { k });
+        let sent = self.fan_out(topology, targets, false, |_| BatchOp::Query { k });
         self.replies.clear();
         for _ in 0..sent {
             self.replies
@@ -479,53 +518,188 @@ impl ShardClient {
     }
 
     /// Groups `targets` by home server and issues one [`ShardBatch`] per
-    /// touched server over the transport. Returns the number of messages.
+    /// touched server over the transport. Returns the number of messages —
+    /// exactly the number of replies the caller must collect.
+    ///
+    /// With replication 1 and no resilience attached this is the original
+    /// fan-out, untouched. Otherwise writes cover every replica slot,
+    /// reads route per view to the healthiest readable replica, and the
+    /// fault injector gets a say on each outgoing batch.
     fn fan_out(
         &mut self,
         topology: &Topology,
         targets: &[NodeId],
+        write: bool,
+        op_of: impl Fn(usize) -> BatchOp,
+    ) -> u64 {
+        if topology.replication() == 1 && self.health.is_none() && self.faults.is_none() {
+            let mut sent = 0u64;
+            let (pool, reply_tx, scratch) = (&self.pool, &self.reply_tx, &mut self.scratch);
+            match &self.transport {
+                Transport::Workers(senders) => {
+                    let worker = Self::op_worker(&mut self.next_op, senders);
+                    topology.group_by_server_with(targets, &mut self.group, |shard, views| {
+                        let mut list = pool.get_vec();
+                        list.extend_from_slice(views);
+                        senders[worker]
+                            .send(ShardRequest::Batch(ShardBatch {
+                                shard,
+                                views: list,
+                                op: op_of(shard),
+                                reply: reply_tx.clone(),
+                            }))
+                            .expect("worker channel closed");
+                        sent += 1;
+                    });
+                }
+                Transport::Direct(shards) => {
+                    topology.group_by_server_with(targets, &mut self.group, |shard, views| {
+                        let mut list = pool.get_vec();
+                        list.extend_from_slice(views);
+                        handle_request(
+                            shards,
+                            pool,
+                            scratch,
+                            ShardRequest::Batch(ShardBatch {
+                                shard,
+                                views: list,
+                                op: op_of(shard),
+                                reply: reply_tx.clone(),
+                            }),
+                        );
+                        sent += 1;
+                    });
+                }
+            }
+            return sent;
+        }
+        self.fan_out_resilient(topology, targets, write, op_of)
+    }
+
+    /// The replicated / fault-aware fan-out. Kill semantics are
+    /// connection-refused: the batch is never sent and no reply slot is
+    /// reserved, so a dead shard costs a health miss, not a hang.
+    fn fan_out_resilient(
+        &mut self,
+        topology: &Topology,
+        targets: &[NodeId],
+        write: bool,
         op_of: impl Fn(usize) -> BatchOp,
     ) -> u64 {
         let mut sent = 0u64;
         let (pool, reply_tx, scratch) = (&self.pool, &self.reply_tx, &mut self.scratch);
-        match &self.transport {
-            Transport::Workers(senders) => {
-                let worker = Self::op_worker(&mut self.next_op, senders);
-                topology.group_by_server_with(targets, &mut self.group, |shard, views| {
-                    let mut list = pool.get_vec();
-                    list.extend_from_slice(views);
-                    senders[worker]
-                        .send(ShardRequest::Batch(ShardBatch {
-                            shard,
-                            views: list,
-                            op: op_of(shard),
-                            reply: reply_tx.clone(),
-                        }))
-                        .expect("worker channel closed");
-                    sent += 1;
-                });
+        let health = self.health.as_deref();
+        let faults = self.faults.as_deref();
+        let transport = &self.transport;
+        let worker = match transport {
+            Transport::Workers(senders) => Self::op_worker(&mut self.next_op, senders),
+            Transport::Direct(_) => 0,
+        };
+        let mut emit = |shard: usize, views: &[NodeId]| {
+            if let Some(f) = faults {
+                if f.is_killed(shard) {
+                    f.note_refused();
+                    if let Some(h) = health {
+                        h.mark_down(shard);
+                    }
+                    return;
+                }
             }
-            Transport::Direct(shards) => {
-                topology.group_by_server_with(targets, &mut self.group, |shard, views| {
-                    let mut list = pool.get_vec();
-                    list.extend_from_slice(views);
-                    handle_request(
-                        shards,
-                        pool,
-                        scratch,
-                        ShardRequest::Batch(ShardBatch {
-                            shard,
-                            views: list,
-                            op: op_of(shard),
-                            reply: reply_tx.clone(),
-                        }),
-                    );
-                    sent += 1;
-                });
+            let decision = faults.map_or(FaultDecision::Deliver, |f| f.decide(write));
+            if write && decision == FaultDecision::DropUpdate {
+                // Lost on the wire after the transport accepted it: ack
+                // the sender ourselves so accounting stays balanced; the
+                // payload never reaches the shard.
+                let _ = reply_tx.send(BytesMut::new());
+                sent += 1;
+                return;
             }
+            if decision == FaultDecision::Delay {
+                std::thread::sleep(faults.expect("delay without injector").plan().delay);
+            }
+            if decision == FaultDecision::Duplicate {
+                // Redelivery: the same batch lands twice back-to-back.
+                // The shadow copy answers into a throwaway channel whose
+                // receiver is already gone — workers tolerate that.
+                let mut list = pool.get_vec();
+                list.extend_from_slice(views);
+                let (shadow_tx, _shadow_rx) = bounded(1);
+                let req = ShardRequest::Batch(ShardBatch {
+                    shard,
+                    views: list,
+                    op: op_of(shard),
+                    reply: shadow_tx,
+                });
+                match transport {
+                    Transport::Workers(senders) => {
+                        senders[worker].send(req).expect("worker channel closed");
+                    }
+                    Transport::Direct(shards) => handle_request(shards, pool, scratch, req),
+                }
+            }
+            let mut list = pool.get_vec();
+            list.extend_from_slice(views);
+            let req = ShardRequest::Batch(ShardBatch {
+                shard,
+                views: list,
+                op: op_of(shard),
+                reply: reply_tx.clone(),
+            });
+            match transport {
+                Transport::Workers(senders) => {
+                    senders[worker].send(req).expect("worker channel closed");
+                }
+                Transport::Direct(shards) => handle_request(shards, pool, scratch, req),
+            }
+            sent += 1;
+        };
+        if write && topology.replication() > 1 {
+            topology.group_by_replica_server_with(targets, &mut self.group, &mut emit);
+        } else if !write && (topology.replication() > 1 || health.is_some() || faults.is_some()) {
+            topology.group_by_picked_server_with(
+                targets,
+                &mut self.group,
+                |u| read_slot(topology, health, faults, u),
+                &mut emit,
+            );
+        } else {
+            topology.group_by_server_with(targets, &mut self.group, &mut emit);
         }
         sent
     }
+}
+
+/// Read-routing policy: the first replica slot (primary first) that is
+/// neither killed nor excluded by health. A `Suspect` replica within the
+/// Theorem-1 laxity is legal (see [`HealthTracker::is_readable`]); one
+/// beyond it is skipped until catch-up. If every slot is excluded, fall
+/// back to the first live-but-lagging slot — a stale answer beats none —
+/// and finally to the primary.
+fn read_slot(
+    topology: &Topology,
+    health: Option<&HealthTracker>,
+    faults: Option<&FaultInjector>,
+    u: NodeId,
+) -> usize {
+    let mut fallback = None;
+    for s in topology.replica_slots(u) {
+        if faults.is_some_and(|f| f.is_killed(s)) {
+            continue;
+        }
+        match health {
+            None => return s,
+            Some(h) => {
+                if h.is_readable(s) {
+                    h.note_read(s);
+                    return s;
+                }
+                if fallback.is_none() {
+                    fallback = Some(s);
+                }
+            }
+        }
+    }
+    fallback.unwrap_or_else(|| topology.server_of(u))
 }
 
 /// Sends one request to `shard` through the worker channels

@@ -128,6 +128,49 @@ fn monotonic_append_stream_matches_the_model() {
 }
 
 #[test]
+fn replicated_delivery_converges_across_replicas() {
+    // The replicated write path: every replica slot receives the same set
+    // of distinct events, but batching, read routing, and chaos-mode
+    // duplication mean each copy sees its own delivery order with
+    // back-to-back redeliveries mixed in. Whatever the order, every
+    // replica must converge to the same ring contents — the `capacity`
+    // newest events (all of them when unbounded) — so a failover read
+    // from any surviving replica is exact, not approximate.
+    for capacity in [0usize, 1, 8, 64] {
+        for seed in 0..4u64 {
+            let events: Vec<EventTuple> = (0..150u64)
+                .map(|i| EventTuple::new((i % 7) as u32, i, i))
+                .collect();
+            // Canonical replica: in-order delivery of the sorted feed.
+            let mut canonical = View::with_capacity(capacity);
+            for &e in &events {
+                canonical.insert(e);
+            }
+            for replica in 0..3u64 {
+                let mut rng = StdRng::seed_from_u64((seed * 31 + replica) ^ 0x5EED);
+                let mut order = events.clone();
+                for i in (1..order.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    order.swap(i, j);
+                }
+                let mut view = View::with_capacity(capacity);
+                for &e in &order {
+                    view.insert(e);
+                    if rng.random_range(0..10) < 3 {
+                        view.insert(e); // immediate redelivery (duplicate batch)
+                    }
+                }
+                assert_eq!(
+                    view.to_vec_newest(),
+                    canonical.to_vec_newest(),
+                    "replica diverged: capacity {capacity}, seed {seed}, replica {replica}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn migrate_merge_sequences_match_the_model() {
     // A fleet of views exchanging contents through remove + merge — the
     // live-rebalancing pattern — interleaved with fresh traffic.

@@ -465,6 +465,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         partition,
         rebalance_threshold: parsed(flags, "rebalance-threshold", f64::INFINITY)?,
         placement_seed: seed,
+        replication: parsed(flags, "replication", 1)?,
+        heartbeat_interval: std::time::Duration::from_millis(parsed(flags, "heartbeat-ms", 0)?),
         ..Default::default()
     };
     let churn_ratio: f64 = parsed(flags, "churn-ratio", 0.02)?;
@@ -486,6 +488,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .get("stats-interval")
             .map(|v| parse_duration(v))
             .transpose()?,
+        chaos: None,
     };
     println!(
         "# online serve: {} nodes, {} edges, schedule {} (cost {:.1}), {} servers, {} clients, churn {:.1}%",

@@ -68,6 +68,7 @@ pub mod channel {
 
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Inner<T> {
         queue: VecDeque<T>,
@@ -129,6 +130,16 @@ pub mod channel {
     /// Error returned by `recv` when every sender is gone.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by the timed receives: either the deadline passed
+    /// with the queue still empty, or every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline elapsed before a value arrived.
+        Timeout,
+        /// Every sender dropped and the queue is drained.
+        Disconnected,
+    }
 
     impl<T> Sender<T> {
         /// Sends a value, blocking on a full bounded channel. A capacity of
@@ -211,33 +222,67 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Completes a successful pop while still holding the lock: clears
+        /// the rendezvous hand-off marker and wakes blocked senders.
+        fn complete_pop(&self, mut inner: std::sync::MutexGuard<'_, Inner<T>>, value: T) -> T {
+            inner.handoff = 0; // rendezvous hand-off complete
+            let wake = inner.send_waiting > 0;
+            drop(inner);
+            if wake {
+                if self.shared.cap == Some(0) {
+                    // Rendezvous: both admission-waiting and
+                    // hand-off-waiting senders park on not_full; a
+                    // single wake could reach the wrong one and
+                    // strand the hand-off waiter forever.
+                    self.shared.not_full.notify_all();
+                } else {
+                    self.shared.not_full.notify_one();
+                }
+            }
+            value
+        }
+
         /// Blocks for the next value; `Err` once the channel is closed and
         /// drained.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut inner = self.shared.inner.lock().unwrap();
             loop {
                 if let Some(value) = inner.queue.pop_front() {
-                    inner.handoff = 0; // rendezvous hand-off complete
-                    let wake = inner.send_waiting > 0;
-                    drop(inner);
-                    if wake {
-                        if self.shared.cap == Some(0) {
-                            // Rendezvous: both admission-waiting and
-                            // hand-off-waiting senders park on not_full; a
-                            // single wake could reach the wrong one and
-                            // strand the hand-off waiter forever.
-                            self.shared.not_full.notify_all();
-                        } else {
-                            self.shared.not_full.notify_one();
-                        }
-                    }
-                    return Ok(value);
+                    return Ok(self.complete_pop(inner, value));
                 }
                 if inner.senders == 0 {
                     return Err(RecvError);
                 }
                 inner.recv_waiting += 1;
                 inner = self.shared.not_empty.wait(inner).unwrap();
+                inner.recv_waiting -= 1;
+            }
+        }
+
+        /// Waits for the next value at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Waits for the next value until `deadline`. Re-checks the queue
+        /// on every wake-up, so spurious condvar wakes never produce a
+        /// premature `Timeout`.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    return Ok(self.complete_pop(inner, value));
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let wait = deadline.saturating_duration_since(Instant::now());
+                if wait.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                inner.recv_waiting += 1;
+                let (guard, _) = self.shared.not_empty.wait_timeout(inner, wait).unwrap();
+                inner = guard;
                 inner.recv_waiting -= 1;
             }
         }
@@ -382,6 +427,44 @@ mod tests {
         assert_eq!(rx.len(), 2);
         rx.recv().unwrap();
         assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::{Duration, Instant};
+        let (tx, rx) = unbounded::<u32>();
+        let t0 = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        assert_eq!(
+            rx.recv_deadline(Instant::now() + Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_deadline_wakes_on_late_send() {
+        use std::time::{Duration, Instant};
+        let (tx, rx) = bounded::<u32>(4);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(42).unwrap();
+            });
+            let got = rx.recv_deadline(Instant::now() + Duration::from_secs(5));
+            assert_eq!(got, Ok(42));
+        });
     }
 
     #[test]
