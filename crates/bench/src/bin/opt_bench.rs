@@ -27,10 +27,13 @@
 //!
 //! `--smoke` shrinks everything for CI (a couple of seconds); the default
 //! configuration runs up to a 100k-node / ~1M-edge Flickr-like graph, plus
-//! a denser Twitter-like mid-size instance. Sizes past 150k nodes switch
-//! to a reduced matrix (no sequential reference — it would take days — and
-//! endpoint thread counts only), which is how the committed
-//! `--nodes 10000,100000,1000000` run fits in hours.
+//! a denser Twitter-like mid-size instance. Sizes past 50k nodes switch to
+//! a reduced matrix (no sequential reference — one 100k row takes ~28
+//! minutes — and endpoint thread counts only), and past 1M nodes only the
+//! hybrid baseline and `chitchat-stream` run: the streaming sweep is what
+//! makes the committed 2.2M and 10M-node rows affordable at all. Where
+//! both run, the parent asserts the streaming cost within 5% of batch
+//! CHITCHAT.
 
 use std::process::Command;
 use std::time::Instant;
@@ -42,9 +45,16 @@ use piggyback_graph::gen;
 use piggyback_workload::Rates;
 
 /// Above this node count the sequential reference is skipped (its eager
-/// serial execution is ~4x the optimized single-thread wall at 100k and
-/// grows superlinearly) and only endpoint thread counts run.
-const FULL_MATRIX_MAX_NODES: usize = 150_000;
+/// serial execution is ~4x the optimized single-thread wall and grows
+/// superlinearly — ~28 minutes for one 100k row) and only endpoint thread
+/// counts run. Cost equality with the reference is still asserted at every
+/// size below the cutoff.
+const FULL_MATRIX_MAX_NODES: usize = 50_000;
+
+/// Above this node count only the hybrid baseline and the streaming
+/// CHITCHAT run: the batch optimizers' wall time at 2.2M+ nodes is exactly
+/// the cost the streaming path exists to avoid.
+const BATCH_MAX_NODES: usize = 1_000_000;
 
 struct Args {
     smoke: bool,
@@ -95,7 +105,7 @@ fn parse_args() -> Args {
         nodes: nodes.unwrap_or(if smoke {
             vec![2_000]
         } else {
-            vec![10_000, 100_000]
+            vec![10_000, 100_000, 2_200_000, 10_000_000]
         }),
         threads: threads.unwrap_or(if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] }),
         out,
@@ -366,6 +376,7 @@ fn main() {
     for (model, n) in worlds {
         eprintln!("# opt_bench: {model} {n} nodes");
         let full_matrix = n <= FULL_MATRIX_MAX_NODES;
+        let batch = n <= BATCH_MAX_NODES;
         // Past the full-matrix limit, only the endpoint thread counts run
         // (the scaling curve's interior adds hours without information).
         let endpoint_threads: Vec<usize> = {
@@ -385,7 +396,7 @@ fn main() {
 
         rows.push(spawn_row(model, n, "hybrid", 1));
 
-        let ref_cost = if full_matrix {
+        let ref_cost = if full_matrix && batch {
             let ref_row = spawn_row(model, n, "chitchat-ref", 1);
             let (wall, cost) = (ref_row.wall_ms, ref_row.cost);
             rows.push(ref_row);
@@ -394,31 +405,50 @@ fn main() {
             None
         };
 
+        let mut batch_chitchat_cost = None;
+        if batch {
+            for &t in &chitchat_threads {
+                let mut row = spawn_row(model, n, "chitchat", t);
+                if let Some((ref_wall, ref_cost)) = ref_cost {
+                    row.speedup_vs_ref = Some(ref_wall / row.wall_ms);
+                    // Same argmin greedy; exact ties between equally-priced
+                    // candidates may break differently, so enforce equality
+                    // to 0.5% (observed deltas are ~1e-5 relative at scale).
+                    assert!(
+                        (row.cost - ref_cost).abs() <= 5e-3 * ref_cost,
+                        "{model}/{n}: optimized chitchat diverged from the reference greedy ({} vs {ref_cost})",
+                        row.cost
+                    );
+                }
+                batch_chitchat_cost = Some(row.cost);
+                rows.push(row);
+            }
+        }
         for &t in &chitchat_threads {
-            let mut row = spawn_row(model, n, "chitchat", t);
-            if let Some((ref_wall, ref_cost)) = ref_cost {
-                row.speedup_vs_ref = Some(ref_wall / row.wall_ms);
-                // Same argmin greedy; exact ties between equally-priced
-                // candidates may break differently, so enforce equality to
-                // 0.5% (observed deltas are ~1e-5 relative at scale).
+            let row = spawn_row(model, n, "chitchat-stream", t);
+            if let Some(cb) = batch_chitchat_cost {
+                // The streaming differential gate: one ordered sweep plus
+                // short refinement must land within 5% of the batch greedy.
                 assert!(
-                    (row.cost - ref_cost).abs() <= 5e-3 * ref_cost,
-                    "{model}/{n}: optimized chitchat diverged from the reference greedy ({} vs {ref_cost})",
+                    row.cost <= cb * 1.05,
+                    "{model}/{n}: chitchat-stream cost {} more than 5% above batch {cb}",
                     row.cost
                 );
             }
             rows.push(row);
         }
-        let sharded_threads = if full_matrix {
-            args.threads.clone()
-        } else {
-            vec![*endpoint_threads.last().expect("non-empty threads")]
-        };
-        for &t in &sharded_threads {
-            rows.push(spawn_row(model, n, "sharded-chitchat", t));
-        }
-        for &t in &chitchat_threads {
-            rows.push(spawn_row(model, n, "parallelnosy", t));
+        if batch {
+            let sharded_threads = if full_matrix {
+                args.threads.clone()
+            } else {
+                vec![*endpoint_threads.last().expect("non-empty threads")]
+            };
+            for &t in &sharded_threads {
+                rows.push(spawn_row(model, n, "sharded-chitchat", t));
+            }
+            for &t in &chitchat_threads {
+                rows.push(spawn_row(model, n, "parallelnosy", t));
+            }
         }
     }
 

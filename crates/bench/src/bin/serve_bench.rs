@@ -31,6 +31,14 @@
 //! gains a `recovery` section (failover count, unavailability window,
 //! max replica lag, throughput vs a faultless twin run).
 //!
+//! `--reopt threshold|continuous` switches to the re-optimization
+//! comparison: the same heavy-churn storm (10× the default churn ratio)
+//! served twice with `chitchat-stream` as the background re-optimizer,
+//! once per [`ReoptMode`]. The JSON gains a `reopt_compare` section and
+//! the run asserts that continuous re-optimization sustains a final
+//! schedule cost no higher than the lazy threshold trigger, with zero
+//! bounded-staleness violations in both modes.
+//!
 //! Every schedule family is optimized once and the harness runs over the
 //! two production planes — `batched` (coalesced `ShardBatch` messages to
 //! the shard-worker pool, pooled reply channel and buffers, bounded k-way
@@ -60,7 +68,7 @@ use piggyback_bench::REFERENCE_RW_RATIO;
 use piggyback_core::scheduler::{by_name, Instance};
 use piggyback_graph::gen;
 use piggyback_serve::{
-    run_harness, Arrival, ChaosSpec, HarnessConfig, HarnessReport, RpcMode, ServeConfig,
+    run_harness, Arrival, ChaosSpec, HarnessConfig, HarnessReport, ReoptMode, RpcMode, ServeConfig,
 };
 use piggyback_store::server::{QueryScratch, StoreServer};
 use piggyback_store::{EventTuple, FaultPlan};
@@ -83,6 +91,7 @@ struct Args {
     chaos: bool,
     kill: usize,
     replication: usize,
+    reopt: Option<ReoptMode>,
 }
 
 fn parse_args() -> Args {
@@ -98,6 +107,7 @@ fn parse_args() -> Args {
     let mut chaos = false;
     let mut kill = 1;
     let mut replication = 2;
+    let mut reopt = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -119,6 +129,12 @@ fn parse_args() -> Args {
             }
             "--replication" => {
                 replication = argv[i + 1].parse().expect("--replication");
+                i += 2;
+            }
+            "--reopt" => {
+                reopt = Some(ReoptMode::parse(&argv[i + 1]).unwrap_or_else(|| {
+                    panic!("--reopt takes threshold|continuous, got {:?}", argv[i + 1])
+                }));
                 i += 2;
             }
             "--metrics" => {
@@ -190,6 +206,7 @@ fn parse_args() -> Args {
         chaos,
         kill,
         replication,
+        reopt,
     }
 }
 
@@ -508,10 +525,146 @@ fn run_chaos(args: &Args) {
     );
 }
 
+/// Re-optimization mode comparison: the same heavy-churn storm served
+/// twice with the streaming re-optimizer — once under the paper's lazy
+/// threshold trigger, once continuously under the amortized budget. The
+/// claim this benchmark commits to: a one-pass re-optimizer is cheap
+/// enough that re-optimizing *continuously* holds the sustained schedule
+/// cost at or below what the lazy trigger sustains, with zero staleness
+/// violations either way.
+fn run_reopt(args: &Args, headline: ReoptMode) {
+    let clients = if args.smoke { 2 } else { 4 };
+    // Ten times the default churn: this mode exists to measure how well
+    // re-optimization claws back churn-degraded cost, so degrade hard.
+    let churn_ratio = 0.2;
+    eprintln!(
+        "# serve_bench --reopt {}: {} nodes, {} servers, churn {churn_ratio}, {:?}{}",
+        headline.name(),
+        args.nodes,
+        args.servers,
+        args.duration,
+        if args.smoke { " (smoke)" } else { "" }
+    );
+    let g = gen::flickr_like(args.nodes, 42);
+    let rates = Rates::log_degree(&g, REFERENCE_RW_RATIO);
+    let inst = Instance::new(&g, &rates);
+    let opt = by_name("chitchat-stream").expect("registered scheduler");
+    let outcome = opt.schedule(&inst);
+    let cost = outcome.stats.cost;
+    let run = |mode: ReoptMode| {
+        run_harness(
+            &g,
+            &rates,
+            outcome.schedule.clone(),
+            by_name("chitchat-stream").expect("chitchat-stream registered"),
+            ServeConfig {
+                shards: args.servers,
+                workers: 4,
+                reopt_threshold: 0.25,
+                reopt_mode: mode,
+                metrics: args.metrics,
+                ..Default::default()
+            },
+            &HarnessConfig {
+                clients,
+                duration: args.duration,
+                churn_ratio,
+                arrival: Arrival::Closed,
+                seed: 7,
+                stats_interval: None,
+                chaos: None,
+            },
+        )
+    };
+    let mut rows = Vec::new();
+    let mut report_of = |mode: ReoptMode| {
+        let report = run(mode);
+        let churn = &report.serve.churn;
+        eprintln!(
+            "#   {:<11} {:>9.0} op/s  cost {:.1} -> {:.1} ({} reopts)  staleness_ok {}",
+            mode.name(),
+            report.throughput(),
+            churn.base_cost,
+            churn.final_cost,
+            churn.reopts,
+            churn.zero_violations()
+        );
+        rows.push(json_result(
+            &format!("chitchat-stream-{}", mode.name()),
+            RpcMode::Batched,
+            cost,
+            &report,
+        ));
+        report
+    };
+    let thr = report_of(ReoptMode::Threshold);
+    let cont = report_of(ReoptMode::Continuous);
+    let (tc, cc) = (thr.serve.churn.final_cost, cont.serve.churn.final_cost);
+    let held = cc / tc.max(1e-9);
+    eprintln!(
+        "#   continuous sustains {:.1} vs threshold {:.1} ({:.1}% of lazy-trigger cost)",
+        cc,
+        tc,
+        held * 100.0
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"serve_reopt\",\n  \"smoke\": {},\n  \"nodes\": {},\n  \"edges\": {},\n  \
+         \"servers\": {},\n  \"duration_ms\": {},\n  \"churn_ratio\": {},\n  \
+         \"reopt_scheduler\": \"chitchat-stream\",\n  \"results\": [\n{}\n  ],\n  \
+         \"reopt_compare\": {{\"threshold_final_cost\": {:.1}, \"continuous_final_cost\": {:.1}, \
+         \"continuous_vs_threshold\": {:.4}, \"threshold_reopts\": {}, \"continuous_reopts\": {}, \
+         \"staleness_ok\": {}}}\n}}",
+        args.smoke,
+        g.node_count(),
+        g.edge_count(),
+        args.servers,
+        args.duration.as_millis(),
+        churn_ratio,
+        rows.join(",\n"),
+        tc,
+        cc,
+        held,
+        thr.serve.churn.reopts,
+        cont.serve.churn.reopts,
+        thr.serve.churn.zero_violations() && cont.serve.churn.zero_violations()
+    );
+    println!("{json}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, format!("{json}\n")).expect("write --out file");
+        eprintln!("# wrote {path}");
+    }
+    assert!(
+        thr.serve.churn.zero_violations() && cont.serve.churn.zero_violations(),
+        "staleness violated under re-optimization: threshold {:?}, continuous {:?}",
+        thr.serve.churn.staleness_violation,
+        cont.serve.churn.staleness_violation
+    );
+    assert!(
+        cont.serve.churn.reopts >= thr.serve.churn.reopts,
+        "continuous mode re-optimized less often ({}) than the lazy trigger ({})",
+        cont.serve.churn.reopts,
+        thr.serve.churn.reopts
+    );
+    // The smoke run is too short for more than one re-optimization to
+    // land, so it only sanity-checks the plumbing (within noise); the full
+    // run must genuinely hold the sustained cost at or below the lazy
+    // trigger's.
+    let tolerance = if args.smoke { 1.01 } else { 1.001 };
+    assert!(
+        cc <= tc * tolerance,
+        "continuous re-optimization sustained a higher cost ({cc:.1}) than \
+         the lazy trigger ({tc:.1})"
+    );
+}
+
 fn main() {
     let args = parse_args();
     if args.chaos {
         run_chaos(&args);
+        return;
+    }
+    if let Some(mode) = args.reopt {
+        run_reopt(&args, mode);
         return;
     }
     let clients = if args.smoke { 2 } else { 4 };

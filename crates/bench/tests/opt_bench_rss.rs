@@ -1,0 +1,48 @@
+//! Regression test for `opt_bench`'s per-row memory accounting.
+//!
+//! Linux's `VmHWM` is a process-lifetime high-water mark, so rows measured
+//! in a shared process all inherit the largest world's peak — exactly the
+//! corruption an earlier committed `BENCH_opt.json` shows, where every row
+//! after the 100k world reported an identical 305124 kB. The bench
+//! re-execs itself per row (`--one ...`); this test pins the property that
+//! matters: two rows with wildly different footprints report different
+//! peaks, and the smaller world reports the smaller peak.
+
+use std::process::Command;
+
+fn child_rss(model: &str, nodes: usize) -> u64 {
+    let out = Command::new(env!("CARGO_BIN_EXE_opt_bench"))
+        .args(["--one", model, &nodes.to_string(), "hybrid", "1"])
+        .output()
+        .expect("spawn opt_bench child");
+    assert!(
+        out.status.success(),
+        "child failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    text.lines()
+        .find_map(|l| l.strip_prefix("peak_rss_kb="))
+        .unwrap_or_else(|| panic!("no peak_rss_kb in child output:\n{text}"))
+        .parse()
+        .expect("peak_rss_kb parses")
+}
+
+#[test]
+fn per_row_rss_tracks_each_rows_own_footprint() {
+    // Order large-then-small: in a shared process the high-water mark
+    // would make the later (small) row report the large row's peak.
+    let large = child_rss("flickr", 60_000);
+    let small = child_rss("flickr", 2_000);
+    assert!(small > 0 && large > 0, "RSS unavailable: {small} / {large}");
+    assert!(
+        large > small,
+        "60k-node row ({large} kB) should out-weigh the 2k row ({small} kB)"
+    );
+    // "Different footprints report different values", with real margin: a
+    // 30x node-count gap must show up as at least a 1.2x RSS gap.
+    assert!(
+        large as f64 >= small as f64 * 1.2,
+        "peaks suspiciously close: {large} kB vs {small} kB"
+    );
+}

@@ -167,24 +167,26 @@ pub struct ChitChatResult {
 
 /// The covering state workers read while the coordinator is fanned out:
 /// schedule, uncovered set `Z` (both orientations) and per-node uncovered
-/// degrees, always mutated together.
-struct Cover {
-    sched: Schedule,
-    z: BitSet,
+/// degrees, always mutated together. Shared with the streaming execution
+/// ([`crate::chitchat_stream`]), which drives the same covering invariants
+/// through a different selection order.
+pub(crate) struct Cover {
+    pub(crate) sched: Schedule,
+    pub(crate) z: BitSet,
     /// `Z` in reverse orientation: one bit per *in-slot* (see
     /// [`CsrGraph::in_slot_range`]), so a node's uncovered in-edges scan at
     /// word speed — the pull-side mirror of scanning `z` over
     /// [`CsrGraph::out_edge_id_range`].
-    z_in: BitSet,
+    pub(crate) z_in: BitSet,
     /// Per-node uncovered-degree counts, kept in lockstep with `z` so the
     /// oracle can skip roles with nothing left to cover.
-    zdeg: UncoveredDegrees,
+    pub(crate) zdeg: UncoveredDegrees,
 }
 
 impl Cover {
     /// Removes edge `e = u → v` from `Z`, keeping the degree counts and the
     /// reverse-orientation bitset in lockstep.
-    fn uncover(&mut self, g: &CsrGraph, e: EdgeId, u: NodeId, v: NodeId) {
+    pub(crate) fn uncover(&mut self, g: &CsrGraph, e: EdgeId, u: NodeId, v: NodeId) {
         if self.z.remove(e) {
             self.zdeg.remove_edge(u, v);
             let slot = g.in_slot(u, v).expect("edge has an in-slot");
@@ -250,17 +252,17 @@ impl Cover {
 /// Read-mostly run context: graph, rates and the lock-guarded [`Cover`].
 /// This is everything the pool workers see; the coordinator takes the
 /// write lock only between fan-outs, so reads never contend.
-struct Shared<'a> {
-    g: &'a CsrGraph,
-    rates: &'a Rates,
-    cross_cap: usize,
-    cover: RwLock<Cover>,
+pub(crate) struct Shared<'a> {
+    pub(crate) g: &'a CsrGraph,
+    pub(crate) rates: &'a Rates,
+    pub(crate) cross_cap: usize,
+    pub(crate) cover: RwLock<Cover>,
 }
 
 impl Shared<'_> {
     /// Applies a hub-graph selection: pushes from all selected producers,
     /// pulls to all selected consumers, cross edges covered through the hub.
-    fn apply_hub(&self, sel: &HubSelection) {
+    pub(crate) fn apply_hub(&self, sel: &HubSelection) {
         let w = sel.hub;
         let mut c = self.cover.write();
         for &(x, e) in &sel.xs {
@@ -548,7 +550,17 @@ impl Search {
 /// Closed-form lower bound on hub `w`'s best seed-time cost-per-element,
 /// or `None` when `w` can never center a hub-graph (no neighbors — no
 /// countable edges, now or ever). See [`Search::seed`] for the derivation.
-fn seed_lower_bound(g: &CsrGraph, rates: &Rates, w: NodeId, cross_cap: usize) -> Option<f64> {
+///
+/// The bound stays valid for any hub whose legs are never paid: covering
+/// only shrinks `Z`, which can only raise every candidate's
+/// cost-per-element. [`crate::chitchat_stream`] exploits exactly that to
+/// order its one-pass scan and to prune hopeless hubs up front.
+pub(crate) fn seed_lower_bound(
+    g: &CsrGraph,
+    rates: &Rates,
+    w: NodeId,
+    cross_cap: usize,
+) -> Option<f64> {
     let xs = g.in_neighbors(w);
     let ys = g.out_neighbors(w);
     if xs.is_empty() && ys.is_empty() {
@@ -581,7 +593,7 @@ fn seed_lower_bound(g: &CsrGraph, rates: &Rates, w: NodeId, cross_cap: usize) ->
 }
 
 /// All-ones bitset of the given capacity.
-fn full_bitset(m: usize) -> BitSet {
+pub(crate) fn full_bitset(m: usize) -> BitSet {
     let mut b = BitSet::new(m);
     for k in 0..m as u32 {
         b.insert(k);

@@ -240,6 +240,11 @@ pub struct PeelScratch {
     pinned: Vec<bool>,
     edges: Vec<(u32, u32)>,
     edge_ids: Vec<EdgeId>,
+    /// Per-edge displaced value (marginal mode only; empty in absolute
+    /// mode). When non-empty the peel keeps the max-*savings* snapshot —
+    /// `Σ value(alive edges) − Σ weight(alive vertices)` — instead of the
+    /// max-density one.
+    edge_values: Vec<f64>,
     // --- peel state ---
     adj_off: Vec<u32>,
     adj_cursor: Vec<u32>,
@@ -405,6 +410,19 @@ impl PeelScratch {
         let mut best_density = density_of(alive_edges, alive_weight);
         self.removal_order.clear();
         let mut best_prefix = 0usize;
+        // Marginal mode: judge snapshots by *net savings* (total displaced
+        // value minus total marginal weight), not by density. The densest
+        // core of a hot hub is a small fraction of its admissible
+        // structure; returning the max-savings snapshot captures in one
+        // peel what density-guided draining would re-peel layer by layer.
+        let has_values = !self.edge_values.is_empty();
+        debug_assert!(!has_values || self.edge_values.len() == m);
+        let mut alive_value: f64 = if has_values {
+            self.edge_values.iter().sum()
+        } else {
+            0.0
+        };
+        let mut best_score = alive_value - alive_weight;
 
         while remaining > 0 {
             // Live minimum: advance past logically empty buckets, then pop
@@ -432,6 +450,9 @@ impl PeelScratch {
                 }
                 self.edge_alive[ei] = false;
                 alive_edges -= 1;
+                if has_values {
+                    alive_value -= self.edge_values[ei];
+                }
                 let o = other as usize;
                 debug_assert!(self.alive[o], "alive edge with dead endpoint");
                 self.deg[o] -= 1;
@@ -451,10 +472,18 @@ impl PeelScratch {
                 }
             }
             self.removal_order.push(v as u32);
-            let d = density_of(alive_edges, alive_weight);
-            if d > best_density {
-                best_density = d;
-                best_prefix = self.removal_order.len();
+            if has_values {
+                let s = alive_value - alive_weight;
+                if s > best_score {
+                    best_score = s;
+                    best_prefix = self.removal_order.len();
+                }
+            } else {
+                let d = density_of(alive_edges, alive_weight);
+                if d > best_density {
+                    best_density = d;
+                    best_prefix = self.removal_order.len();
+                }
             }
         }
 
@@ -734,7 +763,17 @@ pub fn densest_hub_graph_scratch(
     cross_cap: usize,
     scratch: &mut PeelScratch,
 ) -> Option<HubSelection> {
-    let (nx, _ny, hub_vertex) = stage_and_peel(g, rates, w, sched, z, zdeg, cross_cap, scratch)?;
+    let (nx, _ny, hub_vertex) = stage_and_peel(
+        g,
+        rates,
+        w,
+        sched,
+        z,
+        zdeg,
+        cross_cap,
+        LegCost::Absolute,
+        scratch,
+    )?;
     let _ = nx;
     let PeelScratch {
         xs,
@@ -780,7 +819,17 @@ pub fn densest_hub_graph_key_scratch(
     cross_cap: usize,
     scratch: &mut PeelScratch,
 ) -> Option<f64> {
-    let (nx, ny, _hub) = stage_and_peel(g, rates, w, sched, z, zdeg, cross_cap, scratch)?;
+    let (nx, ny, _hub) = stage_and_peel(
+        g,
+        rates,
+        w,
+        sched,
+        z,
+        zdeg,
+        cross_cap,
+        LegCost::Absolute,
+        scratch,
+    )?;
     let PeelScratch {
         weights,
         edges,
@@ -819,6 +868,88 @@ pub fn densest_hub_graph_key_scratch(
     Some(weight / covered as f64)
 }
 
+/// How a hub-graph leg is priced during staging.
+///
+/// * [`LegCost::Absolute`] is Algorithm 1's bookkeeping: an unpaid leg
+///   costs the full push/pull it schedules (`rp(x)` / `rc(y)`). This is
+///   what the batch greedy compares against singleton candidates.
+/// * [`LegCost::Marginal`] nets out the *sunk* hybrid cost: a leg still in
+///   `Z` will be served one way or another — if not through this hub, then
+///   by the hybrid tail at `min(rp, rc)` — so its true incremental price is
+///   only the orientation surcharge `rp(x) − min(rp(x), rc(w))` (resp.
+///   `rc(y) − min(rp(w), rc(y))`). Legs already assigned the *other*
+///   orientation keep their absolute price (their hybrid cost is spent and
+///   the hub needs a second assignment), and paid legs stay free.
+///
+/// The admission inequality is identical under both modes (the netted
+/// hybrid terms move from one side to the other), but the peel *optimizes*
+/// what it prices: marginal mode surfaces cross-rich subgraphs whose legs
+/// are cheap-as-hybrid even when their absolute weight drowns the quotient
+/// — exactly the selections the batch greedy only reaches after its
+/// interleaved singleton picks have paid those legs one by one. Streaming
+/// CHITCHAT runs on marginal prices for that reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LegCost {
+    /// Full push/pull price for unpaid legs (batch greedy bookkeeping).
+    Absolute,
+    /// Orientation surcharge only for legs still in `Z` (streaming).
+    Marginal,
+}
+
+/// Marginal-price oracle ([`LegCost::Marginal`]): the densest hub-graph
+/// where legs still in `Z` cost only their orientation surcharge. The
+/// returned [`HubSelection::weight`] and density are marginal too; the
+/// selection is admissible (strictly cheaper than serving its elements
+/// directly) iff `weight` undercuts the summed hybrid cost of its cross
+/// edges.
+#[allow(clippy::too_many_arguments)]
+pub fn densest_hub_graph_marginal_scratch(
+    g: &CsrGraph,
+    rates: &Rates,
+    w: NodeId,
+    sched: &Schedule,
+    z: &BitSet,
+    zdeg: &UncoveredDegrees,
+    cross_cap: usize,
+    scratch: &mut PeelScratch,
+) -> Option<HubSelection> {
+    let (nx, _ny, hub_vertex) = stage_and_peel(
+        g,
+        rates,
+        w,
+        sched,
+        z,
+        zdeg,
+        cross_cap,
+        LegCost::Marginal,
+        scratch,
+    )?;
+    let _ = nx;
+    let PeelScratch {
+        xs,
+        ys,
+        weights,
+        edges,
+        edge_ids,
+        peel_alive,
+        incident,
+        ..
+    } = scratch;
+    materialize_selection(
+        w,
+        xs,
+        &[],
+        ys,
+        &[],
+        weights,
+        edges,
+        edge_ids,
+        hub_vertex,
+        peel_alive,
+        incident,
+    )
+}
+
 /// Shared front half of the scratch oracle: stages hub `w`'s graph into
 /// `scratch` and runs the bucket peel. Returns `(nx, ny, hub_vertex)`, or
 /// `None` when no countable edge exists.
@@ -831,6 +962,7 @@ fn stage_and_peel(
     z: &BitSet,
     zdeg: &UncoveredDegrees,
     cross_cap: usize,
+    leg_cost: LegCost,
     scratch: &mut PeelScratch,
 ) -> Option<(usize, usize, u32)> {
     let xs_all = g.in_neighbors(w);
@@ -848,6 +980,7 @@ fn stage_and_peel(
         pinned,
         edges,
         edge_ids,
+        edge_values,
         ..
     } = scratch;
 
@@ -888,11 +1021,32 @@ fn stage_and_peel(
     let hub_vertex = (nx + ny) as u32;
 
     weights.clear();
+    let (rpw, rcw) = (rates.rp(w), rates.rc(w));
     for &(x, leg) in xs.iter() {
-        weights.push(if sched.is_push(leg) { 0.0 } else { rates.rp(x) });
+        weights.push(if sched.is_push(leg) {
+            0.0
+        } else {
+            let rp = rates.rp(x);
+            match leg_cost {
+                LegCost::Absolute => rp,
+                // Unassigned legs will be served anyway: only the push's
+                // surcharge over the sunk hybrid price is incremental.
+                LegCost::Marginal if z.contains(leg) => rp - rp.min(rcw),
+                LegCost::Marginal => rp,
+            }
+        });
     }
     for &(y, leg) in ys.iter() {
-        weights.push(if sched.is_pull(leg) { 0.0 } else { rates.rc(y) });
+        weights.push(if sched.is_pull(leg) {
+            0.0
+        } else {
+            let rc = rates.rc(y);
+            match leg_cost {
+                LegCost::Absolute => rc,
+                LegCost::Marginal if z.contains(leg) => rc - rpw.min(rc),
+                LegCost::Marginal => rc,
+            }
+        });
     }
     weights.push(0.0); // hub
     reset(pinned, n, false);
@@ -900,16 +1054,25 @@ fn stage_and_peel(
 
     edges.clear();
     edge_ids.clear();
-    for (i, &(_, leg)) in xs.iter().enumerate() {
-        if z.contains(leg) {
-            edges.push((i as u32, hub_vertex));
-            edge_ids.push(leg);
+    edge_values.clear();
+    // Marginal mode counts only cross edges as elements: legs are means,
+    // not prizes — a leg's own service is cost-neutral by construction
+    // (its sunk hybrid price is netted out of its weight), so letting legs
+    // count would reward free-leg-only snapshots with no savings at all
+    // (infinite density, zero cross). Absolute mode keeps Algorithm 1's
+    // accounting, where covering a leg displaces a singleton selection.
+    if leg_cost == LegCost::Absolute {
+        for (i, &(_, leg)) in xs.iter().enumerate() {
+            if z.contains(leg) {
+                edges.push((i as u32, hub_vertex));
+                edge_ids.push(leg);
+            }
         }
-    }
-    for (j, &(_, leg)) in ys.iter().enumerate() {
-        if z.contains(leg) {
-            edges.push(((nx + j) as u32, hub_vertex));
-            edge_ids.push(leg);
+        for (j, &(_, leg)) in ys.iter().enumerate() {
+            if z.contains(leg) {
+                edges.push(((nx + j) as u32, hub_vertex));
+                edge_ids.push(leg);
+            }
         }
     }
     // Cross edges: walk each producer's *uncovered* out-edges straight off
@@ -928,9 +1091,13 @@ fn stage_and_peel(
         let (lo, hi) = g.out_edge_id_range(x);
         if (zdeg.out_deg(x) as usize) * 16 < ny {
             for e in z.iter_range(lo, hi) {
-                if let Ok(j) = ys_nodes.binary_search(&g.edge_target(e)) {
+                let t = g.edge_target(e);
+                if let Ok(j) = ys_nodes.binary_search(&t) {
                     edges.push((i as u32, (nx + j) as u32));
                     edge_ids.push(e);
+                    if leg_cost == LegCost::Marginal {
+                        edge_values.push(rates.rp(x).min(rates.rc(t)));
+                    }
                     cross_budget -= 1;
                     if cross_budget == 0 {
                         break 'producers;
@@ -950,6 +1117,9 @@ fn stage_and_peel(
                 if ys_nodes[j] == t {
                     edges.push((i as u32, (nx + j) as u32));
                     edge_ids.push(e);
+                    if leg_cost == LegCost::Marginal {
+                        edge_values.push(rates.rp(x).min(rates.rc(t)));
+                    }
                     j += 1;
                     cross_budget -= 1;
                     if cross_budget == 0 {

@@ -14,6 +14,9 @@
 //! * [`validate`] — bounded-staleness feasibility checking.
 //! * [`densest`] — the weighted densest-subgraph oracle (Lemma 1).
 //! * [`chitchat`] — the `O(ln n)`-approximate CHITCHAT algorithm (§3.1).
+//! * [`chitchat_stream`] — the one-pass streaming CHITCHAT: near-batch
+//!   quality at a fraction of the oracle work, cheap enough to re-run
+//!   continuously at serve time.
 //! * [`parallelnosy`] — the scalable PARALLELNOSY heuristic (§3.2), with
 //!   both threaded and MapReduce execution.
 //! * [`incremental`] — schedule maintenance under graph updates (§3.3).
@@ -31,6 +34,7 @@ pub mod analysis;
 pub mod baseline;
 pub mod bitset;
 pub mod chitchat;
+pub mod chitchat_stream;
 pub mod cost;
 pub mod densest;
 pub mod fanout;
@@ -46,6 +50,7 @@ pub mod validate;
 
 pub use baseline::{hybrid_schedule, pull_all_schedule, push_all_schedule};
 pub use chitchat::{ChitChat, ChitChatResult};
+pub use chitchat_stream::{ChitChatStream, ChitChatStreamResult};
 pub use cost::{predicted_improvement, predicted_throughput, schedule_cost};
 pub use incremental::IncrementalScheduler;
 pub use parallelnosy::{ParallelNosy, ParallelNosyResult};

@@ -30,6 +30,7 @@ use piggyback_workload::Rates;
 
 use crate::baseline::{hybrid_schedule, pull_all_schedule, push_all_schedule};
 use crate::chitchat::ChitChat;
+use crate::chitchat_stream::ChitChatStream;
 use crate::cost::schedule_cost;
 use crate::optimal::{optimal_schedule, search_space};
 use crate::parallelnosy::ParallelNosy;
@@ -108,6 +109,9 @@ pub struct ScheduleStats {
     /// `fanout_busy_ms / fanout_capacity_ms` is the busy fraction the
     /// benchmark rows gate on.
     pub fanout_capacity_ms: f64,
+    /// Hub candidates evicted from a bounded buffer (streaming CHITCHAT's
+    /// revisit buffer); zero for every other algorithm.
+    pub hubs_evicted: usize,
 }
 
 /// A schedule plus the uniform statistics of the run that produced it.
@@ -224,6 +228,30 @@ impl Scheduler for ChitChat {
             let stats = ScheduleStats {
                 oracle_calls: res.oracle_calls,
                 hubs_applied: res.hub_selections,
+                fanout_busy_ms,
+                fanout_capacity_ms,
+                ..Default::default()
+            };
+            (res.schedule, stats)
+        })
+    }
+}
+
+impl Scheduler for ChitChatStream {
+    fn name(&self) -> &str {
+        "chitchat-stream"
+    }
+
+    fn schedule(&self, inst: &Instance) -> ScheduleOutcome {
+        timed(inst, || {
+            let res = self.run(inst.graph, inst.rates);
+            let (fanout_busy_ms, fanout_capacity_ms) = telemetry_ms(&res.telemetry);
+            let stats = ScheduleStats {
+                oracle_calls: res.oracle_calls,
+                // The streaming path iterates passes, not greedy rounds.
+                iterations: res.passes,
+                hubs_applied: res.hubs_admitted,
+                hubs_evicted: res.revisit_evictions,
                 fanout_busy_ms,
                 fanout_capacity_ms,
                 ..Default::default()
@@ -372,6 +400,10 @@ pub fn registry_with_threads(threads: usize) -> Vec<Box<dyn Scheduler>> {
         Box::new(PullAll),
         Box::new(Hybrid),
         Box::new(chitchat),
+        Box::new(ChitChatStream {
+            threads,
+            ..Default::default()
+        }),
         Box::new(nosy),
         Box::new(MapReduceNosy {
             inner: nosy,
@@ -399,6 +431,7 @@ pub fn by_name_with_threads(name: &str, threads: usize) -> Option<Box<dyn Schedu
         "ff" | "feedingfrenzy" => "hybrid",
         "pn" => "parallelnosy",
         "cc" => "chitchat",
+        "ccs" | "stream" => "chitchat-stream",
         "sharded" => "sharded-chitchat",
         other => other,
     };
@@ -434,6 +467,7 @@ mod tests {
                 "pull-all",
                 "hybrid",
                 "chitchat",
+                "chitchat-stream",
                 "parallelnosy",
                 "parallelnosy-mr",
                 "sharded-chitchat",
@@ -448,6 +482,8 @@ mod tests {
             ("ff", "hybrid"),
             ("pn", "parallelnosy"),
             ("cc", "chitchat"),
+            ("ccs", "chitchat-stream"),
+            ("stream", "chitchat-stream"),
             ("sharded", "sharded-chitchat"),
             ("exact", "exact"),
         ] {
@@ -515,6 +551,7 @@ mod tests {
         let inst = Instance::new(&g, &r);
         for name in [
             "chitchat",
+            "chitchat-stream",
             "parallelnosy",
             "parallelnosy-mr",
             "sharded-chitchat",

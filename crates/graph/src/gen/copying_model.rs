@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::builder::{auto_build_threads, STREAM_BLOCK};
 use crate::csr::NodeId;
 use crate::CsrGraph;
 use crate::StreamingBuilder;
@@ -66,22 +67,36 @@ pub fn copying(cfg: CopyingConfig) -> CsrGraph {
         producers[v] = chosen;
     }
     // The producer lists *are* the graph (in-adjacency), so the CSR can be
-    // streamed out of them in two counting passes — no `Vec<(u, v)>` edge
-    // buffer, no sort. Iterating v in ascending order fills each source's
-    // target group already sorted.
+    // streamed out of them in two counting passes — no full `Vec<(u, v)>`
+    // edge buffer, no sort. The lists are pumped through the parallel
+    // block passes one bounded block at a time; the result is the same
+    // graph for any thread count.
+    let nt = auto_build_threads();
     let mut sb = StreamingBuilder::new();
     sb.reserve_nodes(n);
+    let mut block = Vec::with_capacity(STREAM_BLOCK.min(n * k));
     for (v, ps) in producers.iter().enumerate() {
         for &u in ps {
-            sb.count_edge(u, v as NodeId);
+            block.push((u, v as NodeId));
+            if block.len() == STREAM_BLOCK {
+                sb.count_block(&block, nt);
+                block.clear();
+            }
         }
     }
+    sb.count_block(&block, nt);
+    block.clear();
     let mut fill = sb.into_fill();
     for (v, ps) in producers.iter().enumerate() {
         for &u in ps {
-            fill.fill_edge(u, v as NodeId);
+            block.push((u, v as NodeId));
+            if block.len() == STREAM_BLOCK {
+                fill.fill_block(&block, nt);
+                block.clear();
+            }
         }
     }
+    fill.fill_block(&block, nt);
     fill.finish()
 }
 

@@ -10,6 +10,7 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+use crate::builder::{auto_build_threads, STREAM_BLOCK};
 use crate::csr::{CsrGraph, NodeId};
 use crate::{GraphBuilder, StreamingBuilder};
 
@@ -101,18 +102,34 @@ pub fn read_edge_list_two_pass<R1: BufRead, R2: BufRead>(
     pass1: R1,
     pass2: R2,
 ) -> Result<CsrGraph, EdgeListError> {
+    // Lines are parsed sequentially (errors keep their line numbers) into
+    // bounded blocks; the degree census and slot placement of each block
+    // run through the parallel passes. Same graph for any thread count.
+    let nt = auto_build_threads();
+    let mut block = Vec::new();
     let mut sb = StreamingBuilder::new();
     for (idx, line) in pass1.lines().enumerate() {
         if let Some((u, v)) = parse_edge_line(idx, &line?)? {
-            sb.count_edge(u, v);
+            block.push((u, v));
+            if block.len() == STREAM_BLOCK {
+                sb.count_block(&block, nt);
+                block.clear();
+            }
         }
     }
+    sb.count_block(&block, nt);
+    block.clear();
     let mut fill = sb.into_fill();
     for (idx, line) in pass2.lines().enumerate() {
         if let Some((u, v)) = parse_edge_line(idx, &line?)? {
-            fill.fill_edge(u, v);
+            block.push((u, v));
+            if block.len() == STREAM_BLOCK {
+                fill.fill_block(&block, nt);
+                block.clear();
+            }
         }
     }
+    fill.fill_block(&block, nt);
     Ok(fill.finish())
 }
 

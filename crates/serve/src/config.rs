@@ -47,6 +47,43 @@ impl RpcMode {
     }
 }
 
+/// When the churn manager re-runs the full optimizer in the background.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReoptMode {
+    /// Fire once incremental cost degradation exceeds
+    /// [`ServeConfig::reopt_threshold`] — the lazy mode: cheap while churn
+    /// is light, but the schedule rides the full degradation ramp before
+    /// every re-optimization lands.
+    #[default]
+    Threshold,
+    /// Re-optimize continuously: fire again as soon as the previous run
+    /// lands and the amortized budget allows, regardless of degradation.
+    /// Built for cheap re-optimizers (`chitchat-stream`) whose one-pass
+    /// sweep makes "always re-optimizing" affordable; the schedule then
+    /// hugs the freshly-optimized cost instead of sawtoothing up to the
+    /// threshold. Budgeted by [`ServeConfig::reopt_budget_frac`].
+    Continuous,
+}
+
+impl ReoptMode {
+    /// Parses `"threshold"` / `"continuous"`.
+    pub fn parse(s: &str) -> Option<ReoptMode> {
+        match s {
+            "threshold" => Some(ReoptMode::Threshold),
+            "continuous" => Some(ReoptMode::Continuous),
+            _ => None,
+        }
+    }
+
+    /// The canonical name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReoptMode::Threshold => "threshold",
+            ReoptMode::Continuous => "continuous",
+        }
+    }
+}
+
 /// Configuration of the online serving runtime.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
@@ -69,8 +106,18 @@ pub struct ServeConfig {
     pub pull_cache_ttl: Duration,
     /// Fire a background full re-optimization once the incremental
     /// schedule's cost degradation exceeds this fraction of the optimized
-    /// base cost (`f64::INFINITY` disables re-optimization).
+    /// base cost (`f64::INFINITY` disables re-optimization). Only
+    /// consulted in [`ReoptMode::Threshold`].
     pub reopt_threshold: f64,
+    /// Threshold-triggered or continuous re-optimization (see
+    /// [`ReoptMode`]).
+    pub reopt_mode: ReoptMode,
+    /// Amortized wall-time budget of [`ReoptMode::Continuous`]: the
+    /// fraction of churn-manager wall time the background optimizer may
+    /// occupy. After a re-optimization that ran `W` ms, the next fires no
+    /// sooner than `W * (1 - frac) / frac` ms later, so a frac of `0.5`
+    /// keeps the optimizer at most half-busy while staying continuous.
+    pub reopt_budget_frac: f64,
     /// Re-partition and live-migrate views once the cross-server message
     /// rate added by churn exceeds this fraction of the optimized base
     /// cost (`f64::INFINITY` disables rebalancing).
@@ -110,6 +157,8 @@ impl Default for ServeConfig {
             partition: PartitionStrategy::Hash,
             pull_cache_ttl: Duration::ZERO,
             reopt_threshold: 0.2,
+            reopt_mode: ReoptMode::Threshold,
+            reopt_budget_frac: 0.5,
             rebalance_threshold: f64::INFINITY,
             queue_depth: 1024,
             rpc: RpcMode::Batched,
@@ -132,6 +181,10 @@ mod tests {
         let c = ServeConfig::default();
         assert!(c.shards >= 1 && c.workers >= 1 && c.top_k >= 1);
         assert!(c.reopt_threshold > 0.0);
+        // Re-optimization defaults to the paper's lazy trigger; continuous
+        // mode is the opt-in for cheap re-optimizers.
+        assert_eq!(c.reopt_mode, ReoptMode::Threshold);
+        assert!(c.reopt_budget_frac > 0.0 && c.reopt_budget_frac <= 1.0);
         assert_eq!(c.pull_cache_ttl, Duration::ZERO);
         // Defaults preserve the paper's baseline behavior: hash placement,
         // no live rebalancing.
@@ -155,5 +208,13 @@ mod tests {
         assert_eq!(RpcMode::parse("legacy"), Some(RpcMode::Legacy));
         assert_eq!(RpcMode::parse("bogus"), None);
         assert_eq!(RpcMode::Legacy.name(), "legacy");
+    }
+
+    #[test]
+    fn reopt_mode_parses() {
+        assert_eq!(ReoptMode::parse("threshold"), Some(ReoptMode::Threshold));
+        assert_eq!(ReoptMode::parse("continuous"), Some(ReoptMode::Continuous));
+        assert_eq!(ReoptMode::parse("eager"), None);
+        assert_eq!(ReoptMode::Continuous.name(), "continuous");
     }
 }

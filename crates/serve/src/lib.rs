@@ -56,7 +56,7 @@ pub mod ops;
 pub mod runtime;
 
 pub use cache::PullCache;
-pub use config::{RpcMode, ServeConfig};
+pub use config::{ReoptMode, RpcMode, ServeConfig};
 pub use epoch::{EpochHandle, ServingSchedule};
 pub use harness::{run_harness, Arrival, ChaosSpec, HarnessConfig, HarnessReport};
 pub use metrics::ServeMetrics;

@@ -52,6 +52,18 @@ pub struct ServeMetrics {
     /// Failovers executed (dead primary re-pointed at a surviving
     /// replica).
     pub(crate) failover_count: Counter,
+    /// Optimizer passes spent by background re-optimizations (streaming
+    /// schedulers report their sweep count; batch schedulers their
+    /// iteration count).
+    pub(crate) reopt_stream_passes: Counter,
+    /// Wall-clock milliseconds spent inside background re-optimizations —
+    /// the numerator of the continuous mode's amortized budget.
+    pub(crate) reopt_budget_spent_ms: Counter,
+    /// Hubs admitted across background re-optimizations.
+    pub(crate) reopt_hubs_admitted: Counter,
+    /// Hubs evicted (streaming revisit-buffer evictions / batch prunes)
+    /// across background re-optimizations.
+    pub(crate) reopt_hubs_evicted: Counter,
 }
 
 impl Default for ServeMetrics {
@@ -81,6 +93,10 @@ impl ServeMetrics {
             replica_lag: registry.gauge("replica.lag"),
             health_suspect: registry.gauge("health.suspect"),
             failover_count: registry.counter("failover.count"),
+            reopt_stream_passes: registry.counter("reopt.stream_passes"),
+            reopt_budget_spent_ms: registry.counter("reopt.budget_spent_ms"),
+            reopt_hubs_admitted: registry.counter("reopt.hubs_admitted"),
+            reopt_hubs_evicted: registry.counter("reopt.hubs_evicted"),
             events: EventLog::new(EVENT_CAPACITY),
             registry,
         }
@@ -197,6 +213,10 @@ mod tests {
             "replica.lag",
             "health.suspect",
             "failover.count",
+            "reopt.stream_passes",
+            "reopt.budget_spent_ms",
+            "reopt.hubs_admitted",
+            "reopt.hubs_evicted",
         ] {
             assert!(snap.get(name).is_some(), "missing instrument {name}");
         }

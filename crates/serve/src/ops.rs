@@ -7,6 +7,7 @@
 
 use crossbeam::channel::Sender;
 use piggyback_core::schedule::Schedule;
+use piggyback_core::scheduler::ScheduleStats;
 use piggyback_graph::{CsrGraph, NodeId};
 
 /// Messages consumed by the churn manager thread.
@@ -38,6 +39,9 @@ pub(crate) struct ReoptResult {
     pub graph: CsrGraph,
     /// The fresh schedule for that snapshot.
     pub schedule: Schedule,
+    /// The optimizer's run statistics, folded into the `reopt.*`
+    /// instruments when the result is installed.
+    pub stats: ScheduleStats,
 }
 
 /// What the churn manager did over the runtime's lifetime.

@@ -53,7 +53,7 @@ use piggyback_store::EventTuple;
 use piggyback_workload::{Op, Rates};
 
 use crate::cache::PullCache;
-use crate::config::{RpcMode, ServeConfig};
+use crate::config::{ReoptMode, RpcMode, ServeConfig};
 use crate::epoch::{CompiledSets, EpochHandle, ServingSchedule};
 use crate::metrics::{OpRecorder, ServeMetrics};
 use crate::ops::{ChurnMsg, ChurnReport, ReoptResult, ServeReport};
@@ -174,6 +174,10 @@ impl ServeRuntime {
             handle: Arc::clone(&handle),
             scheduler: Arc::from(reopt),
             threshold: config.reopt_threshold,
+            reopt_mode: config.reopt_mode,
+            reopt_budget_frac: config.reopt_budget_frac.clamp(0.01, 1.0),
+            reopt_dirty: false,
+            reopt_next_at: Instant::now(),
             partition: config.partition,
             rebalance_threshold: config.rebalance_threshold,
             placement_seed: config.placement_seed,
@@ -634,6 +638,18 @@ struct ChurnManager {
     handle: Arc<EpochHandle>,
     scheduler: Arc<dyn Scheduler>,
     threshold: f64,
+    /// Threshold-triggered or continuous re-optimization.
+    reopt_mode: ReoptMode,
+    /// Continuous mode's amortized wall-time budget fraction.
+    reopt_budget_frac: f64,
+    /// Whether churn has mutated the graph since the last re-optimization
+    /// was fired — continuous mode has nothing to gain from re-optimizing
+    /// an instance identical to the one the optimizer just saw.
+    reopt_dirty: bool,
+    /// Continuous mode's budget gate: the earliest instant the next
+    /// re-optimization may fire (pushed out after each run so the
+    /// optimizer occupies at most `reopt_budget_frac` of wall time).
+    reopt_next_at: Instant,
     /// Partitioner the live rebalance re-runs.
     partition: PartitionStrategy,
     /// Rebalance once churn's cross-server cost exceeds this fraction of
@@ -1008,6 +1024,7 @@ impl ChurnManager {
         if self.reopt_in_flight {
             self.replay_log.push((add, u, v));
         }
+        self.reopt_dirty = true;
         // Live bounded-staleness check: every edge this mutation reserved
         // for direct serving must be in the serving sets *now* — the same
         // invariant the post-run validation sweeps, caught at the moment it
@@ -1223,15 +1240,29 @@ impl ChurnManager {
         }
     }
 
-    /// Fires a background re-optimization when degradation crosses the
-    /// threshold and none is already running.
+    /// Fires a background re-optimization when none is already running and
+    /// the mode's trigger is met: threshold mode waits for degradation to
+    /// cross the configured fraction of the base cost; continuous mode
+    /// fires whenever the graph is dirty and the amortized budget allows.
     fn maybe_reopt(&mut self) {
-        if self.reopt_in_flight || self.reopt_unsupported || !self.threshold.is_finite() {
+        if self.reopt_in_flight || self.reopt_unsupported {
             return;
         }
-        let base = self.inc.base_cost();
-        if base <= 0.0 || self.inc.overlay_cost_delta() <= self.threshold * base {
-            return;
+        match self.reopt_mode {
+            ReoptMode::Threshold => {
+                if !self.threshold.is_finite() {
+                    return;
+                }
+                let base = self.inc.base_cost();
+                if base <= 0.0 || self.inc.overlay_cost_delta() <= self.threshold * base {
+                    return;
+                }
+            }
+            ReoptMode::Continuous => {
+                if !self.reopt_dirty || Instant::now() < self.reopt_next_at {
+                    return;
+                }
+            }
         }
         let frozen = self.inc.freeze_graph();
         let rates = self.rates.clone();
@@ -1244,6 +1275,9 @@ impl ChurnManager {
         let scheduler = Arc::clone(&self.scheduler);
         let tx = self.self_tx.clone();
         self.reopt_in_flight = true;
+        // The frozen snapshot captures everything applied so far; churn
+        // arriving while the optimizer runs re-dirties the flag.
+        self.reopt_dirty = false;
         self.reopt_started = Instant::now();
         let events = self.metrics.as_ref().map(|m| {
             m.events().record(EventKind::ReoptStart {
@@ -1262,6 +1296,7 @@ impl ChurnManager {
             let _ = tx.send(ChurnMsg::ReoptDone(Box::new(ReoptResult {
                 graph: frozen,
                 schedule: out.schedule,
+                stats: out.stats,
             })));
         });
     }
@@ -1269,7 +1304,11 @@ impl ChurnManager {
     /// Swaps a finished re-optimization in: replay the churn that arrived
     /// while it ran, recompile the serving sets, publish a fresh base.
     fn install_reopt(&mut self, result: ReoptResult) {
-        let ReoptResult { graph, schedule } = result;
+        let ReoptResult {
+            graph,
+            schedule,
+            stats,
+        } = result;
         let mut fresh = IncrementalScheduler::new(graph, self.rates.clone(), schedule);
         for (add, u, v) in self.replay_log.drain(..) {
             if add {
@@ -1281,10 +1320,20 @@ impl ChurnManager {
         self.inc = fresh;
         self.reopt_in_flight = false;
         self.reopts += 1;
+        let elapsed = self.reopt_started.elapsed();
+        // Amortized budget: a run of W may occupy at most `frac` of wall
+        // time, so the next fires no sooner than W * (1 - frac) / frac
+        // from now (frac = 1 re-fires immediately).
+        let cooloff = elapsed.mul_f64((1.0 - self.reopt_budget_frac) / self.reopt_budget_frac);
+        self.reopt_next_at = Instant::now() + cooloff;
         if let Some(m) = &self.metrics {
+            m.reopt_stream_passes.add(stats.iterations as u64);
+            m.reopt_budget_spent_ms.add(elapsed.as_millis() as u64);
+            m.reopt_hubs_admitted.add(stats.hubs_applied as u64);
+            m.reopt_hubs_evicted.add(stats.hubs_evicted as u64);
             m.events().record(EventKind::ReoptEnd {
                 cost_after: self.inc.cost(),
-                wall_ms: self.reopt_started.elapsed().as_secs_f64() * 1e3,
+                wall_ms: elapsed.as_secs_f64() * 1e3,
                 installed: true,
             });
         }
