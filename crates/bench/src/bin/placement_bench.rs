@@ -107,6 +107,7 @@ fn main() {
         schedule: Some(&outcome.schedule),
         servers: args.servers,
         seed: args.seed,
+        domains: None,
     };
     let mut rows = Vec::new();
     let mut cross_by_name: Vec<(String, f64)> = Vec::new();

@@ -23,13 +23,22 @@
 //! `--smoke` shrinks everything for CI (a few hundred ms per schedule);
 //! the default configuration runs a 100k-node graph at 1000 servers.
 //!
-//! `--chaos` switches to the fault-tolerance benchmark: a replicated
-//! runtime (`--replication`, default 2) with 5ms heartbeats serves the
-//! same storm while `--kill` shards (default 1) are killed halfway
-//! through; the run must detect the deaths, fail over to surviving
-//! replicas, and finish with zero bounded-staleness violations. The JSON
-//! gains a `recovery` section (failover count, unavailability window,
-//! max replica lag, throughput vs a faultless twin run).
+//! `--chaos` switches to the fault-tolerance benchmark: an asymmetric
+//! fault **matrix** over a replicated runtime (`--replication`, default 2)
+//! with 5ms heartbeats and `--domains` failure domains (default 4).
+//! Against a faultless twin baseline it sweeps: random kills (`--kill`
+//! shards, default 1), a correlated **whole-domain kill** under
+//! domain-spread placement and again under domain-blind placement (the
+//! control that measures real data loss), a **kill + rejoin** cycle
+//! (fresh empty process, anti-entropy catch-up, staleness-budgeted
+//! readmit), **sustained delay**, **sustained drop**, and a
+//! one-directional **partial partition** that heals. Every scenario must
+//! finish with zero bounded-staleness violations (and, except the
+//! domain-blind control, zero views lost). The JSON gains a `matrix`
+//! section with per-scenario failure-lifecycle phase timings
+//! (detection/failover/catch-up/readmit) and a `recovery` section for the
+//! plain kill scenario. `--scenarios a,b,c` restricts the sweep (the
+//! faultless baseline always runs).
 //!
 //! `--reopt threshold|continuous` switches to the re-optimization
 //! comparison: the same heavy-churn storm (10× the default churn ratio)
@@ -71,7 +80,7 @@ use piggyback_serve::{
     run_harness, Arrival, ChaosSpec, HarnessConfig, HarnessReport, ReoptMode, RpcMode, ServeConfig,
 };
 use piggyback_store::server::{QueryScratch, StoreServer};
-use piggyback_store::{EventTuple, FaultPlan};
+use piggyback_store::{EventTuple, FaultPlan, PartitionDir};
 use piggyback_workload::Rates;
 
 /// The schedule families the acceptance ordering is stated over.
@@ -91,6 +100,8 @@ struct Args {
     chaos: bool,
     kill: usize,
     replication: usize,
+    domains: usize,
+    scenarios: Option<Vec<String>>,
     reopt: Option<ReoptMode>,
 }
 
@@ -107,6 +118,8 @@ fn parse_args() -> Args {
     let mut chaos = false;
     let mut kill = 1;
     let mut replication = 2;
+    let mut domains = 4;
+    let mut scenarios = None;
     let mut reopt = None;
     let mut i = 0;
     while i < argv.len() {
@@ -129,6 +142,20 @@ fn parse_args() -> Args {
             }
             "--replication" => {
                 replication = argv[i + 1].parse().expect("--replication");
+                i += 2;
+            }
+            "--domains" => {
+                domains = argv[i + 1].parse().expect("--domains");
+                i += 2;
+            }
+            "--scenarios" => {
+                scenarios = Some(
+                    argv[i + 1]
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect::<Vec<_>>(),
+                );
                 i += 2;
             }
             "--reopt" => {
@@ -191,7 +218,7 @@ fn parse_args() -> Args {
             1000
         }),
         duration: Duration::from_millis(duration_ms.unwrap_or(if chaos && smoke {
-            600
+            800
         } else if smoke {
             300
         } else {
@@ -206,6 +233,8 @@ fn parse_args() -> Args {
         chaos,
         kill,
         replication,
+        domains,
+        scenarios,
         reopt,
     }
 }
@@ -352,7 +381,9 @@ fn json_result(name: &str, rpc: RpcMode, cost: f64, r: &HarnessReport) -> String
             "\"follows_applied\": {}, \"unfollows_applied\": {}, \"reopts\": {}, ",
             "\"epochs\": {}, \"cache_hit_rate\": {:.4}, \"staleness_ok\": {}, ",
             "\"replication\": {}, \"failovers\": {}, \"unavailable_ms\": {:.1}, ",
-            "\"max_replica_lag_ms\": {:.2}, \"obs\": {}}}"
+            "\"max_replica_lag_ms\": {:.2}, \"views_lost\": {}, \"rejoins\": {}, ",
+            "\"readmits\": {}, \"detection_ms\": {:.1}, \"failover_ms\": {:.1}, ",
+            "\"catchup_ms\": {:.1}, \"readmit_ms\": {:.1}, \"obs\": {}}}"
         ),
         name,
         rpc.name(),
@@ -378,24 +409,63 @@ fn json_result(name: &str, rpc: RpcMode, cost: f64, r: &HarnessReport) -> String
         r.serve.failovers,
         r.serve.unavailable_ms,
         r.serve.max_replica_lag_ms,
+        r.serve.views_lost,
+        r.serve.rejoins,
+        r.serve.readmits,
+        r.serve.detection_ms,
+        r.serve.failover_ms,
+        r.serve.catchup_ms,
+        r.serve.readmit_ms,
         obs
     )
 }
 
-/// Chaos mode: boot a replicated runtime with heartbeats on, kill shards
-/// mid-storm through the fault injector, and require the paper's bounded
-/// staleness guarantee to hold through detection and failover. A faultless
-/// twin run at the same replicated configuration is the recovery
-/// yardstick for "throughput restored".
+/// One row of the chaos matrix: a named fault pattern, the domain layout
+/// it runs under, and what a correct run must show. Every scenario drives
+/// the same storm against the same replicated runtime; only the faults
+/// differ.
+struct Scenario {
+    name: &'static str,
+    /// Failure domains for this run's placement (0 = domain-blind — the
+    /// control that measures what spread placement buys).
+    domains: usize,
+    /// Wire-level fault plan (drop/duplicate/delay) behind the injector.
+    plan: FaultPlan,
+    /// Process-level chaos: kills or partitions driven mid-storm.
+    chaos: Option<ChaosSpec>,
+    /// Failovers a correct run must record. Zero means *must record
+    /// none*: sustained wire faults may not masquerade as dead shards.
+    min_failovers: u64,
+    /// The domain-blind control *must* lose views — that loss is the
+    /// measured win of spread placement. Everyone else must lose zero.
+    expect_loss: bool,
+    /// Whether the scenario must complete a rejoin plus staleness-gated
+    /// readmit cycle.
+    expect_readmit: bool,
+}
+
+/// Chaos mode: boot a replicated runtime with heartbeats on and sweep an
+/// asymmetric fault matrix — random kills, a correlated whole-domain kill
+/// under spread and under domain-blind placement, kill + rejoin with
+/// anti-entropy catch-up, sustained delay, sustained drop, and a partial
+/// one-directional partition that heals. Every scenario must hold the
+/// paper's bounded-staleness guarantee; a faultless twin run at the same
+/// replicated configuration is the throughput yardstick.
 fn run_chaos(args: &Args) {
     let clients = if args.smoke { 2 } else { 4 };
     let churn_ratio = 0.02;
+    let ndomains = args.domains.min(args.servers).max(1);
+    // Shards in failure domain 0 under the contiguous block layout — the
+    // correlated-kill target for the domain scenarios.
+    let domain0: Vec<usize> = (0..args.servers)
+        .filter(|&s| s * ndomains / args.servers == 0)
+        .collect();
     eprintln!(
-        "# serve_bench --chaos: {} nodes, {} shards, replication {}, kill {} @ 50%, {:?}{}",
+        "# serve_bench --chaos: {} nodes, {} shards, replication {}, {} domains, {:?}{}",
         args.nodes,
         args.servers,
         args.replication,
-        args.kill,
+        ndomains,
         args.duration,
         if args.smoke { " (smoke)" } else { "" }
     );
@@ -407,11 +477,13 @@ fn run_chaos(args: &Args) {
     let cost = outcome.stats.cost;
     // Heartbeat every 5ms: with down_misses = 4 a dead shard is confirmed
     // in ~20ms, well inside the 50ms pull-cache TTL that doubles as the
-    // Theorem-1 staleness budget a lagging replica may legally carry.
+    // Theorem-1 staleness budget a lagging replica may legally carry —
+    // and that a rejoining shard must fit before readmission.
     let config = ServeConfig {
         shards: args.servers,
         workers: 4,
         replication: args.replication,
+        domains: ndomains,
         heartbeat_interval: Duration::from_millis(5),
         pull_cache_ttl: Duration::from_millis(50),
         reopt_threshold: 0.25,
@@ -427,102 +499,332 @@ fn run_chaos(args: &Args) {
         stats_interval: None,
         chaos: None,
     };
-    let baseline = run_harness(
-        &g,
-        &rates,
-        outcome.schedule.clone(),
-        by_name("hybrid").expect("hybrid registered"),
-        config,
-        &load,
-    );
+    let run = |cfg: ServeConfig, chaos: Option<ChaosSpec>| {
+        run_harness(
+            &g,
+            &rates,
+            outcome.schedule.clone(),
+            by_name("hybrid").expect("hybrid registered"),
+            cfg,
+            &HarnessConfig {
+                chaos,
+                ..load.clone()
+            },
+        )
+    };
+    let baseline = run(config, None);
     eprintln!(
-        "#   faultless   {:>9.0} op/s  p99 {:.3}ms",
+        "#   {:<18} {:>9.0} op/s  p99 {:.3}ms",
+        "faultless",
         baseline.throughput(),
         baseline.quantile_ms(0.99)
     );
-    // The storm itself: duplicate-heavy delivery (5% of batches sent
-    // twice) exercises the idempotent write path without dropping any
-    // update — drops would make "no event lost" unfalsifiable.
-    let report = run_harness(
-        &g,
-        &rates,
-        outcome.schedule.clone(),
-        by_name("hybrid").expect("hybrid registered"),
-        ServeConfig {
-            faults: Some(FaultPlan {
-                seed: 7,
-                duplicate_per_mille: 50,
-                ..Default::default()
-            }),
-            ..config
-        },
-        &HarnessConfig {
+    assert!(
+        baseline.serve.churn.zero_violations(),
+        "faultless replicated run violated staleness: {:?}",
+        baseline.serve.churn.staleness_violation
+    );
+    // Duplicate-heavy delivery (5% of batches sent twice) rides along
+    // with every kill scenario: it exercises the idempotent write path
+    // without dropping updates, keeping "no view lost" falsifiable.
+    let dup = FaultPlan {
+        seed: 7,
+        duplicate_per_mille: 50,
+        ..Default::default()
+    };
+    let scenarios = [
+        // Random kills at mid-storm: the baseline fault the recovery
+        // section has always gated on.
+        Scenario {
+            name: "kill",
+            domains: ndomains,
+            plan: dup,
             chaos: Some(ChaosSpec {
                 kill_shards: args.kill,
                 kill_at_frac: 0.5,
+                ..Default::default()
             }),
-            ..load
+            min_failovers: args.kill as u64,
+            expect_loss: false,
+            expect_readmit: false,
         },
-    );
-    let churn = &report.serve.churn;
-    let recovered = report.throughput() / baseline.throughput().max(1e-9);
-    eprintln!(
-        "#   chaos       {:>9.0} op/s  p99 {:.3}ms  ({:.0}% of faultless)",
-        report.throughput(),
-        report.quantile_ms(0.99),
-        recovered * 100.0
-    );
-    eprintln!(
-        "#   failovers {} (moved {} users), unavailable {:.1}ms, max replica lag {:.2}ms, staleness_ok {}",
-        report.serve.failovers,
-        churn.users_failed_over,
-        report.serve.unavailable_ms,
-        report.serve.max_replica_lag_ms,
-        churn.zero_violations()
-    );
+        // Correlated whole-domain kill under domain-spread placement:
+        // every replica set straddles domains, so losing one whole
+        // domain loses zero views.
+        Scenario {
+            name: "kill-domain-spread",
+            domains: ndomains,
+            plan: dup,
+            chaos: Some(ChaosSpec {
+                kill_shards: domain0.len(),
+                kill_at_frac: 0.5,
+                kill_set: Some(domain0.clone()),
+                ..Default::default()
+            }),
+            min_failovers: domain0.len() as u64,
+            expect_loss: false,
+            expect_readmit: false,
+        },
+        // The same correlated kill under domain-blind placement: the
+        // control that measures the data loss spread placement prevents.
+        Scenario {
+            name: "kill-domain-blind",
+            domains: 0,
+            plan: dup,
+            chaos: Some(ChaosSpec {
+                kill_shards: domain0.len(),
+                kill_at_frac: 0.5,
+                kill_set: Some(domain0.clone()),
+                ..Default::default()
+            }),
+            min_failovers: domain0.len() as u64,
+            expect_loss: true,
+            expect_readmit: false,
+        },
+        // Kill one shard, then restart it as a fresh empty process: the
+        // failover controller must detect the rejoin, stream views back
+        // via anti-entropy, and readmit only inside the staleness budget.
+        Scenario {
+            name: "kill-rejoin",
+            domains: ndomains,
+            plan: dup,
+            chaos: Some(ChaosSpec {
+                kill_shards: 1,
+                kill_at_frac: 0.35,
+                recover_at_frac: Some(0.6),
+                ..Default::default()
+            }),
+            min_failovers: 1,
+            expect_loss: false,
+            expect_readmit: true,
+        },
+        // Sustained wire delay: 15% of batches arrive 1ms late. Slow is
+        // not dead — detection must not fail anyone over.
+        Scenario {
+            name: "sustained-delay",
+            domains: ndomains,
+            plan: FaultPlan {
+                seed: 7,
+                delay_per_mille: 150,
+                delay: Duration::from_millis(1),
+                ..Default::default()
+            },
+            chaos: None,
+            min_failovers: 0,
+            expect_loss: false,
+            expect_readmit: false,
+        },
+        // Sustained update drop: 3% of replica deliveries vanish. The
+        // resilient write path must absorb it without staleness escapes
+        // or spurious failovers.
+        Scenario {
+            name: "sustained-drop",
+            domains: ndomains,
+            plan: FaultPlan {
+                seed: 7,
+                drop_update_per_mille: 30,
+                ..Default::default()
+            },
+            chaos: None,
+            min_failovers: 0,
+            expect_loss: false,
+            expect_readmit: false,
+        },
+        // Partial one-directional partition, no kill: the shard stays up
+        // but unreachable inbound, must be failed over, then healed and
+        // readmitted through the same rejoin pipeline.
+        Scenario {
+            name: "partial-partition",
+            domains: ndomains,
+            plan: FaultPlan {
+                seed: 7,
+                ..Default::default()
+            },
+            chaos: Some(ChaosSpec {
+                kill_shards: 1,
+                kill_at_frac: 0.4,
+                partition: Some(PartitionDir::Inbound),
+                recover_at_frac: Some(0.7),
+                ..Default::default()
+            }),
+            min_failovers: 1,
+            expect_loss: false,
+            expect_readmit: true,
+        },
+    ];
+    if let Some(wanted) = &args.scenarios {
+        for w in wanted {
+            assert!(
+                scenarios.iter().any(|s| s.name == w),
+                "--scenarios: unknown scenario {w:?} (known: {:?})",
+                scenarios.iter().map(|s| s.name).collect::<Vec<_>>()
+            );
+        }
+    }
+    let mut rows = vec![json_result(
+        "hybrid-faultless",
+        RpcMode::Batched,
+        cost,
+        &baseline,
+    )];
+    let mut matrix = Vec::new();
+    let mut kill_report = None;
+    for sc in &scenarios {
+        if let Some(wanted) = &args.scenarios {
+            if !wanted.iter().any(|w| w == sc.name) {
+                continue;
+            }
+        }
+        let report = run(
+            ServeConfig {
+                domains: sc.domains,
+                faults: Some(sc.plan),
+                ..config
+            },
+            sc.chaos.clone(),
+        );
+        let churn = &report.serve.churn;
+        let vs_faultless = report.throughput() / baseline.throughput().max(1e-9);
+        eprintln!(
+            "#   {:<18} {:>9.0} op/s ({:>3.0}%)  failovers {} lost {} rejoins {} readmits {}  \
+             detect {:.1}ms failover {:.1}ms catchup {:.1}ms readmit {:.1}ms  staleness_ok {}",
+            sc.name,
+            report.throughput(),
+            vs_faultless * 100.0,
+            report.serve.failovers,
+            report.serve.views_lost,
+            report.serve.rejoins,
+            report.serve.readmits,
+            report.serve.detection_ms,
+            report.serve.failover_ms,
+            report.serve.catchup_ms,
+            report.serve.readmit_ms,
+            churn.zero_violations()
+        );
+        assert!(
+            churn.zero_violations(),
+            "{}: staleness violated: {:?}",
+            sc.name,
+            churn.staleness_violation
+        );
+        if sc.min_failovers == 0 {
+            assert_eq!(
+                report.serve.failovers, 0,
+                "{}: sustained wire faults must not trigger failovers, saw {}",
+                sc.name, report.serve.failovers
+            );
+        } else {
+            assert!(
+                report.serve.failovers >= sc.min_failovers,
+                "{}: expected >= {} failovers, saw {}",
+                sc.name,
+                sc.min_failovers,
+                report.serve.failovers
+            );
+        }
+        if sc.expect_loss {
+            assert!(
+                report.serve.views_lost > 0,
+                "{}: the domain-blind control lost no views — the spread-placement \
+                 win is unmeasured",
+                sc.name
+            );
+        } else {
+            assert_eq!(
+                report.serve.views_lost, 0,
+                "{}: lost {} views despite domain-spread replicas",
+                sc.name, report.serve.views_lost
+            );
+        }
+        if sc.expect_readmit {
+            assert!(
+                report.serve.rejoins >= 1 && report.serve.readmits >= 1,
+                "{}: expected a completed rejoin + readmit cycle, saw {} rejoins / {} readmits",
+                sc.name,
+                report.serve.rejoins,
+                report.serve.readmits
+            );
+            // Foreground traffic must ride through catch-up: the full run
+            // gates 80% of faultless throughput (smoke runs are too short
+            // to average out the detection gap).
+            if !args.smoke {
+                assert!(
+                    vs_faultless >= 0.8,
+                    "{}: throughput fell to {:.0}% of faultless during catch-up",
+                    sc.name,
+                    vs_faultless * 100.0
+                );
+            }
+        }
+        matrix.push(format!(
+            concat!(
+                "    {{\"scenario\": \"{}\", \"staleness_ok\": {}, \"failovers\": {}, ",
+                "\"views_lost\": {}, \"rejoins\": {}, \"readmits\": {}, ",
+                "\"detection_ms\": {:.1}, \"failover_ms\": {:.1}, \"catchup_ms\": {:.1}, ",
+                "\"readmit_ms\": {:.1}, \"unavailable_ms\": {:.1}, ",
+                "\"max_replica_lag_ms\": {:.2}, \"throughput_vs_faultless\": {:.3}}}"
+            ),
+            sc.name,
+            churn.zero_violations(),
+            report.serve.failovers,
+            report.serve.views_lost,
+            report.serve.rejoins,
+            report.serve.readmits,
+            report.serve.detection_ms,
+            report.serve.failover_ms,
+            report.serve.catchup_ms,
+            report.serve.readmit_ms,
+            report.serve.unavailable_ms,
+            report.serve.max_replica_lag_ms,
+            vs_faultless
+        ));
+        rows.push(json_result(
+            &format!("hybrid-{}", sc.name),
+            RpcMode::Batched,
+            cost,
+            &report,
+        ));
+        if sc.name == "kill" {
+            kill_report = Some(report);
+        }
+    }
+    // The `recovery` section keeps its pre-matrix shape, keyed off the
+    // plain-kill scenario, so existing gates keep parsing it.
+    let recovery = kill_report.as_ref().map_or_else(String::new, |r| {
+        format!(
+            ",\n  \"recovery\": {{\"failovers\": {}, \"users_failed_over\": {}, \
+             \"unavailable_ms\": {:.1}, \"max_replica_lag_ms\": {:.2}, \
+             \"throughput_vs_faultless\": {:.3}, \"staleness_ok\": {}}}",
+            r.serve.failovers,
+            r.serve.churn.users_failed_over,
+            r.serve.unavailable_ms,
+            r.serve.max_replica_lag_ms,
+            r.throughput() / baseline.throughput().max(1e-9),
+            r.serve.churn.zero_violations()
+        )
+    });
     let json = format!(
         "{{\n  \"bench\": \"serve_chaos\",\n  \"smoke\": {},\n  \"nodes\": {},\n  \"edges\": {},\n  \
-         \"shards\": {},\n  \"replication\": {},\n  \"killed_shards\": {},\n  \"duration_ms\": {},\n  \
-         \"heartbeat_ms\": 5,\n  \"staleness_budget_ms\": 50,\n  \"results\": [\n{},\n{}\n  ],\n  \
-         \"recovery\": {{\"failovers\": {}, \"users_failed_over\": {}, \"unavailable_ms\": {:.1}, \
-         \"max_replica_lag_ms\": {:.2}, \"throughput_vs_faultless\": {:.3}, \"staleness_ok\": {}}}\n}}",
+         \"shards\": {},\n  \"replication\": {},\n  \"domains\": {},\n  \"killed_shards\": {},\n  \
+         \"duration_ms\": {},\n  \"heartbeat_ms\": 5,\n  \"staleness_budget_ms\": 50,\n  \
+         \"results\": [\n{}\n  ],\n  \"matrix\": [\n{}\n  ]{}\n}}",
         args.smoke,
         g.node_count(),
         g.edge_count(),
         args.servers,
         args.replication,
+        ndomains,
         args.kill,
         args.duration.as_millis(),
-        json_result("hybrid-faultless", RpcMode::Batched, cost, &baseline),
-        json_result("hybrid-chaos", RpcMode::Batched, cost, &report),
-        report.serve.failovers,
-        churn.users_failed_over,
-        report.serve.unavailable_ms,
-        report.serve.max_replica_lag_ms,
-        recovered,
-        churn.zero_violations()
+        rows.join(",\n"),
+        matrix.join(",\n"),
+        recovery
     );
     println!("{json}");
     if let Some(path) = &args.out {
         std::fs::write(path, format!("{json}\n")).expect("write --out file");
         eprintln!("# wrote {path}");
     }
-    assert!(
-        baseline.serve.churn.zero_violations(),
-        "faultless replicated run violated staleness: {:?}",
-        baseline.serve.churn.staleness_violation
-    );
-    assert!(
-        churn.zero_violations(),
-        "staleness violated under chaos: {:?}",
-        churn.staleness_violation
-    );
-    assert!(
-        report.serve.failovers >= args.kill as u64,
-        "expected >= {} failovers, saw {}",
-        args.kill,
-        report.serve.failovers
-    );
 }
 
 /// Re-optimization mode comparison: the same heavy-churn storm served

@@ -96,6 +96,12 @@ pub struct CostModel<'a> {
     /// Price of an intra-server message relative to a cross-server one
     /// (0 = free, the batched-request default; 1 = the flat model).
     intra_factor: f64,
+    /// Replica slots per view (1 = unreplicated). A push edge delivers to
+    /// every replica slot of the consumer's view, so each push message is
+    /// amplified `k`-fold; the `k − 1` extra copies are billed as
+    /// cross-server traffic (replica slots never co-locate under
+    /// domain-spread placement).
+    replication: usize,
 }
 
 impl<'a> CostModel<'a> {
@@ -110,6 +116,7 @@ impl<'a> CostModel<'a> {
             shard_of,
             servers,
             intra_factor: 0.0,
+            replication: 1,
         }
     }
 
@@ -120,6 +127,17 @@ impl<'a> CostModel<'a> {
             "intra factor {intra_factor} outside [0, 1]"
         );
         self.intra_factor = intra_factor;
+        self
+    }
+
+    /// Sets the replica slots per view (must be at least 1). With `k > 1`
+    /// every push edge is billed `k` deliveries — one per replica slot —
+    /// with the `k − 1` extra copies accounted as cross-server
+    /// replica-amplified traffic. `k = 1` reproduces the unreplicated
+    /// model exactly.
+    pub fn with_replication(mut self, k: usize) -> Self {
+        assert!(k >= 1, "replication factor must be at least 1");
+        self.replication = k;
         self
     }
 
@@ -153,11 +171,9 @@ impl<'a> CostModel<'a> {
             egress: vec![0.0; self.servers],
             ..Default::default()
         };
-        let mut bill = |u: NodeId, v: NodeId, rate: f64| {
-            let (from, to) = (
-                self.shard_of[u as usize] as usize,
-                self.shard_of[v as usize] as usize,
-            );
+        let shard_of = self.shard_of;
+        let bill = |acct: &mut TopologyAccounting, u: NodeId, v: NodeId, rate: f64| {
+            let (from, to) = (shard_of[u as usize] as usize, shard_of[v as usize] as usize);
             acct.egress[from] += rate;
             acct.ingress[to] += rate;
             if from == to {
@@ -168,11 +184,27 @@ impl<'a> CostModel<'a> {
         };
         for e in s.push_edges() {
             let (u, v) = g.edge_endpoints(e);
-            bill(u, v, rates.rp(u));
+            bill(&mut acct, u, v, rates.rp(u));
+            if self.replication > 1 {
+                // The k − 1 extra replica deliveries. Replica slots never
+                // share a server (or a failure domain) with the primary,
+                // so the copies always cross; ingress is attributed to the
+                // consumer's primary server, the ring aggregate.
+                let extra = rates.rp(u) * (self.replication - 1) as f64;
+                let (from, to) = (shard_of[u as usize] as usize, shard_of[v as usize] as usize);
+                acct.egress[from] += extra;
+                acct.ingress[to] += extra;
+                acct.cross += extra;
+                acct.replica += extra;
+            }
         }
         for e in s.pull_edges() {
             let (u, v) = g.edge_endpoints(e);
-            bill(u, v, rates.rc(v));
+            // A pull reads one replica — the query is answered by a single
+            // slot — so replication never amplifies it. This asymmetry is
+            // exactly what shifts the hybrid decision toward pull for
+            // replicated consumers.
+            bill(&mut acct, u, v, rates.rc(v));
         }
         acct.total = acct.intra + acct.cross;
         acct
@@ -184,20 +216,27 @@ impl<'a> CostModel<'a> {
         let acct = self.accounting(g, rates, s);
         stats.intra_cost = acct.intra;
         stats.cross_cost = acct.cross;
+        stats.replica_cost = acct.replica;
     }
 }
 
 /// Per-server message accounting of a schedule under a [`CostModel`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TopologyAccounting {
-    /// Topology-free total message rate — always equals
-    /// [`schedule_cost`] (and `intra + cross`).
+    /// Total message rate, `intra + cross`. Equals [`schedule_cost`] at
+    /// replication 1; with replication it additionally carries the
+    /// [`replica`](TopologyAccounting::replica)-amplified push copies.
     pub total: f64,
     /// Message rate between co-located views.
     pub intra: f64,
     /// Message rate crossing servers — the paper's "messages between data
-    /// stores" with batching priced in.
+    /// stores" with batching priced in. Includes the replica-amplified
+    /// copies when the model carries a replication factor.
     pub cross: f64,
+    /// Cross-server message rate added purely by replica fan-out (the
+    /// `k − 1` extra deliveries of every push message); zero at
+    /// replication 1. Always a subset of [`cross`](TopologyAccounting::cross).
+    pub replica: f64,
     /// Message rate arriving at each server.
     pub ingress: Vec<f64>,
     /// Message rate leaving each server.
@@ -367,5 +406,48 @@ mod tests {
     fn intra_factor_out_of_range_panics() {
         let shard_of = [0u32];
         let _ = CostModel::with_topology(&shard_of, 1).with_intra_factor(1.5);
+    }
+
+    #[test]
+    fn replication_amplifies_push_but_not_pull() {
+        let g = triangle();
+        let r = rates();
+        let mut s = Schedule::for_graph(&g);
+        s.set_push(0); // 0 -> 1, rp(0) = 2
+        s.set_pull(2); // 1 -> 2, rc(2) = 13
+        s.set_covered(1, 1);
+        let shard_of = [0u32, 0, 1];
+        let base = CostModel::with_topology(&shard_of, 2).accounting(&g, &r, &s);
+        let repl = CostModel::with_topology(&shard_of, 2)
+            .with_replication(3)
+            .accounting(&g, &r, &s);
+        // The push message gains 2 extra replica copies (2 × rp(0) = 4),
+        // all billed cross-server; the pull is answered by one slot and
+        // stays untouched.
+        assert!((repl.replica - 4.0).abs() < 1e-12);
+        assert!((repl.cross - (base.cross + 4.0)).abs() < 1e-12);
+        assert!((repl.intra - base.intra).abs() < 1e-12);
+        assert!((repl.total - (base.total + 4.0)).abs() < 1e-12);
+        assert!((repl.egress[0] - (base.egress[0] + 4.0)).abs() < 1e-12);
+        // Replication 1 is the base model bit for bit.
+        let one = CostModel::with_topology(&shard_of, 2)
+            .with_replication(1)
+            .accounting(&g, &r, &s);
+        assert_eq!(one, base);
+        assert_eq!(one.replica, 0.0);
+        // annotate carries the split into the stats.
+        let mut stats = ScheduleStats::default();
+        CostModel::with_topology(&shard_of, 2)
+            .with_replication(3)
+            .annotate(&g, &r, &s, &mut stats);
+        assert!((stats.replica_cost - 4.0).abs() < 1e-12);
+        assert!((stats.cross_cost - stats.replica_cost - base.cross).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_replication_panics() {
+        let shard_of = [0u32];
+        let _ = CostModel::with_topology(&shard_of, 1).with_replication(0);
     }
 }

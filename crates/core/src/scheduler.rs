@@ -99,8 +99,17 @@ pub struct ScheduleStats {
     pub intra_cost: f64,
     /// Message rate crossing servers under a cluster topology (see
     /// [`intra_cost`](ScheduleStats::intra_cost); `intra_cost +
-    /// cross_cost = cost` once filled).
+    /// cross_cost = cost` once filled, plus
+    /// [`replica_cost`](ScheduleStats::replica_cost) under replication).
     pub cross_cost: f64,
+    /// Cross-server message rate added purely by replica fan-out: a push
+    /// edge to a `k`-replicated consumer delivers to every replica slot,
+    /// so each push message is amplified by `k − 1` extra copies. Zero at
+    /// replication 1 (and zero until a replica-aware
+    /// [`CostModel`](crate::cost::CostModel) fills it); `cross_cost`
+    /// includes it, so `cross_cost − replica_cost` is the base
+    /// (unreplicated) cross traffic.
+    pub replica_cost: f64,
     /// Milliseconds of work executed inside the algorithm's fan-out
     /// sections, summed over workers (zero for algorithms without one).
     /// See [`FanoutTelemetry`](crate::fanout::FanoutTelemetry).

@@ -94,6 +94,34 @@ pub enum EventKind {
         /// Wall time of the copy.
         wall_ms: f64,
     },
+    /// A previously dead shard answered a heartbeat again: the controller
+    /// moved it `Down → CatchingUp` and queued anti-entropy.
+    Rejoin {
+        /// The rejoining shard.
+        shard: usize,
+        /// Views it must stream back before readmission.
+        views_behind: usize,
+    },
+    /// One budgeted anti-entropy batch streamed views onto a rejoining
+    /// shard (rate-limited so catch-up never starves foreground ops).
+    CatchUpBatch {
+        /// The catching-up shard.
+        shard: usize,
+        /// Views installed by this batch.
+        views: usize,
+        /// Views still pending after it.
+        remaining: usize,
+    },
+    /// A rejoined shard finished anti-entropy within the staleness budget
+    /// and was promoted back to a read target.
+    Readmit {
+        /// The readmitted shard.
+        shard: usize,
+        /// Views restored over the whole catch-up.
+        views: usize,
+        /// Wall time from rejoin detection to readmission.
+        wall_ms: f64,
+    },
 }
 
 impl std::fmt::Display for EventKind {
@@ -145,6 +173,23 @@ impl std::fmt::Display for EventKind {
             EventKind::CatchUp { views, wall_ms } => {
                 write!(f, "catch-up views={views} wall={wall_ms:.1}ms")
             }
+            EventKind::Rejoin {
+                shard,
+                views_behind,
+            } => write!(f, "rejoin shard={shard} views-behind={views_behind}"),
+            EventKind::CatchUpBatch {
+                shard,
+                views,
+                remaining,
+            } => write!(
+                f,
+                "catch-up-batch shard={shard} views={views} remaining={remaining}"
+            ),
+            EventKind::Readmit {
+                shard,
+                views,
+                wall_ms,
+            } => write!(f, "readmit shard={shard} views={views} wall={wall_ms:.1}ms"),
         }
     }
 }

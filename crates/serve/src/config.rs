@@ -133,8 +133,22 @@ pub struct ServeConfig {
     /// overhead at ≤ 5%); `false` exists for that overhead measurement.
     pub metrics: bool,
     /// Replica slots per view (1 = primary only, the pre-replication
-    /// plane byte for byte). Clamped to `shards` by the topology.
+    /// plane byte for byte). Must not exceed the number of distinct
+    /// failure domains (the topology rejects co-locating replicas).
     pub replication: usize,
+    /// Failure domains (racks/zones) the shards are spread over, as a
+    /// contiguous-block map (see
+    /// [`Topology::block_domains`](piggyback_store::topology::Topology)).
+    /// `0` = trivial: every shard its own domain, the pre-domain slot
+    /// formula bit for bit. With a non-trivial count, replica slots are
+    /// domain-spread so a whole-domain kill can never destroy every copy
+    /// of a view.
+    pub domains: usize,
+    /// Views per anti-entropy batch while a rejoined shard catches up.
+    /// Each failover-controller tick streams at most this many views to
+    /// each catching-up shard, so catch-up floods can't starve
+    /// foreground operations.
+    pub catchup_batch: usize,
     /// Heartbeat cadence of the failure detector (ZERO = detection off;
     /// a dead shard is then only noticed at the send seam).
     pub heartbeat_interval: Duration,
@@ -164,6 +178,8 @@ impl Default for ServeConfig {
             rpc: RpcMode::Batched,
             metrics: true,
             replication: 1,
+            domains: 0,
+            catchup_batch: 512,
             heartbeat_interval: Duration::ZERO,
             suspect_misses: 2,
             down_misses: 4,
@@ -194,8 +210,11 @@ mod tests {
         assert_eq!(c.rpc, RpcMode::Batched);
         assert!(c.metrics);
         // Resilience is strictly opt-in: replication 1, no heartbeats, no
-        // faults means the pre-replication data plane, unchanged.
+        // faults, trivial domains means the pre-replication data plane,
+        // unchanged.
         assert_eq!(c.replication, 1);
+        assert_eq!(c.domains, 0, "trivial failure domains by default");
+        assert!(c.catchup_batch >= 1, "anti-entropy must make progress");
         assert_eq!(c.heartbeat_interval, Duration::ZERO);
         assert!(c.suspect_misses >= 1 && c.down_misses >= c.suspect_misses);
         assert!(c.faults.is_none());

@@ -80,6 +80,29 @@ pub struct ChurnReport {
     /// wall time from its first missed heartbeat (or kill) to the new
     /// topology epoch being published.
     pub failover_unavailable_ms: f64,
+    /// Views for which **no** surviving replica slot existed at failover
+    /// time — data loss. Zero under domain-spread placement when at most
+    /// one failure domain dies; the domain-blind control run measures
+    /// how many views a correlated kill actually destroys without it.
+    pub views_lost: u64,
+    /// Dead shards that rejoined (answered heartbeats again) and entered
+    /// anti-entropy catch-up.
+    pub rejoins: u64,
+    /// Rejoined shards promoted back to read targets after catch-up.
+    pub readmits: u64,
+    /// Detection phase across failovers: first missed heartbeat (or
+    /// kill) to the `Down` verdict that triggered failover.
+    pub detection_ms: f64,
+    /// Failover phase: `Down` verdict to the repaired topology epoch
+    /// being published.
+    pub failover_ms: f64,
+    /// Catch-up phase across rejoins: rejoin detection to the last
+    /// anti-entropy batch landing.
+    pub catchup_ms: f64,
+    /// Readmit phase across rejoins: rejoin detection to the shard being
+    /// promoted back to a read target (catch-up plus the final
+    /// staleness-budget check).
+    pub readmit_ms: f64,
     /// First bounded-staleness violation found — live (per-mutation check)
     /// or by the post-run validation, whichever fired first. `None` is the
     /// paper's invariant: every current edge is served by push, pull, or
@@ -120,4 +143,23 @@ pub struct ServeReport {
     /// High-water heartbeat silence among replicas that actually served
     /// reads — the worst legal staleness any answer could have carried.
     pub max_replica_lag_ms: f64,
+    /// Views destroyed by correlated failures (no surviving replica slot
+    /// at failover time). Mirrors the churn report.
+    pub views_lost: u64,
+    /// Dead shards that rejoined and entered catch-up (mirrors the churn
+    /// report).
+    pub rejoins: u64,
+    /// Rejoined shards promoted back to read targets (mirrors the churn
+    /// report).
+    pub readmits: u64,
+    /// Failure-lifecycle phase timings, mirrored from the churn report:
+    /// first-miss→Down, Down→epoch-published, rejoin→last-batch,
+    /// rejoin→readmitted.
+    pub detection_ms: f64,
+    /// See [`ChurnReport::failover_ms`].
+    pub failover_ms: f64,
+    /// See [`ChurnReport::catchup_ms`].
+    pub catchup_ms: f64,
+    /// See [`ChurnReport::readmit_ms`].
+    pub readmit_ms: f64,
 }

@@ -111,6 +111,11 @@ impl ServeRuntime {
             rates.len(),
             graph.node_count()
         );
+        // Failure domains (racks/zones): a non-trivial map makes every
+        // partitioner spread replica slots so no two copies of a view
+        // share a domain — the placement that survives correlated kills.
+        let domains =
+            (config.domains > 0).then(|| Topology::block_domains(config.shards, config.domains));
         let topology = Arc::new(
             config
                 .partition
@@ -121,12 +126,16 @@ impl ServeRuntime {
                     schedule: Some(&schedule),
                     servers: config.shards,
                     seed: config.placement_seed,
+                    domains: domains.as_deref(),
                 })
                 .with_replication(config.replication.max(1)),
         );
         let replication = topology.replication();
         let handle = Arc::new(EpochHandle::new(ServingSchedule::compile(
-            &graph, &schedule, topology, 0,
+            &graph,
+            &schedule,
+            Arc::clone(&topology),
+            0,
         )));
         let shards: Arc<Vec<Mutex<StoreServer>>> = Arc::new(
             (0..config.shards)
@@ -168,9 +177,16 @@ impl ServeRuntime {
                 config.pull_cache_ttl,
             ))
         });
+        // A push edge to a k-replicated consumer fans out to k replica
+        // slots, so the churn manager prices every push/pull decision —
+        // incremental hybrid choices and background re-optimizations
+        // alike — with k-amplified producer rates (the §2.1 cost model
+        // with replication folded in). k = 1 returns the rates untouched,
+        // which is what keeps the replication-1 plane bit-identical.
+        let sched_rates = rates.push_amplified(replication);
         let manager = ChurnManager {
-            inc: IncrementalScheduler::new(graph, rates.clone(), schedule),
-            rates,
+            inc: IncrementalScheduler::new(graph, sched_rates.clone(), schedule),
+            rates: sched_rates,
             handle: Arc::clone(&handle),
             scheduler: Arc::from(reopt),
             threshold: config.reopt_threshold,
@@ -208,6 +224,16 @@ impl ServeRuntime {
             failovers: 0,
             users_failed_over: 0,
             failover_unavailable_ms: 0.0,
+            desired: topology,
+            catching_up: (0..config.shards).map(|_| None).collect(),
+            catchup_batch: config.catchup_batch.max(1),
+            views_lost: 0,
+            rejoins: 0,
+            readmits: 0,
+            detection_ms: 0.0,
+            failover_ms: 0.0,
+            catchup_ms: 0.0,
+            readmit_ms: 0.0,
         };
         let churn_handle = std::thread::spawn(move || manager.run());
         ServeRuntime {
@@ -319,6 +345,34 @@ impl ServeRuntime {
         }
     }
 
+    /// Chaos control: restarts a killed `shard` as a fresh, **empty**
+    /// process — its views died with the process (`ResetViews` over the
+    /// wire), then the kill is lifted so it answers connections again.
+    /// The failover controller notices the recovered heartbeat, re-admits
+    /// the shard to the write path, and streams its views back through
+    /// budgeted anti-entropy before reads resume ([`ShardHealth::CatchingUp`]).
+    /// Returns `false` when no fault plan is configured or the shard was
+    /// not killed.
+    pub fn restart_shard(&self, shard: usize) -> bool {
+        let Some(f) = &self.faults else {
+            return false;
+        };
+        if !f.is_killed(shard) {
+            return false;
+        }
+        // Reset *before* revive: the replacement process must be visibly
+        // empty from its first answered request.
+        let mut scratch = QueryScratch::new();
+        let rx = self
+            .transport
+            .request_async(&self.pool, &mut scratch, |done| ShardRequest::ResetViews {
+                shard,
+                done,
+            });
+        rx.recv().expect("worker dropped reset reply");
+        f.revive(shard)
+    }
+
     /// One point-in-time capture of everything observable: the registry's
     /// instruments (when metrics are on), the per-shard wire scrape folded
     /// into `store.*` counters, pull-cache counters, and queue/pool
@@ -419,6 +473,13 @@ impl ServeRuntime {
         ServeReport {
             failovers: churn.failovers,
             unavailable_ms: churn.failover_unavailable_ms,
+            views_lost: churn.views_lost,
+            rejoins: churn.rejoins,
+            readmits: churn.readmits,
+            detection_ms: churn.detection_ms,
+            failover_ms: churn.failover_ms,
+            catchup_ms: churn.catchup_ms,
+            readmit_ms: churn.readmit_ms,
             churn,
             cache_hits,
             cache_misses,
@@ -697,12 +758,44 @@ struct ChurnManager {
     /// Outstanding heartbeat probes: per shard, the reply receiver and
     /// when the current grace window opened (one probe in flight each).
     probes: Vec<Option<(Receiver<bytes::Bytes>, Instant)>>,
-    /// Shards already failed over (terminal this run; never re-probed).
+    /// Shards currently failed over. Not terminal: a failed-over shard
+    /// keeps being probed, and a recovered heartbeat re-enters it through
+    /// anti-entropy catch-up ([`ChurnManager::begin_rejoin`]).
     failed_over: Vec<bool>,
     failovers: u64,
     users_failed_over: u64,
     /// Wall milliseconds of unavailability the failovers closed.
     failover_unavailable_ms: f64,
+    /// The failure-free topology the cluster converges back to as shards
+    /// rejoin. Rebalances update it; failovers never do.
+    desired: Arc<Topology>,
+    /// Per-shard anti-entropy state: `Some` while the shard is streaming
+    /// its backlog back after a rejoin.
+    catching_up: Vec<Option<CatchUp>>,
+    /// Views streamed per catching-up shard per tick (the anti-entropy
+    /// rate limit).
+    catchup_batch: usize,
+    /// Views destroyed by correlated failures: no surviving replica slot
+    /// existed at failover time.
+    views_lost: u64,
+    rejoins: u64,
+    readmits: u64,
+    /// Failure-lifecycle phase accumulators (see [`ChurnReport`]).
+    detection_ms: f64,
+    failover_ms: f64,
+    catchup_ms: f64,
+    readmit_ms: f64,
+}
+
+/// Anti-entropy state of one rejoined shard.
+struct CatchUp {
+    /// Views still owed, each with the replica slots to install to
+    /// (drained from the tail, `catchup_batch` per tick).
+    pending: Vec<(NodeId, Vec<u32>)>,
+    /// Backlog size at rejoin (for the readmit event).
+    behind: usize,
+    /// When the rejoin was detected (phase-timing anchor).
+    since: Instant,
 }
 
 /// Churn overrides above this count are compacted into a fresh compiled
@@ -804,12 +897,46 @@ impl ChurnManager {
         let grace = (self.heartbeat * 2).max(Duration::from_millis(100));
         let shards = health.shards();
         for s in 0..shards {
+            // A partitioned shard is unreachable on the probe path too:
+            // inbound drops the request, outbound drops the reply —
+            // either way heartbeat silence, which is exactly how a
+            // sustained partial partition is detected.
+            let partitioned = self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.partition_of(s).is_some());
             if self.failed_over[s] {
-                self.probes[s] = None;
+                // A failed-over shard is probed for *rejoin*, not for
+                // more misses: the first answered heartbeat re-enters it
+                // through anti-entropy catch-up.
+                if self.faults.as_ref().is_some_and(|f| f.is_killed(s)) || partitioned {
+                    self.probes[s] = None;
+                    continue;
+                }
+                if let Some((rx, since)) = self.probes[s].take() {
+                    match rx.recv_deadline(Instant::now()) {
+                        Ok(_) => {
+                            self.begin_rejoin(s);
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            self.probes[s] = Some((rx, since));
+                            continue;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => continue,
+                    }
+                }
+                let rx =
+                    self.transport
+                        .request_async(&self.pool, &mut self.migrate_scratch, |done| {
+                            ShardRequest::Heartbeat { shard: s, done }
+                        });
+                self.probes[s] = Some((rx, Instant::now()));
                 continue;
             }
-            if self.faults.as_ref().is_some_and(|f| f.is_killed(s)) {
-                // Connection refused: no wire probe, direct miss.
+            if self.faults.as_ref().is_some_and(|f| f.is_killed(s)) || partitioned {
+                // Connection refused (or partitioned): no wire probe,
+                // direct miss.
                 self.probes[s] = None;
                 self.note_miss(&health, s);
                 continue;
@@ -863,13 +990,22 @@ impl ChurnManager {
             // failures, or one real death cascades into failing over the
             // whole fleet. Truly dead shards lose nothing: kills are
             // detected without wire traffic, in `down_misses` ticks.
+            // Catching-up shards are excluded: amnesty must never promote
+            // a rejoined shard to `Up` before its backlog has drained —
+            // only the explicit readmit may do that (the tracker refuses
+            // the promotion too; skipping here keeps its rejoin probe
+            // state intact as well).
             for s in 0..shards {
-                if !self.failed_over[s] && !self.faults.as_ref().is_some_and(|f| f.is_killed(s)) {
+                if !self.failed_over[s]
+                    && self.catching_up[s].is_none()
+                    && !self.faults.as_ref().is_some_and(|f| f.is_killed(s))
+                {
                     health.record_ok(s);
                     self.probes[s] = None;
                 }
             }
         }
+        self.catchup_tick(&health);
     }
 
     /// Records a heartbeat miss, logging the state transition if any.
@@ -891,6 +1027,9 @@ impl ChurnManager {
     /// shard terminal) with replication 1 — there is nowhere to go.
     fn fail_over(&mut self, dead: usize) {
         self.failed_over[dead] = true;
+        // A shard that dies again mid-catch-up abandons the rejoin; the
+        // next recovered heartbeat starts a fresh one.
+        self.catching_up[dead] = None;
         let started = Instant::now();
         let snap = self.handle.load();
         let old = Arc::clone(snap.topology());
@@ -898,6 +1037,14 @@ impl ChurnManager {
             Some(h) => Arc::clone(h),
             None => return,
         };
+        // Detection phase: first evidence of death (first missed
+        // heartbeat, or the kill instant) to the `Down` verdict landing
+        // here.
+        let detected = health
+            .first_miss_elapsed(dead)
+            .or_else(|| self.faults.as_ref().and_then(|f| f.killed_since(dead)))
+            .unwrap_or_default();
+        self.detection_ms += detected.as_secs_f64() * 1e3;
         if old.replication() < 2 {
             return;
         }
@@ -916,15 +1063,24 @@ impl ChurnManager {
                 continue;
             }
             let Some(next) = old.replica_slots(u).find(|&r| !dead_set[r]) else {
-                // Every replica is gone too; the view is lost until an
-                // operator intervenes. Leave the assignment in place.
+                // Every replica is gone too — data loss. This is exactly
+                // what domain-blind placement risks under a correlated
+                // (whole-domain) kill and what domain-spread placement
+                // makes impossible for a single-domain failure. Leave the
+                // assignment in place; the count is the measurement.
+                self.views_lost += 1;
                 continue;
             };
             assign[u as usize] = next as u32;
             moved.push(u);
         }
-        let new_t =
+        let mut new_t =
             Topology::from_assignment(assign, old.servers()).with_replication(old.replication());
+        if !old.domains().is_empty() {
+            // The repaired topology keeps the failure-domain map: replica
+            // slots of re-homed users stay domain-spread.
+            new_t = new_t.with_domains(old.domains().to_vec());
+        }
         // Anti-entropy *before* publish: re-pointing a primary exposes
         // replica slots that never received writes (they were behind the
         // dead shard in the slot ring). Copy the surviving view in via a
@@ -976,6 +1132,8 @@ impl ChurnManager {
         self.handle.swap(snap.with_topology(Arc::new(new_t)));
         self.failovers += 1;
         self.users_failed_over += moved.len() as u64;
+        // Failover phase: `Down` verdict to the repaired epoch publishing.
+        self.failover_ms += started.elapsed().as_secs_f64() * 1e3;
         // The unavailability window runs from the first evidence of death
         // (first missed heartbeat, or the kill instant if earlier
         // evidence exists) to the epoch publish that routed around it.
@@ -995,6 +1153,188 @@ impl ChurnManager {
                 views: catch_up,
                 wall_ms: catch_started.elapsed().as_secs_f64() * 1e3,
             });
+        }
+    }
+
+    /// A failed-over shard answered a heartbeat again: the restarted
+    /// (empty) process is back. Re-admit it to the **write** path
+    /// immediately — the repaired topology restores its desired replica
+    /// slots, so new events flow to it live from this epoch on — but keep
+    /// it out of the **read** path ([`ShardHealth::CatchingUp`] is not
+    /// readable) until anti-entropy has streamed its backlog to parity.
+    fn begin_rejoin(&mut self, s: usize) {
+        let Some(health) = self.health.clone() else {
+            return;
+        };
+        let since = Instant::now();
+        self.failed_over[s] = false;
+        health.mark_catching_up(s);
+        self.rejoins += 1;
+        // Rebuild from the failure-free assignment: shards still dead
+        // keep their failed-over repair, the rejoined shard gets its
+        // desired views back. Catching-up shards count as alive here —
+        // writes must flow to them.
+        let snap = self.handle.load();
+        let old = Arc::clone(snap.topology());
+        let desired = Arc::clone(&self.desired);
+        let dead: Vec<bool> = (0..desired.servers())
+            .map(|d| self.failed_over[d] || self.faults.as_ref().is_some_and(|f| f.is_killed(d)))
+            .collect();
+        let mut assign = desired.assignment().to_vec();
+        for u in 0..assign.len() as NodeId {
+            let home = assign[u as usize] as usize;
+            if !dead[home] {
+                continue;
+            }
+            if let Some(next) = desired.replica_slots(u).find(|&r| !dead[r]) {
+                assign[u as usize] = next as u32;
+            }
+        }
+        let mut new_t = Topology::from_assignment(assign, desired.servers())
+            .with_replication(desired.replication());
+        if !desired.domains().is_empty() {
+            new_t = new_t.with_domains(desired.domains().to_vec());
+        }
+        // The anti-entropy backlog: every view with a replica slot on the
+        // rejoined shard (its copy died with the process — or silently
+        // missed writes, if the outage was a partition), plus any slot
+        // the repaired ring newly exposes. Each entry remembers its
+        // install targets; the donor is resolved per batch from whichever
+        // old-ring slot is still alive.
+        let mut pending: Vec<(NodeId, Vec<u32>)> = Vec::new();
+        for u in 0..new_t.users() as NodeId {
+            let targets: Vec<u32> = new_t
+                .replica_slots(u)
+                .filter(|&r| r == s || !old.replica_slots(u).any(|o| o == r))
+                .map(|r| r as u32)
+                .collect();
+            if !targets.is_empty() {
+                pending.push((u, targets));
+            }
+        }
+        let behind = pending.len();
+        self.handle.swap(snap.with_topology(Arc::new(new_t)));
+        self.catching_up[s] = Some(CatchUp {
+            pending,
+            behind,
+            since,
+        });
+        if let Some(m) = &self.metrics {
+            m.events().record(EventKind::Rejoin {
+                shard: s,
+                views_behind: behind,
+            });
+        }
+    }
+
+    /// Streams one budgeted anti-entropy batch to every catching-up
+    /// shard (at most [`ServeConfig::catchup_batch`] views each per
+    /// heartbeat tick, so catch-up floods cannot starve the foreground
+    /// data plane), and readmits a shard to the read path once its
+    /// backlog drains **and** its heartbeat silence fits the Theorem-1
+    /// staleness budget.
+    fn catchup_tick(&mut self, health: &Arc<HealthTracker>) {
+        for s in 0..self.catching_up.len() {
+            let Some(mut cu) = self.catching_up[s].take() else {
+                continue;
+            };
+            // Died again mid-catch-up (kill, partition, or detector
+            // verdict): abandon the rejoin; normal detection owns the
+            // shard from here.
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.is_killed(s) || f.partition_of(s).is_some())
+                || health.state(s) == ShardHealth::Down
+            {
+                continue;
+            }
+            let n = cu.pending.len().min(self.catchup_batch);
+            let batch: Vec<(NodeId, Vec<u32>)> = cu.pending.split_off(cu.pending.len() - n);
+            let remaining = cu.pending.len();
+            if n > 0 {
+                let faults = self.faults.clone();
+                let alive = |r: usize| {
+                    !faults.as_ref().is_some_and(|f| f.is_killed(r))
+                        && health.state(r) != ShardHealth::Down
+                };
+                let snap = self.handle.load();
+                let t = snap.topology();
+                let (transport, pool, scratch) =
+                    (&self.transport, &self.pool, &mut self.migrate_scratch);
+                // Pipelined like every other migration: all donor reads in
+                // flight before the first install streams out. Reads are
+                // non-destructive (Query, not ExtractView): the donor keeps
+                // serving throughout.
+                let reads: Vec<_> = batch
+                    .iter()
+                    .map(|(u, targets)| {
+                        t.replica_slots(*u)
+                            .find(|&r| !targets.contains(&(r as u32)) && alive(r))
+                            .map(|donor| {
+                                transport.request_async(pool, scratch, |done| ShardRequest::Query {
+                                    shard: donor,
+                                    views: vec![*u],
+                                    k: usize::MAX,
+                                    done,
+                                })
+                            })
+                    })
+                    .collect();
+                let mut installs = Vec::new();
+                for ((u, targets), rx) in batch.iter().zip(reads) {
+                    let Some(rx) = rx else { continue };
+                    let payload = rx.recv().expect("worker dropped catch-up reply");
+                    if payload.is_empty() {
+                        continue;
+                    }
+                    for &r in targets {
+                        installs.push(transport.request_async(pool, scratch, |done| {
+                            ShardRequest::InstallView {
+                                shard: r as usize,
+                                view: *u,
+                                payload: payload.clone(),
+                                done,
+                            }
+                        }));
+                    }
+                }
+                for rx in installs {
+                    rx.recv().expect("worker dropped install reply");
+                }
+                if let Some(m) = &self.metrics {
+                    m.events().record(EventKind::CatchUpBatch {
+                        shard: s,
+                        views: n,
+                        remaining,
+                    });
+                }
+            }
+            if !cu.pending.is_empty() {
+                self.catching_up[s] = Some(cu);
+                continue;
+            }
+            // Backlog drained and writes have been live since the rejoin
+            // epoch: the shard's worst view lag is now its heartbeat
+            // silence. Readmit only once that fits the staleness budget
+            // (zero budget = cache disabled = no extra gate).
+            let budget = health.laxity();
+            if !budget.is_zero() && health.silence(s) > budget {
+                self.catching_up[s] = Some(cu);
+                continue;
+            }
+            self.catchup_ms += cu.since.elapsed().as_secs_f64() * 1e3;
+            if health.readmit(s) {
+                self.readmits += 1;
+                self.readmit_ms += cu.since.elapsed().as_secs_f64() * 1e3;
+                if let Some(m) = &self.metrics {
+                    m.events().record(EventKind::Readmit {
+                        shard: s,
+                        views: cu.behind,
+                        wall_ms: cu.since.elapsed().as_secs_f64() * 1e3,
+                    });
+                }
+            }
         }
     }
 
@@ -1124,13 +1464,18 @@ impl ChurnManager {
         // serving it (base assignments + direct overlay edges), so the new
         // map reflects the traffic churn created — not the boot snapshot.
         let (frozen, serving) = self.inc.freeze_with_schedule();
-        let new = self.partition.partitioner().partition(&PartitionRequest {
-            graph: &frozen,
-            rates: &self.rates,
-            schedule: Some(&serving),
-            servers: old.servers(),
-            seed: self.placement_seed,
-        });
+        let new = self
+            .partition
+            .partitioner()
+            .partition(&PartitionRequest {
+                graph: &frozen,
+                rates: &self.rates,
+                schedule: Some(&serving),
+                servers: old.servers(),
+                seed: self.placement_seed,
+                domains: (!old.domains().is_empty()).then(|| old.domains()),
+            })
+            .with_replication(old.replication());
         let moved = old.moved_users(&new);
         if moved.is_empty() {
             // The partitioner reproduced the current map (always true for
@@ -1171,7 +1516,11 @@ impl ChurnManager {
         self.users_migrated += moved.len() as u64;
         self.rebalances += 1;
         self.cross_churned = 0.0;
-        self.handle.swap(snap.with_topology(Arc::new(new)));
+        let new = Arc::new(new);
+        // The rebalanced map is the new failure-free baseline rejoins
+        // converge back to.
+        self.desired = Arc::clone(&new);
+        self.handle.swap(snap.with_topology(new));
         if let Some(m) = &self.metrics {
             m.events().record(EventKind::Rebalance {
                 moved: moved.len(),
@@ -1359,6 +1708,13 @@ impl ChurnManager {
             failovers: self.failovers,
             users_failed_over: self.users_failed_over,
             failover_unavailable_ms: self.failover_unavailable_ms,
+            views_lost: self.views_lost,
+            rejoins: self.rejoins,
+            readmits: self.readmits,
+            detection_ms: self.detection_ms,
+            failover_ms: self.failover_ms,
+            catchup_ms: self.catchup_ms,
+            readmit_ms: self.readmit_ms,
             // The live per-mutation check fires first; the post-run sweep
             // over the whole dynamic graph backs it up.
             staleness_violation: self

@@ -11,13 +11,14 @@
 //! is byte-identical to an unmonitored one), and at replication 2 the two
 //! planes still agree with each other.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use piggyback_core::scheduler::{by_name, Instance};
 use piggyback_graph::gen::{copying, CopyingConfig};
 use piggyback_graph::CsrGraph;
 use piggyback_serve::{ReoptMode, RpcMode, ServeConfig, ServeRuntime};
 use piggyback_store::server::ShardStats;
+use piggyback_store::FaultPlan;
 use piggyback_workload::{OpTrace, Rates};
 
 fn world() -> (CsrGraph, Rates) {
@@ -204,6 +205,92 @@ fn heartbeats_leave_store_counters_untouched() {
         probed_snap.counter("failover.count"),
         0,
         "no shard died, nothing may fail over"
+    );
+}
+
+#[test]
+fn rejoin_lifecycle_is_traced_in_the_event_log() {
+    // Kill a replicated shard, restart it as a fresh empty process, and
+    // require the whole rejoin lifecycle — rejoin detection, anti-entropy
+    // catch-up batches, the staleness-gated readmit — to surface as
+    // structured obs events with the shard and view counts attached.
+    let (g, r) = world();
+    let schedule = by_name("hybrid")
+        .unwrap()
+        .schedule(&Instance::new(&g, &r))
+        .schedule;
+    let rt = ServeRuntime::start(
+        g,
+        r.clone(),
+        schedule,
+        by_name("hybrid").unwrap(),
+        ServeConfig {
+            shards: 4,
+            workers: 2,
+            replication: 2,
+            heartbeat_interval: Duration::from_millis(2),
+            pull_cache_ttl: Duration::from_millis(50),
+            faults: Some(FaultPlan::default()),
+            ..Default::default()
+        },
+    );
+    let mut c = rt.client();
+    let mut trace = OpTrace::new(&r, 0.0, 23);
+    for _ in 0..300 {
+        c.apply_op(trace.next_op());
+    }
+    assert!(rt.kill_shard(1), "fault plan configured, kill must arm");
+    let metrics = rt.metrics().expect("metrics on by default");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while metrics.snapshot().counter("failover.count") < 1 {
+        for _ in 0..50 {
+            c.apply_op(trace.next_op());
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no failover within 10s of killing shard 1"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(rt.restart_shard(1), "a killed shard must restart");
+    let has = |needle: &str| {
+        metrics
+            .events()
+            .recent(256)
+            .iter()
+            .any(|e| e.to_string().contains(needle))
+    };
+    while !has("readmit shard=1") {
+        for _ in 0..50 {
+            c.apply_op(trace.next_op());
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no readmit within 10s of restarting shard 1: {:?}",
+            metrics.events().recent(256)
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for needle in [
+        "rejoin shard=1",
+        "catch-up-batch shard=1",
+        "readmit shard=1",
+    ] {
+        assert!(has(needle), "event log missing {needle:?}");
+    }
+    drop(c);
+    let report = rt.shutdown();
+    assert!(
+        report.rejoins >= 1 && report.readmits >= 1,
+        "report must count the rejoin + readmit cycle: {} rejoins, {} readmits",
+        report.rejoins,
+        report.readmits
+    );
+    assert!(report.catchup_ms > 0.0, "catch-up took real wall time");
+    assert!(
+        report.churn.zero_violations(),
+        "bounded staleness violated across the rejoin: {:?}",
+        report.churn.staleness_violation
     );
 }
 

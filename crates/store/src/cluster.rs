@@ -709,6 +709,7 @@ mod tests {
             schedule: Some(&s),
             servers: 2,
             seed: 9,
+            domains: None,
         });
         c.repartition(next);
         assert_eq!(c.topology().servers(), 2);

@@ -8,7 +8,16 @@
 //! * **Kill** — a killed shard refuses every request at the send point
 //!   (the connection-refused model): no message is delivered, no reply
 //!   arrives, and the refusal is visible to the health tracker
-//!   immediately. Kills are permanent for the run.
+//!   immediately. A kill lasts until an explicit
+//!   [`FaultInjector::revive`] — the chaos harness's "restart the
+//!   process" lever, which feeds the rejoin/anti-entropy lifecycle.
+//! * **Partition** — a sticky *one-directional* link failure on one
+//!   shard: `Inbound` silently drops every request toward the shard
+//!   (state never mutates, no reply arrives); `Outbound` delivers the
+//!   request (state mutates) but loses the reply. Either direction
+//!   starves the heartbeat prober, so the detector walks the shard
+//!   `Suspect → Down` without any process dying — the asymmetric gray
+//!   failure the chaos matrix sweeps.
 //! * **Drop** — an update batch is lost on the wire after the transport
 //!   acked it (fire-and-forget write semantics): the sender proceeds, the
 //!   payload never reaches the shard. Queries are never dropped — a
@@ -22,7 +31,7 @@
 //! splitmix64 draw, so a chaos run with a fixed seed perturbs the same
 //! *n*-th message every time regardless of thread interleaving.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// Probabilities (in per-mille) and parameters of the injected faults.
@@ -56,6 +65,15 @@ pub enum FaultDecision {
     Delay,
 }
 
+/// Direction of a one-directional partition on a shard's link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionDir {
+    /// Requests toward the shard are lost; its state never mutates.
+    Inbound,
+    /// Requests arrive and mutate state, but replies are lost.
+    Outbound,
+}
+
 /// Shared fault state: the plan plus per-shard kill switches and
 /// observability counters. One per runtime, consulted by every client at
 /// the send point and by the failover controller.
@@ -66,12 +84,17 @@ pub struct FaultInjector {
     /// Nanoseconds since `origin` at kill time (0 = alive) — the honest
     /// start of the unavailability window.
     killed_at_ns: Vec<AtomicU64>,
+    /// Per-shard one-directional partition: 0 = none, 1 = inbound
+    /// requests lost, 2 = outbound replies lost. Sticky until
+    /// [`FaultInjector::heal_partition`].
+    partitioned: Vec<AtomicU8>,
     origin: Instant,
     counter: AtomicU64,
     dropped: AtomicU64,
     duplicated: AtomicU64,
     delayed: AtomicU64,
     refused: AtomicU64,
+    partitioned_msgs: AtomicU64,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -88,12 +111,14 @@ impl FaultInjector {
             plan,
             killed: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             killed_at_ns: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            partitioned: (0..shards).map(|_| AtomicU8::new(0)).collect(),
             origin: Instant::now(),
             counter: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
             refused: AtomicU64::new(0),
+            partitioned_msgs: AtomicU64::new(0),
         }
     }
 
@@ -102,8 +127,8 @@ impl FaultInjector {
         &self.plan
     }
 
-    /// Kills `shard` (permanently for the run). Returns whether this call
-    /// was the one that killed it.
+    /// Kills `shard` (until [`FaultInjector::revive`]). Returns whether
+    /// this call was the one that killed it.
     pub fn kill(&self, shard: usize) -> bool {
         let first = !self.killed[shard].swap(true, Ordering::Relaxed);
         if first {
@@ -111,6 +136,52 @@ impl FaultInjector {
             self.killed_at_ns[shard].store(ns.max(1), Ordering::Relaxed);
         }
         first
+    }
+
+    /// Restarts a killed shard's process: it accepts connections again
+    /// (with whatever state the restart left it — the serve runtime
+    /// clears its views to model a fresh process). Returns whether the
+    /// shard was actually dead.
+    pub fn revive(&self, shard: usize) -> bool {
+        let was_dead = self.killed[shard].swap(false, Ordering::Relaxed);
+        if was_dead {
+            self.killed_at_ns[shard].store(0, Ordering::Relaxed);
+        }
+        was_dead
+    }
+
+    /// Installs a sticky one-directional partition on `shard`'s link.
+    pub fn partition(&self, shard: usize, dir: PartitionDir) {
+        let raw = match dir {
+            PartitionDir::Inbound => 1,
+            PartitionDir::Outbound => 2,
+        };
+        self.partitioned[shard].store(raw, Ordering::Relaxed);
+    }
+
+    /// Heals any partition on `shard`'s link.
+    pub fn heal_partition(&self, shard: usize) {
+        self.partitioned[shard].store(0, Ordering::Relaxed);
+    }
+
+    /// The partition currently affecting `shard`, if any.
+    #[inline]
+    pub fn partition_of(&self, shard: usize) -> Option<PartitionDir> {
+        match self.partitioned[shard].load(Ordering::Relaxed) {
+            1 => Some(PartitionDir::Inbound),
+            2 => Some(PartitionDir::Outbound),
+            _ => None,
+        }
+    }
+
+    /// Records one message lost to a partition (either direction).
+    pub fn note_partitioned(&self) {
+        self.partitioned_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages lost to partitions since construction.
+    pub fn partitioned_count(&self) -> u64 {
+        self.partitioned_msgs.load(Ordering::Relaxed)
     }
 
     /// Whether `shard` refuses requests.
@@ -193,6 +264,36 @@ mod tests {
         assert_eq!(f.killed_count(), 1);
         assert!(f.killed_since(2).is_some());
         assert!(f.killed_since(0).is_none());
+    }
+
+    #[test]
+    fn revive_clears_the_kill() {
+        let f = FaultInjector::new(FaultPlan::default(), 4);
+        assert!(!f.revive(1), "reviving a live shard is a no-op");
+        f.kill(1);
+        assert!(f.revive(1));
+        assert!(!f.is_killed(1));
+        assert!(f.killed_since(1).is_none());
+        assert_eq!(f.killed_count(), 0);
+        assert!(f.kill(1), "a revived shard can die again");
+    }
+
+    #[test]
+    fn partitions_are_sticky_directional_and_healable() {
+        let f = FaultInjector::new(FaultPlan::default(), 3);
+        assert_eq!(f.partition_of(0), None);
+        f.partition(0, PartitionDir::Inbound);
+        f.partition(2, PartitionDir::Outbound);
+        assert_eq!(f.partition_of(0), Some(PartitionDir::Inbound));
+        assert_eq!(f.partition_of(1), None);
+        assert_eq!(f.partition_of(2), Some(PartitionDir::Outbound));
+        assert!(!f.is_killed(0), "a partitioned shard is not dead");
+        f.note_partitioned();
+        f.note_partitioned();
+        assert_eq!(f.partitioned_count(), 2);
+        f.heal_partition(0);
+        assert_eq!(f.partition_of(0), None);
+        assert_eq!(f.partition_of(2), Some(PartitionDir::Outbound));
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! `Up` shard is always readable; a `Suspect` shard stays readable while
 //! its silence is within the laxity; a `Down` shard never is, until
 //! failover's catch-up path restores it via `InstallView`.
+//!
+//! **Rejoin.** A restarted shard that answers heartbeats again does not
+//! snap straight back to `Up`: the controller moves it `Down →
+//! CatchingUp` ([`HealthTracker::mark_catching_up`]) while anti-entropy
+//! streams its views back, and only [`HealthTracker::readmit`] promotes
+//! it to `Up` once its maximum view lag fits the staleness budget. While
+//! `CatchingUp`, heartbeat successes refresh liveness but never promote
+//! the state — a slow catch-up cannot be prematurely marked healthy.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
@@ -30,11 +38,15 @@ pub enum ShardHealth {
     Suspect,
     /// Missed enough consecutive heartbeats to be declared dead.
     Down,
+    /// Rejoined after being down; answering heartbeats but still catching
+    /// up via anti-entropy. Receives replicated writes, serves no reads.
+    CatchingUp,
 }
 
 const UP: u8 = 0;
 const SUSPECT: u8 = 1;
 const DOWN: u8 = 2;
+const CATCHING_UP: u8 = 3;
 
 /// Outcome of recording one heartbeat miss.
 #[derive(Clone, Copy, Debug)]
@@ -110,16 +122,24 @@ impl HealthTracker {
         self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
     }
 
-    /// Records a successful heartbeat: shard snaps back to `Up`.
+    /// Records a successful heartbeat: shard snaps back to `Up` — unless
+    /// it is `CatchingUp`, where the success refreshes liveness (last-ok,
+    /// miss streak) but never promotes; only [`HealthTracker::readmit`]
+    /// does, once anti-entropy has it within the staleness budget.
     pub fn record_ok(&self, shard: usize) {
         let s = &self.shards[shard];
         s.last_ok_ns.store(self.now_ns(), Ordering::Relaxed);
         s.misses.store(0, Ordering::Relaxed);
         s.first_miss_ns.store(0, Ordering::Relaxed);
-        s.state.store(UP, Ordering::Relaxed);
+        if s.state.load(Ordering::Relaxed) != CATCHING_UP {
+            s.state.store(UP, Ordering::Relaxed);
+        }
     }
 
-    /// Records a missed heartbeat and advances the state machine.
+    /// Records a missed heartbeat and advances the state machine. A
+    /// `CatchingUp` shard that goes silent again only transitions once it
+    /// crosses the `Down` threshold (it was never readable, so `Suspect`
+    /// would be a promotion).
     pub fn record_miss(&self, shard: usize) -> MissOutcome {
         let s = &self.shards[shard];
         let misses = s.misses.fetch_add(1, Ordering::Relaxed) + 1;
@@ -127,19 +147,49 @@ impl HealthTracker {
             s.first_miss_ns
                 .store(self.now_ns().max(1), Ordering::Relaxed);
         }
+        let prev = s.state.load(Ordering::Relaxed);
         let next = if misses >= self.down_after {
             DOWN
+        } else if prev == CATCHING_UP {
+            CATCHING_UP
         } else if misses >= self.suspect_after {
             SUSPECT
         } else {
             UP
         };
-        let prev = s.state.swap(next, Ordering::Relaxed);
+        s.state.store(next, Ordering::Relaxed);
         MissOutcome {
             state: decode(next),
             misses,
             transitioned: prev != next,
         }
+    }
+
+    /// Moves a rejoined shard `Down → CatchingUp`: it answers heartbeats
+    /// again and receives replicated writes, but serves no reads until
+    /// [`HealthTracker::readmit`].
+    pub fn mark_catching_up(&self, shard: usize) {
+        let s = &self.shards[shard];
+        s.last_ok_ns.store(self.now_ns(), Ordering::Relaxed);
+        s.misses.store(0, Ordering::Relaxed);
+        s.first_miss_ns.store(0, Ordering::Relaxed);
+        s.state.store(CATCHING_UP, Ordering::Relaxed);
+    }
+
+    /// Promotes a `CatchingUp` shard back to `Up` once anti-entropy has
+    /// restored it within the staleness budget. Returns whether the shard
+    /// was actually catching up (a no-op otherwise keeps the state
+    /// machine honest under races with a re-death).
+    pub fn readmit(&self, shard: usize) -> bool {
+        let s = &self.shards[shard];
+        let swapped = s
+            .state
+            .compare_exchange(CATCHING_UP, UP, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok();
+        if swapped {
+            s.last_ok_ns.store(self.now_ns(), Ordering::Relaxed);
+        }
+        swapped
     }
 
     /// Declares a shard dead without waiting for misses to accrue (used
@@ -171,7 +221,7 @@ impl HealthTracker {
         match self.state(shard) {
             ShardHealth::Up => true,
             ShardHealth::Suspect => self.silence(shard) <= self.laxity,
-            ShardHealth::Down => false,
+            ShardHealth::Down | ShardHealth::CatchingUp => false,
         }
     }
 
@@ -217,6 +267,7 @@ fn decode(raw: u8) -> ShardHealth {
     match raw {
         UP => ShardHealth::Up,
         SUSPECT => ShardHealth::Suspect,
+        CATCHING_UP => ShardHealth::CatchingUp,
         _ => ShardHealth::Down,
     }
 }
@@ -284,6 +335,53 @@ mod tests {
         h.record_ok(0);
         h.note_read(0);
         assert!(h.max_readable_lag() >= before, "high-water never regresses");
+    }
+
+    #[test]
+    fn catching_up_is_not_promoted_by_heartbeat_successes() {
+        // Regression for the post-failover amnesty: a rejoining shard
+        // answers heartbeats, but record_ok (which the prober's amnesty
+        // reset also calls) must NOT mark it healthy — only an explicit
+        // readmit after anti-entropy may.
+        let h = HealthTracker::new(2, 2, 4, Duration::from_millis(50));
+        for _ in 0..4 {
+            h.record_miss(0);
+        }
+        assert_eq!(h.state(0), ShardHealth::Down);
+        h.mark_catching_up(0);
+        assert_eq!(h.state(0), ShardHealth::CatchingUp);
+        assert!(!h.is_readable(0), "catching up serves no reads");
+
+        h.record_ok(0);
+        assert_eq!(
+            h.state(0),
+            ShardHealth::CatchingUp,
+            "heartbeat success must not promote a catching-up shard"
+        );
+        assert!(
+            h.first_miss_elapsed(0).is_none(),
+            "liveness still refreshes"
+        );
+        assert_eq!(h.not_up(), 1, "catching up still counts as not-up");
+
+        // A single silent tick keeps it CatchingUp (never Suspect, which
+        // would make it readable within laxity); a full streak kills it.
+        let m = h.record_miss(0);
+        assert_eq!(m.state, ShardHealth::CatchingUp);
+        assert!(!m.transitioned);
+        for _ in 0..3 {
+            h.record_miss(0);
+        }
+        assert_eq!(h.state(0), ShardHealth::Down, "re-death during catch-up");
+        assert!(!h.readmit(0), "readmit of a dead shard is a no-op");
+        assert_eq!(h.state(0), ShardHealth::Down);
+
+        // The happy path: catch up, then readmit promotes to Up.
+        h.mark_catching_up(0);
+        assert!(h.readmit(0));
+        assert_eq!(h.state(0), ShardHealth::Up);
+        assert!(h.is_readable(0));
+        assert_eq!(h.not_up(), 0);
     }
 
     #[test]

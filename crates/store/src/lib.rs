@@ -52,7 +52,7 @@ pub mod view;
 pub mod worker;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use fault::{FaultDecision, FaultInjector, FaultPlan};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, PartitionDir};
 pub use health::{HealthTracker, ShardHealth};
 pub use merge::ReplyMerger;
 pub use placement::PlacementCost;

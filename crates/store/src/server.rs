@@ -258,6 +258,14 @@ impl StoreServer {
         self.views.len()
     }
 
+    /// Drops every materialized view — the "process restarted empty"
+    /// half of a shard rejoin. Operation counters survive: the harness
+    /// aggregates them run-wide and a restart must not make totals
+    /// regress.
+    pub fn reset_views(&mut self) {
+        self.views.clear();
+    }
+
     /// `(updates, queries)` processed since construction.
     pub fn request_counts(&self) -> (u64, u64) {
         (self.stats.updates, self.stats.queries)

@@ -38,11 +38,19 @@ use std::hash::Hasher;
 pub struct Topology {
     servers: usize,
     shard_of: Vec<u32>,
-    /// Replica slots per view (1 = primary only). Slot `i` of user `u` is
-    /// `(primary + i) mod servers`; the serving paths currently read and
-    /// write the primary, the extra slots reserve the address space for
-    /// replicated deployments.
+    /// Replica slots per view (1 = primary only). With trivial domains,
+    /// slot `i` of user `u` is `(primary + i) mod servers`; with a
+    /// non-trivial failure-domain map the slots are domain-spread (see
+    /// [`Topology::with_domains`]).
     replication: usize,
+    /// Failure-domain (rack/zone) of each server. Empty = trivial: every
+    /// server is its own domain, which reproduces the round-robin slot
+    /// formula bit for bit.
+    domains: Vec<u32>,
+    /// Precomputed domain-spread replica slots, `servers × replication`,
+    /// indexed by primary server. Empty when domains are trivial or
+    /// replication is 1 — the round-robin formula is used directly.
+    spread: Vec<u32>,
 }
 
 /// Reusable buffers for [`Topology::group_by_server_with`]: the tagged
@@ -73,6 +81,8 @@ impl Topology {
             servers,
             shard_of,
             replication: 1,
+            domains: Vec::new(),
+            spread: Vec::new(),
         }
     }
 
@@ -83,31 +93,117 @@ impl Topology {
         let shard_of = (0..users as NodeId)
             .map(|u| hash_server_of(u, servers, seed) as u32)
             .collect();
-        Topology {
-            servers,
-            shard_of,
-            replication: 1,
-        }
+        Topology::from_assignment(shard_of, servers)
     }
 
     /// Everything on one server (tests and degenerate configurations).
     pub fn single_server(users: usize) -> Self {
-        Topology {
-            servers: 1,
-            shard_of: vec![0; users],
-            replication: 1,
+        Topology::from_assignment(vec![0; users], 1)
+    }
+
+    /// Sets the replica-slot count (≥ 1). Replication beyond the number of
+    /// distinct failure domains is rejected: replica slots beyond the
+    /// domain count would have to co-locate (same machine with trivial
+    /// domains, same rack/zone otherwise), adding cost but no fault
+    /// tolerance. Panics with a clear message instead of silently
+    /// clamping into co-location.
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        assert!(replication >= 1, "need at least one replica slot");
+        self.replication = replication;
+        self.finalize_replicas()
+    }
+
+    /// Assigns each server to a failure domain (rack/zone). `domains[s]`
+    /// is the domain of server `s`; the map must cover every server.
+    /// With a non-trivial map, replica slots are **domain-spread**: slot
+    /// selection scans forward from the primary skipping servers whose
+    /// domain is already used, so no two replica slots of a view share a
+    /// domain and a whole-domain failure can never take out every copy.
+    /// With the trivial map (every server its own domain) the slots are
+    /// bit-identical to the round-robin formula.
+    pub fn with_domains(mut self, domains: Vec<u32>) -> Self {
+        assert_eq!(
+            domains.len(),
+            self.servers,
+            "domain map must cover every server"
+        );
+        self.domains = domains;
+        self.finalize_replicas()
+    }
+
+    /// Contiguous-block domain map: `servers` servers split into
+    /// `ndomains` equal racks (server `s` → domain `s * ndomains /
+    /// servers`). The standard layout for the chaos benches.
+    pub fn block_domains(servers: usize, ndomains: usize) -> Vec<u32> {
+        assert!(ndomains >= 1 && ndomains <= servers);
+        (0..servers)
+            .map(|s| (s * ndomains / servers) as u32)
+            .collect()
+    }
+
+    /// Validates replication against the domain map and precomputes the
+    /// domain-spread slot table. Shared tail of [`Topology::with_replication`]
+    /// and [`Topology::with_domains`].
+    fn finalize_replicas(mut self) -> Self {
+        let distinct = self.distinct_domains();
+        assert!(
+            self.replication <= distinct,
+            "replication factor {} exceeds the {} distinct failure domains \
+             ({} servers): extra replicas would co-locate in one domain and \
+             add cost without fault tolerance — lower the replication factor \
+             or spread servers over more domains",
+            self.replication,
+            distinct,
+            self.servers
+        );
+        self.spread.clear();
+        if self.replication > 1 && !self.domains.is_empty() {
+            self.spread.reserve(self.servers * self.replication);
+            let mut used: Vec<u32> = Vec::with_capacity(self.replication);
+            for primary in 0..self.servers {
+                used.clear();
+                for off in 0..self.servers {
+                    let s = (primary + off) % self.servers;
+                    let d = self.domains[s];
+                    if !used.contains(&d) {
+                        used.push(d);
+                        self.spread.push(s as u32);
+                        if used.len() == self.replication {
+                            break;
+                        }
+                    }
+                }
+                debug_assert_eq!(used.len(), self.replication);
+            }
+        }
+        self
+    }
+
+    /// The failure-domain map (`domains[s]` = domain of server `s`).
+    /// Empty when trivial (every server its own domain).
+    pub fn domains(&self) -> &[u32] {
+        &self.domains
+    }
+
+    /// Failure domain of a server under the current map.
+    #[inline]
+    pub fn domain_of(&self, server: usize) -> u32 {
+        if self.domains.is_empty() {
+            server as u32
+        } else {
+            self.domains[server]
         }
     }
 
-    /// Sets the replica-slot count (≥ 1). A request beyond `servers` is
-    /// clamped: `replica_slots` assigns slots round-robin from the
-    /// primary, so more replicas than servers would wrap onto the same
-    /// shard — duplicate copies on one machine add cost but no fault
-    /// tolerance. Clamping keeps every slot a distinct server.
-    pub fn with_replication(mut self, replication: usize) -> Self {
-        assert!(replication >= 1, "need at least one replica slot");
-        self.replication = replication.min(self.servers);
-        self
+    /// Number of distinct failure domains (`servers` when trivial).
+    pub fn distinct_domains(&self) -> usize {
+        if self.domains.is_empty() {
+            return self.servers;
+        }
+        let mut seen = self.domains.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
     }
 
     /// Number of users covered by the partition map.
@@ -131,10 +227,17 @@ impl Topology {
         self.shard_of[user as usize] as usize
     }
 
-    /// The replica slots of `user`'s view, primary first.
+    /// The replica slots of `user`'s view, primary first. Round-robin from
+    /// the primary with trivial domains; domain-spread otherwise (no two
+    /// slots share a failure domain).
     pub fn replica_slots(&self, user: NodeId) -> impl Iterator<Item = usize> + '_ {
         let primary = self.server_of(user);
-        (0..self.replication).map(move |i| (primary + i) % self.servers)
+        let spread = (!self.spread.is_empty())
+            .then(|| &self.spread[primary * self.replication..][..self.replication]);
+        (0..self.replication).map(move |i| match spread {
+            Some(slots) => slots[i] as usize,
+            None => (primary + i) % self.servers,
+        })
     }
 
     /// The raw `user → shard` array — the interchange format for
@@ -278,6 +381,11 @@ pub struct PartitionRequest<'a> {
     pub servers: usize,
     /// Determinism seed (hash placement, tie-breaking).
     pub seed: u64,
+    /// Failure-domain map (`domains[s]` = rack/zone of server `s`), or
+    /// `None` for the trivial every-server-its-own-domain layout. Every
+    /// partitioner threads this into the produced topology, which makes
+    /// replica slots domain-spread (see [`Topology::with_domains`]).
+    pub domains: Option<&'a [u32]>,
 }
 
 impl PartitionRequest<'_> {
@@ -285,6 +393,16 @@ impl PartitionRequest<'_> {
     /// user the rate model admits.
     pub fn users(&self) -> usize {
         self.graph.node_count().max(self.rates.len())
+    }
+
+    /// Applies the request's failure-domain map to a finished topology —
+    /// the shared tail every partitioner routes through so that
+    /// domain-spread placement holds regardless of strategy.
+    pub fn apply_domains(&self, topology: Topology) -> Topology {
+        match self.domains {
+            Some(d) => topology.with_domains(d.to_vec()),
+            None => topology,
+        }
     }
 }
 
@@ -311,7 +429,7 @@ impl Partitioner for HashPartitioner {
     }
 
     fn partition(&self, req: &PartitionRequest) -> Topology {
-        Topology::hash(req.users(), req.servers, req.seed)
+        req.apply_domains(Topology::hash(req.users(), req.servers, req.seed))
     }
 }
 
@@ -346,7 +464,7 @@ impl Partitioner for LdgPartitioner {
         assert!(self.slack >= 1.0, "slack must be >= 1.0");
         let users = req.users();
         if req.servers == 1 {
-            return Topology::single_server(users);
+            return req.apply_domains(Topology::single_server(users));
         }
         // Unit edge weights, streaming id order, no refinement: classic
         // one-pass LDG, sharing the damped greedy with the multilevel
@@ -355,7 +473,7 @@ impl Partitioner for LdgPartitioner {
         let capacity = (((users as f64) * self.slack / req.servers as f64).ceil() as usize).max(1);
         let order: Vec<NodeId> = (0..users as NodeId).collect();
         let assignment = initial_placement(&level, req.servers, capacity, &order);
-        Topology::from_assignment(assignment, req.servers)
+        req.apply_domains(Topology::from_assignment(assignment, req.servers))
     }
 }
 
@@ -402,7 +520,7 @@ impl Partitioner for ScheduleAwarePartitioner {
         let rates = req.rates;
         let users = req.users();
         if req.servers == 1 {
-            return Topology::single_server(users);
+            return req.apply_domains(Topology::single_server(users));
         }
         // Per-edge schedule traffic, flat over dense edge ids.
         let weight: Vec<f64> = match req.schedule {
@@ -439,7 +557,7 @@ impl Partitioner for ScheduleAwarePartitioner {
         // into the least-loaded ones. Makes the capacity bound
         // unconditional.
         enforce_capacity(&mut assignment, req.servers, capacity);
-        Topology::from_assignment(assignment, req.servers)
+        req.apply_domains(Topology::from_assignment(assignment, req.servers))
     }
 }
 
@@ -974,18 +1092,92 @@ mod tests {
     }
 
     #[test]
-    fn replication_beyond_servers_clamps_to_distinct_slots() {
-        // Regression: this used to panic; now it clamps to `servers` so
-        // every replica slot stays a distinct server.
-        let t = Topology::hash(10, 2, 0).with_replication(3);
-        assert_eq!(t.replication(), 2);
-        for u in 0..10u32 {
-            let mut slots: Vec<usize> = t.replica_slots(u).collect();
-            assert_eq!(slots[0], t.server_of(u));
-            slots.sort_unstable();
-            slots.dedup();
-            assert_eq!(slots.len(), 2, "clamped slots must still be distinct");
+    #[should_panic(expected = "exceeds the 2 distinct failure domains")]
+    fn replication_beyond_servers_is_rejected() {
+        // This used to silently clamp; co-locating replica copies adds
+        // cost without fault tolerance, so it is now a loud error.
+        let _ = Topology::hash(10, 2, 0).with_replication(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 2 distinct failure domains")]
+    fn replication_beyond_domains_is_rejected() {
+        // 4 servers but only 2 racks: a third replica would have to share
+        // a rack with another copy.
+        let _ = Topology::hash(10, 4, 0)
+            .with_domains(Topology::block_domains(4, 2))
+            .with_replication(3);
+    }
+
+    #[test]
+    fn domain_spread_slots_never_share_a_domain() {
+        // 8 servers in 4 racks of 2: round-robin would often put
+        // primary and primary+1 in the same rack; the spread table must
+        // never do that.
+        let domains = Topology::block_domains(8, 4);
+        let t = Topology::hash(100, 8, 1)
+            .with_domains(domains.clone())
+            .with_replication(3);
+        for u in 0..100u32 {
+            let slots: Vec<usize> = t.replica_slots(u).collect();
+            assert_eq!(slots.len(), 3);
+            assert_eq!(slots[0], t.server_of(u), "primary stays slot 0");
+            let mut doms: Vec<u32> = slots.iter().map(|&s| domains[s]).collect();
+            doms.sort_unstable();
+            doms.dedup();
+            assert_eq!(doms.len(), 3, "user {u}: slots {slots:?} share a domain");
         }
+        assert_eq!(t.distinct_domains(), 4);
+        assert_eq!(t.domain_of(7), 3);
+    }
+
+    #[test]
+    fn trivial_domains_reproduce_round_robin_slots() {
+        // An explicit every-server-its-own-domain map must be
+        // bit-identical to the no-domains formula.
+        let plain = Topology::hash(50, 5, 2).with_replication(2);
+        let trivial = Topology::hash(50, 5, 2)
+            .with_domains((0..5u32).collect())
+            .with_replication(2);
+        for u in 0..50u32 {
+            assert_eq!(
+                plain.replica_slots(u).collect::<Vec<_>>(),
+                trivial.replica_slots(u).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn partitioners_thread_domains_through() {
+        let (g, r) = world();
+        let domains = Topology::block_domains(6, 3);
+        let req = PartitionRequest {
+            graph: &g,
+            rates: &r,
+            schedule: None,
+            servers: 6,
+            seed: 4,
+            domains: Some(&domains),
+        };
+        for p in partitioners() {
+            let t = p.partition(&req).with_replication(2);
+            assert_eq!(t.domains(), &domains[..], "{} dropped domains", p.name());
+            for u in 0..t.users() as NodeId {
+                let slots: Vec<usize> = t.replica_slots(u).collect();
+                assert_ne!(
+                    domains[slots[0]],
+                    domains[slots[1]],
+                    "{}: user {u} slots {slots:?} co-locate",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain map must cover every server")]
+    fn domain_map_must_cover_servers() {
+        let _ = Topology::hash(10, 4, 0).with_domains(vec![0, 1]);
     }
 
     #[test]
@@ -1027,6 +1219,7 @@ mod tests {
             schedule: None,
             servers: 7,
             seed: 1,
+            domains: None,
         };
         // LDG runs at DEFAULT_SLACK (1.05), schedule-aware at 1.1; both
         // must respect the looser of the two bounds.
@@ -1060,6 +1253,7 @@ mod tests {
             schedule: Some(&s),
             servers: 8,
             seed: 3,
+            domains: None,
         };
         let hash = HashPartitioner.partition(&req);
         let aware = ScheduleAwarePartitioner::default().partition(&req);
@@ -1096,6 +1290,7 @@ mod tests {
             schedule: None,
             servers: 4,
             seed: 0,
+            domains: None,
         };
         assert_eq!(req.users(), 500);
         for p in partitioners() {

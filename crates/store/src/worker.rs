@@ -41,7 +41,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use piggyback_graph::NodeId;
 
-use crate::fault::{FaultDecision, FaultInjector};
+use crate::fault::{FaultDecision, FaultInjector, PartitionDir};
 use crate::health::HealthTracker;
 use crate::merge::ReplyMerger;
 use crate::server::{QueryScratch, ShardStats, StoreServer, SHARD_STATS_BYTES};
@@ -235,6 +235,17 @@ pub enum ShardRequest {
         /// Acknowledgement channel (empty reply).
         done: Sender<Bytes>,
     },
+    /// Drops every view on the shard — the "process restarted with empty
+    /// state" half of a rejoin. The restart lever (`restart_shard`) sends
+    /// this before reviving the shard at the fault injector, so the
+    /// rejoining shard starts from nothing and anti-entropy has to do
+    /// real work. Replies with an empty ack.
+    ResetViews {
+        /// Shard being restarted.
+        shard: usize,
+        /// Acknowledgement channel (empty reply).
+        done: Sender<Bytes>,
+    },
 }
 
 impl ShardRequest {
@@ -247,7 +258,8 @@ impl ShardRequest {
             | ShardRequest::ExtractView { shard, .. }
             | ShardRequest::InstallView { shard, .. }
             | ShardRequest::Stats { shard, .. }
-            | ShardRequest::Heartbeat { shard, .. } => *shard,
+            | ShardRequest::Heartbeat { shard, .. }
+            | ShardRequest::ResetViews { shard, .. } => *shard,
         }
     }
 }
@@ -337,6 +349,10 @@ pub fn handle_request(
         }
         ShardRequest::Heartbeat { shard, done } => {
             drop(shards[shard].lock());
+            let _ = done.send(Bytes::new());
+        }
+        ShardRequest::ResetViews { shard, done } => {
+            shards[shard].lock().reset_views();
             let _ = done.send(Bytes::new());
         }
     }
@@ -603,6 +619,40 @@ impl ShardClient {
                         h.mark_down(shard);
                     }
                     return;
+                }
+                match f.partition_of(shard) {
+                    Some(PartitionDir::Inbound) => {
+                        // The request is lost on the way in: the shard
+                        // never sees it and no reply ever comes. Unlike a
+                        // kill, the client learns nothing at send time —
+                        // only the heartbeat prober's silence walks the
+                        // shard toward Down.
+                        f.note_partitioned();
+                        return;
+                    }
+                    Some(PartitionDir::Outbound) => {
+                        // The request arrives and mutates shard state,
+                        // but the reply is lost: deliver into a shadow
+                        // channel the caller never reads.
+                        f.note_partitioned();
+                        let mut list = pool.get_vec();
+                        list.extend_from_slice(views);
+                        let (shadow_tx, _shadow_rx) = bounded(1);
+                        let req = ShardRequest::Batch(ShardBatch {
+                            shard,
+                            views: list,
+                            op: op_of(shard),
+                            reply: shadow_tx,
+                        });
+                        match transport {
+                            Transport::Workers(senders) => {
+                                senders[worker].send(req).expect("worker channel closed");
+                            }
+                            Transport::Direct(shards) => handle_request(shards, pool, scratch, req),
+                        }
+                        return;
+                    }
+                    None => {}
                 }
             }
             let decision = faults.map_or(FaultDecision::Deliver, |f| f.decide(write));

@@ -56,6 +56,7 @@ fn ingress_and_egress_sums_equal_the_flat_total() {
                         schedule: Some(s),
                         servers,
                         seed: 11,
+                        domains: None,
                     });
                     let acct =
                         CostModel::with_topology(t.assignment(), servers).accounting(g, r, s);
@@ -108,6 +109,7 @@ fn every_partitioner_is_stable_under_a_fixed_seed() {
                 schedule: Some(&s),
                 servers: 12,
                 seed,
+                domains: None,
             };
             for p in partitioners() {
                 let a = p.partition(&req);
@@ -138,6 +140,7 @@ fn schedule_argument_only_affects_schedule_aware_weights() {
         schedule: Some(&s),
         servers: 8,
         seed: 5,
+        domains: None,
     };
     let without = PartitionRequest {
         schedule: None,

@@ -171,6 +171,81 @@ fn replicated_delivery_converges_across_replicas() {
 }
 
 #[test]
+fn faulty_replicated_delivery_converges_after_anti_entropy() {
+    use piggyback_store::fault::{FaultDecision, FaultInjector, FaultPlan};
+    // The wire under chaos: each replica's delivery stream runs through a
+    // real [`FaultInjector`] — batches reordered, some delivered twice
+    // back-to-back, some dropped after the transport acked them. Dropped
+    // batches are redelivered in a second shuffled pass (the anti-entropy
+    // catch-up a rejoining or lagging replica gets). Whatever the
+    // interleaving, every replica must end bit-identical to a faultless
+    // twin that saw the feed in order — the exactness both failover reads
+    // and the post-catch-up readmit lean on.
+    for capacity in [0usize, 8, 64] {
+        for seed in 0..4u64 {
+            let events: Vec<EventTuple> = (0..200u64)
+                .map(|i| EventTuple::new((i % 9) as u32, i, i))
+                .collect();
+            let mut canonical = View::with_capacity(capacity);
+            for &e in &events {
+                canonical.insert(e);
+            }
+            for replica in 0..3u64 {
+                let injector = FaultInjector::new(
+                    FaultPlan {
+                        seed: seed * 17 + replica,
+                        drop_update_per_mille: 150,
+                        duplicate_per_mille: 150,
+                        ..FaultPlan::default()
+                    },
+                    1,
+                );
+                let mut rng = StdRng::seed_from_u64(((seed << 8) | replica) ^ 0xFA11);
+                let shuffle = |rng: &mut StdRng, xs: &mut Vec<EventTuple>| {
+                    for i in (1..xs.len()).rev() {
+                        let j = rng.random_range(0..=i);
+                        xs.swap(i, j);
+                    }
+                };
+                let mut order = events.clone();
+                shuffle(&mut rng, &mut order);
+                let mut view = View::with_capacity(capacity);
+                let mut lost = Vec::new();
+                for &e in &order {
+                    match injector.decide(true) {
+                        FaultDecision::DropUpdate => lost.push(e),
+                        FaultDecision::Duplicate => {
+                            view.insert(e);
+                            view.insert(e);
+                        }
+                        // A delay is just a reorder, and the stream is
+                        // already shuffled — deliver.
+                        FaultDecision::Deliver | FaultDecision::Delay => view.insert(e),
+                    }
+                }
+                let (dropped, duplicated, _, _) = injector.counts();
+                assert!(
+                    dropped > 0 && duplicated > 0,
+                    "storm too tame to prove anything: {dropped} drops, {duplicated} dups"
+                );
+                // Anti-entropy: redeliver everything the wire lost, again
+                // out of order.
+                shuffle(&mut rng, &mut lost);
+                for &e in &lost {
+                    view.insert(e);
+                }
+                assert_eq!(
+                    view.to_vec_newest(),
+                    canonical.to_vec_newest(),
+                    "replica diverged from the faultless twin: capacity {capacity}, \
+                     seed {seed}, replica {replica}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn migrate_merge_sequences_match_the_model() {
     // A fleet of views exchanging contents through remove + merge — the
     // live-rebalancing pattern — interleaved with fresh traffic.

@@ -133,6 +133,22 @@ impl Rates {
             rc: self.rc.iter().map(|x| x * k).collect(),
         }
     }
+
+    /// Models `k`-replicated consumer views (§2.1 with replication): a
+    /// push edge delivers to every replica slot, so each production event
+    /// costs `k` messages — multiplies every production rate by `k`,
+    /// shifting the hybrid `min(rp, rc)` rule toward pull exactly where
+    /// replication makes push expensive. `k <= 1` returns the rates
+    /// unchanged, keeping the unreplicated plane bit-identical.
+    pub fn push_amplified(&self, k: usize) -> Self {
+        if k <= 1 {
+            return self.clone();
+        }
+        Rates {
+            rp: self.rp.iter().map(|x| x * k as f64).collect(),
+            rc: self.rc.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +156,18 @@ mod tests {
     use super::*;
     use piggyback_graph::gen::erdos_renyi;
     use piggyback_graph::GraphBuilder;
+
+    #[test]
+    fn push_amplified_scales_production_only() {
+        let r = Rates::from_vecs(vec![2.0, 3.0], vec![5.0, 7.0]);
+        let a = r.push_amplified(3);
+        assert_eq!(a.rp_slice(), &[6.0, 9.0]);
+        assert_eq!(a.rc_slice(), r.rc_slice());
+        // k = 1 is the identity — the unreplicated plane bit for bit.
+        let one = r.push_amplified(1);
+        assert_eq!(one.rp_slice(), r.rp_slice());
+        assert_eq!(one.rc_slice(), r.rc_slice());
+    }
 
     #[test]
     fn log_degree_hits_requested_ratio() {

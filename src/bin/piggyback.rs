@@ -466,6 +466,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         rebalance_threshold: parsed(flags, "rebalance-threshold", f64::INFINITY)?,
         placement_seed: seed,
         replication: parsed(flags, "replication", 1)?,
+        domains: parsed(flags, "domains", 0)?,
         heartbeat_interval: std::time::Duration::from_millis(parsed(flags, "heartbeat-ms", 0)?),
         ..Default::default()
     };
@@ -601,6 +602,7 @@ fn cmd_partition(flags: &HashMap<String, String>) -> Result<(), String> {
         schedule: Some(&schedule),
         servers,
         seed,
+        domains: None,
     });
     let acct =
         CostModel::with_topology(topology.assignment(), servers).accounting(&g, &rates, &schedule);
